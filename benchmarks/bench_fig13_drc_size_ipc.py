@@ -1,0 +1,14 @@
+"""Fig. 13 — VCFR normalized IPC under 64/128/512-entry DRCs.
+
+Paper: 98.9% of baseline at 512 entries, 97.9% at 64."""
+
+from conftest import run_once
+
+from repro.harness import format_result
+from repro.harness.experiments import fig13
+
+
+def test_fig13(runner, benchmark, show):
+    result = run_once(benchmark, fig13, runner)
+    show(format_result(result))
+    assert result.passed, [d for d, ok in result.checks if not ok]

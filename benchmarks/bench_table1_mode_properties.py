@@ -1,0 +1,16 @@
+"""Table I — qualitative comparison of the three execution modes.
+
+Regenerates the paper's Table I from measured simulator behaviour and
+asserts the four qualitative properties.
+"""
+
+from conftest import run_once
+
+from repro.harness import format_result
+from repro.harness.experiments import table1
+
+
+def test_table1_mode_properties(runner, benchmark, show):
+    result = run_once(benchmark, table1, runner)
+    show(format_result(result))
+    assert result.passed, [d for d, ok in result.checks if not ok]

@@ -1,0 +1,53 @@
+"""Software ILR emulation vs hardware VCFR on one workload (Fig. 2 story).
+
+Runs the python-interpreter workload three ways and prints the cost
+ladder that motivates the paper:
+
+1. native baseline on the cycle simulator,
+2. hardware VCFR (native execution of the randomized binary),
+3. the software-ILR instruction-level emulator, with its host-cost
+   breakdown (dispatch / de-randomization / decode / ...).
+
+Run: ``python examples/emulator_vs_hardware.py``
+"""
+
+from repro.arch.cpu import simulate
+from repro.emu import ILREmulator
+from repro.ilr import RandomizerConfig, make_flow, randomize
+from repro.workloads import build_image
+
+
+def main():
+    image = build_image("python")
+    program = randomize(image, RandomizerConfig(seed=5))
+
+    base = simulate(program.original, make_flow("baseline", program),
+                    max_instructions=400_000)
+    vcfr = simulate(program.vcfr_image, make_flow("vcfr", program),
+                    max_instructions=400_000)
+    emulated = ILREmulator(program, max_instructions=400_000).run()
+
+    print("workload: python-like bytecode interpreter "
+          "(%d retired instructions)" % base.instructions)
+    print()
+    print("native baseline : %8d cycles   (IPC %.3f)" % (base.cycles, base.ipc))
+    print("hardware VCFR   : %8d cycles   (IPC %.3f, %.1f%% of baseline)"
+          % (vcfr.cycles, vcfr.ipc, 100 * vcfr.ipc / base.ipc))
+    print("software ILR VM : %8d host instructions" % emulated.host_instructions)
+    print()
+    slowdown = emulated.slowdown_vs(base.cycles)
+    vcfr_overhead = 100 * (1 - vcfr.ipc / base.ipc)
+    print("emulator slowdown vs native : %.0fx" % slowdown)
+    print("VCFR overhead vs native     : %.1f%%" % vcfr_overhead)
+    print()
+    print("where the emulator's time goes (host instructions):")
+    total = emulated.host_instructions
+    for activity, count in emulated.counters.rows():
+        print("  %-18s %12d  (%4.1f%%)" % (activity, count, 100 * count / total))
+
+    assert slowdown > 100, "the emulator should be >100x slower"
+    assert vcfr_overhead < 20, "hardware VCFR should be within a few % of native"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Enhancing Software Dependability and Security
+with Hardware Supported Instruction Address Space Randomization"
+(Kim, Xu, Liu, Lin, Ro, Shi — DSN 2015).
+
+The package implements the paper's full toolchain:
+
+* :mod:`repro.isa` — the RX86 variable-length instruction set (assembler,
+  encoder/decoder);
+* :mod:`repro.binary` — binary image format with symbols and relocations;
+* :mod:`repro.analysis` — disassembly, CFG construction, constant
+  propagation, pointer scanning, static control-flow statistics;
+* :mod:`repro.ilr` — the complete-ILR randomizer producing naive-ILR and
+  VCFR images plus randomization/de-randomization (RDR) tables;
+* :mod:`repro.arch` — the cycle-level single-issue in-order CPU simulator
+  with caches, branch prediction, DRAM, the De-Randomization Cache (DRC)
+  and a power model;
+* :mod:`repro.emu` — the software-ILR instruction-level emulator baseline;
+* :mod:`repro.security` — ROP gadget scanning, payload compilation and
+  attack simulation;
+* :mod:`repro.workloads` — synthetic SPEC-CPU2006-like benchmark programs;
+* :mod:`repro.harness` — one experiment per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

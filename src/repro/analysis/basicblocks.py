@@ -1,0 +1,88 @@
+"""Basic-block construction via the classic leader algorithm.
+
+Leaders (paper §IV-A): targets of direct control transfers, and every
+instruction directly following a (direct or indirect) transfer; plus the
+given roots (entry point, function entries, known indirect targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..isa.instruction import Instruction
+from .disassembler import Disassembly
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        last = self.instructions[-1]
+        return last.addr + last.length
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    @property
+    def falls_through(self) -> bool:
+        """True if control can flow into the next sequential block."""
+        term = self.terminator
+        if term.mnemonic in ("jmp", "jmp8", "jmpi", "ret", "halt"):
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BasicBlock(0x%x..0x%x, %d insts)" % (
+            self.start, self.end, len(self.instructions),
+        )
+
+
+def find_leaders(disasm: Disassembly, roots: Optional[Iterable[int]] = None) -> Set[int]:
+    """Compute the leader set over the (reached) disassembly."""
+    leaders: Set[int] = set()
+    if roots is not None:
+        leaders.update(a for a in roots if disasm.is_instruction_start(a))
+    elif disasm.is_instruction_start(disasm.image.entry):
+        leaders.add(disasm.image.entry)
+
+    for inst in disasm.by_addr.values():
+        target = inst.target
+        if target is not None and disasm.is_instruction_start(target):
+            leaders.add(target)
+        if inst.is_control and disasm.is_instruction_start(inst.next_addr):
+            leaders.add(inst.next_addr)
+    return leaders
+
+
+def build_blocks(
+    disasm: Disassembly, roots: Optional[Iterable[int]] = None
+) -> Dict[int, BasicBlock]:
+    """Partition the disassembly into basic blocks keyed by start address."""
+    leaders = find_leaders(disasm, roots)
+    blocks: Dict[int, BasicBlock] = {}
+    current: Optional[BasicBlock] = None
+
+    for addr in sorted(disasm.by_addr):
+        inst = disasm.by_addr[addr]
+        if addr in leaders or current is None:
+            current = BasicBlock(start=addr)
+            blocks[addr] = current
+        elif current.instructions and current.terminator.next_addr != addr:
+            # A gap (data or undecodable bytes) breaks the block.
+            current = BasicBlock(start=addr)
+            blocks[addr] = current
+        current.instructions.append(inst)
+        if inst.is_control or inst.is_halt:
+            current = None
+    return blocks

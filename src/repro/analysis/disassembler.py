@@ -1,0 +1,144 @@
+"""Disassembly of RX86 binary images.
+
+Two strategies, mirroring the paper's toolchain (§IV-A: "we use IDA Pro, a
+recursive descent disassembler... For complete scan of disassembled code,
+we also use objdump"):
+
+* :func:`recursive_descent` — follow control flow from a set of roots
+  (entry point, function symbols, relocation targets), the IDA-style pass;
+* :func:`linear_sweep` — decode straight through each code section, the
+  objdump-style pass, resynchronizing after undecodable bytes;
+* :func:`disassemble` — recursive descent first, then a linear sweep over
+  any unreached gaps, returning a combined :class:`Disassembly`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..binary import BinaryImage
+from ..isa.decoder import DecodeError, decode
+from ..isa.instruction import Instruction
+
+
+@dataclass
+class Disassembly:
+    """Result of disassembling an image.
+
+    ``by_addr`` maps instruction address to :class:`Instruction`;
+    ``reached`` is the subset discovered by recursive descent (i.e. code
+    that is provably reachable along decoded control flow).
+    """
+
+    image: BinaryImage
+    by_addr: Dict[int, Instruction] = field(default_factory=dict)
+    reached: Set[int] = field(default_factory=set)
+    #: Addresses where decoding failed during the sweep (alignment junk).
+    undecodable: List[int] = field(default_factory=list)
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        """All instructions in address order."""
+        return [self.by_addr[a] for a in sorted(self.by_addr)]
+
+    def at(self, addr: int) -> Optional[Instruction]:
+        return self.by_addr.get(addr)
+
+    def is_instruction_start(self, addr: int) -> bool:
+        return addr in self.by_addr
+
+    def __len__(self) -> int:
+        return len(self.by_addr)
+
+
+def default_roots(image: BinaryImage) -> List[int]:
+    """Entry point + function symbols + relocation targets inside code."""
+    roots = [image.entry]
+    roots.extend(sym.addr for sym in image.symbols.functions())
+    roots.extend(
+        reloc.target for reloc in image.relocations if image.is_code_addr(reloc.target)
+    )
+    return roots
+
+
+def recursive_descent(
+    image: BinaryImage, roots: Optional[Iterable[int]] = None
+) -> Disassembly:
+    """IDA-style recursive descent from ``roots`` (default: entry+symbols+relocs)."""
+    disasm = Disassembly(image)
+    work = list(roots) if roots is not None else default_roots(image)
+    seen: Set[int] = set()
+
+    while work:
+        addr = work.pop()
+        if addr in seen:
+            continue
+        sec = image.section_at(addr)
+        if sec is None or not sec.executable:
+            continue
+        # Decode a straight-line run until an unconditional transfer.
+        while addr not in seen:
+            seen.add(addr)
+            try:
+                inst = decode(sec.data, addr - sec.base, addr)
+            except DecodeError:
+                disasm.undecodable.append(addr)
+                break
+            disasm.by_addr[addr] = inst
+            disasm.reached.add(addr)
+            target = inst.target
+            if target is not None and image.is_code_addr(target):
+                work.append(target)
+            if inst.mnemonic in ("jmp", "jmp8", "ret", "halt") or (
+                inst.mnemonic == "jmpi"
+            ):
+                break
+            addr = inst.next_addr
+            if addr >= sec.end:
+                break
+    return disasm
+
+
+def linear_sweep(image: BinaryImage) -> Disassembly:
+    """objdump-style linear sweep over every executable section."""
+    disasm = Disassembly(image)
+    for sec in image.code_sections():
+        addr = sec.base
+        while addr < sec.end:
+            try:
+                inst = decode(sec.data, addr - sec.base, addr)
+            except DecodeError:
+                disasm.undecodable.append(addr)
+                addr += 1
+                continue
+            disasm.by_addr[addr] = inst
+            addr += inst.length
+    return disasm
+
+
+def disassemble(
+    image: BinaryImage, roots: Optional[Iterable[int]] = None
+) -> Disassembly:
+    """Combined pass: recursive descent, then sweep unreached gaps.
+
+    The sweep never overrides instructions discovered by recursive descent
+    (descent results are considered ground truth where they exist).
+    """
+    disasm = recursive_descent(image, roots)
+    for sec in image.code_sections():
+        addr = sec.base
+        while addr < sec.end:
+            known = disasm.by_addr.get(addr)
+            if known is not None:
+                addr += known.length
+                continue
+            try:
+                inst = decode(sec.data, addr - sec.base, addr)
+            except DecodeError:
+                disasm.undecodable.append(addr)
+                addr += 1
+                continue
+            disasm.by_addr[addr] = inst
+            addr += inst.length
+    return disasm

@@ -1,0 +1,190 @@
+"""Function identification and call/return analysis.
+
+Feeds two parts of the paper:
+
+* Fig. 9 — per-application counts of functions *with* and *without*
+  ``ret`` instructions (functions without ``ret`` return via other means
+  and make naive return-address randomization unsafe);
+* §IV-A/§IV-C — the per-call-site classification of whether the return
+  address can be safely randomized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..binary import BinaryImage
+from .disassembler import Disassembly, disassemble
+
+
+@dataclass
+class FunctionInfo:
+    """One discovered function."""
+
+    entry: int
+    name: Optional[str]
+    #: addresses of the instructions assigned to this function body.
+    body: List[int] = field(default_factory=list)
+    has_ret: bool = False
+    #: ``call`` sites (addresses) inside this function.
+    call_sites: List[int] = field(default_factory=list)
+    indirect_call_sites: List[int] = field(default_factory=list)
+    #: does the body read its own return address via the get-pc idiom
+    #: (``call`` to the immediately following instruction)?
+    uses_getpc: bool = False
+    #: does the body manipulate its own return address on the stack
+    #: (e.g. ``pop`` it at entry and re-push it)?  Randomizing the return
+    #: address of calls into such functions is unsafe even with the
+    #: §IV-C auto-de-randomizing loads: the de-randomized value written
+    #: back would be consumed by ``ret`` as an un-randomized target.
+    manipulates_retaddr: bool = False
+
+
+@dataclass
+class FunctionAnalysis:
+    functions: Dict[int, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def with_ret(self) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.has_ret]
+
+    @property
+    def without_ret(self) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if not f.has_ret]
+
+    def at(self, entry: int) -> Optional[FunctionInfo]:
+        return self.functions.get(entry)
+
+
+def discover_entries(image: BinaryImage, disasm: Disassembly) -> Set[int]:
+    """Function entries: symbols flagged as functions + direct call targets."""
+    entries = {s.addr for s in image.symbols.functions()}
+    entries.add(image.entry)
+    for inst in disasm.by_addr.values():
+        if inst.mnemonic == "call":
+            target = inst.target
+            if target is not None and disasm.is_instruction_start(target):
+                entries.add(target)
+    return {e for e in entries if disasm.is_instruction_start(e)}
+
+
+def analyze_functions(
+    image: BinaryImage, disasm: Optional[Disassembly] = None
+) -> FunctionAnalysis:
+    """Partition code into functions and classify their return behaviour.
+
+    Function bodies are the maximal address ranges from each entry to the
+    next entry (flat partitioning — sufficient because our toolchain lays
+    functions out contiguously, as compilers do).
+    """
+    if disasm is None:
+        disasm = disassemble(image)
+    analysis = FunctionAnalysis()
+    entries = sorted(discover_entries(image, disasm))
+    if not entries:
+        return analysis
+
+    addrs = sorted(disasm.by_addr)
+    bounds = {
+        entry: (entries[i + 1] if i + 1 < len(entries) else None)
+        for i, entry in enumerate(entries)
+    }
+
+    for entry in entries:
+        sym = image.symbols.at(entry)
+        info = FunctionInfo(entry=entry, name=sym.name if sym else None)
+        analysis.functions[entry] = info
+
+    # Assign instructions to the function whose [entry, next_entry) range
+    # they fall into.
+    import bisect
+
+    for addr in addrs:
+        idx = bisect.bisect_right(entries, addr) - 1
+        if idx < 0:
+            continue
+        entry = entries[idx]
+        limit = bounds[entry]
+        if limit is not None and addr >= limit:
+            continue
+        info = analysis.functions[entry]
+        info.body.append(addr)
+        inst = disasm.by_addr[addr]
+        if inst.mnemonic == "ret":
+            info.has_ret = True
+        elif inst.mnemonic == "call":
+            info.call_sites.append(addr)
+            if inst.target == inst.next_addr:
+                info.uses_getpc = True
+        elif inst.mnemonic == "calli":
+            info.indirect_call_sites.append(addr)
+
+    for info in analysis.functions.values():
+        info.manipulates_retaddr = _manipulates_retaddr(info, disasm)
+    return analysis
+
+
+def _manipulates_retaddr(info: FunctionInfo, disasm: Disassembly) -> bool:
+    """Does the straight-line entry path touch the caller's return slot?
+
+    Tracks net stack depth from the entry; a ``pop`` (or ``leave``) while
+    the depth is zero consumes the return address itself.  The scan stops
+    at the first control transfer — beyond it depth tracking would need a
+    full dataflow analysis, and conventional prologues resolve within a
+    handful of instructions anyway.
+    """
+    depth = 0
+    for addr in info.body:
+        inst = disasm.by_addr[addr]
+        m = inst.mnemonic
+        if m == "push":
+            depth += 1
+        elif m in ("pop", "leave"):
+            if depth == 0:
+                return True
+            depth -= 1
+        elif inst.is_control:
+            break
+    return False
+
+
+def ret_randomization_safety(
+    analysis: FunctionAnalysis, disasm: Disassembly, conservative: bool = False
+) -> Dict[int, bool]:
+    """Classify each call site: can its return address be safely randomized?
+
+    Rules (paper §IV-A and §IV-C):
+
+    * indirect call sites are never randomized;
+    * the get-pc idiom (``call`` targeting the next instruction) is never
+      randomized — the pushed value is *used as data*;
+    * calls into functions that *manipulate their own return address*
+      (pop it at entry) are never randomized: even §IV-C's auto-de-
+      randomizing loads cannot help, because the written-back original
+      value would later be consumed by ``ret``;
+    * under the conservative (software-only) policy, calls into functions
+      without a ``ret`` are not randomized either (the callee may access
+      the return address directly);
+    * under the architectural policy (``conservative=False``, the paper's
+      §IV-C enhancement) those calls *are* randomized, because hardware
+      auto-de-randomizes tagged stack slots on load.
+    """
+    safety: Dict[int, bool] = {}
+    for info in analysis.functions.values():
+        for site in info.indirect_call_sites:
+            safety[site] = False
+        for site in info.call_sites:
+            inst = disasm.by_addr[site]
+            target = inst.target
+            if target == inst.next_addr:
+                safety[site] = False
+                continue
+            callee = analysis.at(target) if target is not None else None
+            if callee is not None and callee.manipulates_retaddr:
+                safety[site] = False
+            elif conservative and (callee is None or not callee.has_ret):
+                safety[site] = False
+            else:
+                safety[site] = True
+    return safety

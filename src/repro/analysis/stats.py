@@ -1,0 +1,75 @@
+"""Static control-flow statistics (paper Table II and Fig. 9).
+
+Table II columns: direct control transfers, indirect control transfers,
+function calls, indirect function calls — "indirect control transfers
+include both control transfers from registers and computed control
+transfers.  Also, indirect function calls include calls from registers and
+calls using computed function addresses."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..binary import BinaryImage
+from .disassembler import Disassembly, disassemble
+from .functions import FunctionAnalysis, analyze_functions
+
+
+@dataclass(frozen=True)
+class ControlFlowStats:
+    """Table II row + Fig. 9 data point for one binary."""
+
+    direct_transfers: int
+    indirect_transfers: int
+    function_calls: int
+    indirect_function_calls: int
+    functions_with_ret: int
+    functions_without_ret: int
+    total_instructions: int
+
+    def as_table2_row(self) -> tuple:
+        return (
+            self.direct_transfers,
+            self.indirect_transfers,
+            self.function_calls,
+            self.indirect_function_calls,
+        )
+
+
+def collect_stats(
+    image: BinaryImage,
+    disasm: Optional[Disassembly] = None,
+    functions: Optional[FunctionAnalysis] = None,
+) -> ControlFlowStats:
+    """Compute the static control-flow statistics of one image."""
+    if disasm is None:
+        disasm = disassemble(image)
+    if functions is None:
+        functions = analyze_functions(image, disasm)
+
+    direct = 0
+    indirect = 0
+    calls = 0
+    indirect_calls = 0
+    for inst in disasm.by_addr.values():
+        if inst.is_direct_branch:
+            direct += 1
+            if inst.mnemonic == "call":
+                calls += 1
+        elif inst.is_indirect_branch and inst.mnemonic != "ret":
+            indirect += 1
+            if inst.mnemonic == "calli":
+                indirect_calls += 1
+                calls += 1
+
+    return ControlFlowStats(
+        direct_transfers=direct,
+        indirect_transfers=indirect,
+        function_calls=calls,
+        indirect_function_calls=indirect_calls,
+        functions_with_ret=len(functions.with_ret),
+        functions_without_ret=len(functions.without_ret),
+        total_instructions=len(disasm),
+    )

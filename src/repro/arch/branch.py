@@ -1,0 +1,201 @@
+"""Branch prediction: 2-level gshare, BTB, and return address stack.
+
+Paper §VI-C: "The detailed processor model includes, branch predictor
+(2-level gshare), BTB (branch target buffer), RAS ...".  §IV-D: under
+VCFR, "both predictions can be based on the de-randomized program
+counter", so prediction accuracy is unaffected by randomization — the
+cycle simulator feeds these structures UPC-space addresses in VCFR mode
+and randomized addresses in naive mode (where no original space exists at
+fetch time).
+"""
+
+from __future__ import annotations
+
+from .config import BranchConfig
+
+
+class BranchStats:
+    __slots__ = (
+        "cond_branches", "cond_mispredicts",
+        "btb_lookups", "btb_misses",
+        "ras_pushes", "ras_pops", "ras_mispredicts",
+        "indirect_branches", "indirect_mispredicts",
+    )
+
+    def __init__(self):
+        self.cond_branches = 0
+        self.cond_mispredicts = 0
+        self.btb_lookups = 0
+        self.btb_misses = 0
+        self.ras_pushes = 0
+        self.ras_pops = 0
+        self.ras_mispredicts = 0
+        self.indirect_branches = 0
+        self.indirect_mispredicts = 0
+
+    @property
+    def cond_accuracy(self) -> float:
+        if not self.cond_branches:
+            return 1.0
+        return 1.0 - self.cond_mispredicts / self.cond_branches
+
+
+class GShare:
+    """Global-history XOR PC indexed table of 2-bit saturating counters."""
+
+    def __init__(self, history_bits: int):
+        self.history_bits = history_bits
+        self.mask = (1 << history_bits) - 1
+        self.table = [2] * (1 << history_bits)  # weakly taken
+        self.history = 0
+
+    def predict(self, pc: int) -> bool:
+        idx = ((pc >> 2) ^ self.history) & self.mask
+        return self.table[idx] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = ((pc >> 2) ^ self.history) & self.mask
+        counter = self.table[idx]
+        if taken:
+            if counter < 3:
+                self.table[idx] = counter + 1
+        else:
+            if counter > 0:
+                self.table[idx] = counter - 1
+        self.history = ((self.history << 1) | int(taken)) & self.mask
+
+
+class BTB:
+    """Set-associative branch target buffer (LRU)."""
+
+    def __init__(self, entries: int, assoc: int):
+        self.num_sets = max(1, entries // assoc)
+        self.assoc = assoc
+        self._sets = [[] for _ in range(self.num_sets)]  # [tag, target] LRU order
+
+    def lookup(self, pc: int):
+        ways = self._sets[(pc >> 2) % self.num_sets]
+        for idx, entry in enumerate(ways):
+            if entry[0] == pc:
+                ways.append(ways.pop(idx))
+                return entry[1]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        ways = self._sets[(pc >> 2) % self.num_sets]
+        for idx, entry in enumerate(ways):
+            if entry[0] == pc:
+                entry[1] = target
+                ways.append(ways.pop(idx))
+                return
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append([pc, target])
+
+
+class RAS:
+    """Fixed-depth return address stack (overwrites on overflow)."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._stack = []
+
+    def push(self, addr: int) -> None:
+        if len(self._stack) >= self.entries:
+            self._stack.pop(0)
+        self._stack.append(addr)
+
+    def pop(self):
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+
+class BranchUnit:
+    """Front-end prediction state + penalty computation.
+
+    ``penalty_*`` methods return stall cycles to charge and update the
+    predictors, given the architectural outcome of the instruction.
+    """
+
+    def __init__(self, config: BranchConfig):
+        self.config = config
+        self.gshare = GShare(config.gshare_bits)
+        self.btb = BTB(config.btb_entries, config.btb_assoc)
+        self.ras = RAS(config.ras_entries)
+        self.stats = BranchStats()
+
+    # Every prediction method returns ``(penalty_cycles, predicted_ok)``.
+    # ``predicted_ok`` tells the caller whether the front end had the
+    # correct next fetch address in hand — when it did, a VCFR DRC lookup
+    # for the same transfer is off the critical path (paper §IV-D:
+    # prediction runs in the de-randomized space, so fetch never waits
+    # for a translation it already has a predicted UPC for).
+
+    # -- conditional branches -------------------------------------------------
+
+    def conditional(self, pc: int, taken: bool, target: int):
+        stats = self.stats
+        stats.cond_branches += 1
+        predicted_taken = self.gshare.predict(pc)
+        self.gshare.update(pc, taken)
+
+        if predicted_taken != taken:
+            stats.cond_mispredicts += 1
+            if taken:
+                self.btb.update(pc, target)
+            return self.config.mispredict_penalty, False
+        if not taken:
+            return 0, True
+        penalty, target_ok = self._taken_target_penalty(pc, target)
+        self.btb.update(pc, target)
+        return penalty, target_ok
+
+    # -- unconditional direct (jmp, call) ------------------------------------------
+
+    def direct(self, pc: int, target: int, is_call: bool, retaddr: int = 0):
+        penalty, target_ok = self._taken_target_penalty(pc, target)
+        self.btb.update(pc, target)
+        if is_call:
+            self.ras.push(retaddr)
+            self.stats.ras_pushes += 1
+        return penalty, target_ok
+
+    # -- indirect (jmpi, calli) --------------------------------------------------------
+
+    def indirect(self, pc: int, target: int, is_call: bool, retaddr: int = 0):
+        stats = self.stats
+        stats.indirect_branches += 1
+        stats.btb_lookups += 1
+        predicted = self.btb.lookup(pc)
+        self.btb.update(pc, target)
+        if is_call:
+            self.ras.push(retaddr)
+            stats.ras_pushes += 1
+        if predicted == target:
+            return self.config.taken_bubble, True
+        stats.indirect_mispredicts += 1
+        if predicted is None:
+            stats.btb_misses += 1
+        return self.config.mispredict_penalty, False
+
+    # -- returns ---------------------------------------------------------------------------
+
+    def ret(self, pc: int, target: int):
+        del pc
+        stats = self.stats
+        stats.ras_pops += 1
+        predicted = self.ras.pop()
+        if predicted == target:
+            return self.config.taken_bubble, True
+        stats.ras_mispredicts += 1
+        return self.config.mispredict_penalty, False
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    def _taken_target_penalty(self, pc: int, target: int):
+        self.stats.btb_lookups += 1
+        if self.btb.lookup(pc) == target:
+            return self.config.taken_bubble, True
+        self.stats.btb_misses += 1
+        return self.config.btb_miss_penalty, False

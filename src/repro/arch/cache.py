@@ -1,0 +1,152 @@
+"""Set-associative cache timing model with LRU replacement and write-back.
+
+Caches model *timing and occupancy only*; data always comes from the
+functional :class:`~repro.arch.memory.SparseMemory`.  This split keeps the
+hot simulation loop fast while preserving faithful hit/miss behaviour.
+
+The line state tracks a ``prefetched`` bit so the prefetch-effectiveness
+statistics of paper Fig. 3 can be computed (a prefetched line that gets
+evicted before any demand hit was a wasted prefetch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .config import CacheConfig
+
+
+class CacheStats:
+    """Counters for one cache instance."""
+
+    __slots__ = (
+        "accesses", "misses", "evictions", "writebacks",
+        "prefetches", "prefetch_hits", "prefetch_used", "prefetch_wasted",
+        "demand_reads_to_next",
+    )
+
+    def __init__(self):
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.prefetches = 0
+        #: prefetch requests that already hit in this cache (no fill needed).
+        self.prefetch_hits = 0
+        #: prefetched lines that served at least one demand access.
+        self.prefetch_used = 0
+        #: prefetched lines evicted without a single demand access.
+        self.prefetch_wasted = 0
+        #: read requests this cache issued to the next level (L2 "pressure"
+        #: in paper Fig. 3 terms, when read on an L1).
+        self.demand_reads_to_next = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def prefetch_waste_rate(self) -> float:
+        """Fraction of prefetched lines never used — the "prefetch miss rate"."""
+        issued = self.prefetch_used + self.prefetch_wasted
+        return self.prefetch_wasted / issued if issued else 0.0
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    ``next_level`` is a callable ``(line_addr, is_write) -> latency`` used
+    on misses and writebacks — either another :class:`Cache`'s
+    :meth:`access` or the DRAM model.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str,
+        next_level: Callable[[int, bool], int],
+    ):
+        self.config = config
+        self.name = name
+        self.next_level = next_level
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.latency = config.latency
+        self.stats = CacheStats()
+        # Per set: list of [tag, dirty, prefetched, touched] in LRU order
+        # (index 0 = LRU, -1 = MRU).
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    # -- helpers -----------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    def _find(self, ways, tag):
+        for idx, entry in enumerate(ways):
+            if entry[0] == tag:
+                return idx
+        return -1
+
+    def contains(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        ways = self._sets[line % self.num_sets]
+        return self._find(ways, line) >= 0
+
+    # -- main access path ------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Demand access; returns total latency in cycles."""
+        line = self.line_addr(addr)
+        set_idx = line % self.num_sets
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+
+        way = self._find(ways, line)
+        if way >= 0:
+            entry = ways.pop(way)
+            if entry[2] and not entry[3]:
+                self.stats.prefetch_used += 1
+            entry[3] = True
+            if is_write:
+                entry[1] = True
+            ways.append(entry)
+            return self.latency
+
+        # Miss: fill from the next level.
+        self.stats.misses += 1
+        self.stats.demand_reads_to_next += 1
+        latency = self.latency + self.next_level(line << self.line_shift, False)
+        self._install(ways, line, dirty=is_write, prefetched=False, touched=True)
+        return latency
+
+    def prefetch(self, addr: int) -> None:
+        """Install ``addr``'s line speculatively (no latency charged to the core)."""
+        line = self.line_addr(addr)
+        ways = self._sets[line % self.num_sets]
+        if self._find(ways, line) >= 0:
+            self.stats.prefetch_hits += 1
+            return
+        self.stats.prefetches += 1
+        # The fill still loads the next level (bandwidth/pressure there).
+        self.next_level(line << self.line_shift, False)
+        self._install(ways, line, dirty=False, prefetched=True, touched=False)
+
+    def _install(self, ways, line, dirty, prefetched, touched) -> None:
+        if len(ways) >= self.assoc:
+            victim = ways.pop(0)
+            self.stats.evictions += 1
+            if victim[2] and not victim[3]:
+                self.stats.prefetch_wasted += 1
+            if victim[1]:
+                self.stats.writebacks += 1
+                self.next_level(victim[0] << self.line_shift, True)
+        ways.append([line, dirty, prefetched, touched])
+
+    def flush(self) -> None:
+        """Drop all lines (writebacks are not modelled on flush)."""
+        self._sets = [[] for _ in range(self.num_sets)]

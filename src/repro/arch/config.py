@@ -1,0 +1,118 @@
+"""Machine configuration (paper §VI-C machine parameters).
+
+Defaults reproduce the evaluated machine: a 1.6 GHz single-issue in-order
+x86 core with 32 KB 2-way IL1/DL1 (64 B lines, 2-cycle), a unified 512 KB
+8-way 12-cycle L2, 64-entry fully-associative TLBs, a 2-level gshare
+predictor with BTB and RAS, a next-line IL1 prefetcher, a DDR-style DRAM
+model, and a small direct-mapped DRC (64–512 entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CacheConfig:
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    latency: int = 2
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+
+@dataclass
+class BranchConfig:
+    #: gshare: global history bits (table has 2**bits 2-bit counters).
+    gshare_bits: int = 12
+    btb_entries: int = 2048
+    btb_assoc: int = 4
+    ras_entries: int = 16
+    #: full pipeline flush on a direction/target mispredict.
+    mispredict_penalty: int = 6
+    #: bubble for a correctly-predicted taken branch (fetch redirect).
+    taken_bubble: int = 1
+    #: extra bubble when a taken branch misses the BTB.
+    btb_miss_penalty: int = 2
+
+
+@dataclass
+class TLBConfig:
+    entries: int = 64  # fully associative (paper: 64-entry FA I-TLB/D-TLB)
+    page_bits: int = 12
+    miss_penalty: int = 12  # page-walk cycles (warm paging-structure caches)
+
+
+@dataclass
+class DRAMConfig:
+    num_banks: int = 8
+    row_bits: int = 12  # 4 KiB rows; open-page policy
+    t_cas: int = 15  # CPU cycles (column access, row already open)
+    t_rcd: int = 15  # activate
+    t_rp: int = 15  # precharge
+    controller_overhead: int = 10
+
+
+@dataclass
+class DRCConfig:
+    """De-Randomization Cache: small direct-mapped translation cache."""
+
+    entries: int = 128  # paper evaluates 64 / 128 / 512
+    latency: int = 1
+    #: associativity: 1 = direct-mapped (the paper's design), n = n-way,
+    #: 0 = fully associative (ablation only).
+    assoc: int = 1
+    #: bitmap cache for §IV-C marked stack slots.
+    bitmap_latency: int = 1
+
+
+@dataclass
+class MachineConfig:
+    freq_mhz: int = 1600
+    il1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 2, 64, 2)
+    )
+    dl1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 2, 64, 2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(512 * 1024, 8, 64, 12)
+    )
+    branch: BranchConfig = field(default_factory=BranchConfig)
+    itlb: TLBConfig = field(default_factory=TLBConfig)
+    dtlb: TLBConfig = field(default_factory=TLBConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    drc: DRCConfig = field(default_factory=DRCConfig)
+    #: enable the next-line IL1 instruction prefetcher.
+    prefetch_il1: bool = True
+    #: average exposed load-use latency for a DL1 hit, in stall cycles.
+    load_use_stall: int = 1
+
+    def with_drc_entries(self, entries: int) -> "MachineConfig":
+        """A copy of this config with a different DRC size (Fig. 13/14 sweeps)."""
+        import copy
+
+        cfg = copy.deepcopy(self)
+        cfg.drc.entries = entries
+        return cfg
+
+    def with_drc(self, entries: Optional[int] = None,
+                 assoc: Optional[int] = None) -> "MachineConfig":
+        """A copy with DRC size and/or associativity overridden (ablations)."""
+        import copy
+
+        cfg = copy.deepcopy(self)
+        if entries is not None:
+            cfg.drc.entries = entries
+        if assoc is not None:
+            cfg.drc.assoc = assoc
+        return cfg
+
+
+def default_config() -> MachineConfig:
+    """The paper's evaluated machine."""
+    return MachineConfig()

@@ -1,0 +1,154 @@
+"""Process contexts and time-shared execution (paper §IV-D).
+
+"At system level, the main impact is to extend application context to
+include the de-randomization/randomization tables."  This module models
+that impact: several programs time-share one core under a round-robin
+scheduler; a context switch swaps the architectural state *and* the RDR
+table context, which costs the DRC its contents (the new process's
+translations must refill through the L2) on top of the usual TLB and
+predictor disturbance.
+
+The interesting measurement is DRC cold-start sensitivity: how much of
+VCFR's near-baseline IPC survives realistic scheduling quanta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .config import MachineConfig
+from .cpu import CycleCPU
+from .simstats import SimResult
+
+
+@dataclass
+class ProcessResult:
+    """Per-process outcome of a time-shared run."""
+
+    name: str
+    result: SimResult
+    quanta: int
+
+
+@dataclass
+class SwitchStats:
+    """Context-switch accounting."""
+
+    switches: int = 0
+    #: fixed kernel cost charged per switch (save/restore + table swap).
+    switch_cycles_each: int = 200
+    total_switch_cycles: int = 0
+
+
+@dataclass
+class TimeSharedResult:
+    processes: List[ProcessResult] = field(default_factory=list)
+    switch_stats: SwitchStats = field(default_factory=SwitchStats)
+    total_cycles: int = 0
+
+    def by_name(self, name: str) -> ProcessResult:
+        for proc in self.processes:
+            if proc.name == name:
+                return proc
+        raise KeyError(name)
+
+
+class TimeSharedCPU:
+    """Round-robin time sharing of one core between VCFR processes.
+
+    Each process gets its own :class:`CycleCPU` (its own memory image and
+    architectural state — address spaces are per-process) while the
+    *shared* micro-architectural state is modelled by what a switch
+    does to it: the DRC is flushed (its entries belong to the outgoing
+    process's RDR tables), the TLBs are flushed (new address space), and
+    the predictors are left alone (tagless structures alias across
+    processes, which is how real cores behave).
+    """
+
+    def __init__(
+        self,
+        programs,  # list of (name, image, flow)
+        config: Optional[MachineConfig] = None,
+        quantum_instructions: int = 5_000,
+        switch_cycles: int = 200,
+    ):
+        self.cpus = [
+            (name, CycleCPU(image, flow, config))
+            for name, image, flow in programs
+        ]
+        self.quantum = quantum_instructions
+        self.switch_stats = SwitchStats(switch_cycles_each=switch_cycles)
+
+    def run(self, max_instructions_per_process: int = 200_000) -> TimeSharedResult:
+        """Run all processes to completion (or budget), round-robin."""
+        live = {name: True for name, _cpu in self.cpus}
+        quanta = {name: 0 for name, _cpu in self.cpus}
+        budget = {name: max_instructions_per_process for name, _ in self.cpus}
+
+        while any(live.values()):
+            for name, cpu in self.cpus:
+                if not live[name]:
+                    continue
+                self._on_switch_in(cpu)
+                slice_size = min(self.quantum, budget[name])
+                before = cpu.state.icount
+                finished = cpu.run_slice(slice_size)
+                executed = cpu.state.icount - before
+                budget[name] -= executed
+                quanta[name] += 1
+                if finished or budget[name] <= 0 or executed == 0:
+                    live[name] = False
+
+        total_cycles = self.switch_stats.total_switch_cycles
+        out = TimeSharedResult(switch_stats=self.switch_stats)
+        for name, cpu in self.cpus:
+            final = cpu._result(finished=cpu._finished, warmup=0)
+            out.processes.append(
+                ProcessResult(name=name, result=final, quanta=quanta[name])
+            )
+            total_cycles += cpu.cycle
+        out.total_cycles = total_cycles
+        return out
+
+    def _on_switch_in(self, cpu: CycleCPU) -> None:
+        """Model what a context switch costs the incoming process."""
+        stats = self.switch_stats
+        stats.switches += 1
+        stats.total_switch_cycles += stats.switch_cycles_each
+        cpu.cycle += stats.switch_cycles_each
+        # The DRC held the *outgoing* process's translations: its context
+        # (the RDR tables) is swapped, so the cache contents are dead.
+        cpu.drc.flush()
+        # New address space: TLBs flush; caches are physically tagged in
+        # this model (the shared L2 keeps both processes' lines, which is
+        # what lets warm RDR table lines survive in L2 across switches).
+        cpu.itlb.flush()
+        cpu.dtlb.flush()
+        cpu._last_fetch_line = -1
+        cpu._last_fetch_page = -1
+
+
+def measure_switch_sensitivity(
+    program,
+    make_flow_fn,
+    config: Optional[MachineConfig] = None,
+    quanta=(100_000, 20_000, 5_000, 1_000),
+    max_instructions: int = 100_000,
+):
+    """DRC cold-start study: VCFR IPC vs scheduling quantum.
+
+    Runs the same program alone but with forced periodic context switches
+    (self-switching: the adversarial case where every quantum lands on a
+    cold DRC).  Returns {quantum: SimResult}.
+    """
+    results = {}
+    for quantum in quanta:
+        cpu = TimeSharedCPU(
+            [("p", program.vcfr_image, make_flow_fn("vcfr", program))],
+            config=config,
+            quantum_instructions=quantum,
+        )
+        shared = cpu.run(max_instructions_per_process=max_instructions)
+        results[quantum] = shared.by_name("p").result
+    return results

@@ -1,0 +1,424 @@
+"""The cycle-level single-issue in-order CPU simulator.
+
+Models the paper's evaluated machine (§VI-C): a five-stage in-order
+pipeline (fetch, decode, alloc, exec, commit) fed by an IL1 with a
+next-line prefetcher, a gshare/BTB/RAS front end, DL1 and unified L2,
+fully-associative TLBs with the page-visibility extension, a DDR-style
+DRAM model, and — in VCFR mode — the De-Randomization Cache between the
+pipeline and the memory hierarchy (Fig. 7).
+
+Timing is per-instruction cycle accounting: every instruction retires
+``1 + stalls`` cycles, where the stall terms model exactly the events the
+paper's study varies across modes —
+
+* IL1/L2/DRAM fill latencies on instruction-line changes (this is where
+  naive ILR loses: its scattered layout changes line on ~every fetch),
+* branch direction/target mispredicts (gshare/BTB/RAS; predicted in the
+  de-randomized space under VCFR, §IV-D, so accuracy is mode-invariant),
+* data-side DL1/L2/DRAM and DTLB behaviour,
+* DRC lookups for randomized control transfers (VCFR only) with misses
+  refilled through the L2, per §IV-B,
+* the naive mode's fall-through map is charged zero cycles ("the naive
+  implementation assumes that CPU can resolve address mapping with zero
+  cost", §III) so its measured penalty is purely locality loss.
+
+Architectural behaviour is delegated to the same functional executor and
+flow objects the un-timed runner uses, so a cycle simulation can never
+diverge semantically from the functional reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..binary import BinaryImage, load_image
+from ..isa.decoder import decode
+from ..isa.instruction import Instruction
+from .branch import BranchUnit
+from .cache import Cache
+from .config import MachineConfig, default_config
+from .drc import DRC, KIND_DERAND, KIND_RAND
+from .dram import DRAM
+from .executor import CTRL_HALT, CTRL_JUMP, CTRL_NONE, execute
+from .memory import SparseMemory
+from .power import EnergyParams, compute_energy
+from .simstats import SimResult
+from .state import ExitProgram, MachineState
+from .tlb import TLB
+
+#: Kernel-space placement of the RDR tables and the §IV-C stack bitmap.
+#: These pages are registered invisible in the TLBs; only DRC refills
+#: (micro-architectural accesses) touch them.
+DERAND_TABLE_BASE = 0x60000000
+RAND_TABLE_BASE = 0x68000000
+BITMAP_BASE = 0x6C000000
+TABLE_REGION_SIZE = 0x04000000
+
+#: Extra execute-stage cycles per mnemonic (beyond the 1-cycle issue slot).
+_EXEC_EXTRA: Dict[str, int] = {"imul": 2}
+
+
+class CycleCPU:
+    """One simulated core executing one program under one flow."""
+
+    def __init__(
+        self,
+        image: BinaryImage,
+        flow,
+        config: Optional[MachineConfig] = None,
+    ):
+        self.config = config or default_config()
+        self.image = image
+        self.flow = flow
+        # Only VCFR pays for RDR lookups; the naive model resolves its
+        # mapping at zero cost per the paper's §III methodology.
+        flow.record_events = getattr(flow, "uses_drc", False)
+
+        self.mem = SparseMemory()
+        info = load_image(image, self.mem)
+        self.state = MachineState(self.mem, stack_top=info.stack_top)
+
+        cfg = self.config
+        self.dram = DRAM(cfg.dram)
+        self.l2 = Cache(cfg.l2, "l2", self.dram.access)
+        self.il1 = Cache(cfg.il1, "il1", self.l2.access)
+        self.dl1 = Cache(cfg.dl1, "dl1", self.l2.access)
+        self.itlb = TLB(cfg.itlb, "itlb")
+        self.dtlb = TLB(cfg.dtlb, "dtlb")
+        self.branch = BranchUnit(cfg.branch)
+        self.drc = DRC(cfg.drc, self._drc_refill)
+
+        for tlb in (self.itlb, self.dtlb):
+            tlb.set_invisible(DERAND_TABLE_BASE, TABLE_REGION_SIZE)
+            tlb.set_invisible(RAND_TABLE_BASE, TABLE_REGION_SIZE)
+            tlb.set_invisible(BITMAP_BASE, TABLE_REGION_SIZE)
+
+        self.cycle = 0
+        #: optional execution tracer (see repro.arch.trace.attach_tracer).
+        self.tracer = None
+        self._started = False
+        self._finished = False
+        self._resume_fetch_pc = 0
+        self._decode_cache: Dict[int, Instruction] = {}
+        self._line_shift = cfg.il1.line_bytes.bit_length() - 1
+        self._page_shift = cfg.itlb.page_bits
+        self._last_fetch_line = -1
+        self._last_fetch_page = -1
+
+    # -- DRC refill path -----------------------------------------------------
+
+    def _drc_refill(self, key: int, kind: int) -> int:
+        """Fetch an RDR table entry from memory (L2 first, then DRAM).
+
+        Table entries live at deterministic kernel addresses so the L2
+        genuinely caches the hot part of the table, as in the paper's
+        design ("DRC can share its second level cache with the unified
+        L2").
+        """
+        if kind == KIND_DERAND:
+            addr = DERAND_TABLE_BASE + ((key & 0x3FFFFFFF) >> 3) * 8
+        else:
+            addr = RAND_TABLE_BASE + ((key & 0x3FFFFFFF) >> 2) * 8
+        return self.l2.access(addr, False)
+
+    # -- fetch ------------------------------------------------------------------
+
+    def _fetch(self, fetch_pc: int) -> Instruction:
+        inst = self._decode_cache.get(fetch_pc)
+        if inst is None:
+            raw = self.mem.read_block(fetch_pc, 8)
+            inst = decode(raw, 0, fetch_pc)
+            self._decode_cache[fetch_pc] = inst
+        return inst
+
+    def _fetch_stall(self, fetch_pc: int, length: int) -> int:
+        """Instruction-side stall: IL1 (with prefetch) + iTLB."""
+        stall = 0
+        page = fetch_pc >> self._page_shift
+        if page != self._last_fetch_page:
+            self._last_fetch_page = page
+            stall += self.itlb.access(fetch_pc)
+
+        line = fetch_pc >> self._line_shift
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            latency = self.il1.access(fetch_pc, False)
+            stall += latency - self.config.il1.latency  # hits are pipelined
+            if self.config.prefetch_il1:
+                self.il1.prefetch((line + 1) << self._line_shift)
+        # A fetch group that straddles into the next line touches it too.
+        end_line = (fetch_pc + length - 1) >> self._line_shift
+        if end_line != line and end_line != self._last_fetch_line:
+            self._last_fetch_line = end_line
+            latency = self.il1.access(end_line << self._line_shift, False)
+            stall += latency - self.config.il1.latency
+            if self.config.prefetch_il1:
+                self.il1.prefetch((end_line + 1) << self._line_shift)
+        return stall
+
+    # -- data side -------------------------------------------------------------------
+
+    def _data_stall(self) -> int:
+        state = self.state
+        stall = 0
+        addr = state.last_load_addr
+        if addr is not None:
+            stall += self.dtlb.access(addr)
+            latency = self.dl1.access(addr, False)
+            stall += latency - self.config.dl1.latency
+            stall += self.config.load_use_stall
+        addr = state.last_store_addr
+        if addr is not None:
+            stall += self.dtlb.access(addr)
+            latency = self.dl1.access(addr, True)
+            stall += latency - self.config.dl1.latency  # hits retire via store buffer
+        return stall
+
+    # -- DRC event draining -------------------------------------------------------------
+
+    def _drc_stall(self, fetch_waits: bool, overlap: int = 0) -> int:
+        """Charge the RDR lookups this instruction triggered.
+
+        ``fetch_waits`` is True when the front end did NOT have a correct
+        prediction for the transfer, i.e. fetch is stalled waiting for the
+        de-randomized target (paper §IV-D: with prediction running in the
+        de-randomized space, a predicted transfer never waits for the
+        DRC).  Lookups always update DRC state and statistics; latency is
+        only exposed when fetch actually waits — and even then a hit
+        overlaps with the pipeline redirect, so only refills stall.
+        """
+        events = self.flow.events
+        if not events:
+            return 0
+        stall = 0
+        hit_latency = self.config.drc.latency
+        for kind, key in events:
+            if kind == "derand":
+                latency = self.drc.lookup(key, KIND_DERAND)
+            elif kind == "redirect":
+                latency = self.drc.lookup(key, KIND_RAND)
+            elif kind == "rand":
+                # Return-address randomization on a call: the pushed value
+                # is not needed until the matching ret, so the lookup is
+                # never on the critical path.
+                self.drc.lookup(key, KIND_RAND)
+                continue
+            else:  # bitmap probe: tiny dedicated cache, fully pipelined
+                self.drc.bitmap_probe()
+                continue
+            if fetch_waits:
+                # The refill runs concurrently with the pipeline flush the
+                # mispredict already paid for; only the excess is exposed.
+                stall += max(0, latency - hit_latency - overlap)
+        events.clear()
+        return stall
+
+    # -- branch penalties --------------------------------------------------------------------
+
+    def _branch_stall(self, inst: Instruction, kind: int, next_fetch_pc: int,
+                      arch_target: int):
+        """Front-end penalty for this instruction's control-flow outcome.
+
+        Predictions are made on the *fetch-space* PC (under VCFR that is
+        the de-randomized UPC, per §IV-D), so predictor accuracy does not
+        depend on the randomization.  Returns ``(penalty, predicted_ok)``.
+        """
+        branch = self.branch
+        pc = inst.addr
+        if inst.cc is not None:
+            taken = kind == CTRL_JUMP
+            return branch.conditional(pc, taken, next_fetch_pc if taken else 0)
+        if kind == CTRL_NONE or kind == CTRL_HALT:
+            return 0, True
+        m = inst.mnemonic
+        if m == "call":
+            return branch.direct(pc, next_fetch_pc, True, self.state.last_retaddr)
+        if m == "jmp" or m == "jmp8":
+            return branch.direct(pc, next_fetch_pc, False)
+        if m == "calli":
+            return branch.indirect(pc, next_fetch_pc, True, self.state.last_retaddr)
+        if m == "jmpi":
+            return branch.indirect(pc, next_fetch_pc, False)
+        if m == "ret":
+            return branch.ret(pc, arch_target)
+        return 0, True
+
+    # -- main loop ----------------------------------------------------------------------------------
+
+    def run(
+        self,
+        max_instructions: int = 1_000_000,
+        warmup_instructions: int = 0,
+    ) -> SimResult:
+        """Simulate until program exit or the instruction budget is spent.
+
+        ``warmup_instructions`` executes (and warms caches/predictors) but
+        is excluded from the reported statistics.
+        """
+        if warmup_instructions:
+            self._ensure_started()
+            self._execute_loop(self.state.icount + warmup_instructions)
+            self._reset_stats()
+        elif not self._started:
+            self._reset_stats()
+        self._ensure_started()
+        finished = self._execute_loop(self.state.icount + max_instructions)
+        return self._result(finished, warmup_instructions)
+
+    def run_slice(self, instructions: int) -> bool:
+        """Resumable execution: run up to ``instructions`` more.
+
+        Unlike :meth:`run`, statistics accumulate across slices and the
+        program continues from where the previous slice stopped — the
+        primitive the time-sharing model (:mod:`repro.arch.context`) is
+        built on.  Returns True when the program terminated.
+        """
+        if not self._started:
+            self._reset_stats()
+        self._ensure_started()
+        return self._execute_loop(self.state.icount + instructions)
+
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self._resume_fetch_pc = self.flow.initial_fetch_pc()
+            self._started = True
+
+    def _execute_loop(self, budget: int) -> bool:
+        """The pipeline loop; runs until ``state.icount`` reaches ``budget``
+        or the program terminates.  Returns the termination flag."""
+        state = self.state
+        flow = self.flow
+        fetch_pc = self._resume_fetch_pc
+        if self._finished:
+            return True
+
+        while state.icount < budget:
+            inst = self._fetch(fetch_pc)
+            state.pc = flow.arch_pc_of(fetch_pc)
+            stall = self._fetch_stall(fetch_pc, inst.length)
+
+            try:
+                kind, target = execute(inst, state, flow)
+            except ExitProgram:
+                self._finished = True
+                self.cycle += 1
+                break
+
+            stall += _EXEC_EXTRA.get(inst.mnemonic, 0)
+            stall += self._data_stall()
+
+            if kind == CTRL_NONE:
+                next_fetch_pc = flow.sequential(inst)
+            elif kind == CTRL_HALT:
+                self._finished = True
+                self.cycle += 1 + stall
+                break
+            else:
+                next_fetch_pc = flow.transfer(target)
+
+            branch_penalty, predicted_ok = self._branch_stall(
+                inst, kind, next_fetch_pc, target
+            )
+            stall += branch_penalty
+            stall += self._drc_stall(
+                fetch_waits=not predicted_ok, overlap=branch_penalty
+            )
+
+            if self.tracer is not None:
+                self.tracer.record(
+                    inst, state.pc, fetch_pc, kind != CTRL_NONE, target
+                )
+
+            self.cycle += 1 + stall
+            fetch_pc = next_fetch_pc
+
+        self._resume_fetch_pc = fetch_pc
+        return self._finished
+
+    # -- bookkeeping ----------------------------------------------------------------------------
+
+    def _reset_stats(self) -> None:
+        """Zero all counters (cache/predictor contents are preserved)."""
+        from .branch import BranchStats
+        from .cache import CacheStats
+        from .dram import DRAMStats
+        from .drc import DRCStats
+        from .tlb import TLBStats
+
+        self._warmup_icount = self.state.icount
+        self._warmup_cycle = self.cycle
+        self.il1.stats = CacheStats()
+        self.dl1.stats = CacheStats()
+        self.l2.stats = CacheStats()
+        self.dram.stats = DRAMStats()
+        self.itlb.stats = TLBStats()
+        self.dtlb.stats = TLBStats()
+        self.branch.stats = BranchStats()
+        self.drc.stats = DRCStats()
+
+    def _result(self, finished: bool, warmup: int) -> SimResult:
+        warm_icount = getattr(self, "_warmup_icount", 0)
+        warm_cycle = getattr(self, "_warmup_cycle", 0)
+        state = self.state
+        instructions = state.icount - warm_icount
+        cycles = self.cycle - warm_cycle
+
+        result = SimResult(
+            mode=getattr(self.flow, "name", "unknown"),
+            cycles=cycles,
+            instructions=instructions,
+            warmup_instructions=warmup,
+            exit_code=state.exit_code,
+            finished=finished,
+            output=state.out,
+            il1=self.il1.stats.snapshot(),
+            dl1=self.dl1.stats.snapshot(),
+            l2=self.l2.stats.snapshot(),
+            itlb_misses=self.itlb.stats.misses,
+            dtlb_misses=self.dtlb.stats.misses,
+            dram_accesses=self.dram.stats.accesses,
+            dram_row_hit_rate=self.dram.stats.row_hit_rate,
+            cond_branches=self.branch.stats.cond_branches,
+            cond_mispredicts=self.branch.stats.cond_mispredicts,
+            ras_mispredicts=self.branch.stats.ras_mispredicts,
+            indirect_mispredicts=self.branch.stats.indirect_mispredicts,
+            drc_lookups=self.drc.stats.lookups,
+            drc_misses=self.drc.stats.misses,
+            drc_bitmap_probes=self.drc.stats.bitmap_probes,
+        )
+        result.energy = compute_energy(
+            self._activity(result), EnergyParams(), self.config.drc.entries
+        )
+        return result
+
+    def _activity(self, result: SimResult) -> Dict[str, int]:
+        """Activity counters for the power model."""
+        return {
+            "il1": self.il1.stats.accesses + self.il1.stats.prefetches,
+            "dl1": self.dl1.stats.accesses,
+            "l2": self.l2.stats.accesses,
+            "dram": self.dram.stats.accesses,
+            "itlb": self.itlb.stats.accesses,
+            "dtlb": self.dtlb.stats.accesses,
+            "btb": self.branch.stats.btb_lookups,
+            "gshare": self.branch.stats.cond_branches,
+            "ras": self.branch.stats.ras_pushes + self.branch.stats.ras_pops,
+            "decode": result.instructions,
+            "fetch": result.instructions,
+            "alu": result.instructions,
+            "regfile": 2 * result.instructions,
+            "drc": self.drc.stats.lookups,
+            "drc_bitmap": self.drc.stats.bitmap_probes,
+        }
+
+
+def simulate(
+    image: BinaryImage,
+    flow,
+    config: Optional[MachineConfig] = None,
+    max_instructions: int = 1_000_000,
+    warmup_instructions: int = 0,
+) -> SimResult:
+    """One-shot helper: build a :class:`CycleCPU` and run it."""
+    cpu = CycleCPU(image, flow, config)
+    return cpu.run(max_instructions, warmup_instructions)

@@ -1,0 +1,262 @@
+"""Functional executor for decoded RX86 instructions.
+
+The executor implements instruction *semantics* only.  Everything that
+depends on the execution mode (baseline / naive hardware ILR / VCFR /
+software emulation) is delegated to a :class:`ModeAdapter`:
+
+* what the sequential fall-through PC is (naive ILR follows the
+  randomized fall-through map, the others use ``addr + length``),
+* which value a ``call`` pushes as return address (VCFR pushes the
+  *randomized* return address, paper §IV-A),
+* the §IV-C auto-de-randomization of loads that hit a stack slot holding
+  a randomized return address, and the bitmap bookkeeping behind it.
+
+All four execution paths in this repo drive this one executor, which is
+what makes the cross-mode equivalence invariant testable.
+"""
+
+from __future__ import annotations
+
+from ..isa import opcodes
+from ..isa.flags import to_signed32
+from ..isa.instruction import Instruction
+from ..isa.registers import MASK32
+from .state import MachineState
+
+# Control-flow outcome kinds.
+CTRL_NONE = 0  # sequential (includes not-taken conditional branches)
+CTRL_JUMP = 1  # taken jump (conditional or not, direct or indirect)
+CTRL_CALL = 2
+CTRL_RET = 3
+CTRL_HALT = 4
+
+
+class ExecutionError(Exception):
+    """Raised when a decodable instruction has no defined semantics."""
+
+
+class ModeAdapter:
+    """Mode-specific address-space behaviour.  Base class = no randomization."""
+
+    def fallthrough(self, inst: Instruction) -> int:
+        """Architectural PC of the next sequential instruction."""
+        return inst.addr + inst.length
+
+    def call_retaddr(self, inst: Instruction) -> int:
+        """The value a call at ``inst`` pushes on the stack."""
+        return inst.addr + inst.length
+
+    def fixup_load(self, addr: int, value: int) -> int:
+        """Filter a 32-bit value loaded from ``addr`` into a register."""
+        return value
+
+    def note_store(self, addr: int) -> None:
+        """A 32-bit store hit ``addr`` (clears any stale return-addr mark)."""
+
+    def note_retaddr_push(self, addr: int, value: int) -> None:
+        """A call pushed return address ``value`` into stack slot ``addr``."""
+
+
+#: Shared stateless adapter for un-randomized execution.
+BASELINE_ADAPTER = ModeAdapter()
+
+
+def execute(inst: Instruction, state: MachineState, adapter: ModeAdapter):
+    """Execute one instruction; returns ``(kind, target)``.
+
+    ``target`` is the architectural branch target for JUMP/CALL/RET, else 0.
+    The caller is responsible for updating ``state.pc`` (so that the cycle
+    simulator can interleave translation and security checks) — except for
+    register/flag/memory side effects, which happen here.
+
+    May raise :class:`~repro.arch.state.ExitProgram` (EXIT syscall) or
+    :class:`ExecutionError`.
+    """
+    state.icount += 1
+    state.last_load_addr = None
+    state.last_store_addr = None
+
+    m = inst.mnemonic
+    regs = state.regs.regs
+    mem = state.mem
+
+    # -- moves and stack ----------------------------------------------------
+
+    if m == "movi":
+        regs[inst.reg] = inst.imm & MASK32
+        return (CTRL_NONE, 0)
+
+    if m == "push":
+        slot = state.push(regs[inst.reg])
+        adapter.note_store(slot)
+        state.last_store_addr = slot
+        return (CTRL_NONE, 0)
+
+    if m == "pop":
+        value, slot = state.pop()
+        regs[inst.reg] = adapter.fixup_load(slot, value)
+        state.last_load_addr = slot
+        return (CTRL_NONE, 0)
+
+    if m == "nop":
+        return (CTRL_NONE, 0)
+
+    if m == "halt":
+        return (CTRL_HALT, 0)
+
+    if m == "int":
+        state.syscall(inst.imm)
+        return (CTRL_NONE, 0)
+
+    if m == "leave":
+        # mov esp, ebp ; pop ebp
+        regs[4] = regs[5]
+        value, slot = state.pop()
+        regs[5] = adapter.fixup_load(slot, value)
+        state.last_load_addr = slot
+        return (CTRL_NONE, 0)
+
+    # -- control transfers -----------------------------------------------------
+
+    if m == "jmp" or m == "jmp8":
+        return (CTRL_JUMP, inst.target)
+
+    if inst.cc is not None:
+        if state.flags.evaluate(inst.cc):
+            return (CTRL_JUMP, inst.target)
+        return (CTRL_NONE, 0)
+
+    if m == "call":
+        ret = adapter.call_retaddr(inst)
+        slot = state.push(ret)
+        adapter.note_retaddr_push(slot, ret)
+        state.last_store_addr = slot
+        state.last_retaddr = ret
+        return (CTRL_CALL, inst.target)
+
+    if m == "calli":
+        if inst.mode == opcodes.MODE_RR:
+            target = regs[inst.rm]
+        else:
+            addr = (regs[inst.rm] + inst.disp) & MASK32
+            target = mem.read_u32(addr)
+            state.last_load_addr = addr
+        ret = adapter.call_retaddr(inst)
+        slot = state.push(ret)
+        adapter.note_retaddr_push(slot, ret)
+        state.last_store_addr = slot
+        state.last_retaddr = ret
+        return (CTRL_CALL, target)
+
+    if m == "jmpi":
+        if inst.mode == opcodes.MODE_RR:
+            target = regs[inst.rm]
+        else:
+            addr = (regs[inst.rm] + inst.disp) & MASK32
+            target = mem.read_u32(addr)
+            state.last_load_addr = addr
+        return (CTRL_JUMP, target)
+
+    if m == "ret":
+        # The popped value is consumed *as a control-flow target*; it is
+        # intentionally NOT run through fixup_load — a randomized return
+        # address must stay randomized so fetch can translate and police it.
+        target, slot = state.pop()
+        state.last_load_addr = slot
+        return (CTRL_RET, target)
+
+    # -- shifts ---------------------------------------------------------------
+
+    if m in ("shl", "shr", "sar"):
+        count = inst.imm & 31
+        value = regs[inst.rm]
+        if m == "shl":
+            result = (value << count) & MASK32
+        elif m == "shr":
+            result = (value >> count) & MASK32
+        else:
+            result = (to_signed32(value) >> count) & MASK32
+        regs[inst.rm] = result
+        state.flags.set_logic(result)
+        return (CTRL_NONE, 0)
+
+    # -- lea ----------------------------------------------------------------------
+
+    if m == "lea":
+        if inst.mode != opcodes.MODE_RM:
+            raise ExecutionError("lea requires the load form")
+        regs[inst.reg] = (regs[inst.rm] + inst.disp) & MASK32
+        return (CTRL_NONE, 0)
+
+    # -- two-operand ALU / mov ---------------------------------------------------------
+
+    mode = inst.mode
+    if mode is None:
+        raise ExecutionError("no semantics for %s" % m)
+
+    if mode == opcodes.MODE_RR:
+        a = regs[inst.reg]
+        b = regs[inst.rm]
+    elif mode == opcodes.MODE_RM:
+        addr = (regs[inst.rm] + inst.disp) & MASK32
+        a = regs[inst.reg]
+        b = adapter.fixup_load(addr, mem.read_u32(addr))
+        state.last_load_addr = addr
+    elif mode == opcodes.MODE_MR:
+        addr = (regs[inst.rm] + inst.disp) & MASK32
+        b = regs[inst.reg]
+        if m == "mov":
+            a = 0  # pure store: no read-modify-write
+        else:
+            a = adapter.fixup_load(addr, mem.read_u32(addr))
+            state.last_load_addr = addr
+    else:  # MODE_RI
+        a = regs[inst.reg]
+        b = inst.imm & MASK32
+
+    flags = state.flags
+    write_back = True
+    if m == "mov":
+        result = b
+    elif m == "add":
+        total = a + b
+        result = total & MASK32
+        flags.set_add(a, b, total)
+    elif m == "sub":
+        result = (a - b) & MASK32
+        flags.set_sub(a, b)
+    elif m == "cmp":
+        flags.set_sub(a, b)
+        result = a
+        write_back = False
+    elif m == "test":
+        flags.set_logic(a & b)
+        result = a
+        write_back = False
+    elif m == "and":
+        result = a & b
+        flags.set_logic(result)
+    elif m == "or":
+        result = a | b
+        flags.set_logic(result)
+    elif m == "xor":
+        result = a ^ b
+        flags.set_logic(result)
+    elif m == "imul":
+        if mode == opcodes.MODE_MR:
+            raise ExecutionError("imul has no store form")
+        product = to_signed32(a) * to_signed32(b)
+        result = product & MASK32
+        flags.set_mul(product)
+    else:
+        raise ExecutionError("no semantics for %s" % m)
+
+    if write_back:
+        if mode == opcodes.MODE_MR:
+            mem.write_u32(addr, result)
+            adapter.note_store(addr)
+            state.last_store_addr = addr
+        else:
+            regs[inst.reg] = result
+
+    return (CTRL_NONE, 0)

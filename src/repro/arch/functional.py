@@ -1,0 +1,107 @@
+"""Un-timed functional execution of RX86 programs.
+
+The functional CPU is the semantic reference: it runs a program to
+completion under any flow (baseline / naive ILR / VCFR) with no timing
+model.  The cycle simulator (:mod:`repro.arch.cpu`) must produce exactly
+the same architectural results — only cycle counts differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..binary import BinaryImage, load_image
+from ..isa.decoder import decode
+from ..isa.instruction import Instruction
+from ..isa.syscalls import OutputStream
+from .executor import CTRL_HALT, CTRL_NONE, execute
+from .memory import SparseMemory
+from .state import ExitProgram, MachineState
+
+
+class InstructionLimitExceeded(Exception):
+    """The program did not terminate within the instruction budget."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one functional run."""
+
+    exit_code: Optional[int]
+    icount: int
+    output: OutputStream
+    state: MachineState
+    halted: bool  # True when terminated via ``halt`` instead of EXIT
+
+    def snapshot(self) -> tuple:
+        """The cross-mode comparable view of this run."""
+        return (self.output.snapshot(), self.exit_code, self.icount)
+
+
+class FunctionalCPU:
+    """Executes one loaded program under a given flow."""
+
+    def __init__(
+        self,
+        image: BinaryImage,
+        flow=None,
+        max_instructions: int = 50_000_000,
+    ):
+        from ..ilr.flow import BaselineFlow  # local import; no cycle at module load
+
+        self.image = image
+        self.mem = SparseMemory()
+        info = load_image(image, self.mem)
+        self.state = MachineState(self.mem, stack_top=info.stack_top)
+        self.flow = flow if flow is not None else BaselineFlow(image.entry)
+        self.max_instructions = max_instructions
+        self._decode_cache: Dict[int, Instruction] = {}
+
+    def _fetch(self, fetch_pc: int) -> Instruction:
+        inst = self._decode_cache.get(fetch_pc)
+        if inst is None:
+            raw = self.mem.read_block(fetch_pc, 8)
+            inst = decode(raw, 0, fetch_pc)
+            self._decode_cache[fetch_pc] = inst
+        return inst
+
+    def run(self) -> RunResult:
+        """Run to EXIT/halt; raises on faults or instruction-budget overrun."""
+        state = self.state
+        flow = self.flow
+        fetch_pc = flow.initial_fetch_pc()
+        limit = self.max_instructions
+        halted = False
+
+        while True:
+            if state.icount >= limit:
+                raise InstructionLimitExceeded(
+                    "no termination after %d instructions" % limit
+                )
+            inst = self._fetch(fetch_pc)
+            state.pc = flow.arch_pc_of(fetch_pc)
+            try:
+                kind, target = execute(inst, state, flow)
+            except ExitProgram:
+                break
+            if kind == CTRL_NONE:
+                fetch_pc = flow.sequential(inst)
+            elif kind == CTRL_HALT:
+                halted = True
+                break
+            else:
+                fetch_pc = flow.transfer(target)
+
+        return RunResult(
+            exit_code=state.exit_code,
+            icount=state.icount,
+            output=state.out,
+            state=state,
+            halted=halted,
+        )
+
+
+def run_image(image: BinaryImage, flow=None, max_instructions: int = 50_000_000):
+    """One-shot helper: load, run, return the :class:`RunResult`."""
+    return FunctionalCPU(image, flow, max_instructions).run()

@@ -1,0 +1,106 @@
+"""Result object of one cycle-level simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.syscalls import OutputStream
+from .power import EnergyBreakdown
+
+
+@dataclass
+class SimResult:
+    """Timing + activity + architectural outcome of one run."""
+
+    mode: str
+    cycles: int = 0
+    instructions: int = 0
+    #: instructions executed before measurement started (cache warmup).
+    warmup_instructions: int = 0
+    exit_code: Optional[int] = None
+    finished: bool = False  # program terminated (vs. budget exhausted)
+    output: Optional[OutputStream] = None
+
+    # Memory hierarchy.
+    il1: Dict[str, int] = field(default_factory=dict)
+    dl1: Dict[str, int] = field(default_factory=dict)
+    l2: Dict[str, int] = field(default_factory=dict)
+    itlb_misses: int = 0
+    dtlb_misses: int = 0
+    dram_accesses: int = 0
+    dram_row_hit_rate: float = 0.0
+
+    # Branch prediction.
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    ras_mispredicts: int = 0
+    indirect_mispredicts: int = 0
+
+    # DRC.
+    drc_lookups: int = 0
+    drc_misses: int = 0
+    drc_bitmap_probes: int = 0
+
+    # Power.
+    energy: Optional[EnergyBreakdown] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def il1_miss_rate(self) -> float:
+        acc = self.il1.get("accesses", 0)
+        return self.il1.get("misses", 0) / acc if acc else 0.0
+
+    @property
+    def dl1_miss_rate(self) -> float:
+        acc = self.dl1.get("accesses", 0)
+        return self.dl1.get("misses", 0) / acc if acc else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        acc = self.l2.get("accesses", 0)
+        return self.l2.get("misses", 0) / acc if acc else 0.0
+
+    @property
+    def l2_pressure(self) -> int:
+        """Read requests arriving at the L2 from the L1s (paper Fig. 3)."""
+        return self.il1.get("demand_reads_to_next", 0) + self.il1.get(
+            "prefetches", 0
+        ) + self.dl1.get("demand_reads_to_next", 0)
+
+    @property
+    def il1_prefetch_waste_rate(self) -> float:
+        used = self.il1.get("prefetch_used", 0)
+        wasted = self.il1.get("prefetch_wasted", 0)
+        total = used + wasted
+        return wasted / total if total else 0.0
+
+    @property
+    def drc_miss_rate(self) -> float:
+        return self.drc_misses / self.drc_lookups if self.drc_lookups else 0.0
+
+    @property
+    def drc_power_overhead_percent(self) -> float:
+        return self.energy.drc_overhead_percent if self.energy else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            "mode=%s instructions=%d cycles=%d ipc=%.4f"
+            % (self.mode, self.instructions, self.cycles, self.ipc),
+            "il1 miss=%.4f dl1 miss=%.4f l2 miss=%.4f l2 pressure=%d"
+            % (self.il1_miss_rate, self.dl1_miss_rate, self.l2_miss_rate,
+               self.l2_pressure),
+            "prefetch waste=%.3f cond mispredict=%d/%d"
+            % (self.il1_prefetch_waste_rate, self.cond_mispredicts,
+               self.cond_branches),
+        ]
+        if self.drc_lookups:
+            lines.append(
+                "drc lookups=%d miss rate=%.4f power overhead=%.4f%%"
+                % (self.drc_lookups, self.drc_miss_rate,
+                   self.drc_power_overhead_percent)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Fully-associative TLB with the paper's page-visibility extension.
+
+Paper §IV-B: "A simple implementation of this protection is to extend each
+entry of the TLB with a new page visibility bit.  For a page, if the
+visibility bit is set ... contents stored in the page can be accessed by
+the user space instructions.  Otherwise ... the page is invisible to the
+application instructions.  The randomization and de-randomization
+translation tables are stored in such pages."
+
+The simulator registers the RDR-table and bitmap page ranges as invisible;
+any *program* access to them raises :class:`PageVisibilityFault`, while
+micro-architectural accesses (DRC refills) bypass the check.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+from .config import TLBConfig
+
+
+class PageVisibilityFault(Exception):
+    """User-space access to a kernel-invisible page (RDR tables / bitmap)."""
+
+    def __init__(self, addr: int):
+        super().__init__("user access to invisible page at 0x%08x" % addr)
+        self.addr = addr
+
+
+class TLBStats:
+    __slots__ = ("accesses", "misses")
+
+    def __init__(self):
+        self.accesses = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """LRU fully-associative TLB (timing only; translation is identity)."""
+
+    def __init__(self, config: TLBConfig, name: str = "tlb"):
+        self.config = config
+        self.name = name
+        self.stats = TLBStats()
+        self._entries: "OrderedDict[int, bool]" = OrderedDict()
+        #: (start_page, end_page) ranges whose visibility bit is clear.
+        self._invisible: List[Tuple[int, int]] = []
+
+    def set_invisible(self, start: int, size: int) -> None:
+        """Mark byte range [start, start+size) as user-invisible."""
+        bits = self.config.page_bits
+        self._invisible.append((start >> bits, (start + size - 1) >> bits))
+
+    def _is_invisible(self, page: int) -> bool:
+        return any(lo <= page <= hi for lo, hi in self._invisible)
+
+    def access(self, addr: int, user: bool = True) -> int:
+        """Translate; returns extra latency (0 on hit, miss penalty otherwise).
+
+        ``user=False`` marks a micro-architectural access (DRC refill),
+        which may touch invisible pages.
+        """
+        page = addr >> self.config.page_bits
+        if user and self._invisible and self._is_invisible(page):
+            raise PageVisibilityFault(addr)
+
+        self.stats.accesses += 1
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            return 0
+        self.stats.misses += 1
+        if len(self._entries) >= self.config.entries:
+            self._entries.popitem(last=False)
+        self._entries[page] = True
+        return self.config.miss_penalty
+
+    def flush(self) -> None:
+        self._entries.clear()

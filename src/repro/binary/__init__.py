@@ -1,0 +1,45 @@
+"""Binary image format for RX86 programs.
+
+Public surface:
+
+* :class:`BinaryImage` — sections + entry + symbols + relocations,
+* :class:`Section`, :class:`Relocation`, :class:`SymbolTable`,
+* :func:`load_image` and the standard memory-map constants.
+"""
+
+from .image import BinaryImage, ImageError
+from .loader import (
+    CODE_BASE,
+    DATA_BASE,
+    HEAP_BASE,
+    RANDOMIZED_BASE,
+    STACK_SIZE,
+    STACK_TOP,
+    LoadInfo,
+    load_image,
+)
+from .relocation import KIND_CODE_IMM32, KIND_DATA_ABS32, Relocation
+from .section import FLAG_EXEC, FLAG_READ, FLAG_WRITE, Section
+from .symbols import Symbol, SymbolTable
+
+__all__ = [
+    "BinaryImage",
+    "ImageError",
+    "Section",
+    "Symbol",
+    "SymbolTable",
+    "Relocation",
+    "KIND_CODE_IMM32",
+    "KIND_DATA_ABS32",
+    "FLAG_EXEC",
+    "FLAG_READ",
+    "FLAG_WRITE",
+    "LoadInfo",
+    "load_image",
+    "CODE_BASE",
+    "DATA_BASE",
+    "HEAP_BASE",
+    "STACK_TOP",
+    "STACK_SIZE",
+    "RANDOMIZED_BASE",
+]

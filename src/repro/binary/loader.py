@@ -1,0 +1,56 @@
+"""Loading RX86 binary images into simulator memory.
+
+The loader copies every section into a flat sparse memory object and
+returns the layout facts the CPU needs (entry point, stack placement).
+It is shared by the functional executor, the cycle simulator and the
+software-ILR emulator so that all execution paths see identical initial
+state — a prerequisite for the cross-mode equivalence invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .image import BinaryImage
+
+#: Default memory map (mirrors a classic 32-bit Linux process layout).
+CODE_BASE = 0x00400000
+DATA_BASE = 0x08000000
+HEAP_BASE = 0x10000000
+STACK_TOP = 0x7FFF0000
+STACK_SIZE = 0x00100000
+
+#: Base of the randomized instruction address region used by the ILR
+#: randomizer.  Kept far away from every other region so that randomized
+#: and original addresses can never collide.
+RANDOMIZED_BASE = 0x40000000
+
+
+@dataclass
+class LoadInfo:
+    """Result of loading an image."""
+
+    entry: int
+    stack_top: int
+    stack_base: int
+    brk: int  # first free address after the data segment
+
+
+def load_image(image: BinaryImage, memory, stack_top: int = STACK_TOP) -> LoadInfo:
+    """Copy ``image`` into ``memory`` and return placement information.
+
+    ``memory`` must expose ``write_block(addr, bytes)``; both the
+    functional :class:`~repro.arch.memory.SparseMemory` and the cache
+    simulator's backing store do.
+    """
+    brk = HEAP_BASE
+    for sec in image.sections:
+        if sec.size:
+            memory.write_block(sec.base, bytes(sec.data))
+            brk = max(brk, sec.end)
+    return LoadInfo(
+        entry=image.entry,
+        stack_top=stack_top,
+        stack_base=stack_top - STACK_SIZE,
+        brk=brk,
+    )

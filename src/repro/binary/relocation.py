@@ -1,0 +1,38 @@
+"""Relocation records for RX86 binary images.
+
+A relocation marks a 32-bit slot that holds an *absolute code address*.
+The ILR randomizer consumes these to rewrite jump tables, function-pointer
+constants and ``movi reg, label`` immediates when the instruction space is
+re-laid out (paper §IV-A: "Relocation information can also be obtained").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: 32-bit absolute address stored in a data section (e.g. a jump table slot).
+KIND_DATA_ABS32 = "data_abs32"
+#: 32-bit absolute address stored in an instruction immediate (movi / RI mode).
+KIND_CODE_IMM32 = "code_imm32"
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """One relocation entry.
+
+    Attributes
+    ----------
+    addr:
+        Absolute address of the 4-byte slot containing the code address.
+    kind:
+        ``KIND_DATA_ABS32`` or ``KIND_CODE_IMM32``.
+    target:
+        The code address the slot currently holds (original address space).
+    """
+
+    addr: int
+    kind: str
+    target: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Reloc(0x%x %s -> 0x%x)" % (self.addr, self.kind, self.target)

@@ -1,0 +1,72 @@
+"""Sections of an RX86 binary image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Section permission / type flags.
+FLAG_EXEC = 0x1
+FLAG_WRITE = 0x2
+FLAG_READ = 0x4
+
+
+@dataclass
+class Section:
+    """A contiguous, named region of the binary image.
+
+    ``data`` is a mutable ``bytearray`` so that the ILR rewriter can patch
+    branch-target immediates and jump tables in place.
+    """
+
+    name: str
+    base: int
+    data: bytearray = field(default_factory=bytearray)
+    flags: int = FLAG_READ
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the section."""
+        return self.base + len(self.data)
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.flags & FLAG_EXEC)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & FLAG_WRITE)
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def read(self, addr: int, count: int) -> bytes:
+        """Read ``count`` bytes at absolute address ``addr``."""
+        off = addr - self.base
+        if off < 0 or off + count > len(self.data):
+            raise IndexError(
+                "read of %d bytes at 0x%x outside section %r" % (count, addr, self.name)
+            )
+        return bytes(self.data[off : off + count])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        """Write ``payload`` at absolute address ``addr`` (must fit)."""
+        off = addr - self.base
+        if off < 0 or off + len(payload) > len(self.data):
+            raise IndexError(
+                "write of %d bytes at 0x%x outside section %r"
+                % (len(payload), addr, self.name)
+            )
+        self.data[off : off + len(payload)] = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = "".join(
+            flag if self.flags & bit else "-"
+            for flag, bit in (("r", FLAG_READ), ("w", FLAG_WRITE), ("x", FLAG_EXEC))
+        )
+        return "Section(%r, base=0x%x, size=%d, %s)" % (
+            self.name, self.base, self.size, kinds,
+        )

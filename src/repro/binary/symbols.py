@@ -1,0 +1,66 @@
+"""Symbol table for RX86 binary images."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named address.  ``is_func`` marks function entry points."""
+
+    name: str
+    addr: int
+    is_func: bool = False
+
+
+class SymbolTable:
+    """Name <-> address mapping with function-entry queries."""
+
+    def __init__(self):
+        self._by_name: Dict[str, Symbol] = {}
+        self._by_addr: Dict[int, Symbol] = {}
+
+    def add(self, name: str, addr: int, is_func: bool = False) -> Symbol:
+        if name in self._by_name:
+            raise KeyError("duplicate symbol %r" % name)
+        sym = Symbol(name, addr, is_func)
+        self._by_name[name] = sym
+        # Last writer wins for address lookup; duplicates at one address
+        # are legal (aliases).
+        self._by_addr[addr] = sym
+        return sym
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._by_name.values())
+
+    def resolve(self, name: str) -> int:
+        """Return the address of symbol ``name`` (KeyError if absent)."""
+        return self._by_name[name].addr
+
+    def get(self, name: str) -> Optional[Symbol]:
+        return self._by_name.get(name)
+
+    def at(self, addr: int) -> Optional[Symbol]:
+        """Return a symbol defined exactly at ``addr``, if any."""
+        return self._by_addr.get(addr)
+
+    def functions(self) -> List[Symbol]:
+        """All symbols flagged as function entry points, sorted by address."""
+        return sorted(
+            (s for s in self._by_name.values() if s.is_func),
+            key=lambda s: s.addr,
+        )
+
+    def copy(self) -> "SymbolTable":
+        table = SymbolTable()
+        table._by_name = dict(self._by_name)
+        table._by_addr = dict(self._by_addr)
+        return table

@@ -1,0 +1,47 @@
+"""MiniC: a small C-like language compiled to RX86.
+
+The paper's toolchain consumes "arbitrary code images" produced by a
+compiler (Fig. 6); MiniC closes that loop — programs can be written in a
+high-level language, compiled, randomized, attacked and simulated without
+hand-written assembly anywhere in the pipeline.
+
+Language: 32-bit ints, global scalars/arrays (brace initializers),
+functions with int parameters, ``if``/``else``/``while``/``return``,
+C operator set minus division (RX86 has no divider) and minus
+variable-count shifts (RX86 shifts take an immediate), plus the
+``emit(e)`` / ``putc(e)`` / ``exit(e)`` builtins mapping to the syscall
+ABI.
+
+    from repro.cc import compile_source
+    image = compile_source(open("prog.mc").read())
+"""
+
+from .ast import Program
+from .codegen import CodeGenerator, CompileError
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+
+
+def compile_to_assembly(source: str) -> str:
+    """MiniC source -> RX86 assembly text."""
+    return CodeGenerator(parse(source)).generate()
+
+
+def compile_source(source: str):
+    """MiniC source -> assembled :class:`~repro.binary.BinaryImage`."""
+    from ..isa import assemble
+
+    return assemble(compile_to_assembly(source))
+
+
+__all__ = [
+    "compile_source",
+    "compile_to_assembly",
+    "parse",
+    "tokenize",
+    "Program",
+    "CodeGenerator",
+    "CompileError",
+    "ParseError",
+    "LexError",
+]

@@ -1,0 +1,125 @@
+"""Abstract syntax tree of MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array element: ``name[index]``."""
+
+    name: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '-' | '!'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple
+
+
+Expr = object  # union of the above (duck-typed; Python <3.10 friendly)
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decl:
+    """``int name = init;`` (local)."""
+
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: object  # Var | Index
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then_body: tuple
+    else_body: tuple
+
+
+@dataclass(frozen=True)
+class While:
+    cond: Expr
+    body: tuple
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """``emit(e)`` / ``putc(e)`` / ``exit(e)``."""
+
+    name: str
+    arg: Expr
+
+
+# -- top level --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    name: str
+    size: int  # 1 for a scalar, N for ``int name[N]``
+    init: tuple = ()  # initial word values (scalars: at most one)
+    is_array: bool = False
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: tuple
+    body: tuple
+
+
+@dataclass
+class Program:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[Function]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

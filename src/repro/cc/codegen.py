@@ -1,0 +1,344 @@
+"""RX86 code generation for MiniC.
+
+A deliberately simple one-pass stack-machine generator: expressions
+evaluate into ``eax`` (intermediates spilled to the stack), locals live at
+negative ``ebp`` offsets, arguments are pushed right-to-left and cleaned
+by the caller.  Simplicity over cleverness: the generated code is the
+*input* of the randomization toolchain, so being obviously correct is the
+feature.
+
+Calling convention::
+
+    [ebp + 8 + 4*i]  argument i
+    [ebp + 4]        return address
+    [ebp]            saved ebp
+    [ebp - 4*(i+1)]  local i
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import ast
+
+
+class CompileError(ValueError):
+    """Semantic error in a MiniC program."""
+
+
+#: jcc mnemonic per comparison operator (signed compares, as in C int).
+_CMP_JCC = {
+    "==": "jz", "!=": "jnz", "<": "jl", "<=": "jle", ">": "jg", ">=": "jge",
+}
+
+_ALU = {"+": "add", "-": "sub", "*": "imul", "&": "and", "|": "or", "^": "xor"}
+
+_SHIFT = {"<<": "shl", ">>": "sar"}
+
+
+class _FunctionContext:
+    def __init__(self, fn: ast.Function):
+        self.fn = fn
+        self.locals: Dict[str, int] = {}  # name -> ebp offset
+        self.params: Dict[str, int] = {
+            name: 8 + 4 * idx for idx, name in enumerate(fn.params)
+        }
+        self.epilogue = ".ret_%s" % fn.name
+
+
+class CodeGenerator:
+    """Generates assembler text for one :class:`~repro.cc.ast.Program`."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.lines: List[str] = []
+        self.data_lines: List[str] = []
+        self._label_counter = 0
+        self._globals = {g.name: g for g in program.globals}
+        self._functions = {f.name: f for f in program.functions}
+        dupes = set(self._globals) & set(self._functions)
+        if dupes:
+            raise CompileError("name used as both global and function: %s"
+                               % ", ".join(sorted(dupes)))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _label(self, prefix: str) -> str:
+        self._label_counter += 1
+        return ".%s_%d" % (prefix, self._label_counter)
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(name + ":")
+
+    # -- top level -----------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Produce the full assembly source."""
+        if "main" not in self._functions:
+            raise CompileError("no main() function")
+        self.lines.append(".entry _start")
+        self.lines.append(".code 0x400000")
+        self.emit_label("_start")
+        self.emit("call main")
+        self.emit("mov ebx, eax")
+        self.emit("movi eax, 1")
+        self.emit("int 0x80")
+        for fn in self.program.functions:
+            self._gen_function(fn)
+
+        self.data_lines.append(".data 0x8000000")
+        for var in self.program.globals:
+            self.data_lines.append("g_%s:" % var.name)
+            values = list(var.init) + [0] * (var.size - len(var.init))
+            self.data_lines.append(
+                "    .word " + ", ".join(str(v) for v in values)
+            )
+        return "\n".join(self.lines + self.data_lines) + "\n"
+
+    # -- functions ----------------------------------------------------------------------
+
+    def _gen_function(self, fn: ast.Function) -> None:
+        ctx = _FunctionContext(fn)
+        self._collect_locals(fn.body, ctx)
+        self.emit_label(fn.name)
+        self.emit("push ebp")
+        self.emit("mov ebp, esp")
+        if ctx.locals:
+            self.emit("sub esp, %d" % (4 * len(ctx.locals)))
+        self._gen_block(fn.body, ctx)
+        # Fall off the end: return 0.
+        self.emit("movi eax, 0")
+        self.emit_label(ctx.epilogue)
+        self.emit("mov esp, ebp")
+        self.emit("pop ebp")
+        self.emit("ret")
+
+    def _collect_locals(self, body, ctx: _FunctionContext) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Decl):
+                if stmt.name in ctx.locals or stmt.name in ctx.params:
+                    raise CompileError("duplicate local %r" % stmt.name)
+                ctx.locals[stmt.name] = -4 * (len(ctx.locals) + 1)
+            elif isinstance(stmt, ast.If):
+                self._collect_locals(stmt.then_body, ctx)
+                self._collect_locals(stmt.else_body, ctx)
+            elif isinstance(stmt, ast.While):
+                self._collect_locals(stmt.body, ctx)
+
+    # -- statements ------------------------------------------------------------------------
+
+    def _gen_block(self, body, ctx) -> None:
+        for stmt in body:
+            self._gen_statement(stmt, ctx)
+
+    def _gen_statement(self, stmt, ctx) -> None:
+        if isinstance(stmt, ast.Decl):
+            if stmt.init is not None:
+                self._gen_expr(stmt.init, ctx)
+                self.emit("mov [ebp%+d], eax" % ctx.locals[stmt.name])
+        elif isinstance(stmt, ast.Assign):
+            self._gen_assign(stmt, ctx)
+        elif isinstance(stmt, ast.If):
+            else_label = self._label("else")
+            end_label = self._label("endif")
+            self._gen_expr(stmt.cond, ctx)
+            self.emit("test eax, eax")
+            self.emit("jz %s" % (else_label if stmt.else_body else end_label))
+            self._gen_block(stmt.then_body, ctx)
+            if stmt.else_body:
+                self.emit("jmp %s" % end_label)
+                self.emit_label(else_label)
+                self._gen_block(stmt.else_body, ctx)
+            self.emit_label(end_label)
+        elif isinstance(stmt, ast.While):
+            top = self._label("while")
+            end = self._label("endwhile")
+            self.emit_label(top)
+            self._gen_expr(stmt.cond, ctx)
+            self.emit("test eax, eax")
+            self.emit("jz %s" % end)
+            self._gen_block(stmt.body, ctx)
+            self.emit("jmp %s" % top)
+            self.emit_label(end)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value, ctx)
+            else:
+                self.emit("movi eax, 0")
+            self.emit("jmp %s" % ctx.epilogue)
+        elif isinstance(stmt, ast.Builtin):
+            self._gen_expr(stmt.arg, ctx)
+            self.emit("mov ebx, eax")
+            number = {"exit": 1, "putc": 4, "emit": 5}[stmt.name]
+            self.emit("movi eax, %d" % number)
+            self.emit("int 0x80")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr, ctx)
+        else:
+            raise CompileError("unknown statement %r" % (stmt,))
+
+    def _gen_assign(self, stmt: ast.Assign, ctx) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            self._gen_expr(stmt.value, ctx)
+            offset = self._var_offset(target.name, ctx)
+            if offset is not None:
+                self.emit("mov [ebp%+d], eax" % offset)
+                return
+            self._require_global(target.name, array=False)
+            self.emit("movi esi, g_%s" % target.name)
+            self.emit("mov [esi+0], eax")
+            return
+        # array element
+        self._require_global(target.name, array=True)
+        self._gen_expr(target.index, ctx)
+        self.emit("shl eax, 2")
+        self.emit("movi esi, g_%s" % target.name)
+        self.emit("add esi, eax")
+        self.emit("push esi")
+        self._gen_expr(stmt.value, ctx)
+        self.emit("pop esi")
+        self.emit("mov [esi+0], eax")
+
+    # -- expressions ---------------------------------------------------------------------------
+
+    def _gen_expr(self, expr, ctx) -> None:
+        """Evaluate ``expr`` into eax (may clobber ecx/edx/esi and stack)."""
+        if isinstance(expr, ast.Num):
+            self.emit("movi eax, %d" % expr.value)
+        elif isinstance(expr, ast.Var):
+            offset = self._var_offset(expr.name, ctx)
+            if offset is not None:
+                self.emit("mov eax, [ebp%+d]" % offset)
+            else:
+                self._require_global(expr.name, array=False)
+                self.emit("movi esi, g_%s" % expr.name)
+                self.emit("mov eax, [esi+0]")
+        elif isinstance(expr, ast.Index):
+            self._require_global(expr.name, array=True)
+            self._gen_expr(expr.index, ctx)
+            self.emit("shl eax, 2")
+            self.emit("movi esi, g_%s" % expr.name)
+            self.emit("add esi, eax")
+            self.emit("mov eax, [esi+0]")
+        elif isinstance(expr, ast.Unary):
+            self._gen_expr(expr.operand, ctx)
+            if expr.op == "-":
+                self.emit("mov ecx, eax")
+                self.emit("movi eax, 0")
+                self.emit("sub eax, ecx")
+            else:  # '!'
+                one = self._label("one")
+                end = self._label("endnot")
+                self.emit("test eax, eax")
+                self.emit("jz %s" % one)
+                self.emit("movi eax, 0")
+                self.emit("jmp %s" % end)
+                self.emit_label(one)
+                self.emit("movi eax, 1")
+                self.emit_label(end)
+        elif isinstance(expr, ast.Binary):
+            self._gen_binary(expr, ctx)
+        elif isinstance(expr, ast.Call):
+            self._gen_call(expr, ctx)
+        else:
+            raise CompileError("unknown expression %r" % (expr,))
+
+    def _gen_binary(self, expr: ast.Binary, ctx) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._gen_shortcircuit(expr, ctx)
+            return
+        if op in _SHIFT:
+            if not isinstance(expr.right, ast.Num):
+                raise CompileError(
+                    "shift amounts must be constants (RX86 has no "
+                    "variable-count shift)"
+                )
+            self._gen_expr(expr.left, ctx)
+            self.emit("%s eax, %d" % (_SHIFT[op], expr.right.value & 31))
+            return
+        self._gen_expr(expr.left, ctx)
+        self.emit("push eax")
+        self._gen_expr(expr.right, ctx)
+        self.emit("mov ecx, eax")
+        self.emit("pop eax")
+        if op in _ALU:
+            self.emit("%s eax, ecx" % _ALU[op])
+            return
+        if op in _CMP_JCC:
+            true_label = self._label("true")
+            end = self._label("endcmp")
+            self.emit("cmp eax, ecx")
+            self.emit("%s %s" % (_CMP_JCC[op], true_label))
+            self.emit("movi eax, 0")
+            self.emit("jmp %s" % end)
+            self.emit_label(true_label)
+            self.emit("movi eax, 1")
+            self.emit_label(end)
+            return
+        raise CompileError("unknown operator %r" % op)
+
+    def _gen_shortcircuit(self, expr: ast.Binary, ctx) -> None:
+        end = self._label("endsc")
+        out_label = self._label("sc")
+        if expr.op == "&&":
+            self._gen_expr(expr.left, ctx)
+            self.emit("test eax, eax")
+            self.emit("jz %s" % out_label)          # left false -> 0
+            self._gen_expr(expr.right, ctx)
+            self.emit("test eax, eax")
+            self.emit("jz %s" % out_label)
+            self.emit("movi eax, 1")
+            self.emit("jmp %s" % end)
+            self.emit_label(out_label)
+            self.emit("movi eax, 0")
+        else:  # '||'
+            self._gen_expr(expr.left, ctx)
+            self.emit("test eax, eax")
+            self.emit("jnz %s" % out_label)         # left true -> 1
+            self._gen_expr(expr.right, ctx)
+            self.emit("test eax, eax")
+            self.emit("jnz %s" % out_label)
+            self.emit("movi eax, 0")
+            self.emit("jmp %s" % end)
+            self.emit_label(out_label)
+            self.emit("movi eax, 1")
+        self.emit_label(end)
+
+    def _gen_call(self, expr: ast.Call, ctx) -> None:
+        fn = self.program.function(expr.name)
+        if fn is None:
+            raise CompileError("call to undefined function %r" % expr.name)
+        if len(fn.params) != len(expr.args):
+            raise CompileError(
+                "%s() takes %d argument(s), got %d"
+                % (expr.name, len(fn.params), len(expr.args))
+            )
+        for arg in reversed(expr.args):
+            self._gen_expr(arg, ctx)
+            self.emit("push eax")
+        self.emit("call %s" % expr.name)
+        if expr.args:
+            self.emit("add esp, %d" % (4 * len(expr.args)))
+
+    # -- symbol resolution -------------------------------------------------------------------------
+
+    def _var_offset(self, name: str, ctx) -> "int | None":
+        if name in ctx.locals:
+            return ctx.locals[name]
+        if name in ctx.params:
+            return ctx.params[name]
+        return None
+
+    def _require_global(self, name: str, array: bool) -> None:
+        var = self._globals.get(name)
+        if var is None:
+            raise CompileError("undefined variable %r" % name)
+        if array and not var.is_array:
+            raise CompileError("%r is not an array" % name)
+        if not array and var.is_array:
+            raise CompileError("%r is an array (index it)" % name)

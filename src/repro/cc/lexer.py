@@ -1,0 +1,108 @@
+"""Lexer for MiniC, the small C-like language of :mod:`repro.cc`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = frozenset(
+    ["int", "if", "else", "while", "return", "emit", "putc", "exit"]
+)
+
+#: multi-character operators, longest first.
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "&", "|", "^", "<", ">", "=", "!",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+
+class LexError(ValueError):
+    """Bad character or malformed token, with a line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'ident' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Token(%s, %r)" % (self.kind, self.text)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn MiniC source into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                tokens.append(Token("num", source[i:j], line))
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                tokens.append(Token("num", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        if ch == "'":
+            if i + 2 < n and source[i + 2] == "'":
+                tokens.append(Token("num", str(ord(source[i + 1])), line))
+                i += 3
+                continue
+            if i + 3 < n and source[i + 1] == "\\" and source[i + 3] == "'":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                value = escapes.get(source[i + 2])
+                if value is None:
+                    raise LexError("bad escape %r" % source[i + 2], line)
+                tokens.append(Token("num", str(value), line))
+                i += 4
+                continue
+            raise LexError("bad character literal", line)
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError("unexpected character %r" % ch, line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,251 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF-ish)::
+
+    program   := (global | function)*
+    global    := 'int' ident ('[' num ']')? ('=' '{' num (',' num)* '}'
+                 | '=' num)? ';'
+    function  := 'int' ident '(' params? ')' block
+    params    := 'int' ident (',' 'int' ident)*
+    block     := '{' stmt* '}'
+    stmt      := 'int' ident ('=' expr)? ';'
+               | 'if' '(' expr ')' block ('else' block)?
+               | 'while' '(' expr ')' block
+               | 'return' expr? ';'
+               | ('emit'|'putc'|'exit') '(' expr ')' ';'
+               | lvalue '=' expr ';'
+               | expr ';'
+    expr      := or  (precedence-climbing: || && | ^ & ==/!= cmp shift
+                 add mul unary primary)
+
+Division/modulo are deliberately absent (RX86 has no divide), and shift
+amounts must be constant (RX86 shifts take an immediate count).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+#: binary operators by precedence level, loosest first.
+_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*"],
+]
+
+_BUILTINS = ("emit", "putc", "exit")
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.cur
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.cur
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            raise ParseError(
+                "expected %s, found %r" % (text or kind, self.cur.text),
+                self.cur.line,
+            )
+        return token
+
+    # -- top level --------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.cur.kind != "eof":
+            self.expect("keyword", "int")
+            name = self.expect("ident").text
+            if self.cur.text == "(":
+                program.functions.append(self._function(name))
+            else:
+                program.globals.append(self._global(name))
+        return program
+
+    def _global(self, name: str) -> ast.GlobalVar:
+        size = 1
+        is_array = False
+        init: tuple = ()
+        if self.accept("op", "["):
+            size = self._const()
+            if size <= 0:
+                raise ParseError("array size must be positive", self.cur.line)
+            is_array = True
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                values = [self._const()]
+                while self.accept("op", ","):
+                    values.append(self._const())
+                self.expect("op", "}")
+                if not is_array:
+                    raise ParseError("brace init needs an array", self.cur.line)
+                if len(values) > size:
+                    raise ParseError("too many initializers", self.cur.line)
+                init = tuple(values)
+            else:
+                init = (self._const(),)
+        self.expect("op", ";")
+        return ast.GlobalVar(name, size, init, is_array)
+
+    def _const(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.expect("num")
+        value = int(token.text, 0)
+        return -value if negative else value
+
+    def _function(self, name: str) -> ast.Function:
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            while True:
+                self.expect("keyword", "int")
+                params.append(self.expect("ident").text)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        body = self._block()
+        return ast.Function(name, tuple(params), body)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _block(self) -> tuple:
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            stmts.append(self._statement())
+        return tuple(stmts)
+
+    def _statement(self):
+        token = self.cur
+        if token.kind == "keyword":
+            if token.text == "int":
+                self.advance()
+                name = self.expect("ident").text
+                init = self._expr() if self.accept("op", "=") else None
+                self.expect("op", ";")
+                return ast.Decl(name, init)
+            if token.text == "if":
+                self.advance()
+                self.expect("op", "(")
+                cond = self._expr()
+                self.expect("op", ")")
+                then_body = self._block()
+                else_body = self._block() if self.accept("keyword", "else") else ()
+                return ast.If(cond, then_body, else_body)
+            if token.text == "while":
+                self.advance()
+                self.expect("op", "(")
+                cond = self._expr()
+                self.expect("op", ")")
+                return ast.While(cond, self._block())
+            if token.text == "return":
+                self.advance()
+                value = None if self.cur.text == ";" else self._expr()
+                self.expect("op", ";")
+                return ast.Return(value)
+            if token.text in _BUILTINS:
+                self.advance()
+                self.expect("op", "(")
+                arg = self._expr()
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.Builtin(token.text, arg)
+            raise ParseError("unexpected keyword %r" % token.text, token.line)
+
+        # lvalue '=' expr  |  expr ';'
+        expr = self._expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError("bad assignment target", token.line)
+            value = self._expr()
+            self.expect("op", ";")
+            return ast.Assign(expr, value)
+        self.expect("op", ";")
+        return ast.ExprStmt(expr)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expr(self, level: int = 0):
+        if level >= len(_LEVELS):
+            return self._unary()
+        left = self._expr(level + 1)
+        while self.cur.kind == "op" and self.cur.text in _LEVELS[level]:
+            op = self.advance().text
+            right = self._expr(level + 1)
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _unary(self):
+        if self.accept("op", "-"):
+            return ast.Unary("-", self._unary())
+        if self.accept("op", "!"):
+            return ast.Unary("!", self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self.cur
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(int(token.text, 0))
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return ast.Call(token.text, tuple(args))
+            if self.accept("op", "["):
+                index = self._expr()
+                self.expect("op", "]")
+                return ast.Index(token.text, index)
+            return ast.Var(token.text)
+        if self.accept("op", "("):
+            inner = self._expr()
+            self.expect("op", ")")
+            return inner
+        raise ParseError("unexpected token %r" % token.text, token.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source into a :class:`~repro.cc.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,18 @@
+"""Software-based ILR execution: the paper's Fig. 2 baseline.
+
+:class:`ILREmulator` interprets a randomized binary one instruction at a
+time (de-randomize PC, fetch, decode, execute, apply rewrite rules) and
+accounts deterministic host costs, reproducing the hundreds-of-times
+slowdown that motivates hardware support.
+"""
+
+from .hostcost import HostCostCounters, HostCostParams
+from .vm import EmulationResult, ILREmulator, emulate
+
+__all__ = [
+    "ILREmulator",
+    "EmulationResult",
+    "emulate",
+    "HostCostParams",
+    "HostCostCounters",
+]

@@ -1,0 +1,30 @@
+"""Experiment harness: one reproduction per paper table/figure.
+
+Usage::
+
+    from repro.harness import Runner, run_all, format_report
+    runner = Runner()                  # paper machine parameters
+    results = run_all(runner)          # every table and figure
+    print(format_report(results))
+
+or from the command line::
+
+    python -m repro.harness            # full report
+    python -m repro.harness fig12      # a single experiment
+"""
+
+from . import paper
+from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_all
+from .report import format_report, format_result, format_table
+from .runner import Runner
+
+__all__ = [
+    "Runner",
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "format_report",
+    "format_result",
+    "format_table",
+    "paper",
+]

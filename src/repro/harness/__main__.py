@@ -1,0 +1,71 @@
+"""CLI entry point: ``python -m repro.harness [experiment ...]``.
+
+Options:
+  --scale S               workload scale factor (default 1.0)
+  --max-instructions N    per-run instruction budget (default 300000)
+  --seed N                randomizer seed (default 42)
+  --ablations             also run the ablation studies
+  --json PATH             write all results as JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .ablations import ALL_ABLATIONS
+from .experiments import ALL_EXPERIMENTS
+from .report import format_result, write_json
+from .runner import Runner
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all figures/tables): %s"
+                        % ", ".join(list(ALL_EXPERIMENTS) + list(ALL_ABLATIONS)))
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--max-instructions", type=int, default=300_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--ablations", action="store_true",
+                        help="include the ablation studies")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    registry = dict(ALL_EXPERIMENTS)
+    registry.update(ALL_ABLATIONS)
+    if args.experiments:
+        wanted = args.experiments
+    else:
+        wanted = list(ALL_EXPERIMENTS)
+        if args.ablations:
+            wanted += list(ALL_ABLATIONS)
+    unknown = [e for e in wanted if e not in registry]
+    if unknown:
+        parser.error("unknown experiment(s): %s" % ", ".join(unknown))
+
+    runner = Runner(scale=args.scale, seed=args.seed,
+                    max_instructions=args.max_instructions)
+    results = {}
+    all_ok = True
+    for exp_id in wanted:
+        start = time.time()
+        result = registry[exp_id](runner)
+        results[exp_id] = result
+        print(format_result(result))
+        print("(%.1fs)" % (time.time() - start))
+        print()
+        all_ok &= result.passed
+    if args.json:
+        write_json(results, args.json)
+        print("wrote %s" % args.json)
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

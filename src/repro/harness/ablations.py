@@ -1,0 +1,306 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's published figures and probe its *claims*:
+
+* ``drc_associativity`` — §IV-B: "The design doesn't require a
+  fully-associative DRC since the miss penalty is marginal."  Measured:
+  how much miss rate and IPC a 4-way or fully-associative DRC would buy.
+* ``retaddr_policy`` — §IV-C: the architectural policy randomizes more
+  return addresses than the conservative software-only policy.  Measured:
+  residual attack surface (failover entries) and IPC cost of each.
+* ``spread_factor`` — §V-C entropy: more spread = more entropy; the VCFR
+  claim is that this is *performance-free* (layout lives only in the
+  table), unlike naive ILR where spread worsens locality.
+* ``prefetcher`` — Table I: the next-line prefetcher helps the baseline
+  and VCFR but cannot help naive ILR.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List
+
+from ..arch.cpu import simulate
+from ..ilr import RandomizerConfig, make_flow, randomize
+from ..workloads import build_image
+from .experiments import ExperimentResult
+from .runner import Runner
+
+#: Apps with enough translation pressure to make ablations informative.
+ABLATION_APPS: List[str] = ["gcc", "xalan", "h264ref", "namd"]
+
+
+def drc_associativity(runner: Runner) -> ExperimentResult:
+    """Direct-mapped vs 4-way vs fully-associative DRC at 128 entries."""
+    result = ExperimentResult(
+        "abl_drc_assoc", "DRC associativity ablation (128 entries)",
+        ("app", "direct miss", "4-way miss", "full miss",
+         "direct IPC", "full IPC"),
+    )
+    gains = []
+    for app in ABLATION_APPS:
+        program = runner.program(app)
+        by_assoc = {}
+        for assoc in (1, 4, 0):
+            config = runner.base_config().with_drc(entries=128, assoc=assoc)
+            by_assoc[assoc] = simulate(
+                program.vcfr_image, make_flow("vcfr", program), config,
+                max_instructions=runner.max_instructions,
+            )
+        gains.append(by_assoc[0].ipc / by_assoc[1].ipc)
+        result.rows.append((
+            app,
+            round(by_assoc[1].drc_miss_rate, 4),
+            round(by_assoc[4].drc_miss_rate, 4),
+            round(by_assoc[0].drc_miss_rate, 4),
+            round(by_assoc[1].ipc, 3),
+            round(by_assoc[0].ipc, 3),
+        ))
+    avg_gain = statistics.mean(gains)
+    result.summary = (
+        "full associativity buys %.1f%% IPC on average over direct-mapped"
+        % (100 * (avg_gain - 1))
+    )
+    result.paper_summary = (
+        "§IV-B claim: a fully-associative DRC is unnecessary "
+        "(miss penalty is marginal)"
+    )
+    # NB: LRU-associative DRCs can genuinely *lose* to hashed direct
+    # mapping under cyclic translation reuse (the classic LRU streaming
+    # pathology) — another reason the paper's direct-mapped choice holds.
+    result.check("associativity helps at least one high-pressure app",
+                 any(row[3] < row[1] for row in result.rows))
+    result.check("full-assoc IPC gain stays modest (<15% avg) — the paper's "
+                 "direct-mapped choice is reasonable", avg_gain < 1.15)
+    return result
+
+
+def retaddr_policy(runner: Runner) -> ExperimentResult:
+    """Conservative (software) vs architectural (§IV-C) return-address policy."""
+    result = ExperimentResult(
+        "abl_retaddr", "Return-address randomization policy ablation",
+        ("app", "randomized rets (arch)", "randomized rets (cons)",
+         "redirects (arch)", "redirects (cons)", "IPC ratio cons/arch"),
+    )
+    surface_shrinks = True
+    for app in ABLATION_APPS:
+        image = build_image(app, scale=runner.scale)
+        arch = randomize(image, RandomizerConfig(seed=runner.seed))
+        cons = randomize(
+            image,
+            RandomizerConfig(seed=runner.seed, conservative_retaddr=True),
+        )
+        sim_arch = simulate(
+            arch.vcfr_image, make_flow("vcfr", arch),
+            runner.base_config(), max_instructions=runner.max_instructions,
+        )
+        sim_cons = simulate(
+            cons.vcfr_image, make_flow("vcfr", cons),
+            runner.base_config(), max_instructions=runner.max_instructions,
+        )
+        surface_shrinks &= len(arch.rdr.redirect) <= len(cons.rdr.redirect)
+        result.rows.append((
+            app,
+            arch.stats.num_ret_randomized,
+            cons.stats.num_ret_randomized,
+            len(arch.rdr.redirect),
+            len(cons.rdr.redirect),
+            round(sim_cons.ipc / sim_arch.ipc, 3),
+        ))
+    result.summary = "architectural policy randomizes more, exposing fewer entries"
+    result.paper_summary = (
+        "§IV-C: hardware support maximizes return-address randomization"
+    )
+    result.check("architectural policy never randomizes fewer rets",
+                 all(row[1] >= row[2] for row in result.rows))
+    result.check("architectural policy never leaves more redirects",
+                 surface_shrinks)
+    result.check("both policies perform within 10% of each other",
+                 all(0.9 <= row[5] <= 1.1 for row in result.rows))
+    return result
+
+
+def spread_factor(runner: Runner) -> ExperimentResult:
+    """Entropy vs performance across layout spread factors."""
+    result = ExperimentResult(
+        "abl_spread", "Layout spread-factor ablation (VCFR vs naive)",
+        ("spread", "entropy bits", "VCFR IPC", "naive IPC"),
+    )
+    app = "h264ref"
+    image = build_image(app, scale=runner.scale)
+    vcfr_ipcs, naive_ipcs, entropies = [], [], []
+    for spread in (4, 16, 64):
+        program = randomize(
+            image, RandomizerConfig(seed=runner.seed, spread_factor=spread)
+        )
+        vcfr = simulate(
+            program.vcfr_image, make_flow("vcfr", program),
+            runner.base_config(), max_instructions=runner.max_instructions,
+        )
+        naive = simulate(
+            program.naive_image, make_flow("naive_ilr", program),
+            runner.base_config(), max_instructions=runner.max_instructions,
+        )
+        entropies.append(program.stats.entropy_bits)
+        vcfr_ipcs.append(vcfr.ipc)
+        naive_ipcs.append(naive.ipc)
+        result.rows.append((
+            spread, round(program.stats.entropy_bits, 1),
+            round(vcfr.ipc, 3), round(naive.ipc, 3),
+        ))
+    result.summary = (
+        "spread 4->64: entropy +%.1f bits, VCFR IPC moves %.1f%%, "
+        "naive IPC moves %.1f%%"
+        % (entropies[-1] - entropies[0],
+           100 * (vcfr_ipcs[-1] / vcfr_ipcs[0] - 1),
+           100 * (naive_ipcs[-1] / naive_ipcs[0] - 1))
+    )
+    result.paper_summary = (
+        "VCFR decouples entropy from locality: spread is free under VCFR"
+    )
+    result.check("entropy grows with spread",
+                 entropies == sorted(entropies))
+    result.check("VCFR IPC is spread-insensitive (<3% swing)",
+                 max(vcfr_ipcs) / min(vcfr_ipcs) < 1.03)
+    return result
+
+
+def prefetcher(runner: Runner) -> ExperimentResult:
+    """Next-line IL1 prefetcher on/off, per mode (Table I's third row)."""
+    result = ExperimentResult(
+        "abl_prefetch", "IL1 next-line prefetcher ablation",
+        ("app", "baseline gain %", "naive gain %", "vcfr gain %"),
+    )
+    base_gains, naive_gains = [], []
+    for app in ("gcc", "h264ref"):
+        program = runner.program(app)
+        gains = {}
+        for mode, image in (
+            ("baseline", program.original),
+            ("naive_ilr", program.naive_image),
+            ("vcfr", program.vcfr_image),
+        ):
+            on_cfg = runner.base_config()
+            off_cfg = runner.base_config()
+            off_cfg.prefetch_il1 = False
+            on = simulate(image, make_flow(mode, program), on_cfg,
+                          max_instructions=runner.max_instructions)
+            off = simulate(image, make_flow(mode, program), off_cfg,
+                           max_instructions=runner.max_instructions)
+            gains[mode] = 100 * (on.ipc / off.ipc - 1)
+        base_gains.append(gains["baseline"])
+        naive_gains.append(gains["naive_ilr"])
+        result.rows.append((
+            app, round(gains["baseline"], 2), round(gains["naive_ilr"], 2),
+            round(gains["vcfr"], 2),
+        ))
+    result.summary = (
+        "prefetching helps baseline/VCFR; it cannot rescue naive ILR"
+    )
+    result.paper_summary = (
+        "Table I: prefetch 'effective' except under naive ILR"
+    )
+    result.check("prefetcher never helps naive more than baseline",
+                 all(n <= b + 0.5 for n, b in zip(naive_gains, base_gains)))
+    return result
+
+
+def context_switching(runner: Runner) -> ExperimentResult:
+    """DRC cold-start sensitivity to scheduling quantum (§IV-D system impact).
+
+    The paper extends the process context with the RDR tables; a context
+    switch therefore invalidates the DRC.  This ablation self-switches a
+    translation-heavy workload at shrinking quanta and measures how much
+    of VCFR's IPC survives — the cost of the system-level design.
+    """
+    from ..arch.context import measure_switch_sensitivity
+    from ..ilr import make_flow
+
+    result = ExperimentResult(
+        "abl_ctxswitch", "Context-switch (DRC cold-start) sensitivity",
+        ("quantum (insts)", "IPC", "DRC miss rate"),
+    )
+    program = runner.program("xalan")
+    quanta = (100_000, 20_000, 5_000, 1_000)
+    sweep = measure_switch_sensitivity(
+        program, make_flow, config=runner.base_config(), quanta=quanta,
+        max_instructions=min(runner.max_instructions, 80_000),
+    )
+    ipcs = []
+    for quantum in quanta:
+        res = sweep[quantum]
+        ipcs.append(res.ipc)
+        result.rows.append(
+            (quantum, round(res.ipc, 4), round(res.drc_miss_rate, 4))
+        )
+    result.summary = (
+        "IPC %.3f at 100k-instruction quanta -> %.3f at 1k (DRC refills "
+        "dominate only at unrealistically small quanta)" % (ipcs[0], ipcs[-1])
+    )
+    result.paper_summary = (
+        "§IV-D: the main system-level impact is the per-process RDR tables"
+    )
+    result.check("IPC degrades monotonically as quanta shrink",
+                 all(a >= b - 1e-9 for a, b in zip(ipcs, ipcs[1:])))
+    result.check("realistic quanta (>=20k insts) cost <5% IPC",
+                 ipcs[1] >= 0.95 * ipcs[0])
+    return result
+
+
+def page_confined_layout(runner: Runner) -> ExperimentResult:
+    """§IV-D iTLB mitigation: page-confined vs whole-region randomization."""
+    from ..ilr import RandomizerConfig, make_flow, randomize
+
+    result = ExperimentResult(
+        "abl_pageconf", "Page-confined randomization (naive-ILR iTLB relief)",
+        ("layout", "entropy bits", "naive iTLB misses", "naive IPC"),
+    )
+    image = build_image("gcc", scale=runner.scale)
+    rows = {}
+    for confined in (False, True):
+        program = randomize(
+            image,
+            RandomizerConfig(seed=runner.seed, page_confined=confined),
+        )
+        naive = simulate(
+            program.naive_image, make_flow("naive_ilr", program),
+            runner.base_config(), max_instructions=runner.max_instructions,
+        )
+        rows[confined] = (program.stats.entropy_bits, naive)
+        result.rows.append((
+            "page-confined" if confined else "whole-region",
+            round(program.stats.entropy_bits, 1),
+            naive.itlb_misses,
+            round(naive.ipc, 3),
+        ))
+    result.summary = (
+        "confinement cuts naive iTLB misses %dx at a cost of %.1f entropy bits"
+        % (max(1, rows[False][1].itlb_misses // max(1, rows[True][1].itlb_misses)),
+           rows[False][0] - rows[True][0])
+    )
+    result.paper_summary = (
+        "§IV-D: 'control flow randomization can be confined within the "
+        "same page, which will further reduce its impact to iTLB'"
+    )
+    result.check("confinement reduces naive iTLB misses",
+                 rows[True][1].itlb_misses < rows[False][1].itlb_misses)
+    result.check("confinement costs entropy",
+                 rows[True][0] < rows[False][0])
+    result.check("confinement does not hurt naive IPC",
+                 rows[True][1].ipc >= rows[False][1].ipc - 0.01)
+    return result
+
+
+ALL_ABLATIONS = {
+    "drc_associativity": drc_associativity,
+    "retaddr_policy": retaddr_policy,
+    "spread_factor": spread_factor,
+    "prefetcher": prefetcher,
+    "context_switching": context_switching,
+    "page_confined_layout": page_confined_layout,
+}
+
+
+def run_all_ablations(runner: Runner):
+    """Run every ablation, sharing the runner's caches."""
+    return {name: fn(runner) for name, fn in ALL_ABLATIONS.items()}

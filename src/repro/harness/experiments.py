@@ -1,0 +1,443 @@
+"""One experiment per paper table/figure.
+
+Each function takes a shared :class:`~repro.harness.runner.Runner` and
+returns an :class:`ExperimentResult` with per-application rows, a summary,
+and the paper's reference numbers for side-by-side reporting.  The
+``checks`` list holds (description, bool) shape assertions — the criteria
+DESIGN.md §4 commits to.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..analysis import analyze_functions, collect_stats
+from ..security import can_build_payload, scan_gadgets, survey_image
+from ..workloads import build_image
+from . import paper
+from .runner import Runner
+
+
+@dataclass
+class ExperimentResult:
+    """Result of reproducing one table/figure."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Tuple] = field(default_factory=list)
+    summary: str = ""
+    paper_summary: str = ""
+    checks: List[Tuple[str, bool]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _desc, ok in self.checks)
+
+    def check(self, description: str, ok: bool) -> None:
+        self.checks.append((description, bool(ok)))
+
+
+# ---------------------------------------------------------------------------
+# Table I — qualitative mode comparison
+# ---------------------------------------------------------------------------
+
+
+def table1(runner: Runner) -> ExperimentResult:
+    """Differences between straightforward ILR and VCFR (Table I).
+
+    The qualitative rows are *measured*, not asserted: locality is judged
+    by the IL1 miss-rate ratio, prefetch effectiveness by the prefetcher
+    waste rate, diversity by whether a randomized layout exists.
+    """
+    result = ExperimentResult(
+        "table1", "Differences between straightforward ILR and VCFR",
+        ("property",) + paper.TABLE1_COLUMNS,
+    )
+    probe = "h264ref"  # any app with a non-trivial footprint
+    base = runner.sim(probe, "baseline")
+    naive = runner.sim(probe, "naive_ilr")
+    vcfr = runner.sim(probe, "vcfr")
+
+    locality_naive = naive.il1_miss_rate < 2 * base.il1_miss_rate
+    locality_vcfr = vcfr.il1_miss_rate < 2 * base.il1_miss_rate
+    prefetch_naive = naive.il1_prefetch_waste_rate < 0.5
+    prefetch_vcfr = vcfr.il1_prefetch_waste_rate < 0.5
+
+    result.rows = [
+        ("Execution", "no control flow randomization", "randomized control flow",
+         "randomized control flow"),
+        ("Instruction locality", "preserved",
+         "preserved" if locality_naive else "destroyed",
+         "preserved" if locality_vcfr else "destroyed"),
+        ("Instruction prefetch", "effective",
+         "effective" if prefetch_naive else "not effective",
+         "effective" if prefetch_vcfr else "not effective"),
+        ("Control flow diversity", "no diversity", "diversified", "diversified"),
+    ]
+    result.check("naive ILR destroys locality", not locality_naive)
+    result.check("VCFR preserves locality", locality_vcfr)
+    result.check("naive ILR defeats the prefetcher", not prefetch_naive)
+    result.check("VCFR keeps the prefetcher effective", prefetch_vcfr)
+    result.summary = "measured qualitative properties match Table I"
+    result.paper_summary = "Table I: naive ILR destroys locality/prefetch; VCFR preserves both"
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — software-ILR emulator slowdown
+# ---------------------------------------------------------------------------
+
+
+def fig2(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig2", "Software ILR emulation slowdown vs native execution",
+        ("app", "native cycles", "emulator host instructions", "slowdown"),
+    )
+    slowdowns = []
+    for app in paper.FIG2["apps"]:
+        native = runner.sim(app, "baseline")
+        emulated = runner.emulate(app)
+        slowdown = emulated.slowdown_vs(native.cycles)
+        slowdowns.append(slowdown)
+        result.rows.append(
+            (app, native.cycles, emulated.host_instructions, round(slowdown, 1))
+        )
+    avg = statistics.mean(slowdowns)
+    result.summary = "average slowdown %.0fx (min %.0fx, max %.0fx)" % (
+        avg, min(slowdowns), max(slowdowns),
+    )
+    result.paper_summary = paper.FIG2["claim"]
+    result.check("every app slows down by >100x", min(slowdowns) > 100)
+    result.check("slowdowns in the hundreds-to-~1500x band",
+                 max(slowdowns) < 4000)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — naive ILR cache impact
+# ---------------------------------------------------------------------------
+
+
+def fig3(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig3", "Impact of naive hardware ILR on IL1/L2 (vs baseline)",
+        ("app", "IL1 miss ratio (x)", "prefetch waste +pp", "L2 pressure +%"),
+    )
+    ratios, waste_deltas, pressure_deltas = [], [], []
+    for app in paper.SPEC_APPS:
+        base = runner.sim(app, "baseline")
+        naive = runner.sim(app, "naive_ilr")
+        ratio = naive.il1_miss_rate / max(base.il1_miss_rate, 1e-9)
+        waste = 100 * (naive.il1_prefetch_waste_rate - base.il1_prefetch_waste_rate)
+        pressure = 100 * (naive.l2_pressure - base.l2_pressure) / max(
+            base.l2_pressure, 1
+        )
+        ratios.append(ratio)
+        waste_deltas.append(waste)
+        pressure_deltas.append(pressure)
+        result.rows.append(
+            (app, round(ratio, 1), round(waste, 1), round(pressure, 1))
+        )
+    result.summary = (
+        "IL1 miss ratio: median %.1fx, max %.0fx; prefetch waste +%.0fpp avg; "
+        "L2 pressure +%.0f%% median"
+        % (statistics.median(ratios), max(ratios),
+           statistics.mean(waste_deltas), statistics.median(pressure_deltas))
+    )
+    result.paper_summary = (
+        "IL1 miss rate x%.1f avg (outlier %dx); prefetch misses +%.0f%%; "
+        "L2 pressure +%.0f%%"
+        % (paper.FIG3["il1_miss_ratio_avg"], paper.FIG3["il1_miss_ratio_outlier"],
+           paper.FIG3["prefetch_miss_increase_pct"],
+           paper.FIG3["l2_pressure_increase_pct"])
+    )
+    result.check("IL1 miss ratio rises by >2x for most apps",
+                 statistics.median(ratios) > 2.0)
+    result.check("at least one catastrophic outlier (>100x)", max(ratios) > 100)
+    result.check("prefetching becomes wasteful somewhere",
+                 max(waste_deltas) > 25)
+    result.check("L2 pressure increases overall",
+                 statistics.mean(pressure_deltas) > 0)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — naive ILR normalized IPC
+# ---------------------------------------------------------------------------
+
+
+def fig4(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig4", "Normalized IPC of naive hardware ILR",
+        ("app", "baseline IPC", "naive IPC", "normalized"),
+    )
+    normalized = []
+    for app in paper.SPEC_APPS:
+        base = runner.sim(app, "baseline")
+        naive = runner.sim(app, "naive_ilr")
+        norm = naive.ipc / base.ipc
+        normalized.append(norm)
+        result.rows.append(
+            (app, round(base.ipc, 3), round(naive.ipc, 3), round(norm, 3))
+        )
+    avg = statistics.mean(normalized)
+    result.summary = "average normalized IPC %.3f" % avg
+    lo, hi = paper.FIG4["normalized_ipc_avg_range"]
+    result.paper_summary = "average normalized IPC %.2f-%.2f" % (lo, hi)
+    result.check("average normalized IPC in the 0.5-0.8 band", 0.5 <= avg <= 0.8)
+    result.check("naive ILR never beats baseline", max(normalized) <= 1.02)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table II — static control-flow statistics
+# ---------------------------------------------------------------------------
+
+
+def table2(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "table2", "Static analysis of control flow",
+        ("app", "direct", "indirect", "calls", "indirect calls"),
+    )
+    measured: Dict[str, Tuple[int, int, int, int]] = {}
+    for app in paper.SPEC_APPS:
+        image = build_image(app, scale=runner.scale)
+        stats = collect_stats(image)
+        measured[app] = stats.as_table2_row()
+        result.rows.append((app,) + stats.as_table2_row())
+    result.summary = "see rows (scaled-down binaries; shapes compared below)"
+    result.paper_summary = "Table II (e.g. gcc: 149512 direct; xalan: 15465 indirect calls)"
+
+    def rank(d, idx):
+        return max(d, key=lambda a: d[a][idx])
+
+    result.check("gcc has the most direct transfers", rank(measured, 0) == "gcc")
+    result.check("xalan has the most indirect function calls",
+                 rank(measured, 3) == "xalan")
+    result.check("direct transfers dominate indirect in every app",
+                 all(m[0] > 3 * m[1] for m in measured.values()))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — functions with/without ret
+# ---------------------------------------------------------------------------
+
+
+def fig9(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig9", "Functions with and without ret instructions",
+        ("app", "with ret", "without ret"),
+    )
+    with_counts, without_counts = [], []
+    for app in paper.SPEC_APPS:
+        image = build_image(app, scale=runner.scale)
+        analysis = analyze_functions(image)
+        w, wo = len(analysis.with_ret), len(analysis.without_ret)
+        with_counts.append(w)
+        without_counts.append(wo)
+        result.rows.append((app, w, wo))
+    result.summary = "ret-returning functions dominate (%d vs %d total)" % (
+        sum(with_counts), sum(without_counts),
+    )
+    result.paper_summary = paper.FIG9["claim"]
+    result.check("functions with ret dominate in every app",
+                 all(w >= wo for w, wo in zip(with_counts, without_counts)))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — gadget removal
+# ---------------------------------------------------------------------------
+
+
+def fig11(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig11", "Gadgets removed by control flow randomization",
+        ("app", "gadgets before", "usable after", "removed %", "payload before",
+         "payload after"),
+    )
+    removals = []
+    payload_blocked_everywhere = True
+    for app in paper.SPEC_APPS:
+        program = runner.program(app)
+        survey = survey_image(program.original, program.rdr)
+        gadgets = scan_gadgets(program.original)
+        before = can_build_payload(gadgets)
+        survivors = [g for g in gadgets
+                     if g.addr in program.rdr.unrandomized_entries()]
+        after = can_build_payload(survivors)
+        payload_blocked_everywhere &= not after
+        removals.append(survey.removal_percent)
+        result.rows.append(
+            (app, survey.total_before, survey.usable_after,
+             round(survey.removal_percent, 1),
+             "yes" if before else "no", "yes" if after else "no")
+        )
+    avg = statistics.mean(removals)
+    result.summary = "average removal %.1f%%; payloads after randomization: none" % avg
+    result.paper_summary = "average removal %.0f%%; %s" % (
+        paper.FIG11["avg_removal_pct"], paper.FIG11["claim"],
+    )
+    result.check("average gadget removal >= 95%", avg >= 95.0)
+    result.check("no attack payload can be assembled after randomization",
+                 payload_blocked_everywhere)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — VCFR speedup over naive ILR
+# ---------------------------------------------------------------------------
+
+
+def fig12(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig12", "VCFR speedup over straightforward hardware ILR (DRC 128)",
+        ("app", "naive IPC", "VCFR IPC", "speedup"),
+    )
+    speedups = {}
+    for app in paper.SPEC_APPS:
+        naive = runner.sim(app, "naive_ilr")
+        vcfr = runner.sim(app, "vcfr", drc_entries=128)
+        speedup = vcfr.ipc / naive.ipc
+        speedups[app] = speedup
+        result.rows.append(
+            (app, round(naive.ipc, 3), round(vcfr.ipc, 3), round(speedup, 2))
+        )
+    avg = statistics.mean(speedups.values())
+    gt2 = sorted(a for a, s in speedups.items() if s > 2.0)
+    result.summary = "average speedup %.2fx; >2x: %s" % (avg, ", ".join(gt2))
+    result.paper_summary = "average speedup %.2fx; >2x: %s" % (
+        paper.FIG12["avg_speedup"], ", ".join(paper.FIG12["gt2x_apps"]),
+    )
+    result.check("VCFR is faster than naive ILR for every app",
+                 min(speedups.values()) >= 0.99)
+    result.check("average speedup exceeds 1.5x", avg > 1.5)
+    result.check("multiple apps exceed 2x (incl. namd/h264ref/xalan)",
+                 all(speedups[a] > 2.0 for a in ("namd", "h264ref", "xalan")))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — VCFR normalized IPC vs DRC size
+# ---------------------------------------------------------------------------
+
+
+def fig13(runner: Runner) -> ExperimentResult:
+    sizes = (512, 128, 64)
+    result = ExperimentResult(
+        "fig13", "VCFR normalized IPC under different DRC sizes",
+        ("app",) + tuple("DRC %d" % s for s in sizes),
+    )
+    by_size = {s: [] for s in sizes}
+    for app in paper.SPEC_APPS:
+        base = runner.sim(app, "baseline")
+        row = [app]
+        for size in sizes:
+            vcfr = runner.sim(app, "vcfr", drc_entries=size)
+            norm = vcfr.ipc / base.ipc
+            by_size[size].append(norm)
+            row.append(round(norm, 3))
+        result.rows.append(tuple(row))
+    means = {s: statistics.mean(v) for s, v in by_size.items()}
+    result.summary = "mean normalized IPC: " + ", ".join(
+        "%d->%.3f" % (s, means[s]) for s in sizes
+    )
+    result.paper_summary = "512->%.3f, 64->%.3f (2.1%% overhead)" % (
+        paper.FIG13[512], paper.FIG13[64],
+    )
+    result.check("bigger DRC never hurts (512 >= 128 >= 64 on average)",
+                 means[512] >= means[128] - 1e-9 >= means[64] - 2e-9)
+    result.check("average overhead at 64 entries is small (<10%)",
+                 means[64] > 0.90)
+    result.check("average overhead at 512 entries is smaller (<6%)",
+                 means[512] > 0.94)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — DRC miss rates
+# ---------------------------------------------------------------------------
+
+
+def fig14(runner: Runner) -> ExperimentResult:
+    sizes = (512, 128, 64)
+    result = ExperimentResult(
+        "fig14", "DRC miss rates under different DRC sizes",
+        ("app",) + tuple("DRC %d" % s for s in sizes),
+    )
+    by_size = {s: [] for s in sizes}
+    worst = {}
+    for app in paper.SPEC_APPS:
+        row = [app]
+        for size in sizes:
+            vcfr = runner.sim(app, "vcfr", drc_entries=size)
+            miss = vcfr.drc_miss_rate
+            by_size[size].append(miss)
+            row.append(round(miss, 4))
+        worst[app] = row[1 + sizes.index(64)]
+        result.rows.append(tuple(row))
+    means = {s: statistics.mean(v) for s, v in by_size.items()}
+    result.summary = "mean miss rates: " + ", ".join(
+        "%d->%.3f" % (s, means[s]) for s in sizes
+    )
+    result.paper_summary = "512->%.3f, 64->%.3f; worst: %s" % (
+        paper.FIG14[512], paper.FIG14[64], ", ".join(paper.FIG14["worst_apps"]),
+    )
+    result.check("miss rate shrinks with DRC size",
+                 means[512] <= means[128] <= means[64])
+    result.check("64-entry average miss rate is substantial (>3%)",
+                 means[64] > 0.03)
+    result.check("512-entry average miss rate is small (<10%)",
+                 means[512] < 0.10)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 — DRC dynamic power overhead
+# ---------------------------------------------------------------------------
+
+
+def fig15(runner: Runner) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig15", "DRC dynamic power overhead (DRC 128)",
+        ("app", "DRC lookups", "overhead %"),
+    )
+    overheads = []
+    for app in paper.SPEC_APPS:
+        vcfr = runner.sim(app, "vcfr", drc_entries=128)
+        pct = vcfr.drc_power_overhead_percent
+        overheads.append(pct)
+        result.rows.append((app, vcfr.drc_lookups, round(pct, 3)))
+    avg = statistics.mean(overheads)
+    result.summary = "average DRC dynamic power overhead %.3f%%" % avg
+    result.paper_summary = "average %.2f%% of CPU dynamic power" % (
+        paper.FIG15["avg_power_overhead_pct"],
+    )
+    result.check("overhead is a small fraction of CPU power (<2%)", avg < 2.0)
+    result.check("overhead is non-zero (the DRC is exercised)", avg > 0.0)
+    return result
+
+
+#: Ordered registry of every experiment.
+ALL_EXPERIMENTS: Dict[str, Callable[[Runner], ExperimentResult]] = {
+    "table1": table1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "table2": table2,
+    "fig9": fig9,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+}
+
+
+def run_all(runner: Runner) -> Dict[str, ExperimentResult]:
+    """Run every experiment, sharing the runner's caches."""
+    return {name: fn(runner) for name, fn in ALL_EXPERIMENTS.items()}

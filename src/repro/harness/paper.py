@@ -1,0 +1,89 @@
+"""Reference values from the paper, used for paper-vs-measured reporting.
+
+Values are transcribed from the text and figures of Kim et al., DSN 2015.
+Figure-read values (no table given in the paper) are approximate and
+marked as such in the comments.
+"""
+
+from __future__ import annotations
+
+#: §VI-B: the eleven evaluated SPEC CPU2006 applications.
+SPEC_APPS = [
+    "bzip2", "gcc", "h264ref", "hmmer", "lbm", "libquantum",
+    "mcf", "namd", "sjeng", "soplex", "xalan",
+]
+
+#: Table II — static analysis of control flow (exact values from the paper).
+TABLE2 = {
+    # app: (direct transfers, indirect transfers, function calls, indirect calls)
+    "bzip2": (27277, 654, 4474, 654),
+    "gcc": (149512, 1464, 51933, 1605),
+    "h264ref": (38650, 884, 6986, 1409),
+    "hmmer": (35438, 556, 7783, 751),
+    "lbm": (26074, 620, 4300, 622),
+    "libquantum": (27129, 546, 4686, 636),
+    "mcf": (25607, 512, 4214, 582),
+    "namd": (33497, 618, 5958, 906),
+    "sjeng": (30021, 585, 5280, 709),
+    "soplex": (49577, 1271, 15673, 2587),
+    "xalan": (126790, 2915, 63965, 15465),
+}
+
+#: Fig. 2 — emulator slowdown (figure-read; "execution time increases by
+#: over hundred of times", y-axis reaches 1500).
+FIG2 = {
+    "apps": ["bzip2", "h264ref", "hmmer", "memcpy", "python", "xalan"],
+    "slowdown_range": (100.0, 1500.0),
+    "claim": "software ILR emulation is 100s-1000s of times slower than native",
+}
+
+#: Fig. 3 — naive hardware ILR cache impact.
+FIG3 = {
+    "il1_miss_ratio_avg": 9.4,     # §III: "on average by 9.4 times"
+    "il1_miss_ratio_outlier": 558,  # the labelled outlier bar
+    "prefetch_miss_increase_pct": 28.0,
+    "l2_pressure_increase_pct": 36.0,
+}
+
+#: Fig. 4 — naive ILR normalized IPC ("reduces to 61%"; Fig.4 caption: 66%).
+FIG4 = {"normalized_ipc_avg_range": (0.61, 0.66)}
+
+#: Fig. 9 — functions with/without ret (figure-read magnitudes).
+FIG9 = {"claim": "most functions contain ret; a visible minority do not"}
+
+#: Fig. 11 — gadget removal.
+FIG11 = {"avg_removal_pct": 98.0,
+         "claim": "no ROP payload can be assembled after randomization"}
+
+#: Fig. 12 — VCFR speedup over naive hardware ILR, 128-entry DRC.
+FIG12 = {
+    "avg_speedup": 1.63,
+    "gt2x_apps": ["namd", "h264ref", "mcf", "xalan"],
+}
+
+#: Fig. 13 — VCFR normalized IPC by DRC size.
+FIG13 = {
+    512: 0.989,  # "almost 98.9% of the baseline"
+    128: 0.985,  # figure-read
+    64: 0.979,   # "2.1% overhead"
+}
+
+#: Fig. 14 — DRC miss rates.
+FIG14 = {
+    512: 0.045,
+    64: 0.206,
+    "worst_apps": ["lbm", "xalan"],
+}
+
+#: Fig. 15 — DRC dynamic power overhead (% of CPU dynamic power).
+FIG15 = {"avg_power_overhead_pct": 0.18}
+
+#: Table I — qualitative comparison (verbatim structure).
+TABLE1 = [
+    ("Execution", "no control flow randomization", "randomized control flow",
+     "randomized control flow"),
+    ("Instruction locality", "preserved", "destroyed", "preserved"),
+    ("Instruction prefetch", "effective", "not effective", "effective"),
+    ("Control flow diversity", "no diversity", "diversified", "diversified"),
+]
+TABLE1_COLUMNS = ("No Randomization", "Naive Hardware ILR", "VCFR")

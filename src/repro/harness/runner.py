@@ -1,0 +1,88 @@
+"""Cached workload execution for the experiment harness.
+
+Experiments share randomized programs and simulation results through one
+:class:`Runner`, so the full per-paper experiment suite performs each
+(workload, mode, DRC-size) simulation exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..arch.config import MachineConfig, default_config
+from ..arch.cpu import simulate
+from ..arch.simstats import SimResult
+from ..emu import EmulationResult, ILREmulator
+from ..ilr import RandomizedProgram, RandomizerConfig, make_flow, randomize
+from ..workloads import build_image
+
+
+@dataclass
+class Runner:
+    """Shared execution context for all experiments."""
+
+    scale: float = 1.0
+    seed: int = 42
+    max_instructions: int = 300_000
+    warmup_instructions: int = 0
+    config: Optional[MachineConfig] = None
+
+    _programs: Dict[str, RandomizedProgram] = field(default_factory=dict)
+    _sims: Dict[Tuple[str, str, int], SimResult] = field(default_factory=dict)
+    _emulations: Dict[str, EmulationResult] = field(default_factory=dict)
+
+    def base_config(self) -> MachineConfig:
+        return self.config or default_config()
+
+    # -- programs ---------------------------------------------------------------
+
+    def program(self, name: str) -> RandomizedProgram:
+        """Randomized program for workload ``name`` (cached)."""
+        if name not in self._programs:
+            image = build_image(name, scale=self.scale)
+            self._programs[name] = randomize(
+                image, RandomizerConfig(seed=self.seed)
+            )
+        return self._programs[name]
+
+    # -- cycle simulations -----------------------------------------------------------
+
+    def sim(self, name: str, mode: str, drc_entries: int = 128) -> SimResult:
+        """Cycle-simulate workload ``name`` under ``mode`` (cached).
+
+        ``drc_entries`` only affects the VCFR mode; other modes share one
+        cached result per workload.
+        """
+        if mode != "vcfr":
+            drc_entries = 0
+        key = (name, mode, drc_entries)
+        if key not in self._sims:
+            program = self.program(name)
+            image = {
+                "baseline": program.original,
+                "naive_ilr": program.naive_image,
+                "vcfr": program.vcfr_image,
+            }[mode]
+            config = self.base_config()
+            if mode == "vcfr":
+                config = config.with_drc_entries(drc_entries)
+            self._sims[key] = simulate(
+                image,
+                make_flow(mode, program),
+                config,
+                max_instructions=self.max_instructions,
+                warmup_instructions=self.warmup_instructions,
+            )
+        return self._sims[key]
+
+    # -- software-ILR emulation ----------------------------------------------------------
+
+    def emulate(self, name: str) -> EmulationResult:
+        """Run the software-ILR emulator on workload ``name`` (cached)."""
+        if name not in self._emulations:
+            self._emulations[name] = ILREmulator(
+                self.program(name),
+                max_instructions=self.max_instructions * 10,
+            ).run()
+        return self._emulations[name]

@@ -1,0 +1,65 @@
+"""Instruction location randomization (the paper's core contribution).
+
+* :func:`randomize` — the full Fig. 6 pipeline (disassemble, analyze,
+  relocate, rewrite, emit naive-ILR and VCFR images + RDR tables);
+* :class:`RDRTable` — the kernel-resident randomization/de-randomization
+  table the DRC caches;
+* flows — :class:`BaselineFlow`, :class:`NaiveILRFlow`, :class:`VCFRFlow`
+  implement the three execution modes' control-flow semantics, including
+  the randomized-tag security check (:class:`SecurityFault`);
+* :func:`verify_equivalence` — the cross-mode correctness contract.
+"""
+
+from .flow import (
+    BaselineFlow,
+    NaiveILRFlow,
+    SecurityFault,
+    VCFRFlow,
+    make_flow,
+)
+from .bundle import BundleError, dump_bytes, load, load_bytes, save
+from .layout import RandomLayout, allocate_layout
+from .rerandomize import (
+    Epoch,
+    RerandomizationSchedule,
+    layout_overlap,
+    rerandomize,
+)
+from .randomizer import (
+    RandomizedProgram,
+    RandomizerConfig,
+    RandomizeStats,
+    randomize,
+)
+from .rdr import RDRError, RDRTable
+from .rewriter import RewriteError
+from .verify import EquivalenceError, EquivalenceReport, verify_equivalence
+
+__all__ = [
+    "randomize",
+    "RandomizerConfig",
+    "RandomizedProgram",
+    "RandomizeStats",
+    "RDRTable",
+    "RDRError",
+    "RewriteError",
+    "RandomLayout",
+    "allocate_layout",
+    "BaselineFlow",
+    "NaiveILRFlow",
+    "VCFRFlow",
+    "make_flow",
+    "SecurityFault",
+    "verify_equivalence",
+    "EquivalenceError",
+    "EquivalenceReport",
+    "rerandomize",
+    "RerandomizationSchedule",
+    "Epoch",
+    "layout_overlap",
+    "save",
+    "load",
+    "dump_bytes",
+    "load_bytes",
+    "BundleError",
+]

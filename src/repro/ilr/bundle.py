@@ -1,0 +1,173 @@
+"""Serialization of randomized programs ("RXRP" bundle format).
+
+A bundle holds everything a VCFR machine needs to run a randomized
+program: the three images (original, VCFR, naive) and the RDR tables.
+The format is a simple explicit binary container — deliberately not
+pickle, since bundles model *distributed binaries* and must be safe to
+load from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import struct
+from ..binary import BinaryImage
+from .layout import RandomLayout
+from .randomizer import RandomizedProgram, RandomizerConfig, RandomizeStats
+from .rdr import RDRTable
+
+MAGIC = b"RXRP"
+VERSION = 1
+
+
+class BundleError(ValueError):
+    """Malformed bundle data."""
+
+
+def _write_blob(out: bytearray, blob: bytes) -> None:
+    out += struct.pack("<I", len(blob))
+    out += blob
+
+
+def _write_pairs(out: bytearray, pairs) -> None:
+    items = sorted(pairs)
+    out += struct.pack("<I", len(items))
+    for key, value in items:
+        out += struct.pack("<II", key, value)
+
+
+def _write_set(out: bytearray, values) -> None:
+    items = sorted(values)
+    out += struct.pack("<I", len(items))
+    for value in items:
+        out += struct.pack("<I", value)
+
+
+class _Reader:
+    def __init__(self, blob: bytes, offset: int = 0):
+        self.blob = blob
+        self.offset = offset
+
+    def take(self, fmt: str):
+        size = struct.calcsize(fmt)
+        if self.offset + size > len(self.blob):
+            raise BundleError("truncated bundle")
+        values = struct.unpack_from(fmt, self.blob, self.offset)
+        self.offset += size
+        return values if len(values) > 1 else values[0]
+
+    def take_blob(self) -> bytes:
+        size = self.take("<I")
+        if self.offset + size > len(self.blob):
+            raise BundleError("truncated bundle blob")
+        blob = self.blob[self.offset : self.offset + size]
+        self.offset += size
+        return blob
+
+    def take_pairs(self) -> dict:
+        count = self.take("<I")
+        out = {}
+        for _ in range(count):
+            key, value = self.take("<II")
+            out[key] = value
+        return out
+
+    def take_set(self) -> set:
+        count = self.take("<I")
+        return {self.take("<I") for _ in range(count)}
+
+
+def dump_bytes(program: RandomizedProgram) -> bytes:
+    """Serialize ``program`` to bundle bytes."""
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<H", VERSION)
+    cfg = program.config
+    out += struct.pack(
+        "<IIIIBB",
+        cfg.seed & 0xFFFFFFFF, cfg.slot_size, cfg.spread_factor,
+        cfg.region_base, int(cfg.use_relocations),
+        int(cfg.conservative_retaddr),
+    )
+    out += struct.pack(
+        "<III", program.entry_rand, program.layout.region_base,
+        program.layout.region_size,
+    )
+    _write_blob(out, program.original.to_bytes())
+    _write_blob(out, program.vcfr_image.to_bytes())
+    _write_blob(out, program.naive_image.to_bytes())
+    rdr = program.rdr
+    _write_pairs(out, rdr.rand.items())          # derand is its inverse
+    _write_set(out, rdr.randomized_tag)
+    _write_pairs(out, rdr.redirect.items())
+    _write_pairs(out, rdr.fallthrough.items())
+    _write_set(out, rdr.ret_randomized)
+    return bytes(out)
+
+
+def load_bytes(blob: bytes) -> RandomizedProgram:
+    """Deserialize a bundle produced by :func:`dump_bytes`."""
+    if blob[:4] != MAGIC:
+        raise BundleError("bad magic %r" % blob[:4])
+    reader = _Reader(blob, 4)
+    version = reader.take("<H")
+    if version != VERSION:
+        raise BundleError("unsupported bundle version %d" % version)
+    seed, slot_size, spread, region_base, use_reloc, conservative = reader.take(
+        "<IIIIBB"
+    )
+    entry_rand, layout_base, layout_size = reader.take("<III")
+
+    original = BinaryImage.from_bytes(reader.take_blob())
+    vcfr_image = BinaryImage.from_bytes(reader.take_blob())
+    naive_image = BinaryImage.from_bytes(reader.take_blob())
+
+    rdr = RDRTable()
+    rand_map = reader.take_pairs()
+    rdr.rand = rand_map
+    rdr.derand = {v: k for k, v in rand_map.items()}
+    if len(rdr.derand) != len(rdr.rand):
+        raise BundleError("rand map is not injective")
+    rdr.randomized_tag = reader.take_set()
+    rdr.redirect = reader.take_pairs()
+    rdr.fallthrough = reader.take_pairs()
+    rdr.ret_randomized = reader.take_set()
+
+    config = RandomizerConfig(
+        seed=seed, slot_size=slot_size, spread_factor=spread,
+        region_base=region_base, use_relocations=bool(use_reloc),
+        conservative_retaddr=bool(conservative),
+    )
+    layout = RandomLayout(
+        placement=dict(rdr.rand),
+        region_base=layout_base,
+        region_size=layout_size,
+        slot_size=slot_size,
+    )
+    stats = RandomizeStats(
+        num_instructions=len(rdr.rand),
+        num_redirects=len(rdr.redirect),
+        region_size=layout_size,
+        entropy_bits=layout.entropy_bits(),
+    )
+    return RandomizedProgram(
+        original=original,
+        vcfr_image=vcfr_image,
+        naive_image=naive_image,
+        rdr=rdr,
+        layout=layout,
+        entry_rand=entry_rand,
+        config=config,
+        stats=stats,
+    )
+
+
+def save(program: RandomizedProgram, path: str) -> None:
+    """Write a bundle file."""
+    with open(path, "wb") as fh:
+        fh.write(dump_bytes(program))
+
+
+def load(path: str) -> RandomizedProgram:
+    """Read a bundle file."""
+    with open(path, "rb") as fh:
+        return load_bytes(fh.read())

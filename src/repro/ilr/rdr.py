@@ -1,0 +1,126 @@
+"""The randomization/de-randomization (RDR) table.
+
+Paper §IV-B: "the processor maintains a randomization/de-randomization
+layer that bridges the two instruction memory spaces ... The system can
+maintain mapping tables to store entries for randomization and/or
+de-randomization.  Similar to page tables, the tables ... are stored in
+the kernel as part of the process context and protected from illegitimate
+accesses."
+
+This object is the *architectural* table (the full kernel-resident map).
+The on-chip DRC (:mod:`repro.arch.drc`) caches entries of this table and
+only models *timing*; values always come from here.
+
+Entry semantics
+---------------
+
+* ``derand[R] = U`` — randomized address ``R`` executes the instruction
+  stored at original address ``U`` (the ``derand``-tagged entries of
+  paper Fig. 8);
+* ``rand[U] = R`` — the randomized address of original instruction ``U``
+  (``rand``-tagged entries; used to randomize return addresses);
+* ``randomized_tag`` — original addresses whose instruction was safely
+  randomized; control transfers TO these original addresses are
+  prohibited (paper §IV-A's single-bit "randomized tag").  This is what
+  kills gadgets at known original addresses;
+* ``redirect[U] = R`` — failover entries: original addresses that remain
+  legal entry points (unresolved indirect targets, un-randomized return
+  addresses); execution entering at ``U`` is redirected back into the
+  randomized space at ``R``;
+* ``fallthrough[R] = R'`` — randomized address of the sequential
+  successor (consumed by the naive hardware-ILR mode, whose layout has no
+  meaningful ``addr + length``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+class RDRError(KeyError):
+    """Raised for missing translation entries (a wild randomized address)."""
+
+
+@dataclass
+class RDRTable:
+    derand: Dict[int, int] = field(default_factory=dict)
+    rand: Dict[int, int] = field(default_factory=dict)
+    randomized_tag: Set[int] = field(default_factory=set)
+    redirect: Dict[int, int] = field(default_factory=dict)
+    fallthrough: Dict[int, int] = field(default_factory=dict)
+    #: original call-fallthrough addresses whose return address is
+    #: randomized (call sites classified safe by the analysis).
+    ret_randomized: Set[int] = field(default_factory=set)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_mapping(self, original: int, randomized: int, tag: bool = True) -> None:
+        """Register instruction ``original`` as living at ``randomized``."""
+        if original in self.rand:
+            raise ValueError("duplicate mapping for original 0x%x" % original)
+        if randomized in self.derand:
+            raise ValueError("duplicate mapping for randomized 0x%x" % randomized)
+        self.rand[original] = randomized
+        self.derand[randomized] = original
+        if tag:
+            self.randomized_tag.add(original)
+
+    def add_redirect(self, original: int) -> None:
+        """Mark ``original`` as a legal un-randomized entry point.
+
+        Clears the randomized tag and installs the failover entry that
+        sends execution back into randomized space.
+        """
+        self.randomized_tag.discard(original)
+        self.redirect[original] = self.rand[original]
+
+    # -- queries --------------------------------------------------------------------
+
+    def to_original(self, randomized: int) -> int:
+        try:
+            return self.derand[randomized]
+        except KeyError:
+            raise RDRError("no derand entry for 0x%x" % randomized) from None
+
+    def to_randomized(self, original: int) -> int:
+        try:
+            return self.rand[original]
+        except KeyError:
+            raise RDRError("no rand entry for 0x%x" % original) from None
+
+    def is_randomized_addr(self, addr: int) -> bool:
+        """Is ``addr`` an address in the randomized instruction space?"""
+        return addr in self.derand
+
+    def tag_set(self, original: int) -> bool:
+        return original in self.randomized_tag
+
+    def redirect_for(self, original: int) -> Optional[int]:
+        return self.redirect.get(original)
+
+    def next_randomized(self, randomized: int) -> int:
+        try:
+            return self.fallthrough[randomized]
+        except KeyError:
+            raise RDRError("no fallthrough entry for 0x%x" % randomized) from None
+
+    # -- integrity -------------------------------------------------------------------
+
+    def check_bijection(self) -> None:
+        """Assert rand/derand are mutually inverse (randomizer invariant)."""
+        if len(self.rand) != len(self.derand):
+            raise AssertionError("rand/derand size mismatch")
+        for original, randomized in self.rand.items():
+            if self.derand.get(randomized) != original:
+                raise AssertionError(
+                    "mapping 0x%x <-> 0x%x is not bijective" % (original, randomized)
+                )
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.rand)
+
+    def unrandomized_entries(self) -> Set[int]:
+        """Original addresses attackers may still legally enter at."""
+        return set(self.redirect)

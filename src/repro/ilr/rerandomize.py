@@ -1,0 +1,112 @@
+"""Periodic re-randomization (paper §V-C, "Protection of Address
+Translations").
+
+"Similar to all randomization based approaches, a common practice to
+prevent leaking randomization/de-randomization tables to the attackers is
+to apply regular re-randomization of the binary images that will create a
+new sets of address translation tables and new randomized images.  Even
+an attacker managed to obtain the old randomization/de-randomization
+tables, the information would be outdated for mounting new attacks."
+
+:func:`rerandomize` creates a fresh :class:`RandomizedProgram` for the
+same original binary under a new seed; :class:`RerandomizationSchedule`
+models an epoch-based deployment and quantifies how stale a leaked table
+becomes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .randomizer import RandomizedProgram, RandomizerConfig, randomize
+
+
+def rerandomize(
+    program: RandomizedProgram, new_seed: Optional[int] = None
+) -> RandomizedProgram:
+    """Re-randomize ``program``'s original binary with a fresh layout.
+
+    All non-seed configuration (spread factor, return-address policy,
+    relocation usage) is preserved, so two epochs are directly comparable.
+    """
+    old = program.config
+    if new_seed is None:
+        new_seed = random.Random(old.seed).randrange(1 << 30) + 1
+    config = RandomizerConfig(
+        seed=new_seed,
+        slot_size=old.slot_size,
+        spread_factor=old.spread_factor,
+        region_base=old.region_base,
+        use_relocations=old.use_relocations,
+        conservative_retaddr=old.conservative_retaddr,
+    )
+    return randomize(program.original, config)
+
+
+def layout_overlap(a: RandomizedProgram, b: RandomizedProgram) -> float:
+    """Fraction of instructions whose randomized address survived
+    re-randomization — what a leaked old table is still right about."""
+    if not a.layout.placement:
+        return 0.0
+    same = sum(
+        1
+        for orig, rand_addr in a.layout.placement.items()
+        if b.layout.placement.get(orig) == rand_addr
+    )
+    return same / len(a.layout.placement)
+
+
+@dataclass
+class Epoch:
+    """One re-randomization epoch."""
+
+    index: int
+    seed: int
+    program: RandomizedProgram
+    #: usefulness of the PREVIOUS epoch's leaked table against this epoch.
+    stale_table_overlap: float
+
+
+@dataclass
+class RerandomizationSchedule:
+    """Epoch-based re-randomization driver.
+
+    The schedule does not model wall-clock time (that is a deployment
+    policy); it models the *security consequence* of each rotation: how
+    much of a table leaked during epoch ``i`` still holds in epoch
+    ``i+1``.
+    """
+
+    initial: RandomizedProgram
+    epochs: List[Epoch] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.epochs:
+            self.epochs.append(
+                Epoch(0, self.initial.config.seed, self.initial, 1.0)
+            )
+
+    @property
+    def current(self) -> RandomizedProgram:
+        return self.epochs[-1].program
+
+    def rotate(self, new_seed: Optional[int] = None) -> Epoch:
+        """Advance one epoch; returns the new epoch record."""
+        previous = self.current
+        fresh = rerandomize(previous, new_seed)
+        epoch = Epoch(
+            index=len(self.epochs),
+            seed=fresh.config.seed,
+            program=fresh,
+            stale_table_overlap=layout_overlap(previous, fresh),
+        )
+        self.epochs.append(epoch)
+        return epoch
+
+    def max_stale_overlap(self) -> float:
+        """Worst-case usefulness of any leaked table one epoch later."""
+        if len(self.epochs) < 2:
+            return 0.0
+        return max(e.stale_table_overlap for e in self.epochs[1:])

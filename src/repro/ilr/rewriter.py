@@ -1,0 +1,167 @@
+"""In-place patching of branch targets and code pointers.
+
+The rewriter is the back half of the randomization software (paper Fig. 6):
+after the layout pass assigns randomized addresses, it
+
+* patches every *direct* control transfer's displacement so the transfer
+  lands on the randomized target,
+* patches jump tables and code-address constants (found via relocations or
+  the pointer scan) to hold randomized addresses,
+* emits the scattered naive-ILR code section, re-encoding short branch
+  forms (rel8) to rel32 where the randomized displacement needs the range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..binary import BinaryImage
+from ..isa import opcodes
+from ..isa.encoder import encode
+from ..isa.instruction import Instruction
+
+MASK32 = 0xFFFFFFFF
+
+
+class RewriteError(ValueError):
+    """Raised when an instruction cannot be retargeted."""
+
+
+#: (mnemonic family) -> byte offset of the displacement field.
+_REL32_OFFSET = {"call": 1, "jmp": 1}
+_JCC32_OFFSET = 2
+
+
+def _disp_field(inst: Instruction) -> Tuple[int, int]:
+    """Return (byte offset, width) of a direct branch's displacement field."""
+    m = inst.mnemonic
+    if m in ("call", "jmp"):
+        return 1, 4
+    if m == "jmp8":
+        return 1, 1
+    if inst.cc is not None:
+        if inst.length == 6:
+            return _JCC32_OFFSET, 4
+        return 1, 1  # rel8 Jcc
+    raise RewriteError("not a direct branch: %s" % m)
+
+
+def can_retarget_in_place(inst: Instruction, new_target: int) -> bool:
+    """Can ``inst``'s displacement hold ``new_target`` without re-encoding?"""
+    offset, width = _disp_field(inst)
+    del offset
+    disp = new_target - (inst.addr + inst.length)
+    if width == 4:
+        return -(1 << 31) <= disp < (1 << 31)
+    return -128 <= disp < 128
+
+
+def retarget_in_place(image: BinaryImage, inst: Instruction, new_target: int) -> None:
+    """Patch ``inst``'s displacement in ``image`` so it branches to ``new_target``.
+
+    Raises :class:`RewriteError` when the displacement does not fit (the
+    caller then falls back to the redirect/failover mechanism).
+    """
+    offset, width = _disp_field(inst)
+    disp = new_target - (inst.addr + inst.length)
+    if width == 4:
+        if not -(1 << 31) <= disp < (1 << 31):
+            raise RewriteError("rel32 displacement overflow at 0x%x" % inst.addr)
+        payload = (disp & MASK32).to_bytes(4, "little")
+    else:
+        if not -128 <= disp < 128:
+            raise RewriteError("rel8 displacement overflow at 0x%x" % inst.addr)
+        payload = (disp & 0xFF).to_bytes(1, "little")
+    image.write(inst.addr + offset, payload)
+
+
+def patch_code_pointer(image: BinaryImage, slot: int, new_value: int) -> None:
+    """Overwrite the 4-byte code-address constant at ``slot``."""
+    image.write_u32(slot, new_value)
+
+
+def widen_for_naive(inst: Instruction) -> Instruction:
+    """Return an equivalent rel32-form instruction for the naive layout.
+
+    The scattered layout produces displacements far beyond rel8 range, so
+    ``jmp8``/rel8-``Jcc`` are re-encoded (their slot has room: every slot
+    is at least 8 bytes, the widest re-encoding is 6).
+    """
+    if inst.mnemonic == "jmp8":
+        return Instruction("jmp", inst.addr, 5, imm=inst.imm)
+    if inst.cc is not None and inst.length == 2:
+        return Instruction(inst.mnemonic, inst.addr, 6, imm=inst.imm, cc=inst.cc)
+    return inst
+
+
+def emit_naive_code(
+    instructions: Iterable[Instruction],
+    placement: Dict[int, int],
+    region_base: int,
+    region_size: int,
+    imm_overrides: Optional[Dict[int, int]] = None,
+) -> bytearray:
+    """Produce the naive-ILR code region: every instruction at its slot.
+
+    Direct branch displacements are recomputed relative to the randomized
+    location; instructions whose imm32 holds a code pointer get the
+    randomized value from ``imm_overrides`` (original inst addr -> new
+    imm); everything else is re-encoded verbatim.  Returns the region's
+    backing bytes (``region_size`` long, NOP-filled).
+    """
+    imm_overrides = imm_overrides or {}
+    region = bytearray([opcodes.OP_NOP]) * region_size
+    for inst in instructions:
+        rand_addr = placement[inst.addr]
+        placed = widen_for_naive(inst)
+        if placed.is_direct_branch:
+            orig_target = inst.target
+            new_target = placement.get(orig_target)
+            if new_target is None:
+                raise RewriteError(
+                    "branch at 0x%x targets unplaced address 0x%x"
+                    % (inst.addr, orig_target)
+                )
+            placed = Instruction(
+                placed.mnemonic,
+                rand_addr,
+                placed.length,
+                imm=new_target - (rand_addr + placed.length),
+                cc=placed.cc,
+            )
+        else:
+            placed = Instruction(
+                placed.mnemonic,
+                rand_addr,
+                placed.length,
+                mode=placed.mode,
+                reg=placed.reg,
+                rm=placed.rm,
+                disp=placed.disp,
+                imm=imm_overrides.get(inst.addr, placed.imm),
+                cc=placed.cc,
+            )
+        payload = encode(placed)
+        off = rand_addr - region_base
+        region[off : off + len(payload)] = payload
+    return region
+
+
+def imm_field_addr(inst: Instruction) -> Optional[int]:
+    """Address of the 4-byte imm32 field of ``inst``, if it has one."""
+    if inst.mnemonic == "movi":
+        return inst.addr + 1
+    if inst.mode == 3 and not inst.is_control:  # MODE_RI
+        return inst.addr + 2
+    return None
+
+
+def collect_pointer_slots_from_relocations(
+    image: BinaryImage,
+) -> List[Tuple[int, int]]:
+    """(slot, target) pairs for every relocated code pointer."""
+    return [
+        (reloc.addr, reloc.target)
+        for reloc in image.relocations
+        if image.is_code_addr(reloc.target)
+    ]

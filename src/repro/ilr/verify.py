@@ -1,0 +1,86 @@
+"""Semantic-equivalence verification of randomized programs.
+
+The randomizer's correctness contract (DESIGN.md §5.5): for any program,
+the original binary, the naive-ILR image and the VCFR image must produce
+identical observable behaviour — output streams, exit code, and retired
+instruction count.  ``verify_equivalence`` runs all three and compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..arch.functional import RunResult, run_image
+from .flow import BaselineFlow, NaiveILRFlow, VCFRFlow
+from .randomizer import RandomizedProgram
+
+
+class EquivalenceError(AssertionError):
+    """Raised when a randomized execution diverges from the original."""
+
+
+@dataclass
+class EquivalenceReport:
+    """Per-mode results of an equivalence run."""
+
+    results: Dict[str, RunResult]
+
+    @property
+    def baseline(self) -> RunResult:
+        return self.results["baseline"]
+
+    def summary(self) -> str:
+        lines = []
+        for mode, res in self.results.items():
+            lines.append(
+                "%-10s exit=%s icount=%d out_bytes=%d out_words=%d"
+                % (
+                    mode,
+                    res.exit_code,
+                    res.icount,
+                    len(res.output.chars),
+                    len(res.output.words),
+                )
+            )
+        return "\n".join(lines)
+
+
+def verify_equivalence(
+    program: RandomizedProgram,
+    max_instructions: int = 50_000_000,
+    modes: Optional[tuple] = None,
+) -> EquivalenceReport:
+    """Run every mode and raise :class:`EquivalenceError` on divergence."""
+    modes = modes or ("baseline", "naive_ilr", "vcfr")
+    results: Dict[str, RunResult] = {}
+
+    if "baseline" in modes:
+        results["baseline"] = run_image(
+            program.original,
+            BaselineFlow(program.original.entry),
+            max_instructions,
+        )
+    if "naive_ilr" in modes:
+        results["naive_ilr"] = run_image(
+            program.naive_image,
+            NaiveILRFlow(program.rdr, program.entry_rand),
+            max_instructions,
+        )
+    if "vcfr" in modes:
+        results["vcfr"] = run_image(
+            program.vcfr_image,
+            VCFRFlow(program.rdr, program.entry_rand),
+            max_instructions,
+        )
+
+    reference_mode = modes[0]
+    reference = results[reference_mode].snapshot()
+    for mode in modes[1:]:
+        got = results[mode].snapshot()
+        if got != reference:
+            raise EquivalenceError(
+                "mode %r diverged from %r:\n  %r\n  != %r"
+                % (mode, reference_mode, got, reference)
+            )
+    return EquivalenceReport(results)

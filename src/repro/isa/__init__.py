@@ -1,0 +1,74 @@
+"""RX86: the x86-like variable-length instruction set used by this repo.
+
+Public surface:
+
+* :func:`assemble` — text to :class:`~repro.binary.BinaryImage`,
+* :func:`decode` / :func:`encode` — bytes <-> :class:`Instruction`,
+* register and opcode tables, :class:`Flags`, syscall ABI.
+"""
+
+from . import opcodes
+from .assembler import Assembler, AssemblyError, assemble
+from .decoder import DecodeError, decode, try_decode
+from .encoder import EncodeError, encode, instruction_length, make
+from .flags import Flags, to_signed32
+from .instruction import Instruction
+from .registers import (
+    EAX,
+    EBP,
+    EBX,
+    ECX,
+    EDI,
+    EDX,
+    ESI,
+    ESP,
+    NUM_REGS,
+    RegisterFile,
+    reg_name,
+    reg_number,
+)
+from .syscalls import (
+    SYS_EMIT,
+    SYS_EXIT,
+    SYS_ICOUNT,
+    SYS_PUTC,
+    SYSCALL_VECTOR,
+    OutputStream,
+    SyscallError,
+)
+
+__all__ = [
+    "opcodes",
+    "assemble",
+    "Assembler",
+    "AssemblyError",
+    "decode",
+    "try_decode",
+    "DecodeError",
+    "encode",
+    "make",
+    "instruction_length",
+    "EncodeError",
+    "Instruction",
+    "Flags",
+    "to_signed32",
+    "RegisterFile",
+    "reg_name",
+    "reg_number",
+    "NUM_REGS",
+    "EAX",
+    "ECX",
+    "EDX",
+    "EBX",
+    "ESP",
+    "EBP",
+    "ESI",
+    "EDI",
+    "OutputStream",
+    "SyscallError",
+    "SYSCALL_VECTOR",
+    "SYS_EXIT",
+    "SYS_PUTC",
+    "SYS_EMIT",
+    "SYS_ICOUNT",
+]

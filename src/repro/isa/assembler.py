@@ -1,0 +1,623 @@
+"""Two-pass assembler for RX86.
+
+The assembler turns textual assembly into a :class:`BinaryImage` with
+symbols and relocations.  It exists so that the workload suite (the
+synthetic SPEC-like programs of :mod:`repro.workloads`) can be authored as
+real programs, and so the randomizer has honest relocation information to
+work from — mirroring the paper's toolchain where the rewriter starts from
+a disassembled binary plus relocation info (Fig. 6).
+
+Syntax overview
+---------------
+
+::
+
+    ; comment (also '#')
+    .section code 0x00400000   ; or: .code [base] / .data [base]
+    .global main
+    .equ    SIZE, 64
+
+    main:                      ; label
+        push ebp
+        mov  ebp, esp          ; reg, reg
+        movi eax, SIZE         ; reg, imm (constants fold)
+        movi esi, table        ; label immediate -> relocation if code label
+        mov  eax, [ebp-8]      ; load
+        mov  [ebp-8], eax      ; store
+        add  eax, 5            ; reg, imm32
+        cmp  eax, ecx
+        jl   main
+        calli [esi+4]          ; jump-table call
+        ret
+
+    .section data 0x08000000
+    table:
+        .word main, main       ; code addresses -> relocations
+        .byte 1, 2, 3
+        .space 64
+        .asciz "hello"
+        .align 4
+
+Numeric literals: decimal, ``0x`` hex, ``'c'`` characters, unary minus.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..binary import (
+    BinaryImage,
+    FLAG_EXEC,
+    FLAG_READ,
+    FLAG_WRITE,
+    KIND_CODE_IMM32,
+    KIND_DATA_ABS32,
+    Relocation,
+    Section,
+)
+from ..binary.loader import CODE_BASE, DATA_BASE
+from . import opcodes
+from .encoder import encode, instruction_length, make
+from .registers import is_reg_name, reg_number
+
+
+class AssemblyError(ValueError):
+    """Raised with a line number for any assembly-time problem."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__("line %d: %s" % (line, message) if line else message)
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Operand model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegOperand:
+    reg: int
+
+
+@dataclass(frozen=True)
+class ImmOperand:
+    """Immediate: either a resolved value or a symbol reference."""
+
+    value: int = 0
+    symbol: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """``[base + disp]`` memory reference."""
+
+    base: int
+    disp: int = 0
+    disp_symbol: Optional[str] = None
+
+
+Operand = Union[RegOperand, ImmOperand, MemOperand]
+
+
+# ---------------------------------------------------------------------------
+# Parsed statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Item:
+    """One statement placed in a section during pass 1."""
+
+    kind: str  # 'inst' | 'bytes' | 'words' | 'space'
+    line: int
+    addr: int = 0
+    size: int = 0
+    # instruction payload
+    mnemonic: str = ""
+    operands: Tuple[Operand, ...] = ()
+    mode: Optional[int] = None
+    # data payload
+    values: Tuple = ()
+    fill: int = 0
+
+
+@dataclass
+class _SectionState:
+    name: str
+    base: int
+    flags: int
+    items: List[_Item] = field(default_factory=list)
+    cursor: int = 0  # size so far
+
+
+_NUMBER_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+class Assembler:
+    """Two-pass RX86 assembler producing a :class:`BinaryImage`."""
+
+    def __init__(self):
+        self._sections: Dict[str, _SectionState] = {}
+        self._order: List[str] = []
+        self._symbols: Dict[str, int] = {}
+        self._func_symbols: set = set()
+        self._equ: Dict[str, int] = {}
+        self._globals: set = set()
+        self._current: Optional[_SectionState] = None
+        self._entry_symbol = "main"
+
+    # -- public API ------------------------------------------------------------
+
+    def assemble(self, source: str) -> BinaryImage:
+        """Assemble ``source`` text and return the binary image."""
+        self._pass1(source)
+        return self._pass2()
+
+    # -- pass 1: parse, lay out, collect symbols -------------------------------
+
+    def _pass1(self, source: str) -> None:
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            if not line:
+                continue
+            # Labels (possibly several, possibly followed by a statement).
+            while True:
+                match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*", line)
+                if not match:
+                    break
+                self._define_label(match.group(1), lineno)
+                line = line[match.end():]
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, lineno)
+            else:
+                self._instruction(line, lineno)
+
+    def _require_section(self, lineno: int) -> _SectionState:
+        if self._current is None:
+            raise AssemblyError("statement outside any section", lineno)
+        return self._current
+
+    def _define_label(self, name: str, lineno: int) -> None:
+        sec = self._require_section(lineno)
+        if name in self._symbols or name in self._equ:
+            raise AssemblyError("duplicate symbol %r" % name, lineno)
+        self._symbols[name] = sec.base + sec.cursor
+        if sec.flags & FLAG_EXEC and not name.startswith("."):
+            self._func_symbols.add(name)
+
+    def _switch_section(self, name: str, base: int, flags: int) -> None:
+        if name in self._sections:
+            self._current = self._sections[name]
+        else:
+            state = _SectionState(name, base, flags)
+            self._sections[name] = state
+            self._order.append(name)
+            self._current = state
+
+    def _directive(self, line: str, lineno: int) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if name == ".code":
+            base = self._parse_number(rest, lineno) if rest else CODE_BASE
+            self._switch_section("code", base, FLAG_READ | FLAG_EXEC)
+        elif name == ".data":
+            base = self._parse_number(rest, lineno) if rest else DATA_BASE
+            self._switch_section("data", base, FLAG_READ | FLAG_WRITE)
+        elif name == ".section":
+            args = rest.split()
+            if not args:
+                raise AssemblyError(".section requires a name", lineno)
+            sec_name = args[0]
+            base = self._parse_number(args[1], lineno) if len(args) > 1 else (
+                CODE_BASE if sec_name == "code" else DATA_BASE
+            )
+            flags = FLAG_READ | (
+                FLAG_EXEC if sec_name.startswith("code") else FLAG_WRITE
+            )
+            self._switch_section(sec_name, base, flags)
+        elif name == ".global":
+            self._globals.add(rest.strip())
+        elif name == ".entry":
+            self._entry_symbol = rest.strip()
+        elif name == ".equ":
+            args = [a.strip() for a in rest.split(",")]
+            if len(args) != 2:
+                raise AssemblyError(".equ requires 'name, value'", lineno)
+            if args[0] in self._equ or args[0] in self._symbols:
+                raise AssemblyError("duplicate symbol %r" % args[0], lineno)
+            self._equ[args[0]] = self._parse_number(args[1], lineno)
+        elif name == ".byte":
+            values = tuple(
+                self._parse_value(tok.strip(), lineno) for tok in rest.split(",")
+            )
+            self._emit_item(_Item("bytes", lineno, values=values, size=len(values)))
+        elif name == ".word":
+            values = tuple(
+                self._parse_value(tok.strip(), lineno) for tok in rest.split(",")
+            )
+            self._emit_item(_Item("words", lineno, values=values, size=4 * len(values)))
+        elif name == ".space":
+            args = [a.strip() for a in rest.split(",")]
+            count = self._parse_number(args[0], lineno)
+            fill = self._parse_number(args[1], lineno) if len(args) > 1 else 0
+            self._emit_item(_Item("space", lineno, size=count, fill=fill))
+        elif name in (".ascii", ".asciz"):
+            text = _parse_string(rest, lineno)
+            payload = text.encode() + (b"\x00" if name == ".asciz" else b"")
+            values = tuple(ImmOperand(b) for b in payload)
+            self._emit_item(_Item("bytes", lineno, values=values, size=len(payload)))
+        elif name == ".align":
+            boundary = self._parse_number(rest, lineno)
+            sec = self._require_section(lineno)
+            pad = (-(sec.base + sec.cursor)) % boundary
+            if pad:
+                self._emit_item(_Item("space", lineno, size=pad, fill=0x90))
+        else:
+            raise AssemblyError("unknown directive %r" % name, lineno)
+
+    def _emit_item(self, item: _Item) -> None:
+        sec = self._require_section(item.line)
+        item.addr = sec.base + sec.cursor
+        sec.items.append(item)
+        sec.cursor += item.size
+
+    # -- instruction parsing ------------------------------------------------------
+
+    def _instruction(self, line: str, lineno: int) -> None:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = tuple(
+            self._parse_operand(tok.strip(), lineno)
+            for tok in _split_operands(operand_text)
+            if tok.strip()
+        )
+        mnemonic, mode = self._select_form(mnemonic, operands, lineno)
+        size = instruction_length(mnemonic, mode)
+        self._emit_item(
+            _Item("inst", lineno, mnemonic=mnemonic, operands=operands,
+                  mode=mode, size=size)
+        )
+
+    def _select_form(self, mnemonic: str, operands, lineno: int):
+        """Choose the concrete mnemonic and ModRM mode for the operand shapes."""
+        if mnemonic == "mov" and len(operands) == 2 and isinstance(
+            operands[0], RegOperand
+        ) and isinstance(operands[1], ImmOperand):
+            # Canonicalize 'mov reg, imm' to the short movi encoding.
+            return "movi", None
+
+        if mnemonic not in opcodes.MNEMONICS:
+            raise AssemblyError("unknown mnemonic %r" % mnemonic, lineno)
+        info = opcodes.MNEMONICS[mnemonic]
+
+        if info.fmt != opcodes.F_MODRM:
+            self._check_arity(mnemonic, info, operands, lineno)
+            return mnemonic, None
+
+        if mnemonic in opcodes.CONTROL_MODRM:
+            if len(operands) != 1:
+                raise AssemblyError("%s takes one operand" % mnemonic, lineno)
+            if isinstance(operands[0], RegOperand):
+                return mnemonic, opcodes.MODE_RR
+            if isinstance(operands[0], MemOperand):
+                return mnemonic, opcodes.MODE_RM
+            raise AssemblyError(
+                "%s needs a register or memory operand" % mnemonic, lineno
+            )
+
+        if len(operands) != 2:
+            raise AssemblyError("%s takes two operands" % mnemonic, lineno)
+        dst, src = operands
+        if isinstance(dst, RegOperand) and isinstance(src, RegOperand):
+            if mnemonic == "lea":
+                raise AssemblyError("lea source must be a memory operand", lineno)
+            return mnemonic, opcodes.MODE_RR
+        if isinstance(dst, RegOperand) and isinstance(src, MemOperand):
+            return mnemonic, opcodes.MODE_RM
+        if isinstance(dst, MemOperand) and isinstance(src, RegOperand):
+            if mnemonic == "lea":
+                raise AssemblyError("lea destination must be a register", lineno)
+            return mnemonic, opcodes.MODE_MR
+        if isinstance(dst, RegOperand) and isinstance(src, ImmOperand):
+            if mnemonic == "lea":
+                raise AssemblyError("lea source must be a memory operand", lineno)
+            return mnemonic, opcodes.MODE_RI
+        raise AssemblyError("bad operand combination for %s" % mnemonic, lineno)
+
+    @staticmethod
+    def _check_arity(mnemonic, info, operands, lineno):
+        fmt = info.fmt
+        expected = {
+            opcodes.F_NONE: 0,
+            opcodes.F_REG_IN_OP: 1,
+            opcodes.F_REG_IMM32: 2,
+            opcodes.F_REL8: 1,
+            opcodes.F_REL32: 1,
+            opcodes.F_CC_REL32: 1,
+            opcodes.F_IMM8: 1,
+            opcodes.F_MODRM_IMM8: 2,
+        }[fmt]
+        if len(operands) != expected:
+            raise AssemblyError(
+                "%s takes %d operand(s), got %d" % (mnemonic, expected, len(operands)),
+                lineno,
+            )
+
+    # -- operand parsing ----------------------------------------------------------
+
+    def _parse_operand(self, text: str, lineno: int) -> Operand:
+        if not text:
+            raise AssemblyError("empty operand", lineno)
+        if text.startswith("["):
+            if not text.endswith("]"):
+                raise AssemblyError("unterminated memory operand %r" % text, lineno)
+            return self._parse_mem(text[1:-1].strip(), lineno)
+        if is_reg_name(text):
+            return RegOperand(reg_number(text))
+        return self._parse_value(text, lineno)
+
+    def _parse_mem(self, inner: str, lineno: int) -> MemOperand:
+        match = re.match(r"^([A-Za-z]+)\s*([+-].*)?$", inner)
+        if not match or not is_reg_name(match.group(1)):
+            raise AssemblyError("memory operand needs a base register: %r" % inner,
+                                lineno)
+        base = reg_number(match.group(1))
+        disp_text = (match.group(2) or "").replace(" ", "")
+        if not disp_text:
+            return MemOperand(base, 0)
+        sign = -1 if disp_text[0] == "-" else 1
+        body = disp_text[1:]
+        if _NUMBER_RE.match(body):
+            return MemOperand(base, sign * self._parse_number(body, lineno))
+        if _LABEL_RE.match(body):
+            if sign < 0:
+                raise AssemblyError("cannot negate symbol displacement", lineno)
+            if body in self._equ:
+                return MemOperand(base, self._equ[body])
+            return MemOperand(base, 0, disp_symbol=body)
+        raise AssemblyError("bad displacement %r" % disp_text, lineno)
+
+    def _parse_value(self, text: str, lineno: int) -> ImmOperand:
+        if len(text) >= 3 and text[0] == "'" and text[-1] == "'":
+            body = text[1:-1]
+            decoded = body.encode().decode("unicode_escape")
+            if len(decoded) != 1:
+                raise AssemblyError("bad character literal %r" % text, lineno)
+            return ImmOperand(ord(decoded))
+        if _NUMBER_RE.match(text):
+            return ImmOperand(self._parse_number(text, lineno))
+        if _LABEL_RE.match(text):
+            if text in self._equ:
+                return ImmOperand(self._equ[text])
+            return ImmOperand(symbol=text)
+        raise AssemblyError("bad value %r" % text, lineno)
+
+    @staticmethod
+    def _parse_number(text: str, lineno: int) -> int:
+        text = text.strip()
+        if not _NUMBER_RE.match(text):
+            raise AssemblyError("bad number %r" % text, lineno)
+        return int(text, 0)
+
+    # -- pass 2: resolve and encode --------------------------------------------------
+
+    def _pass2(self) -> BinaryImage:
+        image = BinaryImage()
+        code_ranges = [
+            (s.base, s.base + s.cursor)
+            for s in self._sections.values()
+            if s.flags & FLAG_EXEC
+        ]
+
+        def is_code(addr: int) -> bool:
+            return any(lo <= addr < hi for lo, hi in code_ranges)
+
+        for name in self._order:
+            state = self._sections[name]
+            data = bytearray()
+            for item in state.items:
+                payload = self._encode_item(item, image, is_code)
+                if len(payload) != item.size:
+                    raise AssemblyError(
+                        "internal: size mismatch for %r (%d != %d)"
+                        % (item.mnemonic or item.kind, len(payload), item.size),
+                        item.line,
+                    )
+                data += payload
+            image.add_section(Section(state.name, state.base, data, state.flags))
+
+        for sym_name, addr in sorted(self._symbols.items()):
+            image.symbols.add(
+                sym_name, addr,
+                is_func=sym_name in self._func_symbols and is_code(addr),
+            )
+        if self._entry_symbol in self._symbols:
+            image.entry = self._symbols[self._entry_symbol]
+        elif code_ranges:
+            image.entry = min(lo for lo, _hi in code_ranges)
+        return image
+
+    def _resolve(self, operand: ImmOperand, lineno: int) -> int:
+        if operand.symbol is None:
+            return operand.value
+        if operand.symbol in self._symbols:
+            return self._symbols[operand.symbol]
+        if operand.symbol in self._equ:
+            return self._equ[operand.symbol]
+        raise AssemblyError("undefined symbol %r" % operand.symbol, lineno)
+
+    def _encode_item(self, item: _Item, image: BinaryImage, is_code) -> bytes:
+        if item.kind == "space":
+            return bytes([item.fill & 0xFF]) * item.size
+
+        if item.kind == "bytes":
+            out = bytearray()
+            for val in item.values:
+                out.append(self._resolve(val, item.line) & 0xFF)
+            return bytes(out)
+
+        if item.kind == "words":
+            out = bytearray()
+            for idx, val in enumerate(item.values):
+                resolved = self._resolve(val, item.line)
+                slot = item.addr + 4 * idx
+                if isinstance(val, ImmOperand) and val.symbol and is_code(resolved):
+                    image.relocations.append(
+                        Relocation(slot, KIND_DATA_ABS32, resolved)
+                    )
+                out += resolved.to_bytes(4, "little", signed=resolved < 0)
+            return bytes(out)
+
+        return self._encode_instruction(item, image, is_code)
+
+    def _encode_instruction(self, item: _Item, image: BinaryImage, is_code) -> bytes:
+        m = item.mnemonic
+        ops = item.operands
+        line = item.line
+        fields: Dict[str, int] = {}
+        reloc: Optional[Relocation] = None
+
+        info = opcodes.MNEMONICS[m]
+        fmt = info.fmt
+
+        if fmt == opcodes.F_REG_IN_OP:
+            fields["reg"] = self._expect_reg(ops[0], m, line)
+        elif fmt == opcodes.F_REG_IMM32:
+            fields["reg"] = self._expect_reg(ops[0], m, line)
+            imm = self._resolve(self._expect_imm(ops[1], m, line), line)
+            fields["imm"] = imm
+            if isinstance(ops[1], ImmOperand) and ops[1].symbol and is_code(imm):
+                # The imm32 lives 1 byte into the encoding.
+                reloc = Relocation(item.addr + 1, KIND_CODE_IMM32, imm)
+        elif fmt in (opcodes.F_REL8, opcodes.F_REL32, opcodes.F_CC_REL32):
+            target = self._resolve(self._expect_imm(ops[0], m, line), line)
+            fields["imm"] = target - (item.addr + item.size)
+        elif fmt == opcodes.F_IMM8:
+            fields["imm"] = self._resolve(self._expect_imm(ops[0], m, line), line)
+        elif fmt == opcodes.F_MODRM_IMM8:
+            fields["rm"] = self._expect_reg(ops[0], m, line)
+            fields["imm"] = self._resolve(self._expect_imm(ops[1], m, line), line)
+        elif fmt == opcodes.F_MODRM:
+            reloc = self._fill_modrm(item, ops, fields, image, is_code)
+        # F_NONE: nothing to fill.
+
+        inst = make(m, addr=item.addr, mode=item.mode, **fields)
+        if reloc is not None:
+            image.relocations.append(reloc)
+        return encode(inst)
+
+    def _fill_modrm(self, item, ops, fields, image, is_code):
+        m = item.mnemonic
+        line = item.line
+        mode = item.mode
+        reloc = None
+
+        if m in opcodes.CONTROL_MODRM:
+            if mode == opcodes.MODE_RR:
+                fields["rm"] = self._expect_reg(ops[0], m, line)
+            else:
+                mem = ops[0]
+                fields["rm"] = mem.base
+                fields["disp"] = self._mem_disp(mem, line)
+            return None
+
+        dst, src = ops
+        if mode == opcodes.MODE_RR:
+            fields["reg"] = dst.reg
+            fields["rm"] = src.reg
+        elif mode == opcodes.MODE_RM:
+            fields["reg"] = dst.reg
+            fields["rm"] = src.base
+            fields["disp"] = self._mem_disp(src, line)
+        elif mode == opcodes.MODE_MR:
+            fields["reg"] = src.reg
+            fields["rm"] = dst.base
+            fields["disp"] = self._mem_disp(dst, line)
+        else:  # MODE_RI
+            fields["reg"] = dst.reg
+            imm = self._resolve(src, line)
+            fields["imm"] = imm
+            if src.symbol and is_code(imm):
+                # imm32 lives 2 bytes into the 6-byte RI encoding.
+                reloc = Relocation(item.addr + 2, KIND_CODE_IMM32, imm)
+        return reloc
+
+    def _mem_disp(self, mem: MemOperand, line: int) -> int:
+        if mem.disp_symbol is not None:
+            if mem.disp_symbol in self._symbols:
+                return self._symbols[mem.disp_symbol]
+            if mem.disp_symbol in self._equ:
+                return self._equ[mem.disp_symbol]
+            raise AssemblyError("undefined symbol %r" % mem.disp_symbol, line)
+        return mem.disp
+
+    @staticmethod
+    def _expect_reg(operand, mnemonic, line) -> int:
+        if not isinstance(operand, RegOperand):
+            raise AssemblyError("%s expects a register operand" % mnemonic, line)
+        return operand.reg
+
+    @staticmethod
+    def _expect_imm(operand, mnemonic, line) -> ImmOperand:
+        if not isinstance(operand, ImmOperand):
+            raise AssemblyError("%s expects an immediate operand" % mnemonic, line)
+        return operand
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for idx, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char in ";#" and not in_string:
+            return line[:idx]
+    return line
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside brackets or quotes."""
+    parts = []
+    depth = 0
+    current = []
+    in_quote = False
+    for char in text:
+        if char == "'" and not in_quote:
+            in_quote = True
+            current.append(char)
+        elif char == "'" and in_quote:
+            in_quote = False
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0 and not in_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_string(text: str, lineno: int) -> str:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblyError("expected a quoted string", lineno)
+    return text[1:-1].encode().decode("unicode_escape")
+
+
+def assemble(source: str) -> BinaryImage:
+    """Assemble ``source`` and return the :class:`BinaryImage`."""
+    return Assembler().assemble(source)

@@ -1,0 +1,182 @@
+"""Binary decoder for RX86.
+
+``decode`` turns bytes at an address into an :class:`Instruction`.  The
+decoder is shared by
+
+* the functional executor and the cycle simulator (instruction fetch),
+* the disassembler (recursive descent and linear sweep), and
+* the ROP-gadget scanner, which decodes at *every* byte offset — exactly
+  like ROPgadget does on real x86 — so the decoder must fail cleanly on
+  junk bytes (:class:`DecodeError`) rather than crash.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from . import opcodes
+from .instruction import Instruction
+
+
+class DecodeError(ValueError):
+    """Raised when the byte sequence is not a valid RX86 instruction."""
+
+
+def _i32(data, offset: int) -> int:
+    return struct.unpack_from("<i", data, offset)[0]
+
+
+def _u32(data, offset: int) -> int:
+    return struct.unpack_from("<I", data, offset)[0]
+
+
+def _i8(data, offset: int) -> int:
+    return struct.unpack_from("<b", data, offset)[0]
+
+
+def _need(data, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise DecodeError("truncated instruction")
+
+
+def decode(data, offset: int = 0, addr: int = 0) -> Instruction:
+    """Decode one instruction from ``data`` starting at ``offset``.
+
+    ``addr`` is the architectural address of the instruction, used to
+    compute direct branch targets.  Raises :class:`DecodeError` on any
+    invalid or truncated encoding.
+    """
+    _need(data, offset, 1)
+    op = data[offset]
+
+    # -- one-byte instructions ---------------------------------------------
+    if op == opcodes.OP_NOP:
+        return Instruction("nop", addr, 1)
+    if op == opcodes.OP_HALT:
+        return Instruction("halt", addr, 1)
+    if op == opcodes.OP_RET:
+        return Instruction("ret", addr, 1)
+    if op == opcodes.OP_LEAVE:
+        return Instruction("leave", addr, 1)
+
+    if opcodes.OP_PUSH_BASE <= op < opcodes.OP_PUSH_BASE + 8:
+        return Instruction("push", addr, 1, reg=op - opcodes.OP_PUSH_BASE)
+    if opcodes.OP_POP_BASE <= op < opcodes.OP_POP_BASE + 8:
+        return Instruction("pop", addr, 1, reg=op - opcodes.OP_POP_BASE)
+
+    # -- immediates ----------------------------------------------------------
+    if opcodes.OP_MOVI_BASE <= op < opcodes.OP_MOVI_BASE + 8:
+        _need(data, offset, 5)
+        return Instruction(
+            "movi", addr, 5, reg=op - opcodes.OP_MOVI_BASE, imm=_u32(data, offset + 1)
+        )
+
+    if op == opcodes.OP_INT:
+        _need(data, offset, 2)
+        return Instruction("int", addr, 2, imm=data[offset + 1])
+
+    # -- direct control transfers ---------------------------------------------
+    if op == opcodes.OP_CALL:
+        _need(data, offset, 5)
+        return Instruction("call", addr, 5, imm=_i32(data, offset + 1))
+    if op == opcodes.OP_JMP:
+        _need(data, offset, 5)
+        return Instruction("jmp", addr, 5, imm=_i32(data, offset + 1))
+    if op == opcodes.OP_JMP8:
+        _need(data, offset, 2)
+        return Instruction("jmp8", addr, 2, imm=_i8(data, offset + 1))
+
+    if opcodes.OP_JCC8_BASE <= op < opcodes.OP_JCC8_BASE + opcodes.NUM_CC:
+        _need(data, offset, 2)
+        cc = op - opcodes.OP_JCC8_BASE
+        # rel8 Jcc shares the logical mnemonic with the rel32 form but keeps
+        # its own 2-byte length.
+        return Instruction(
+            "j" + opcodes.CC_NAMES[cc], addr, 2, imm=_i8(data, offset + 1), cc=cc
+        )
+
+    if op == opcodes.OP_TWO_BYTE:
+        _need(data, offset, 2)
+        op2 = data[offset + 1]
+        if opcodes.OP2_JCC32_BASE <= op2 < opcodes.OP2_JCC32_BASE + opcodes.NUM_CC:
+            _need(data, offset, 6)
+            cc = op2 - opcodes.OP2_JCC32_BASE
+            return Instruction(
+                "j" + opcodes.CC_NAMES[cc], addr, 6, imm=_i32(data, offset + 2), cc=cc
+            )
+        raise DecodeError("bad two-byte opcode 0x0f 0x%02x" % op2)
+
+    # -- shift group ----------------------------------------------------------
+    if op == opcodes.OP_SHIFT_GRP:
+        _need(data, offset, 3)
+        modrm = data[offset + 1]
+        subop = (modrm >> 3) & 7
+        if subop not in opcodes.SUBOP_TO_SHIFT:
+            raise DecodeError("bad shift sub-opcode %d" % subop)
+        if (modrm >> 6) & 3 != opcodes.MODE_RR:
+            raise DecodeError("shift group requires register form")
+        return Instruction(
+            opcodes.SUBOP_TO_SHIFT[subop],
+            addr,
+            3,
+            mode=opcodes.MODE_RR,
+            reg=subop,
+            rm=modrm & 7,
+            imm=data[offset + 2],
+        )
+
+    # -- indirect control transfer group ---------------------------------------
+    if op == opcodes.OP_FF_GRP:
+        _need(data, offset, 2)
+        modrm = data[offset + 1]
+        mode = (modrm >> 6) & 3
+        subop = (modrm >> 3) & 7
+        rm = modrm & 7
+        if subop not in opcodes.SUBOP_TO_FF:
+            raise DecodeError("bad 0xff sub-opcode %d" % subop)
+        mnemonic = opcodes.SUBOP_TO_FF[subop]
+        if mode == opcodes.MODE_RR:
+            return Instruction(mnemonic, addr, 2, mode=mode, reg=subop, rm=rm)
+        if mode == opcodes.MODE_RM:
+            _need(data, offset, 6)
+            return Instruction(
+                mnemonic, addr, 6, mode=mode, reg=subop, rm=rm,
+                disp=_i32(data, offset + 2),
+            )
+        raise DecodeError("bad 0xff addressing mode %d" % mode)
+
+    # -- two-operand ALU / mov / lea --------------------------------------------
+    if op in opcodes.ALU_BY_OPCODE:
+        mnemonic = opcodes.ALU_BY_OPCODE[op]
+        _need(data, offset, 2)
+        modrm = data[offset + 1]
+        mode = (modrm >> 6) & 3
+        reg = (modrm >> 3) & 7
+        rm = modrm & 7
+        if mode == opcodes.MODE_RR:
+            if mnemonic == "lea":
+                raise DecodeError("lea requires a memory operand")
+            return Instruction(mnemonic, addr, 2, mode=mode, reg=reg, rm=rm)
+        _need(data, offset, 6)
+        if mode in (opcodes.MODE_RM, opcodes.MODE_MR):
+            if mnemonic == "lea" and mode != opcodes.MODE_RM:
+                raise DecodeError("lea requires the load form")
+            return Instruction(
+                mnemonic, addr, 6, mode=mode, reg=reg, rm=rm,
+                disp=_i32(data, offset + 2),
+            )
+        if mnemonic == "lea":
+            raise DecodeError("lea requires a memory operand")
+        return Instruction(
+            mnemonic, addr, 6, mode=mode, reg=reg, rm=rm, imm=_u32(data, offset + 2)
+        )
+
+    raise DecodeError("unknown opcode 0x%02x" % op)
+
+
+def try_decode(data, offset: int = 0, addr: int = 0):
+    """Like :func:`decode` but returns None instead of raising."""
+    try:
+        return decode(data, offset, addr)
+    except DecodeError:
+        return None

@@ -1,0 +1,139 @@
+"""Binary encoder for RX86 instructions.
+
+The encoder turns :class:`~repro.isa.instruction.Instruction` objects (or
+keyword specifications) into byte sequences.  It is the inverse of
+:mod:`repro.isa.decoder`; round-tripping is covered by property tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from . import opcodes
+from .instruction import Instruction
+
+MASK32 = 0xFFFFFFFF
+
+
+class EncodeError(ValueError):
+    """Raised when an instruction specification cannot be encoded."""
+
+
+def _u32(value: int) -> bytes:
+    return struct.pack("<I", value & MASK32)
+
+
+def _i8(value: int) -> bytes:
+    if not -128 <= value <= 127:
+        raise EncodeError("value %d does not fit in 8 bits" % value)
+    return struct.pack("<b", value)
+
+
+def _modrm(mode: int, reg: int, rm: int) -> int:
+    return ((mode & 3) << 6) | ((reg & 7) << 3) | (rm & 7)
+
+
+def instruction_length(mnemonic: str, mode: Optional[int] = None) -> int:
+    """Return the encoded length of ``mnemonic`` with ModRM ``mode``.
+
+    Lengths are static per (mnemonic, mode) pair; the assembler uses this
+    for layout before the final encoding pass.
+    """
+    info = opcodes.lookup(mnemonic)
+    fmt = info.fmt
+    if fmt == opcodes.F_NONE or fmt == opcodes.F_REG_IN_OP:
+        return 1
+    if fmt == opcodes.F_REL8 or fmt == opcodes.F_IMM8:
+        return 2
+    if fmt == opcodes.F_MODRM_IMM8:
+        return 3
+    if fmt == opcodes.F_REL32 or fmt == opcodes.F_REG_IMM32:
+        return 5
+    if fmt == opcodes.F_CC_REL32:
+        return 6
+    if fmt == opcodes.F_MODRM:
+        if mode is None:
+            raise EncodeError("%s requires an addressing mode" % mnemonic)
+        return 2 if mode == opcodes.MODE_RR else 6
+    raise EncodeError("unknown format %r" % fmt)
+
+
+def encode(inst: Instruction) -> bytes:
+    """Encode a decoded/constructed :class:`Instruction` into bytes."""
+    m = inst.mnemonic
+    info = opcodes.lookup(m)
+    fmt = info.fmt
+
+    if fmt == opcodes.F_NONE:
+        return bytes([info.opcode])
+
+    if fmt == opcodes.F_REG_IN_OP:
+        return bytes([info.opcode + (inst.reg & 7)])
+
+    if fmt == opcodes.F_REG_IMM32:
+        return bytes([info.opcode + (inst.reg & 7)]) + _u32(inst.imm)
+
+    if fmt == opcodes.F_REL8:
+        return bytes([info.opcode]) + _i8(inst.imm)
+
+    if fmt == opcodes.F_REL32:
+        return bytes([info.opcode]) + _u32(inst.imm)
+
+    if fmt == opcodes.F_CC_REL32:
+        cc = inst.cc
+        if cc is None:
+            raise EncodeError("%s requires a condition code" % m)
+        return bytes([opcodes.OP_TWO_BYTE, opcodes.OP2_JCC32_BASE + cc]) + _u32(inst.imm)
+
+    if fmt == opcodes.F_IMM8:
+        return bytes([info.opcode, inst.imm & 0xFF])
+
+    if fmt == opcodes.F_MODRM_IMM8:
+        subop = opcodes.SHIFT_SUBOPS[m]
+        modrm = _modrm(opcodes.MODE_RR, subop, inst.rm)
+        return bytes([info.opcode, modrm, inst.imm & 0xFF])
+
+    if fmt == opcodes.F_MODRM:
+        if m in opcodes.CONTROL_MODRM:
+            subop = opcodes.FF_SUBOPS[m]
+            if inst.mode == opcodes.MODE_RR:
+                return bytes([info.opcode, _modrm(opcodes.MODE_RR, subop, inst.rm)])
+            if inst.mode == opcodes.MODE_RM:
+                return (
+                    bytes([info.opcode, _modrm(opcodes.MODE_RM, subop, inst.rm)])
+                    + _u32(inst.disp)
+                )
+            raise EncodeError("%s supports register or memory form only" % m)
+        mode = inst.mode
+        if mode is None:
+            raise EncodeError("%s requires an addressing mode" % m)
+        if m == "lea" and mode != opcodes.MODE_RM:
+            raise EncodeError("lea only supports the reg, [mem] form")
+        head = bytes([info.opcode, _modrm(mode, inst.reg or 0, inst.rm or 0)])
+        if mode == opcodes.MODE_RR:
+            return head
+        if mode in (opcodes.MODE_RM, opcodes.MODE_MR):
+            return head + _u32(inst.disp)
+        return head + _u32(inst.imm)
+
+    raise EncodeError("unknown format %r" % fmt)
+
+
+def make(mnemonic: str, addr: int = 0, **fields) -> Instruction:
+    """Convenience constructor: build an :class:`Instruction` with computed length."""
+    mode = fields.get("mode")
+    inst = Instruction(
+        mnemonic=mnemonic,
+        addr=addr,
+        length=instruction_length(mnemonic, mode),
+        mode=mode,
+        reg=fields.get("reg"),
+        rm=fields.get("rm"),
+        disp=fields.get("disp", 0),
+        imm=fields.get("imm", 0),
+        cc=fields.get("cc"),
+    )
+    if mnemonic.startswith("j") and mnemonic not in ("jmp", "jmp8", "jmpi"):
+        inst.cc = opcodes.cc_number(mnemonic[1:])
+    return inst

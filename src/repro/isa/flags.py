@@ -1,0 +1,93 @@
+"""FLAGS register and condition evaluation for RX86.
+
+RX86 keeps the four x86 arithmetic flags that the conditional branches
+consume: ZF (zero), SF (sign), CF (carry) and OF (overflow).
+"""
+
+from __future__ import annotations
+
+from . import opcodes
+
+MASK32 = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+
+class Flags:
+    """Architectural FLAGS state."""
+
+    __slots__ = ("zf", "sf", "cf", "of")
+
+    def __init__(self):
+        self.zf = False
+        self.sf = False
+        self.cf = False
+        self.of = False
+
+    def set_logic(self, result: int) -> None:
+        """Flag update for logic ops (and/or/xor/test/shifts): CF=OF=0."""
+        result &= MASK32
+        self.zf = result == 0
+        self.sf = bool(result & SIGN_BIT)
+        self.cf = False
+        self.of = False
+
+    def set_add(self, a: int, b: int, result: int) -> None:
+        """Flag update for ``a + b``; ``result`` may exceed 32 bits."""
+        r = result & MASK32
+        self.zf = r == 0
+        self.sf = bool(r & SIGN_BIT)
+        self.cf = result > MASK32
+        self.of = bool((~(a ^ b) & (a ^ r)) & SIGN_BIT)
+
+    def set_sub(self, a: int, b: int) -> None:
+        """Flag update for ``a - b`` (also used by cmp)."""
+        r = (a - b) & MASK32
+        self.zf = r == 0
+        self.sf = bool(r & SIGN_BIT)
+        self.cf = b > a
+        self.of = bool(((a ^ b) & (a ^ r)) & SIGN_BIT)
+
+    def set_mul(self, signed_product: int) -> None:
+        """Flag update for imul given the exact signed product.
+
+        CF and OF are set when the product does not fit in 32 signed bits.
+        """
+        r = signed_product & MASK32
+        truncated = r - (1 << 32) if r & SIGN_BIT else r
+        overflow = truncated != signed_product
+        self.zf = r == 0
+        self.sf = bool(r & SIGN_BIT)
+        self.cf = overflow
+        self.of = overflow
+
+    def evaluate(self, cc: int) -> bool:
+        """Evaluate condition code ``cc`` against the current flags."""
+        if cc == opcodes.CC_Z:
+            return self.zf
+        if cc == opcodes.CC_NZ:
+            return not self.zf
+        if cc == opcodes.CC_L:
+            return self.sf != self.of
+        if cc == opcodes.CC_GE:
+            return self.sf == self.of
+        if cc == opcodes.CC_LE:
+            return self.zf or (self.sf != self.of)
+        if cc == opcodes.CC_G:
+            return (not self.zf) and (self.sf == self.of)
+        if cc == opcodes.CC_B:
+            return self.cf
+        if cc == opcodes.CC_AE:
+            return not self.cf
+        raise ValueError("bad condition code %r" % cc)
+
+    def snapshot(self) -> tuple:
+        return (self.zf, self.sf, self.cf, self.of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Flags(zf=%s, sf=%s, cf=%s, of=%s)" % self.snapshot()
+
+
+def to_signed32(value: int) -> int:
+    """Reinterpret an unsigned 32-bit value as signed."""
+    value &= MASK32
+    return value - (1 << 32) if value & SIGN_BIT else value

@@ -1,0 +1,223 @@
+"""Opcode table for the RX86 instruction set.
+
+The table is the single source of truth shared by the encoder, the decoder,
+the assembler and the disassembler.  RX86 deliberately mimics x86's
+variable-length encoding (1 to 6 bytes) because several of the paper's
+phenomena depend on it:
+
+* unintended instruction decodes at misaligned offsets (the raw material of
+  ROP gadget scanning, paper §V-B);
+* instruction-granular randomization inflating the cache-line footprint of
+  hot code (the naive-ILR penalty of paper §III, Fig. 3).
+
+Encoding formats
+----------------
+
+====================  =======================================  ======
+format                layout                                   length
+====================  =======================================  ======
+``F_NONE``            ``[op]``                                 1
+``F_REG_IN_OP``       ``[op+r]``                               1
+``F_REG_IMM32``       ``[op+r][imm32]``                        5
+``F_REL8``            ``[op][rel8]``                           2
+``F_REL32``           ``[op][rel32]``                          5
+``F_CC_REL32``        ``[0x0F][0x80+cc][rel32]``               6
+``F_MODRM``           ``[op][modrm]`` (+disp32 / +imm32)       2 / 6
+``F_MODRM_IMM8``      ``[op][modrm][imm8]``                    3
+``F_IMM8``            ``[op][imm8]``                           2
+====================  =======================================  ======
+
+ModRM byte: ``mode(2) | reg(3) | rm(3)``, with addressing modes
+
+* mode 0 (``MODE_RR``): ``reg, rm`` register-register — 2 bytes,
+* mode 1 (``MODE_RM``): ``reg, [rm + disp32]`` load — 6 bytes,
+* mode 2 (``MODE_MR``): ``[rm + disp32], reg`` store — 6 bytes,
+* mode 3 (``MODE_RI``): ``reg, imm32`` — 6 bytes.
+
+The ``0xFF`` group (indirect ``jmp``/``call``) and the ``0xC1`` shift group
+use the ModRM ``reg`` field as a sub-opcode, exactly as x86 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Encoding formats
+# ---------------------------------------------------------------------------
+
+F_NONE = "none"
+F_REG_IN_OP = "reg_in_op"
+F_REG_IMM32 = "reg_imm32"
+F_REL8 = "rel8"
+F_REL32 = "rel32"
+F_CC_REL32 = "cc_rel32"
+F_MODRM = "modrm"
+F_MODRM_IMM8 = "modrm_imm8"
+F_IMM8 = "imm8"
+
+# ModRM addressing modes.
+MODE_RR = 0
+MODE_RM = 1
+MODE_MR = 2
+MODE_RI = 3
+
+# ---------------------------------------------------------------------------
+# Primary one-byte opcodes
+# ---------------------------------------------------------------------------
+
+OP_ADD = 0x01
+OP_OR = 0x09
+OP_AND = 0x21
+OP_SUB = 0x29
+OP_XOR = 0x31
+OP_CMP = 0x39
+OP_PUSH_BASE = 0x50  # 0x50..0x57
+OP_POP_BASE = 0x58  # 0x58..0x5F
+OP_JCC8_BASE = 0x70  # 0x70..0x77
+OP_TEST = 0x85
+OP_MOV = 0x8B
+OP_LEA = 0x8D
+OP_NOP = 0x90
+OP_IMUL = 0xAF
+OP_MOVI_BASE = 0xB8  # 0xB8..0xBF
+OP_SHIFT_GRP = 0xC1
+OP_RET = 0xC3
+OP_LEAVE = 0xC9
+OP_INT = 0xCD
+OP_CALL = 0xE8
+OP_JMP = 0xE9
+OP_JMP8 = 0xEB
+OP_TWO_BYTE = 0x0F
+OP_FF_GRP = 0xFF
+OP_HALT = 0xF4
+
+OP2_JCC32_BASE = 0x80  # second byte of 0x0F-prefixed Jcc rel32
+
+# Sub-opcodes (ModRM ``reg`` field) of the 0xFF group.
+FF_CALL = 2
+FF_JMP = 4
+
+# Sub-opcodes of the 0xC1 shift group.
+SHIFT_SHL = 4
+SHIFT_SHR = 5
+SHIFT_SAR = 7
+
+# ---------------------------------------------------------------------------
+# Condition codes (Jcc)
+# ---------------------------------------------------------------------------
+
+CC_Z = 0  # equal / zero             (ZF)
+CC_NZ = 1  # not equal / not zero     (!ZF)
+CC_L = 2  # signed less              (SF != OF)
+CC_GE = 3  # signed greater-or-equal  (SF == OF)
+CC_LE = 4  # signed less-or-equal     (ZF or SF != OF)
+CC_G = 5  # signed greater           (!ZF and SF == OF)
+CC_B = 6  # unsigned below           (CF)
+CC_AE = 7  # unsigned above-or-equal  (!CF)
+
+NUM_CC = 8
+
+CC_NAMES = ("z", "nz", "l", "ge", "le", "g", "b", "ae")
+
+_CC_ALIASES = {
+    "e": CC_Z,
+    "ne": CC_NZ,
+    "c": CC_B,
+    "nc": CC_AE,
+}
+
+
+def cc_number(name: str) -> int:
+    """Map a condition suffix (``z``, ``ne``, ``ge`` …) to its code."""
+    name = name.lower()
+    if name in _CC_ALIASES:
+        return _CC_ALIASES[name]
+    return CC_NAMES.index(name)
+
+
+# ---------------------------------------------------------------------------
+# Opcode descriptors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one RX86 mnemonic."""
+
+    mnemonic: str
+    opcode: int
+    fmt: str
+    #: Does the instruction write the FLAGS register?
+    writes_flags: bool = False
+    #: Is the instruction a control transfer?
+    is_control: bool = False
+    #: Execution latency in cycles for the timing model.
+    latency: int = 1
+
+
+# Two-operand ALU group: each opcode supports all four ModRM modes.
+ALU_OPCODES = {
+    "add": OpcodeInfo("add", OP_ADD, F_MODRM, writes_flags=True),
+    "or": OpcodeInfo("or", OP_OR, F_MODRM, writes_flags=True),
+    "and": OpcodeInfo("and", OP_AND, F_MODRM, writes_flags=True),
+    "sub": OpcodeInfo("sub", OP_SUB, F_MODRM, writes_flags=True),
+    "xor": OpcodeInfo("xor", OP_XOR, F_MODRM, writes_flags=True),
+    "cmp": OpcodeInfo("cmp", OP_CMP, F_MODRM, writes_flags=True),
+    "test": OpcodeInfo("test", OP_TEST, F_MODRM, writes_flags=True),
+    "mov": OpcodeInfo("mov", OP_MOV, F_MODRM),
+    "lea": OpcodeInfo("lea", OP_LEA, F_MODRM),
+    "imul": OpcodeInfo("imul", OP_IMUL, F_MODRM, writes_flags=True, latency=3),
+}
+
+SIMPLE_OPCODES = {
+    "nop": OpcodeInfo("nop", OP_NOP, F_NONE),
+    "halt": OpcodeInfo("halt", OP_HALT, F_NONE),
+    "ret": OpcodeInfo("ret", OP_RET, F_NONE, is_control=True),
+    "leave": OpcodeInfo("leave", OP_LEAVE, F_NONE),
+    "push": OpcodeInfo("push", OP_PUSH_BASE, F_REG_IN_OP),
+    "pop": OpcodeInfo("pop", OP_POP_BASE, F_REG_IN_OP),
+    "movi": OpcodeInfo("movi", OP_MOVI_BASE, F_REG_IMM32),
+    "call": OpcodeInfo("call", OP_CALL, F_REL32, is_control=True),
+    "jmp": OpcodeInfo("jmp", OP_JMP, F_REL32, is_control=True),
+    "jmp8": OpcodeInfo("jmp8", OP_JMP8, F_REL8, is_control=True),
+    "int": OpcodeInfo("int", OP_INT, F_IMM8, latency=1),
+    "shl": OpcodeInfo("shl", OP_SHIFT_GRP, F_MODRM_IMM8, writes_flags=True),
+    "shr": OpcodeInfo("shr", OP_SHIFT_GRP, F_MODRM_IMM8, writes_flags=True),
+    "sar": OpcodeInfo("sar", OP_SHIFT_GRP, F_MODRM_IMM8, writes_flags=True),
+    # Indirect control transfers (0xFF group).
+    "calli": OpcodeInfo("calli", OP_FF_GRP, F_MODRM, is_control=True),
+    "jmpi": OpcodeInfo("jmpi", OP_FF_GRP, F_MODRM, is_control=True),
+}
+
+# Conditional branches get one logical mnemonic per condition; both the
+# rel8 and rel32 encodings exist, the assembler picks rel32 by default.
+JCC_OPCODES = {
+    "j" + CC_NAMES[cc]: OpcodeInfo(
+        "j" + CC_NAMES[cc], OP_JCC8_BASE + cc, F_CC_REL32, is_control=True
+    )
+    for cc in range(NUM_CC)
+}
+
+SHIFT_SUBOPS = {"shl": SHIFT_SHL, "shr": SHIFT_SHR, "sar": SHIFT_SAR}
+SUBOP_TO_SHIFT = {v: k for k, v in SHIFT_SUBOPS.items()}
+
+FF_SUBOPS = {"calli": FF_CALL, "jmpi": FF_JMP}
+SUBOP_TO_FF = {v: k for k, v in FF_SUBOPS.items()}
+
+#: Every mnemonic understood by the assembler / encoder.
+MNEMONICS = {}
+MNEMONICS.update(ALU_OPCODES)
+MNEMONICS.update(SIMPLE_OPCODES)
+MNEMONICS.update(JCC_OPCODES)
+
+#: ALU opcode byte -> mnemonic, for the decoder.
+ALU_BY_OPCODE = {info.opcode: name for name, info in ALU_OPCODES.items()}
+
+#: Mnemonics whose F_MODRM form transfers control (0xFF group).
+CONTROL_MODRM = frozenset(("calli", "jmpi"))
+
+
+def lookup(mnemonic: str) -> OpcodeInfo:
+    """Return the :class:`OpcodeInfo` for ``mnemonic`` (KeyError if unknown)."""
+    return MNEMONICS[mnemonic]

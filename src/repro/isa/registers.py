@@ -1,0 +1,76 @@
+"""Register file definition for the RX86 instruction set.
+
+RX86 is the x86-flavoured, variable-length instruction set used throughout
+this reproduction.  It keeps the eight classic 32-bit x86 general purpose
+registers with their conventional roles (``ESP`` is the stack pointer,
+``EBP`` the frame pointer) so that workloads, the binary rewriter and the
+ROP-gadget tooling all behave like their real-x86 counterparts.
+"""
+
+from __future__ import annotations
+
+# Register encodings, identical to the x86 ModRM register numbering.
+EAX = 0
+ECX = 1
+EDX = 2
+EBX = 3
+ESP = 4
+EBP = 5
+ESI = 6
+EDI = 7
+
+NUM_REGS = 8
+
+REG_NAMES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+_NAME_TO_REG = {name: idx for idx, name in enumerate(REG_NAMES)}
+
+MASK32 = 0xFFFFFFFF
+
+
+def reg_name(reg: int) -> str:
+    """Return the canonical lowercase name of register number ``reg``."""
+    return REG_NAMES[reg]
+
+
+def reg_number(name: str) -> int:
+    """Return the register number for ``name`` (case insensitive).
+
+    Raises ``KeyError`` for unknown register names.
+    """
+    return _NAME_TO_REG[name.lower()]
+
+
+def is_reg_name(name: str) -> bool:
+    """Return True if ``name`` names an RX86 register."""
+    return name.lower() in _NAME_TO_REG
+
+
+class RegisterFile:
+    """Architectural register state of an RX86 core.
+
+    All values are stored as unsigned 32-bit integers.  Reads and writes
+    are masked to 32 bits, mirroring hardware wrap-around semantics.
+    """
+
+    __slots__ = ("regs",)
+
+    def __init__(self, stack_pointer: int = 0):
+        self.regs = [0] * NUM_REGS
+        self.regs[ESP] = stack_pointer & MASK32
+
+    def read(self, reg: int) -> int:
+        return self.regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        self.regs[reg] = value & MASK32
+
+    def snapshot(self) -> tuple:
+        """Return an immutable copy of the register state (for comparisons)."""
+        return tuple(self.regs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(
+            "%s=%08x" % (REG_NAMES[i], v) for i, v in enumerate(self.regs)
+        )
+        return "RegisterFile(%s)" % pairs

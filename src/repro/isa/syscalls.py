@@ -1,0 +1,60 @@
+"""Syscall ABI for RX86 programs.
+
+Programs request services with ``int 0x80``; the service number lives in
+``EAX`` and the argument in ``EBX``.  The ABI is deliberately tiny: just
+enough for workloads to terminate and to emit verifiable output (the
+cross-mode equivalence checks compare these output streams).
+
+=========  =========  =================================================
+``EAX``    name       effect
+=========  =========  =================================================
+1          EXIT       terminate; exit code in ``EBX``
+4          PUTC       append ``EBX & 0xFF`` to the byte output stream
+5          EMIT       append ``EBX`` (u32) to the word output stream
+7          ICOUNT     return retired-instruction count in ``EAX``
+=========  =========  =================================================
+
+``ICOUNT`` is deterministic across execution modes (it counts
+*architectural* instructions, not cycles) so it never breaks equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+SYSCALL_VECTOR = 0x80
+
+SYS_EXIT = 1
+SYS_PUTC = 4
+SYS_EMIT = 5
+SYS_ICOUNT = 7
+
+
+class SyscallError(ValueError):
+    """Raised for unknown syscall numbers or vectors."""
+
+
+@dataclass
+class OutputStream:
+    """Observable program output: bytes from PUTC, words from EMIT."""
+
+    chars: bytearray = field(default_factory=bytearray)
+    words: List[int] = field(default_factory=list)
+
+    def putc(self, byte: int) -> None:
+        self.chars.append(byte & 0xFF)
+
+    def emit(self, word: int) -> None:
+        self.words.append(word & 0xFFFFFFFF)
+
+    def text(self) -> str:
+        return self.chars.decode("latin-1")
+
+    def snapshot(self) -> tuple:
+        return (bytes(self.chars), tuple(self.words))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OutputStream):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()

@@ -1,0 +1,200 @@
+"""End-to-end ROP attack simulation (paper §II threat model, §V-A).
+
+The scenario: a network-facing service copies an attacker-supplied request
+into a fixed-size stack buffer without a bounds check.  The attacker has a
+copy of the *distributed* binary, scans it for gadgets, compiles a payload
+(see :mod:`repro.security.payload`) and smashes the stack with it.
+
+* On the baseline machine the chain runs and the "shell" marker appears in
+  the output stream — the exploit works.
+* Under VCFR/naive-ILR the popped return address is an *original-space*
+  gadget address; the randomized-tag check faults the transfer
+  (:class:`~repro.ilr.flow.SecurityFault`) — the exploit is stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..arch.functional import run_image
+from ..binary import BinaryImage
+from ..ilr.flow import SecurityFault, make_flow
+from ..ilr.randomizer import RandomizedProgram
+from ..isa import assemble
+from .gadgets import scan_gadgets
+from .payload import SHELL_MAGIC, Payload, compile_shell_payload
+
+#: Marker the service emits on a *legitimate* request.
+SERVICE_OK = 0x600D600D
+
+_VULN_SOURCE = """
+; A tiny network service with a classic stack-smash vulnerability.
+.code 0x400000
+main:
+    call handle_request
+    movi eax, 5
+    movi ebx, 0x600D600D     ; request handled
+    int 0x80
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+
+; Copies input_len bytes of attacker-controlled input into a 32-byte
+; stack buffer.  No bounds check: the bug.
+handle_request:
+    push ebp
+    mov ebp, esp
+    sub esp, 32
+    movi esi, input_len
+    mov ecx, [esi+0]
+    movi esi, input_buf
+    mov edi, esp
+    movi edx, 0
+.copy:
+    cmp edx, ecx
+    jge .done
+    mov eax, [esi+0]
+    mov [edi+0], eax
+    add esi, 4
+    add edi, 4
+    add edx, 4
+    jmp .copy
+.done:
+    mov esp, ebp
+    pop ebp
+    ret
+
+; --- library-ish helpers: the gadget raw material -----------------------
+; a syscall wrapper (gives 'int 0x80 ; ret')
+do_syscall:
+    int 0x80
+    ret
+; register-restore epilogues (give 'pop eax ; ret' / 'pop ebx ; ret')
+restore_eax:
+    pop eax
+    ret
+restore_regs:
+    pop eax
+    pop ebx
+    ret
+checksum:
+    push ebp
+    mov ebp, esp
+    mov eax, ecx
+    xor eax, edx
+    add eax, ecx
+    pop ebp
+    ret
+
+.data 0x8000000
+input_len:
+    .word 16
+input_buf:
+    .space 256
+"""
+
+#: Offset from the start of the stack buffer to the saved return address:
+#: 32-byte buffer + 4-byte saved EBP.
+_RETADDR_OFFSET = 36
+
+
+def build_vulnerable_image() -> BinaryImage:
+    """Assemble the vulnerable service binary."""
+    return assemble(_VULN_SOURCE)
+
+
+def craft_exploit_input(payload: Payload) -> List[int]:
+    """Words the attacker sends: filler up to the return address + chain."""
+    filler_words = _RETADDR_OFFSET // 4
+    return [0x41414141] * filler_words + payload.words
+
+
+def inject_input(image: BinaryImage, words: List[int]) -> None:
+    """Write the request (length + body) into the service's input area."""
+    length_addr = image.symbols.resolve("input_len")
+    buf_addr = image.symbols.resolve("input_buf")
+    image.write_u32(length_addr, 4 * len(words))
+    for idx, word in enumerate(words):
+        image.write_u32(buf_addr + 4 * idx, word)
+
+
+@dataclass
+class AttackOutcome:
+    """Result of delivering one request to one execution mode."""
+
+    mode: str
+    shell_spawned: bool
+    blocked: bool
+    service_completed: bool
+    fault: Optional[SecurityFault] = None
+
+    def describe(self) -> str:
+        if self.shell_spawned:
+            return "%s: EXPLOITED (shell marker emitted)" % self.mode
+        if self.blocked:
+            return "%s: BLOCKED (%s)" % (self.mode, self.fault)
+        return "%s: survived (no shell, service %s)" % (
+            self.mode, "completed" if self.service_completed else "crashed",
+        )
+
+
+def deliver(image: BinaryImage, mode: str, program=None,
+            max_instructions: int = 1_000_000) -> AttackOutcome:
+    """Run the (already injected) image under ``mode`` and observe."""
+    flow = make_flow(mode, program=program, image=image if mode == "baseline" else None)
+    try:
+        result = run_image(image, flow, max_instructions)
+    except SecurityFault as fault:
+        return AttackOutcome(mode, False, True, False, fault)
+    except Exception:
+        # Wild control flow that crashed without tripping the tag check.
+        return AttackOutcome(mode, False, False, False)
+    words = result.output.words
+    return AttackOutcome(
+        mode,
+        shell_spawned=SHELL_MAGIC in words,
+        blocked=False,
+        service_completed=SERVICE_OK in words,
+    )
+
+
+@dataclass
+class AttackDemo:
+    """Everything produced by :func:`simulate_attack`."""
+
+    payload: Payload
+    baseline: AttackOutcome
+    vcfr: AttackOutcome
+    naive: AttackOutcome
+    benign_vcfr: AttackOutcome
+
+
+def simulate_attack(program: RandomizedProgram) -> AttackDemo:
+    """Full scenario against an already-randomized vulnerable service.
+
+    ``program`` must be a randomization of :func:`build_vulnerable_image`.
+    The attacker works from the *original* binary (threat model §II: the
+    attacker never sees the randomized image).
+    """
+    gadgets = scan_gadgets(program.original)
+    payload = compile_shell_payload(gadgets)
+    exploit = craft_exploit_input(payload)
+
+    baseline_img = BinaryImage.from_bytes(program.original.to_bytes())
+    inject_input(baseline_img, exploit)
+    vcfr_img = BinaryImage.from_bytes(program.vcfr_image.to_bytes())
+    inject_input(vcfr_img, exploit)
+    naive_img = BinaryImage.from_bytes(program.naive_image.to_bytes())
+    inject_input(naive_img, exploit)
+
+    benign_img = BinaryImage.from_bytes(program.vcfr_image.to_bytes())
+    inject_input(benign_img, [0x11111111, 0x22222222])
+
+    return AttackDemo(
+        payload=payload,
+        baseline=deliver(baseline_img, "baseline"),
+        vcfr=deliver(vcfr_img, "vcfr", program),
+        naive=deliver(naive_img, "naive_ilr", program),
+        benign_vcfr=deliver(benign_img, "vcfr", program),
+    )

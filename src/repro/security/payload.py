@@ -1,0 +1,153 @@
+"""ROP payload compilation (ROPgadget's auto-roper, paper §V-B).
+
+The compiler assembles an attack payload from a gadget pool.  The canonical
+goal in this reproduction is "spawn a shell", modelled in the RX86 syscall
+ABI as invoking ``EMIT`` with a magic marker value (observable in the
+output stream, so tests can assert whether an attack *actually executed*).
+
+Required roles, as in classic ret2libc-style ROPgadget templates:
+
+* ``pop eax ; ret``-style gadget to load the syscall number,
+* ``pop ebx ; ret``-style gadget to load the argument,
+* a gadget containing ``int 0x80``.
+
+"Typically, ROPgadget requires detection of multiple gadgets in an
+executable to assemble a payload.  If control flow randomization
+significantly reduces the number of gadgets ... the likelihood an attack
+payload can be assembled will become smaller" — compile on the survivor
+set to reproduce the paper's result that no payloads can be built after
+randomization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.registers import EAX, EBX
+from ..isa.syscalls import SYS_EMIT
+from .gadgets import END_RET, Gadget
+
+#: The observable "shell spawned" marker an attack payload emits.
+SHELL_MAGIC = 0xDEADC0DE
+
+
+@dataclass
+class RolePool:
+    """Gadgets indexed by the role they can play in a payload."""
+
+    pop_to_reg: Dict[int, List[Gadget]] = field(default_factory=dict)
+    syscall: List[Gadget] = field(default_factory=list)
+    mov_reg: List[Gadget] = field(default_factory=list)
+    arith: List[Gadget] = field(default_factory=list)
+    store: List[Gadget] = field(default_factory=list)
+
+
+def classify_roles(gadgets: List[Gadget]) -> RolePool:
+    """Sort ret-ending gadgets into payload roles.
+
+    Only ``ret``-terminated gadgets chain cleanly, so other endings are
+    ignored (as ROPgadget's ROP compiler does for its default templates).
+    A gadget qualifies for a role when its *side effects do not disturb*
+    the chain: every non-role instruction must be a nop or flag-only op.
+    """
+    pool = RolePool()
+    for gadget in gadgets:
+        if gadget.end_kind != END_RET:
+            continue
+        body = gadget.instructions[:-1]
+        if _is_single_pop(body):
+            reg = body[0].reg
+            pool.pop_to_reg.setdefault(reg, []).append(gadget)
+        if any(inst.mnemonic == "int" and inst.imm == 0x80 for inst in body):
+            if _harmless_around_syscall(body):
+                pool.syscall.append(gadget)
+        if len(body) == 1 and body[0].mnemonic == "mov" and body[0].mode == 0:
+            pool.mov_reg.append(gadget)
+        if len(body) == 1 and body[0].mnemonic in ("add", "sub", "xor") and (
+            body[0].mode == 0
+        ):
+            pool.arith.append(gadget)
+        if len(body) == 1 and body[0].mnemonic == "mov" and body[0].mode == 2:
+            pool.store.append(gadget)
+    return pool
+
+
+def _is_single_pop(body: List) -> bool:
+    return len(body) == 1 and body[0].mnemonic == "pop"
+
+
+def _harmless_around_syscall(body: List) -> bool:
+    for inst in body:
+        if inst.mnemonic == "int":
+            continue
+        if inst.mnemonic in ("nop", "cmp", "test"):
+            continue
+        return False
+    return True
+
+
+@dataclass
+class Payload:
+    """A compiled ROP chain: the exact words written over the stack."""
+
+    words: List[int]
+    gadgets_used: List[Gadget]
+
+    def describe(self) -> str:
+        return "\n".join("0x%08x" % w for w in self.words)
+
+
+class PayloadError(Exception):
+    """No payload can be assembled from the given gadget pool."""
+
+
+def compile_shell_payload(gadgets: List[Gadget]) -> Payload:
+    """Build the EMIT(SHELL_MAGIC) chain, or raise :class:`PayloadError`.
+
+    Chain layout (top of overwritten stack first)::
+
+        [pop-eax] [SYS_EMIT] [pop-ebx] [SHELL_MAGIC] [syscall]
+        [pop-eax] [SYS_EXIT] [pop-ebx] [0]           [syscall]
+
+    The trailing EXIT sequence terminates the victim cleanly after the
+    "shell" — real exploits do the same so the service does not crash and
+    raise alarms.
+    """
+    pool = classify_roles(gadgets)
+    pop_eax = _first(pool.pop_to_reg.get(EAX))
+    pop_ebx = _first(pool.pop_to_reg.get(EBX))
+    syscall = _first(pool.syscall)
+    missing = [
+        name
+        for name, g in (
+            ("pop eax; ret", pop_eax),
+            ("pop ebx; ret", pop_ebx),
+            ("int 0x80; ret", syscall),
+        )
+        if g is None
+    ]
+    if missing:
+        raise PayloadError("missing gadget roles: %s" % ", ".join(missing))
+    from ..isa.syscalls import SYS_EXIT
+
+    return Payload(
+        words=[
+            pop_eax.addr, SYS_EMIT, pop_ebx.addr, SHELL_MAGIC, syscall.addr,
+            pop_eax.addr, SYS_EXIT, pop_ebx.addr, 0, syscall.addr,
+        ],
+        gadgets_used=[pop_eax, pop_ebx, syscall],
+    )
+
+
+def _first(gadgets: Optional[List[Gadget]]) -> Optional[Gadget]:
+    return gadgets[0] if gadgets else None
+
+
+def can_build_payload(gadgets: List[Gadget]) -> bool:
+    """True when the shell payload compiles from this pool."""
+    try:
+        compile_shell_payload(gadgets)
+        return True
+    except PayloadError:
+        return False

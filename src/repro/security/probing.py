@@ -1,0 +1,104 @@
+"""Remote blind-probing attack model (paper §I / §V-C entropy argument).
+
+Snow et al. showed that *fine-grained* randomization can be defeated by
+just-in-time code reuse if the attacker can repeatedly *read* code memory;
+the paper's threat model denies reads, leaving only blind probing: guess
+an address, transfer control there, observe whether the service crashed.
+
+Under VCFR every wrong guess faults (randomized tag / strict entry), so
+
+* each probe that misses a live randomized slot crashes the service
+  (detectable, and — combined with re-randomization on restart —
+  knowledge-resetting);
+* the expected number of probes to find even a single live instruction is
+  ``region_slots / live_slots``; a usable *gadget* is rarer still.
+
+:func:`simulate_probing` plays this game concretely against a
+:class:`~repro.ilr.randomizer.RandomizedProgram` and reports the outcome
+distribution — the quantitative backing for the paper's claim that the
+randomization space is large enough to make remote attacks impractical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ilr.flow import SecurityFault, VCFRFlow
+from ..ilr.randomizer import RandomizedProgram
+
+
+@dataclass
+class ProbeReport:
+    """Outcome of a blind-probing campaign."""
+
+    probes: int
+    crashes: int
+    live_hits: int          # probes that landed on a live randomized slot
+    first_live_probe: Optional[int]  # 1-based index of the first live hit
+    expected_probes_per_hit: float
+
+    @property
+    def crash_rate(self) -> float:
+        return self.crashes / self.probes if self.probes else 0.0
+
+
+def simulate_probing(
+    program: RandomizedProgram,
+    probes: int = 10_000,
+    seed: int = 1,
+) -> ProbeReport:
+    """Fire ``probes`` uniform guesses into the randomized region.
+
+    Each guess is resolved exactly the way a control transfer would be;
+    a :class:`SecurityFault` is a service crash, a live slot is a "hit"
+    (the attacker found *an* instruction — still not necessarily a useful
+    gadget).
+    """
+    rng = random.Random(seed)
+    layout = program.layout
+    flow = VCFRFlow(program.rdr, program.entry_rand)
+    num_slots = layout.region_size // layout.slot_size
+
+    crashes = 0
+    live_hits = 0
+    first_live: Optional[int] = None
+    for probe_index in range(1, probes + 1):
+        guess = layout.region_base + rng.randrange(num_slots) * layout.slot_size
+        try:
+            flow.resolve(guess)
+        except SecurityFault:
+            crashes += 1
+            continue
+        live_hits += 1
+        if first_live is None:
+            first_live = probe_index
+
+    live = layout.num_instructions
+    return ProbeReport(
+        probes=probes,
+        crashes=crashes,
+        live_hits=live_hits,
+        first_live_probe=first_live,
+        expected_probes_per_hit=(num_slots / live) if live else float("inf"),
+    )
+
+
+def probes_to_defeat(
+    program: RandomizedProgram,
+    gadgets_needed: int = 3,
+) -> float:
+    """Expected probes to blindly locate a full gadget set.
+
+    Only instructions that *end a usable gadget chain* count; blind
+    probing cannot even tell which instruction it found without a further
+    oracle, so this is a strict lower bound on attacker effort — and each
+    expected miss in between is a crash.
+    """
+    layout = program.layout
+    num_slots = layout.region_size // layout.slot_size
+    live = layout.num_instructions
+    if live == 0:
+        return float("inf")
+    return gadgets_needed * num_slots / live

@@ -1,0 +1,9 @@
+"""Command-line tools over the library.
+
+* ``python -m repro.tools.mcc``       — compile MiniC to an RXBF binary
+* ``python -m repro.tools.asm``       — assemble .s to an RXBF binary
+* ``python -m repro.tools.objdump``   — disassemble / inspect a binary
+* ``python -m repro.tools.randomize`` — run the ILR randomizer
+* ``python -m repro.tools.run``       — execute a binary (any mode)
+* ``python -m repro.tools.ropscan``   — ROPgadget-style gadget scan
+"""

@@ -1,0 +1,38 @@
+"""``python -m repro.tools.asm`` — assemble RX86 source to an RXBF binary."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..isa import AssemblyError, assemble
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.asm",
+        description="Assemble RX86 assembly into an RXBF binary image.",
+    )
+    parser.add_argument("source", help="input .s file")
+    parser.add_argument("-o", "--output", required=True, help="output .rxbf file")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as fh:
+        text = fh.read()
+    try:
+        image = assemble(text)
+    except AssemblyError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+    with open(args.output, "wb") as fh:
+        fh.write(image.to_bytes())
+    print(
+        "%s: %d bytes of code, %d symbols, %d relocations, entry 0x%x"
+        % (args.output, image.code_size, len(image.symbols),
+           len(image.relocations), image.entry)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""``python -m repro.tools.mcc`` — the MiniC compiler driver.
+
+Compiles MiniC source to an RXBF binary (or, with ``-S``, to RX86
+assembly text), completing the source-to-randomized-execution pipeline:
+
+    mcc prog.mc -o prog.rxbf
+    randomize prog.rxbf -o prog.rxrp --verify
+    run prog.rxrp --mode vcfr --timing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..cc import CompileError, LexError, ParseError, compile_to_assembly
+from ..isa import AssemblyError, assemble
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.mcc",
+        description="Compile MiniC to an RXBF binary.",
+    )
+    parser.add_argument("source", help="input .mc file")
+    parser.add_argument("-o", "--output", required=True,
+                        help="output file (.rxbf, or .s with -S)")
+    parser.add_argument("-S", "--assembly", action="store_true",
+                        help="emit RX86 assembly text instead of a binary")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as fh:
+        source = fh.read()
+    try:
+        assembly = compile_to_assembly(source)
+    except (LexError, ParseError, CompileError) as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+
+    if args.assembly:
+        with open(args.output, "w") as fh:
+            fh.write(assembly)
+        print("%s: %d lines of assembly" % (args.output,
+                                            assembly.count("\n")))
+        return 0
+
+    try:
+        image = assemble(assembly)
+    except AssemblyError as err:  # a codegen bug, if ever
+        print("internal error: %s" % err, file=sys.stderr)
+        return 2
+    with open(args.output, "wb") as fh:
+        fh.write(image.to_bytes())
+    print("%s: %d bytes of code, entry 0x%x"
+          % (args.output, image.code_size, image.entry))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

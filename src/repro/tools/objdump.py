@@ -1,0 +1,79 @@
+"""``python -m repro.tools.objdump`` — inspect RXBF binary images.
+
+Flags mirror the classic tool: ``-d`` disassemble, ``-t`` symbol table,
+``-r`` relocations, ``-h`` (default) section headers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis import disassemble
+from ..binary import BinaryImage
+
+
+def _print_sections(image: BinaryImage) -> None:
+    print("Sections:")
+    print("  %-12s %-10s %-8s %s" % ("name", "base", "size", "flags"))
+    for sec in image.sections:
+        flags = "".join(
+            ch if sec.flags & bit else "-"
+            for ch, bit in (("r", 4), ("w", 2), ("x", 1))
+        )
+        print("  %-12s 0x%08x %-8d %s" % (sec.name, sec.base, sec.size, flags))
+    print("Entry point: 0x%08x" % image.entry)
+
+
+def _print_symbols(image: BinaryImage) -> None:
+    print("Symbol table:")
+    for sym in sorted(image.symbols, key=lambda s: s.addr):
+        kind = "F" if sym.is_func else " "
+        print("  0x%08x %s %s" % (sym.addr, kind, sym.name))
+
+
+def _print_relocations(image: BinaryImage) -> None:
+    print("Relocations:")
+    for reloc in image.relocations:
+        print("  0x%08x %-12s -> 0x%08x" % (reloc.addr, reloc.kind, reloc.target))
+
+
+def _print_disassembly(image: BinaryImage) -> None:
+    disasm = disassemble(image)
+    by_addr = {s.addr: s.name for s in image.symbols}
+    for inst in disasm.instructions:
+        label = by_addr.get(inst.addr)
+        if label:
+            print("%s:" % label)
+        raw = image.read(inst.addr, inst.length)
+        print("  %08x:  %-18s %s" % (inst.addr, raw.hex(" "), inst.text()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.objdump",
+        description="Inspect an RXBF binary image.",
+    )
+    parser.add_argument("binary", help="input .rxbf file")
+    parser.add_argument("-d", "--disassemble", action="store_true")
+    parser.add_argument("-t", "--symbols", action="store_true")
+    parser.add_argument("-r", "--relocations", action="store_true")
+    args = parser.parse_args(argv)
+
+    with open(args.binary, "rb") as fh:
+        image = BinaryImage.from_bytes(fh.read())
+
+    if not (args.disassemble or args.symbols or args.relocations):
+        _print_sections(image)
+        return 0
+    if args.symbols:
+        _print_symbols(image)
+    if args.relocations:
+        _print_relocations(image)
+    if args.disassemble:
+        _print_disassembly(image)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""``python -m repro.tools.run`` — execute an RXBF binary or RXRP bundle.
+
+Modes: ``baseline`` (plain .rxbf or a bundle's original image),
+``naive_ilr`` / ``vcfr`` (bundles only), ``emulate`` (software-ILR VM).
+``--timing`` switches from the functional runner to the cycle simulator
+and prints IPC/cache/DRC statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..arch.cpu import simulate
+from ..arch.functional import run_image
+from ..binary import BinaryImage
+from ..emu import ILREmulator
+from ..ilr import SecurityFault, make_flow
+from ..ilr.bundle import BundleError, load
+
+
+def _load_any(path: str):
+    """Return (program_or_None, image_or_None)."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if blob[:4] == b"RXRP":
+        return load(path), None
+    return None, BinaryImage.from_bytes(blob)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.run",
+        description="Execute an RXBF binary or RXRP randomized bundle.",
+    )
+    parser.add_argument("path", help=".rxbf or .rxrp file")
+    parser.add_argument("--mode", default="baseline",
+                        choices=("baseline", "naive_ilr", "vcfr", "emulate"))
+    parser.add_argument("--timing", action="store_true",
+                        help="cycle simulation with statistics")
+    parser.add_argument("--max-instructions", type=int, default=50_000_000)
+    args = parser.parse_args(argv)
+
+    program, image = _load_any(args.path)
+    if program is None and args.mode != "baseline":
+        print("error: mode %r needs an RXRP bundle" % args.mode,
+              file=sys.stderr)
+        return 1
+
+    try:
+        if args.mode == "emulate":
+            result = ILREmulator(
+                program, max_instructions=args.max_instructions
+            ).run()
+            run = result.run
+            print("emulated %d instructions (%d host instructions, %.0f/guest)"
+                  % (run.icount, result.host_instructions,
+                     result.host_instructions / max(1, run.icount)))
+            _print_outcome(run.exit_code, run.output)
+            return run.exit_code or 0
+
+        target = image if program is None else {
+            "baseline": program.original,
+            "naive_ilr": program.naive_image,
+            "vcfr": program.vcfr_image,
+        }[args.mode]
+        flow = make_flow(args.mode, program=program, image=target)
+
+        if args.timing:
+            result = simulate(target, flow,
+                              max_instructions=args.max_instructions)
+            print(result.summary())
+            _print_outcome(result.exit_code, result.output)
+            return result.exit_code or 0
+
+        run = run_image(target, flow, args.max_instructions)
+        print("retired %d instructions" % run.icount)
+        _print_outcome(run.exit_code, run.output)
+        return run.exit_code or 0
+    except SecurityFault as fault:
+        print("SECURITY FAULT: %s" % fault, file=sys.stderr)
+        return 139  # SIGSEGV-style status, as a faulting process would get
+    except BundleError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+
+
+def _print_outcome(exit_code, output) -> None:
+    if output is not None and output.chars:
+        print("stdout: %r" % output.text())
+    if output is not None and output.words:
+        print("words:  %s" % [hex(w) for w in output.words])
+    print("exit:   %s" % exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

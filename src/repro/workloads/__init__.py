@@ -1,0 +1,34 @@
+"""Synthetic SPEC-CPU2006-like benchmark programs.
+
+The suite substitutes for the paper's SPEC binaries: each program is a
+real, self-checking RX86 program generated to match the corresponding
+application's signature behaviour (code footprint, branch mix,
+indirect-call density, data working set).  See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .builder import ProgramBuilder, dispatch_indexed, jump_table
+from .suite import (
+    BY_NAME,
+    FIG2_APPS,
+    SPEC_APPS,
+    TABLE2_APPS,
+    Workload,
+    build_image,
+    clear_cache,
+    get_workload,
+)
+
+__all__ = [
+    "ProgramBuilder",
+    "jump_table",
+    "dispatch_indexed",
+    "Workload",
+    "SPEC_APPS",
+    "FIG2_APPS",
+    "TABLE2_APPS",
+    "BY_NAME",
+    "build_image",
+    "get_workload",
+    "clear_cache",
+]

@@ -1,0 +1,33 @@
+"""The generated benchmark programs (one module per application)."""
+
+from . import (
+    bzip2_like,
+    gcc_like,
+    h264_like,
+    hmmer_like,
+    lbm_like,
+    libquantum_like,
+    mcf_like,
+    memcpy_like,
+    namd_like,
+    python_like,
+    sjeng_like,
+    soplex_like,
+    xalan_like,
+)
+
+__all__ = [
+    "bzip2_like",
+    "gcc_like",
+    "h264_like",
+    "hmmer_like",
+    "lbm_like",
+    "libquantum_like",
+    "mcf_like",
+    "memcpy_like",
+    "namd_like",
+    "python_like",
+    "sjeng_like",
+    "soplex_like",
+    "xalan_like",
+]

@@ -1,0 +1,52 @@
+"""bzip2 stand-in: run-length compression passes over a word buffer.
+
+Signature behaviour: byte/word-stream processing with data-dependent
+branches (run detection), a moderate code footprint built from several
+distinct compression-pass variants, and streaming reads.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import (
+    alloc_array,
+    gen_bit_kernel,
+    gen_rle_compress,
+    gen_stream_sum,
+    init_array_fn,
+)
+from .common import begin_program, driver, scaled
+
+NAME = "bzip2"
+
+#: words in the input buffer.
+_BUF_WORDS = 512
+#: distinct compression-pass variants (code footprint).
+_VARIANTS = 10
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    words = scaled(_BUF_WORDS, scale, 64)
+
+    alloc_array(b, "src", words)
+    alloc_array(b, "dst", words + 4)
+    init_array_fn(b, "init_src", "src", words)
+
+    passes = []
+    for v in range(_VARIANTS):
+        fname = "rle_pass_%d" % v
+        if v % 3 == 2:
+            gen_bit_kernel(b, fname, "src", words, gate_mask=0x33333333 >> (v % 4))
+        else:
+            gen_rle_compress(b, fname, "src", "dst", words)
+        passes.append(fname)
+    gen_stream_sum(b, "final_sum", "dst", words // 2)
+
+    def body():
+        for fname in passes:
+            b.emit("call %s" % fname)
+        b.emit("call final_sum")
+
+    driver(b, iterations=scaled(2, scale), init_calls=["init_src"], body=body)
+    return b.image()

@@ -1,0 +1,47 @@
+"""Shared scaffolding for the generated benchmark programs."""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..builder import ProgramBuilder
+from ..kernels import declare_globals
+
+
+def begin_program(name: str) -> ProgramBuilder:
+    """New builder with the standard globals declared."""
+    b = ProgramBuilder(name)
+    declare_globals(b)
+    return b
+
+
+def driver(b: ProgramBuilder, iterations: int, init_calls: List[str],
+           body: Callable[[], None]) -> None:
+    """Emit ``main``: init, an outer loop around ``body``, checksum, exit.
+
+    The loop counter lives in the ``g_iter`` global because the body is
+    free to clobber every register (it is made of function calls).
+    """
+    b.label("main")
+    for fn in init_calls:
+        b.emit("call %s" % fn)
+    outer = b.unique("outer")
+    b.label(outer)
+    body()
+    b.emits(
+        "movi esi, g_iter",
+        "mov eax, [esi+0]",
+        "add eax, 1",
+        "mov [esi+0], eax",
+        "cmp eax, %d" % iterations,
+        "jl %s" % outer,
+        "movi esi, g_sum",
+        "mov ebx, [esi+0]",
+    )
+    b.emit_word("ebx")
+    b.exit(0)
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an iteration/size knob, keeping it sane."""
+    return max(minimum, int(value * scale))

@@ -1,0 +1,108 @@
+"""gcc stand-in: very large code footprint, hundreds of distinct functions.
+
+Signature behaviour: the biggest direct-transfer count of the suite
+(Table II: gcc has ~150k direct transfers, far above the rest), a hot
+instruction window that pressures the IL1 once randomized, phase rotation
+(compiler passes change across "functions being compiled"), and a
+table-driven pass dispatch with indirect calls.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..builder import ProgramBuilder, jump_table
+from ..kernels import add_to_sum, alloc_array, gen_clones, gen_hot_loop, init_array_fn
+from .common import begin_program, driver, scaled
+
+NAME = "gcc"
+
+_CLONES = 144
+_WINDOWS = 8  # pass phases; each iteration runs one phase's clones
+_INDIRECT_PASSES = 24
+
+
+def _clone_body(b: ProgramBuilder, idx: int) -> None:
+    """A small, genuinely distinct 'compiler pass helper' (~30 insts)."""
+    skip = b.unique("cb")
+    again = b.unique("ca")
+    b.emits(
+        "movi eax, %d" % (idx * 7 + 3),
+        "movi ecx, %d" % ((idx ^ 0x5A) + 2),
+        "movi ebx, 0",
+    )
+    b.label(again)
+    b.emits(
+        "imul eax, ecx",
+        "add eax, %d" % (idx + 11),
+        "mov edx, eax",
+        "shr edx, %d" % (1 + idx % 11),
+        "xor eax, edx",
+        "cmp eax, %d" % (idx * 1000 + 5),
+        "jl %s" % skip,
+        "sub eax, %d" % (idx * 3 + 1),
+    )
+    b.label(skip)
+    b.emits(
+        "and eax, 262143",
+        "add ebx, eax",
+        "add ecx, 1",
+        "cmp ecx, %d" % ((idx ^ 0x5A) + 4),
+        "jl %s" % again,
+    )
+    add_to_sum(b, "ebx")
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    clones = scaled(_CLONES, scale, _WINDOWS * 4)
+    per_window = clones // _WINDOWS
+
+    alloc_array(b, "symtab", 256)
+    init_array_fn(b, "init_symtab", "symtab", 256)
+
+    names = gen_clones(b, "pass", clones, _clone_body)
+
+    # Indirect pass dispatch: a pass-manager table of function pointers.
+    jump_table(b, "pass_table", names[:_INDIRECT_PASSES])
+    b.func("run_indirect_passes")
+    for i in range(_INDIRECT_PASSES):
+        b.emits(
+            "movi edx, pass_table",
+            "calli [edx+%d]" % (4 * i),
+        )
+    b.endfunc()
+
+    # One "phase" function per window of clones; the driver rotates
+    # through phases across iterations (pass scheduling).
+    phase_names = []
+    for w in range(_WINDOWS):
+        pname = "phase_%d" % w
+        phase_names.append(pname)
+        b.func(pname)
+        for name in names[w * per_window : (w + 1) * per_window]:
+            for _ in range(4):
+                b.emit("call %s" % name)
+        b.endfunc()
+
+    b.func("run_phase")
+    b.emits("movi esi, g_iter", "mov eax, [esi+0]",
+            "and eax, %d" % (_WINDOWS - 1))
+    done = b.unique("rpd")
+    for idx, pname in enumerate(phase_names):
+        nxt = b.unique("rp")
+        b.emits("cmp eax, %d" % idx, "jnz %s" % nxt,
+                "call %s" % pname, "jmp %s" % done)
+        b.label(nxt)
+    b.label(done)
+    b.endfunc()
+
+    # The hot half of gcc's profile: a small, heavily reused kernel
+    # (e.g. the bitmap/ggc inner loops) between cold pass sweeps.
+    gen_hot_loop(b, "hot_kernel", iterations=220, variant=1)
+
+    def body():
+        b.emits("call run_phase", "call hot_kernel", "call run_indirect_passes")
+
+    driver(b, iterations=scaled(12, scale), init_calls=["init_symtab"],
+           body=body)
+    return b.image()

@@ -1,0 +1,42 @@
+"""hmmer stand-in: profile-HMM dynamic programming row sweeps.
+
+Signature behaviour: tight DP inner loops (load/compare/select/store per
+cell) with a data-dependent branch per cell and a few loop variants.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import alloc_array, gen_dp_pass, gen_stream_sum, init_array_fn
+from .common import begin_program, driver, scaled
+
+NAME = "hmmer"
+
+_COLS = 768
+_ROW_VARIANTS = 6
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    cols = scaled(_COLS, scale, 32)
+
+    alloc_array(b, "dp_row", cols + 2)
+    alloc_array(b, "scores", cols + 2)
+    init_array_fn(b, "init_row", "dp_row", cols + 2)
+    init_array_fn(b, "init_scores", "scores", cols + 2, mult=40503)
+
+    passes = []
+    for v in range(_ROW_VARIANTS):
+        fname = "dp_pass_%d" % v
+        gen_dp_pass(b, fname, "dp_row", "scores", cols)
+        passes.append(fname)
+    gen_stream_sum(b, "row_sum", "dp_row", cols)
+
+    def body():
+        for fname in passes:
+            b.emit("call %s" % fname)
+        b.emit("call row_sum")
+
+    driver(b, iterations=scaled(2, scale),
+           init_calls=["init_row", "init_scores"], body=body)
+    return b.image()

@@ -1,0 +1,37 @@
+"""lbm stand-in: lattice streaming — stencil sweeps over a large grid.
+
+Signature behaviour: a *small* hot code footprint (two stencil loops)
+over a *large* data working set that streams through the caches.  In the
+paper, lbm is among the worst DRC-miss applications despite its tiny
+code: its few translations get little reuse per sweep while its data
+traffic fights the shared L2.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import alloc_array, gen_stencil, gen_stream_sum, init_array_fn
+from .common import begin_program, driver, scaled
+
+NAME = "lbm"
+
+_GRID_WORDS = 8192  # 32 KiB per grid: exceeds DL1, pressures L2
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    words = scaled(_GRID_WORDS, scale, 128)
+
+    alloc_array(b, "grid_a", words)
+    alloc_array(b, "grid_b", words)
+    init_array_fn(b, "init_grid", "grid_a", words)
+
+    gen_stencil(b, "stream_ab", "grid_a", "grid_b", words)
+    gen_stencil(b, "stream_ba", "grid_b", "grid_a", words)
+    gen_stream_sum(b, "grid_sum", "grid_a", words, stride_words=4)
+
+    def body():
+        b.emits("call stream_ab", "call stream_ba", "call grid_sum")
+
+    driver(b, iterations=scaled(1, scale), init_calls=["init_grid"], body=body)
+    return b.image()

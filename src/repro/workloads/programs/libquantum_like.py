@@ -1,0 +1,41 @@
+"""libquantum stand-in: quantum-gate bit manipulation over a register file.
+
+Signature behaviour: streaming XOR/shift transforms (gate applications)
+over a quantum-state array, one pass per gate in the circuit.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import alloc_array, gen_bit_kernel, gen_stream_sum, init_array_fn
+from .common import begin_program, driver, scaled
+
+NAME = "libquantum"
+
+_STATE_WORDS = 1536
+_GATES = 6
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    words = scaled(_STATE_WORDS, scale, 64)
+
+    alloc_array(b, "qstate", words)
+    init_array_fn(b, "init_state", "qstate", words)
+
+    gates = []
+    masks = [0x55555555, 0x33333333, 0x0F0F0F0F, 0x00FF00FF, 0xAAAAAAAA,
+             0x5A5A5A5A]
+    for g in range(_GATES):
+        fname = "gate_%d" % g
+        gen_bit_kernel(b, fname, "qstate", words, gate_mask=masks[g % len(masks)])
+        gates.append(fname)
+    gen_stream_sum(b, "state_sum", "qstate", words, stride_words=2)
+
+    def body():
+        for fname in gates:
+            b.emit("call %s" % fname)
+        b.emit("call state_sum")
+
+    driver(b, iterations=scaled(1, scale), init_calls=["init_state"], body=body)
+    return b.image()

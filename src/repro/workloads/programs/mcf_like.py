@@ -1,0 +1,85 @@
+"""mcf stand-in: pointer chasing over a shuffled network of nodes.
+
+Signature behaviour: the classic memory-latency-bound profile — long
+dependent chains of loads through a randomly permuted linked structure,
+tiny hot code, poor spatial locality on the data side.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...binary import BinaryImage
+from ..kernels import (
+    add_to_sum,
+    build_linked_list,
+    gen_pointer_chase,
+)
+from .common import begin_program, driver, scaled
+
+NAME = "mcf"
+
+_NODES = 3072
+_CHASE_STEPS = 3072
+
+
+def build(scale: float = 1.0, seed: int = 20061004) -> BinaryImage:
+    b = begin_program(NAME)
+    rng = random.Random(seed)
+    nodes = scaled(_NODES, scale, 64)
+    steps = scaled(_CHASE_STEPS, scale, 64)
+
+    build_linked_list(b, "arcs", nodes, rng)
+    gen_pointer_chase(b, "chase_arcs", "arcs", steps)
+
+    # A small cost-update pass: rewrite node values along a strided walk.
+    b.func("update_costs")
+    top = b.unique("uc")
+    b.emits("movi esi, arcs", "movi ecx, 0", "movi ebx, 0")
+    b.label(top)
+    b.emits(
+        "mov eax, [esi+4]",
+        "add eax, 13",
+        "and eax, 1073741823",
+        "mov [esi+4], eax",
+        "add ebx, eax",
+        "add esi, 64",          # stride across node records
+        "add ecx, 1",
+        "cmp ecx, %d" % (nodes // 8),
+        "jl %s" % top,
+    )
+    add_to_sum(b, "ebx")
+    b.endfunc()
+
+    # Arc-type processing clones: mcf's solver has a non-trivial hot code
+    # footprint (price updates, basis maintenance) beyond the pure chase.
+    arc_fns = []
+    for v in range(24):
+        fname = "arc_kind_%d" % v
+        arc_fns.append(fname)
+        b.func(fname)
+        skip = b.unique("ak")
+        b.emits(
+            "movi esi, arcs",
+            "mov eax, [esi+%d]" % (8 * (v * 37 % max(1, nodes)) + 4),
+            "movi edx, %d" % (v + 3),
+            "imul eax, edx",
+            "mov ecx, eax",
+            "shr ecx, %d" % (2 + v % 7),
+            "xor eax, ecx",
+            "cmp eax, %d" % (v * 4096),
+            "jl %s" % skip,
+            "sub eax, %d" % (v + 1),
+        )
+        b.label(skip)
+        b.emit("and eax, 1048575")
+        add_to_sum(b, "eax")
+        b.endfunc()
+
+    def body():
+        b.emits("call chase_arcs", "call update_costs")
+        for fname in arc_fns:
+            b.emit("call %s" % fname)
+
+    driver(b, iterations=scaled(4, scale), init_calls=[], body=body)
+    return b.image()

@@ -1,0 +1,30 @@
+"""memcpy micro-benchmark (used in the paper's Fig. 2 emulator study)."""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import alloc_array, gen_memcpy_fn, gen_stream_sum, init_array_fn
+from .common import begin_program, driver, scaled
+
+NAME = "memcpy"
+
+_WORDS = 4096
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    words = scaled(_WORDS, scale, 64)
+
+    alloc_array(b, "src", words)
+    alloc_array(b, "dst", words)
+    init_array_fn(b, "init_src", "src", words)
+
+    gen_memcpy_fn(b, "do_memcpy", "src", "dst", words)
+    gen_memcpy_fn(b, "copy_back", "dst", "src", words)
+    gen_stream_sum(b, "check", "dst", words, stride_words=8)
+
+    def body():
+        b.emits("call do_memcpy", "call copy_back", "call check")
+
+    driver(b, iterations=scaled(2, scale), init_calls=["init_src"], body=body)
+    return b.image()

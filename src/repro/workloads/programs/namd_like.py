@@ -1,0 +1,40 @@
+"""namd stand-in: dense fixed-point arithmetic, heavily unrolled.
+
+Signature behaviour: long straight-line multiply/shift/accumulate blocks
+(force-field evaluation), many distinct unrolled variants giving a
+sizeable hot code footprint with very few data accesses.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import gen_arith_block, gen_hot_loop
+from .common import begin_program, driver, scaled
+
+NAME = "namd"
+
+_VARIANTS = 48
+_UNROLL = 20
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    variants = scaled(_VARIANTS, scale, 8)
+
+    names = []
+    for v in range(variants):
+        fname = "force_%d" % v
+        gen_arith_block(b, fname, _UNROLL, v)
+        names.append(fname)
+
+    # The hot half: namd's nonbonded inner loop dominates execution
+    # between sweeps over the per-atom-type force variants.
+    gen_hot_loop(b, "pairlist_loop", iterations=700, variant=7)
+
+    def body():
+        for fname in names:
+            b.emit("call %s" % fname)
+        b.emit("call pairlist_loop")
+
+    driver(b, iterations=scaled(4, scale), init_calls=[], body=body)
+    return b.image()

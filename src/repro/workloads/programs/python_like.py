@@ -1,0 +1,57 @@
+"""python stand-in (paper Fig. 2): a bytecode interpreter.
+
+Signature behaviour: the canonical emulation-hostile profile — a fetch/
+dispatch/execute loop with an indirect jump per virtual instruction plus
+helper calls, exactly the structure of CPython's eval loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...binary import BinaryImage
+from ..builder import ProgramBuilder
+from ..kernels import add_to_sum, alloc_array, gen_interpreter, init_array_fn
+from .common import begin_program, driver, scaled
+
+NAME = "python"
+
+_HANDLERS = 32
+_BYTECODE_LEN = 1024
+
+
+def build(scale: float = 1.0, seed: int = 3141) -> BinaryImage:
+    b = begin_program(NAME)
+    rng = random.Random(seed)
+    length = scaled(_BYTECODE_LEN, scale, 64)
+
+    alloc_array(b, "heap_objs", 512)
+    init_array_fn(b, "init_heap", "heap_objs", 512)
+
+    # Helper "runtime" functions some opcodes call.
+    # NB: called from interpreter handlers, so it must preserve the
+    # interpreter's live registers (ecx, edi, ebx) — see gen_interpreter.
+    b.func("obj_hash")
+    b.emits(
+        "movi esi, heap_objs",
+        "mov eax, [esi+64]",
+        "movi edx, 1000003",
+        "imul eax, edx",
+        "and eax, 1048575",
+    )
+    add_to_sum(b, "eax")
+    b.endfunc()
+
+    def handler_extra(bb: ProgramBuilder, h: int) -> None:
+        if h % 6 == 0:
+            bb.emit("call obj_hash")
+
+    bytecode = [rng.randrange(_HANDLERS) for _ in range(length)]
+    gen_interpreter(b, "eval_frame", "py", bytecode, _HANDLERS,
+                    handler_extra=handler_extra)
+
+    def body():
+        b.emit("call eval_frame")
+
+    driver(b, iterations=scaled(4, scale), init_calls=["init_heap"], body=body)
+    return b.image()

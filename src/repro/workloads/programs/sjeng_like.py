@@ -1,0 +1,55 @@
+"""sjeng stand-in: recursive game-tree search with branchy evaluation.
+
+Signature behaviour: deep recursion (call/ret pressure on the RAS and on
+return-address randomization), data-dependent branches in the evaluator,
+and several distinct evaluation functions.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import add_to_sum, gen_recursive_eval
+from .common import begin_program, driver, scaled
+
+NAME = "sjeng"
+
+_SEARCH_DEPTH = 9  # 2^(d+1)-1 calls per search
+_EVALS = 12
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    depth = max(3, _SEARCH_DEPTH + (0 if scale >= 1.0 else -2))
+
+    evals = []
+    for v in range(_EVALS):
+        fname = "search_%d" % v
+        gen_recursive_eval(b, fname, depth, fanout_label_seed=v)
+        evals.append(fname)
+
+    # Driver wrapper: run one search variant per outer iteration, rotating.
+    b.func("run_search")
+    b.emits("movi esi, g_iter", "mov eax, [esi+0]", "and eax, %d" % (len(evals) - 1
+             if (len(evals) & (len(evals) - 1)) == 0 else 7))
+    # dispatch among the first 8 variants with a chain of compares
+    done = b.unique("rsd")
+    for idx, fname in enumerate(evals[:8]):
+        nxt = b.unique("rs")
+        b.emits(
+            "cmp eax, %d" % idx,
+            "jnz %s" % nxt,
+            "movi eax, %d" % depth,
+            "call %s" % fname,
+            "jmp %s" % done,
+        )
+        b.label(nxt)
+    b.emits("movi eax, %d" % depth, "call %s" % evals[0])
+    b.label(done)
+    add_to_sum(b, "eax")
+    b.endfunc()
+
+    def body():
+        b.emit("call run_search")
+
+    driver(b, iterations=scaled(5, scale), init_calls=[], body=body)
+    return b.image()

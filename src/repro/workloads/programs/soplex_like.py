@@ -1,0 +1,89 @@
+"""soplex stand-in: simplex pivoting — row operations + reductions.
+
+Signature behaviour: mixed profile — strided row updates (axpy-like),
+column reductions with compare/select (pricing), and a pivot-selection
+pass with data-dependent branches.
+"""
+
+from __future__ import annotations
+
+from ...binary import BinaryImage
+from ..kernels import add_to_sum, alloc_array, gen_stream_sum, init_array_fn
+from .common import begin_program, driver, scaled
+
+NAME = "soplex"
+
+_COLS = 640
+_ROWS = 6
+
+
+def build(scale: float = 1.0) -> BinaryImage:
+    b = begin_program(NAME)
+    cols = scaled(_COLS, scale, 32)
+
+    alloc_array(b, "tableau", cols * _ROWS)
+    init_array_fn(b, "init_tab", "tableau", cols * _ROWS)
+
+    # axpy row updates: row[r] += k * row[0], one function per row.
+    updates = []
+    for r in range(1, _ROWS):
+        fname = "row_update_%d" % r
+        updates.append(fname)
+        b.func(fname)
+        top = b.unique("ru")
+        b.emits(
+            "movi esi, tableau",
+            "movi edi, tableau",
+            "add edi, %d" % (4 * cols * r),
+            "movi ecx, 0",
+            "movi ebx, 0",
+        )
+        b.label(top)
+        b.emits(
+            "mov eax, [esi+0]",
+            "movi edx, %d" % (r + 2),
+            "imul eax, edx",
+            "add eax, [edi+0]",
+            "and eax, 1073741823",
+            "mov [edi+0], eax",
+            "add ebx, eax",
+            "add esi, 4",
+            "add edi, 4",
+            "add ecx, 1",
+            "cmp ecx, %d" % cols,
+            "jl %s" % top,
+        )
+        add_to_sum(b, "ebx")
+        b.endfunc()
+
+    # Pricing pass: find the max-value column (compare/select per element).
+    b.func("pricing")
+    top = b.unique("pr")
+    keep = b.unique("pk")
+    b.emits("movi esi, tableau", "movi ecx, 0", "movi ebx, 0")
+    b.label(top)
+    b.emits(
+        "mov eax, [esi+0]",
+        "cmp eax, ebx",
+        "jle %s" % keep,
+        "mov ebx, eax",
+    )
+    b.label(keep)
+    b.emits(
+        "add esi, 4",
+        "add ecx, 1",
+        "cmp ecx, %d" % (cols * _ROWS),
+        "jl %s" % top,
+    )
+    add_to_sum(b, "ebx")
+    b.endfunc()
+
+    gen_stream_sum(b, "tab_sum", "tableau", cols)
+
+    def body():
+        for fname in updates:
+            b.emit("call %s" % fname)
+        b.emits("call pricing", "call tab_sum")
+
+    driver(b, iterations=scaled(2, scale), init_calls=["init_tab"], body=body)
+    return b.image()

@@ -1,0 +1,85 @@
+"""xalancbmk stand-in: template dispatch — the indirect-call champion.
+
+Signature behaviour (Table II): by far the most indirect function calls
+of the suite.  Modelled as an XSLT-like engine: a bytecode-driven
+template interpreter whose handlers *call through function-pointer
+tables* into a large population of template functions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...binary import BinaryImage
+from ..builder import ProgramBuilder, jump_table
+from ..kernels import add_to_sum, gen_clones, gen_hot_loop, gen_interpreter
+from .common import begin_program, driver, scaled
+
+NAME = "xalan"
+
+_TEMPLATES = 96
+_HANDLERS = 32
+_BYTECODE_LEN = 192
+
+
+def _template_body(b: ProgramBuilder, idx: int) -> None:
+    top = b.unique("tb")
+    skip = b.unique("ts")
+    b.emits(
+        "movi eax, %d" % (idx * 31 + 5),
+        "movi esi, 0",
+    )
+    b.label(top)
+    b.emits(
+        "mov edx, eax",
+        "shl edx, %d" % (1 + idx % 9),
+        "xor eax, edx",
+        "cmp eax, %d" % (idx * 64 + 7),
+        "jl %s" % skip,
+        "add eax, %d" % (idx + 1),
+    )
+    b.label(skip)
+    b.emits(
+        "and eax, 524287",
+        "add esi, 1",
+        "cmp esi, 2",
+        "jl %s" % top,
+    )
+    add_to_sum(b, "eax")
+
+
+def build(scale: float = 1.0, seed: int = 1998) -> BinaryImage:
+    b = begin_program(NAME)
+    rng = random.Random(seed)
+    templates = scaled(_TEMPLATES, scale, 8)
+
+    names = gen_clones(b, "tmpl", templates, _template_body)
+    jump_table(b, "tmpl_table", names)
+
+    # Each interpreter handler makes an indirect call into the template
+    # population — this is what gives xalan its indirect-call density.
+    def handler_extra(bb: ProgramBuilder, h: int) -> None:
+        slot = (h * 7) % templates
+        bb.emits(
+            "movi edx, tmpl_table",
+            "calli [edx+%d]" % (4 * slot),
+        )
+
+    bytecode = [rng.randrange(_HANDLERS) for _ in range(_BYTECODE_LEN)]
+    gen_interpreter(b, "run_templates", "xsl", bytecode, _HANDLERS,
+                    handler_extra=handler_extra)
+
+    # A second processing stage calling templates through computed slots.
+    b.func("apply_all")
+    for i in range(0, templates, 3):
+        b.emits("movi edx, tmpl_table", "calli [edx+%d]" % (4 * i))
+    b.endfunc()
+
+    # String/character scanning: the hot half of an XSLT processor.
+    gen_hot_loop(b, "scan_loop", iterations=260, variant=5)
+
+    def body():
+        b.emits("call run_templates", "call apply_all", "call scan_loop")
+
+    driver(b, iterations=scaled(7, scale), init_calls=[], body=body)
+    return b.image()

@@ -1,0 +1,101 @@
+"""Benchmark suite registry.
+
+``SPEC_APPS`` are the eleven SPEC CPU2006 applications the paper
+evaluates (§VI-B); ``FIG2_APPS`` are the six applications of the Fig. 2
+emulator study.  Each entry knows how to build its image and caches the
+result per (name, scale) so that experiments sharing a workload do not
+re-assemble it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..binary import BinaryImage
+from .programs import (
+    bzip2_like,
+    gcc_like,
+    h264_like,
+    hmmer_like,
+    lbm_like,
+    libquantum_like,
+    mcf_like,
+    memcpy_like,
+    namd_like,
+    python_like,
+    sjeng_like,
+    soplex_like,
+    xalan_like,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program and its descriptive metadata."""
+
+    name: str
+    build: Callable[..., BinaryImage]
+    description: str
+
+
+_ALL = [
+    Workload(bzip2_like.NAME, bzip2_like.build,
+             "run-length compression over a word stream"),
+    Workload(gcc_like.NAME, gcc_like.build,
+             "hundreds of small pass functions; largest code footprint"),
+    Workload(h264_like.NAME, h264_like.build,
+             "unrolled 4x4 block transforms with mode dispatch"),
+    Workload(hmmer_like.NAME, hmmer_like.build,
+             "profile-HMM dynamic programming rows"),
+    Workload(lbm_like.NAME, lbm_like.build,
+             "stencil streaming over a large grid"),
+    Workload(libquantum_like.NAME, libquantum_like.build,
+             "quantum-gate bit manipulation passes"),
+    Workload(mcf_like.NAME, mcf_like.build,
+             "pointer chasing through a shuffled arc network"),
+    Workload(namd_like.NAME, namd_like.build,
+             "dense unrolled fixed-point force evaluation"),
+    Workload(sjeng_like.NAME, sjeng_like.build,
+             "recursive game-tree search"),
+    Workload(soplex_like.NAME, soplex_like.build,
+             "simplex row operations and pricing"),
+    Workload(xalan_like.NAME, xalan_like.build,
+             "template interpreter; most indirect calls"),
+    Workload(memcpy_like.NAME, memcpy_like.build,
+             "block copy micro-benchmark (Fig. 2 only)"),
+    Workload(python_like.NAME, python_like.build,
+             "bytecode interpreter (Fig. 2 only)"),
+]
+
+BY_NAME: Dict[str, Workload] = {w.name: w for w in _ALL}
+
+#: The paper's eleven SPEC CPU2006 applications (§VI-B order).
+SPEC_APPS: List[str] = [
+    "bzip2", "gcc", "h264ref", "hmmer", "lbm", "libquantum",
+    "mcf", "namd", "sjeng", "soplex", "xalan",
+]
+
+#: The Fig. 2 emulator-slowdown applications.
+FIG2_APPS: List[str] = ["bzip2", "h264ref", "hmmer", "memcpy", "python", "xalan"]
+
+#: Table II applications (the paper lists these eleven).
+TABLE2_APPS: List[str] = SPEC_APPS
+
+_image_cache: Dict[Tuple[str, float], BinaryImage] = {}
+
+
+def get_workload(name: str) -> Workload:
+    return BY_NAME[name]
+
+
+def build_image(name: str, scale: float = 1.0) -> BinaryImage:
+    """Build (or fetch the cached) image of workload ``name``."""
+    key = (name, scale)
+    if key not in _image_cache:
+        _image_cache[key] = BY_NAME[name].build(scale=scale)
+    return _image_cache[key]
+
+
+def clear_cache() -> None:
+    _image_cache.clear()

@@ -1,0 +1,192 @@
+"""Assembler unit tests: syntax, directives, relocations, error reporting."""
+
+import pytest
+
+from repro.binary import KIND_CODE_IMM32, KIND_DATA_ABS32
+from repro.isa import AssemblyError, assemble, decode
+from repro.isa.registers import ESI
+
+
+def _decode_all(image, section="code"):
+    sec = image.section(section)
+    out = []
+    addr = sec.base
+    while addr < sec.end:
+        inst = decode(sec.data, addr - sec.base, addr)
+        out.append(inst)
+        addr += inst.length
+    return out
+
+
+class TestBasics:
+    def test_empty_code_section(self):
+        image = assemble(".code 0x400000\n")
+        assert image.section("code").size == 0
+
+    def test_single_instruction(self):
+        image = assemble(".code 0x400000\nmain:\n    nop\n")
+        insts = _decode_all(image)
+        assert [i.mnemonic for i in insts] == ["nop"]
+
+    def test_entry_defaults_to_main(self):
+        image = assemble(".code 0x400000\nstart:\n nop\nmain:\n ret\n")
+        assert image.entry == image.symbols.resolve("main")
+
+    def test_entry_directive(self):
+        image = assemble(".entry start\n.code 0x400000\nstart:\n nop\nmain:\n ret\n")
+        assert image.entry == image.symbols.resolve("start")
+
+    def test_entry_falls_back_to_code_base(self):
+        image = assemble(".code 0x500000\nfn:\n nop\n")
+        assert image.entry == 0x500000
+
+    def test_comments_stripped(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n    nop ; trailing\n    # whole line\n    ret\n"
+        )
+        assert [i.mnemonic for i in _decode_all(image)] == ["nop", "ret"]
+
+    def test_multiple_labels_one_address(self):
+        image = assemble(".code 0x400000\na:\nb: nop\n")
+        assert image.symbols.resolve("a") == image.symbols.resolve("b")
+
+    def test_label_and_statement_same_line(self):
+        image = assemble(".code 0x400000\nmain: nop\n")
+        assert _decode_all(image)[0].mnemonic == "nop"
+
+
+class TestOperandForms:
+    def test_mov_reg_imm_canonicalized_to_movi(self):
+        image = assemble(".code 0x400000\nmain:\n mov eax, 42\n")
+        assert _decode_all(image)[0].mnemonic == "movi"
+
+    def test_hex_and_char_and_negative_literals(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n movi eax, 0xff\n movi ebx, 'A'\n"
+            " movi ecx, -1\n"
+        )
+        insts = _decode_all(image)
+        assert insts[0].imm == 0xFF
+        assert insts[1].imm == ord("A")
+        assert insts[2].imm == 0xFFFFFFFF
+
+    def test_memory_displacements(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n mov eax, [ebp-8]\n mov [esi+0x10], eax\n"
+        )
+        insts = _decode_all(image)
+        assert insts[0].disp == -8
+        assert insts[1].disp == 0x10
+
+    def test_memory_bare_base(self):
+        image = assemble(".code 0x400000\nmain:\n mov eax, [esi]\n")
+        inst = _decode_all(image)[0]
+        assert inst.rm == ESI and inst.disp == 0
+
+    def test_equ_constants(self):
+        image = assemble(
+            ".equ SIZE, 64\n.code 0x400000\nmain:\n movi eax, SIZE\n"
+            " mov ebx, [esi+SIZE]\n"
+        )
+        insts = _decode_all(image)
+        assert insts[0].imm == 64
+        assert insts[1].disp == 64
+
+    def test_branch_displacement_computed(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n nop\n.back:\n nop\n jmp .back\n"
+        )
+        jmp = _decode_all(image)[-1]
+        assert jmp.target == 0x400001
+
+
+class TestDataDirectives:
+    def test_word_byte_space_ascii(self):
+        image = assemble(
+            ".code 0x400000\nmain: ret\n"
+            ".data 0x8000000\n"
+            "w: .word 1, 2, 3\n"
+            "b: .byte 4, 5\n"
+            "s: .space 10, 0xAA\n"
+            "t: .asciz \"hi\"\n"
+        )
+        data = image.section("data")
+        assert data.read(image.symbols.resolve("w"), 4) == b"\x01\x00\x00\x00"
+        assert data.read(image.symbols.resolve("b"), 2) == b"\x04\x05"
+        assert data.read(image.symbols.resolve("s"), 2) == b"\xaa\xaa"
+        assert data.read(image.symbols.resolve("t"), 3) == b"hi\x00"
+
+    def test_align(self):
+        image = assemble(
+            ".data 0x8000000\na: .byte 1\n.align 8\nb: .byte 2\n"
+        )
+        assert image.symbols.resolve("b") % 8 == 0
+
+    def test_word_label_generates_relocation(self):
+        image = assemble(
+            ".code 0x400000\nmain: ret\n.data 0x8000000\ntab: .word main\n"
+        )
+        relocs = [r for r in image.relocations if r.kind == KIND_DATA_ABS32]
+        assert len(relocs) == 1
+        assert relocs[0].target == image.symbols.resolve("main")
+        assert image.read_u32(relocs[0].addr) == image.symbols.resolve("main")
+
+    def test_movi_code_label_generates_relocation(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n movi esi, main\n ret\n"
+        )
+        relocs = [r for r in image.relocations if r.kind == KIND_CODE_IMM32]
+        assert len(relocs) == 1
+        # The imm32 is one byte into the movi encoding.
+        assert relocs[0].addr == image.symbols.resolve("main") + 1
+
+    def test_data_label_immediate_not_relocated(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n movi esi, buf\n ret\n"
+            ".data 0x8000000\nbuf: .word 0\n"
+        )
+        assert image.relocations == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("nop\n", "outside any section"),
+        (".code 0x400000\nmain:\n frobnicate eax\n", "unknown mnemonic"),
+        (".code 0x400000\nmain:\n jmp nowhere\n", "undefined symbol"),
+        (".code 0x400000\nmain:\n add eax\n", "operand"),
+        (".code 0x400000\na: nop\na: nop\n", "duplicate symbol"),
+        (".code 0x400000\nmain:\n mov [esi+0], [edi+0]\n", "operand"),
+        (".code 0x400000\nmain:\n lea eax, ebx\n", "lea"),
+        (".code 0x400000\nmain:\n mov eax, [nolabel+4]\n", "base register"),
+        (".bogus stuff\n", "unknown directive"),
+        (".code 0x400000\nmain:\n movi eax, 'toolong'\n", "character"),
+    ])
+    def test_error_cases(self, source, fragment):
+        with pytest.raises(AssemblyError) as err:
+            assemble(source)
+        assert fragment in str(err.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble(".code 0x400000\nmain:\n nop\n badmnem\n")
+        assert "line 4" in str(err.value)
+
+
+class TestFunctionSymbols:
+    def test_global_labels_in_code_are_functions(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n call helper\n ret\nhelper:\n ret\n"
+        )
+        names = {s.name for s in image.symbols.functions()}
+        assert names == {"main", "helper"}
+
+    def test_dot_labels_are_not_functions(self):
+        image = assemble(".code 0x400000\nmain:\n.loop:\n jmp .loop\n")
+        names = {s.name for s in image.symbols.functions()}
+        assert names == {"main"}
+
+    def test_data_labels_are_not_functions(self):
+        image = assemble(
+            ".code 0x400000\nmain: ret\n.data 0x8000000\nbuf: .word 1\n"
+        )
+        assert {s.name for s in image.symbols.functions()} == {"main"}

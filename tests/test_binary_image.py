@@ -1,0 +1,164 @@
+"""BinaryImage / Section / SymbolTable / loader unit tests."""
+
+import pytest
+
+from repro.binary import (
+    BinaryImage,
+    FLAG_EXEC,
+    FLAG_READ,
+    FLAG_WRITE,
+    ImageError,
+    Relocation,
+    Section,
+    SymbolTable,
+    load_image,
+)
+from repro.arch.memory import SparseMemory
+
+
+def _image():
+    image = BinaryImage(entry=0x400000)
+    image.add_section(
+        Section("code", 0x400000, bytearray(b"\x90\xc3"), FLAG_READ | FLAG_EXEC)
+    )
+    image.add_section(
+        Section("data", 0x8000000, bytearray(16), FLAG_READ | FLAG_WRITE)
+    )
+    image.symbols.add("main", 0x400000, is_func=True)
+    image.relocations.append(Relocation(0x8000000, "data_abs32", 0x400000))
+    return image
+
+
+class TestSections:
+    def test_contains_and_bounds(self):
+        sec = Section("code", 0x1000, bytearray(8), FLAG_EXEC)
+        assert sec.contains(0x1000) and sec.contains(0x1007)
+        assert not sec.contains(0x0FFF) and not sec.contains(0x1008)
+        assert sec.end == 0x1008
+
+    def test_read_write(self):
+        sec = Section("data", 0x100, bytearray(8))
+        sec.write(0x102, b"\xab\xcd")
+        assert sec.read(0x102, 2) == b"\xab\xcd"
+
+    def test_out_of_range_read(self):
+        sec = Section("data", 0x100, bytearray(8))
+        with pytest.raises(IndexError):
+            sec.read(0x106, 4)
+
+    def test_out_of_range_write(self):
+        sec = Section("data", 0x100, bytearray(8))
+        with pytest.raises(IndexError):
+            sec.write(0xFE, b"xx")
+
+    def test_flags(self):
+        sec = Section("code", 0, bytearray(1), FLAG_READ | FLAG_EXEC)
+        assert sec.executable and not sec.writable
+
+
+class TestImage:
+    def test_section_lookup(self):
+        image = _image()
+        assert image.section("code").base == 0x400000
+        assert image.section_at(0x400001).name == "code"
+        assert image.section_at(0x123) is None
+        with pytest.raises(ImageError):
+            image.section("nope")
+
+    def test_duplicate_section_rejected(self):
+        image = _image()
+        with pytest.raises(ImageError):
+            image.add_section(Section("code", 0x900000, bytearray(1)))
+
+    def test_overlapping_section_rejected(self):
+        image = _image()
+        with pytest.raises(ImageError):
+            image.add_section(Section("code2", 0x400001, bytearray(4)))
+
+    def test_is_code_addr(self):
+        image = _image()
+        assert image.is_code_addr(0x400000)
+        assert not image.is_code_addr(0x8000000)
+
+    def test_u32_access(self):
+        image = _image()
+        image.write_u32(0x8000004, 0xDEADBEEF)
+        assert image.read_u32(0x8000004) == 0xDEADBEEF
+
+    def test_unmapped_access_raises(self):
+        image = _image()
+        with pytest.raises(ImageError):
+            image.read(0x999, 1)
+        with pytest.raises(ImageError):
+            image.write(0x999, b"a")
+
+    def test_sizes(self):
+        image = _image()
+        assert image.code_size == 2
+        assert image.total_size == 18
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        image = _image()
+        blob = image.to_bytes()
+        back = BinaryImage.from_bytes(blob)
+        assert back.entry == image.entry
+        assert len(back.sections) == 2
+        assert bytes(back.section("code").data) == bytes(image.section("code").data)
+        assert back.section("data").flags == image.section("data").flags
+        sym = back.symbols.get("main")
+        assert sym is not None and sym.is_func
+        assert back.relocations == image.relocations
+
+    def test_bad_magic(self):
+        with pytest.raises(ImageError):
+            BinaryImage.from_bytes(b"NOPE" + b"\x00" * 32)
+
+    def test_roundtrip_stability(self):
+        image = _image()
+        once = image.to_bytes()
+        twice = BinaryImage.from_bytes(once).to_bytes()
+        assert once == twice
+
+
+class TestSymbolTable:
+    def test_duplicate_symbol_rejected(self):
+        table = SymbolTable()
+        table.add("a", 1)
+        with pytest.raises(KeyError):
+            table.add("a", 2)
+
+    def test_lookup_paths(self):
+        table = SymbolTable()
+        table.add("f", 0x10, is_func=True)
+        table.add("v", 0x20)
+        assert table.resolve("f") == 0x10
+        assert table.at(0x20).name == "v"
+        assert table.at(0x30) is None
+        assert [s.name for s in table.functions()] == ["f"]
+        assert "f" in table and "zzz" not in table
+
+    def test_copy_is_independent(self):
+        table = SymbolTable()
+        table.add("a", 1)
+        clone = table.copy()
+        clone.add("b", 2)
+        assert "b" not in table
+
+
+class TestLoader:
+    def test_load_places_sections(self):
+        image = _image()
+        mem = SparseMemory()
+        info = load_image(image, mem)
+        assert mem.read_u8(0x400000) == 0x90
+        assert info.entry == 0x400000
+        assert info.stack_top > info.stack_base
+        assert info.brk >= 0x8000010
+
+    def test_load_empty_section_ok(self):
+        image = BinaryImage(entry=0)
+        image.add_section(Section("code", 0x400000, bytearray(), FLAG_EXEC))
+        mem = SparseMemory()
+        load_image(image, mem)  # must not fault

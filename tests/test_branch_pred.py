@@ -1,0 +1,168 @@
+"""Branch prediction structures: gshare, BTB, RAS, penalty accounting."""
+
+from repro.arch.branch import BTB, BranchUnit, GShare, RAS
+from repro.arch.config import BranchConfig
+
+
+class TestGShare:
+    def test_learns_always_taken(self):
+        pred = GShare(10)
+        pc = 0x400010
+        for _ in range(8):
+            pred.update(pc, True)
+        assert pred.predict(pc) is True
+
+    def test_learns_never_taken(self):
+        pred = GShare(10)
+        pc = 0x400010
+        for _ in range(8):
+            pred.update(pc, False)
+        assert pred.predict(pc) is False
+
+    def test_history_distinguishes_patterns(self):
+        # Alternating T/N with global history: gshare can learn it, a
+        # single 2-bit counter cannot.  After training, accuracy is high.
+        pred = GShare(10)
+        pc = 0x400020
+        outcomes = [bool(i % 2) for i in range(200)]
+        correct = 0
+        for taken in outcomes:
+            if pred.predict(pc) == taken:
+                correct += 1
+            pred.update(pc, taken)
+        assert correct > 150
+
+    def test_counter_saturation(self):
+        pred = GShare(4)
+        pc = 0
+        for _ in range(100):
+            pred.update(pc, True)
+        # One not-taken must not flip the prediction (hysteresis)...
+        pred.update(pc, False)
+        # history changed; check the counter itself stayed >= 2 somewhere
+        assert any(c >= 2 for c in pred.table)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(64, 4)
+        assert btb.lookup(0x400000) is None
+        btb.update(0x400000, 0x401000)
+        assert btb.lookup(0x400000) == 0x401000
+
+    def test_update_existing(self):
+        btb = BTB(64, 4)
+        btb.update(0x400000, 0x1)
+        btb.update(0x400000, 0x2)
+        assert btb.lookup(0x400000) == 0x2
+
+    def test_lru_within_set(self):
+        btb = BTB(8, 2)  # 4 sets, 2 ways
+        # Three PCs in the same set (stride 16 bytes = 4 words).
+        pcs = [0x0, 0x10, 0x20]
+        btb.update(pcs[0], 1)
+        btb.update(pcs[1], 2)
+        btb.lookup(pcs[0])          # refresh
+        btb.update(pcs[2], 3)       # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+
+
+class TestRAS:
+    def test_push_pop_order(self):
+        ras = RAS(8)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = RAS(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+
+class TestBranchUnit:
+    def _unit(self):
+        return BranchUnit(BranchConfig())
+
+    def test_conditional_first_taken_not_free(self):
+        unit = self._unit()
+        penalty, ok = unit.conditional(0x400000, True, 0x401000)
+        # First encounter: direction may be guessed right (weakly-taken
+        # init) but the BTB is cold, so the front end cannot have the
+        # target in hand: ok must be False and a penalty charged.
+        assert not ok
+        assert penalty in (unit.config.btb_miss_penalty,
+                           unit.config.mispredict_penalty)
+        assert unit.stats.cond_branches == 1
+
+    def test_conditional_direction_mispredict_penalty(self):
+        unit = self._unit()
+        pc = 0x400040
+        for _ in range(8):
+            unit.conditional(pc, True, 0x401000)  # train taken
+        penalty, ok = unit.conditional(pc, False, 0)  # surprise not-taken
+        assert not ok and penalty == unit.config.mispredict_penalty
+        assert unit.stats.cond_mispredicts >= 1
+
+    def test_trained_loop_branch_cheap(self):
+        unit = self._unit()
+        pc, target = 0x400000, 0x400100
+        for _ in range(16):
+            unit.conditional(pc, True, target)
+        penalty, ok = unit.conditional(pc, True, target)
+        assert ok and penalty == unit.config.taken_bubble
+
+    def test_not_taken_correct_is_free(self):
+        unit = self._unit()
+        for _ in range(8):
+            unit.conditional(0x400000, False, 0)
+        penalty, ok = unit.conditional(0x400000, False, 0)
+        assert ok and penalty == 0
+
+    def test_direct_jump_btb_warmup(self):
+        unit = self._unit()
+        penalty1, ok1 = unit.direct(0x400000, 0x402000, False)
+        assert not ok1 and penalty1 == unit.config.btb_miss_penalty
+        penalty2, ok2 = unit.direct(0x400000, 0x402000, False)
+        assert ok2 and penalty2 == unit.config.taken_bubble
+
+    def test_call_ret_pair_uses_ras(self):
+        unit = self._unit()
+        unit.direct(0x400000, 0x402000, True, retaddr=0x400005)
+        penalty, ok = unit.ret(0x402010, 0x400005)
+        assert ok and penalty == unit.config.taken_bubble
+        assert unit.stats.ras_mispredicts == 0
+
+    def test_ret_mispredict_on_corrupted_address(self):
+        unit = self._unit()
+        unit.direct(0x400000, 0x402000, True, retaddr=0x400005)
+        penalty, ok = unit.ret(0x402010, 0xDEAD)
+        assert not ok and penalty == unit.config.mispredict_penalty
+        assert unit.stats.ras_mispredicts == 1
+
+    def test_indirect_predicted_after_first(self):
+        unit = self._unit()
+        penalty1, ok1 = unit.indirect(0x400000, 0x403000, False)
+        assert not ok1
+        penalty2, ok2 = unit.indirect(0x400000, 0x403000, False)
+        assert ok2 and penalty2 == unit.config.taken_bubble
+
+    def test_indirect_polymorphic_mispredicts(self):
+        unit = self._unit()
+        unit.indirect(0x400000, 0x403000, False)
+        penalty, ok = unit.indirect(0x400000, 0x404000, False)
+        assert not ok and penalty == unit.config.mispredict_penalty
+        assert unit.stats.indirect_mispredicts == 2
+
+    def test_accuracy_property(self):
+        unit = self._unit()
+        for i in range(100):
+            unit.conditional(0x400000, i % 4 != 3, 0x400100)
+        assert 0.0 <= unit.stats.cond_accuracy <= 1.0

@@ -1,0 +1,99 @@
+"""RXRP bundle serialization tests."""
+
+import pytest
+
+from repro.ilr import (
+    BundleError,
+    RandomizerConfig,
+    dump_bytes,
+    load_bytes,
+    randomize,
+    verify_equivalence,
+)
+from repro.ilr.bundle import load, save
+from repro.isa import assemble
+
+SRC = """
+.code 0x400000
+main:
+    movi esi, 0
+.loop:
+    call bump
+    cmp esi, 5
+    jl .loop
+    movi eax, 5
+    mov ebx, esi
+    int 0x80
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+bump:
+    add esi, 1
+    ret
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return randomize(assemble(SRC), RandomizerConfig(seed=17, spread_factor=8))
+
+
+class TestRoundTrip:
+    def test_images_survive(self, program):
+        back = load_bytes(dump_bytes(program))
+        for attr in ("original", "vcfr_image", "naive_image"):
+            a = getattr(program, attr)
+            b = getattr(back, attr)
+            assert a.to_bytes() == b.to_bytes(), attr
+
+    def test_rdr_survives(self, program):
+        back = load_bytes(dump_bytes(program))
+        assert back.rdr.rand == program.rdr.rand
+        assert back.rdr.derand == program.rdr.derand
+        assert back.rdr.randomized_tag == program.rdr.randomized_tag
+        assert back.rdr.redirect == program.rdr.redirect
+        assert back.rdr.fallthrough == program.rdr.fallthrough
+        assert back.rdr.ret_randomized == program.rdr.ret_randomized
+        back.rdr.check_bijection()
+
+    def test_config_and_layout_survive(self, program):
+        back = load_bytes(dump_bytes(program))
+        assert back.entry_rand == program.entry_rand
+        assert back.config.seed == program.config.seed
+        assert back.config.spread_factor == 8
+        assert back.layout.region_base == program.layout.region_base
+        assert back.layout.region_size == program.layout.region_size
+        assert back.layout.placement == program.layout.placement
+
+    def test_loaded_bundle_executes_identically(self, program):
+        back = load_bytes(dump_bytes(program))
+        a = verify_equivalence(program).baseline
+        b = verify_equivalence(back).baseline
+        assert a.output == b.output
+        assert a.icount == b.icount
+
+    def test_file_roundtrip(self, program, tmp_path):
+        path = str(tmp_path / "prog.rxrp")
+        save(program, path)
+        back = load(path)
+        assert back.rdr.rand == program.rdr.rand
+
+    def test_stable_bytes(self, program):
+        assert dump_bytes(program) == dump_bytes(program)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(BundleError):
+            load_bytes(b"JUNK" + b"\x00" * 64)
+
+    def test_truncated(self, program):
+        blob = dump_bytes(program)
+        with pytest.raises(BundleError):
+            load_bytes(blob[: len(blob) // 2])
+
+    def test_bad_version(self, program):
+        blob = bytearray(dump_bytes(program))
+        blob[4] = 0xFF
+        with pytest.raises(BundleError):
+            load_bytes(bytes(blob))

@@ -1,0 +1,150 @@
+"""Set-associative cache model tests: hits, LRU, writeback, prefetch."""
+
+from repro.arch.cache import Cache
+from repro.arch.config import CacheConfig
+
+
+class _Backing:
+    """Counts next-level accesses and returns a fixed latency."""
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.accesses = []
+
+    def access(self, addr, is_write=False):
+        self.accesses.append((addr, is_write))
+        return self.latency
+
+
+def _cache(size=1024, assoc=2, line=64, latency=2, backing=None):
+    backing = backing or _Backing()
+    return Cache(CacheConfig(size, assoc, line, latency), "test",
+                 backing.access), backing
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        cache, backing = _cache()
+        miss_lat = cache.access(0x1000)
+        assert miss_lat == 2 + 10
+        assert cache.stats.misses == 1
+        hit_lat = cache.access(0x1000)
+        assert hit_lat == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.accesses == 2
+
+    def test_same_line_hits(self):
+        cache, _ = _cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x103F) == 2  # same 64B line
+        assert cache.access(0x1040) == 12  # next line misses
+
+    def test_miss_rate(self):
+        cache, _ = _cache()
+        for addr in range(0, 64 * 10, 64):
+            cache.access(addr)
+        assert cache.stats.miss_rate == 1.0
+        for addr in range(0, 64 * 10, 64):
+            cache.access(addr)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_capacity_eviction(self):
+        # 1KB, 2-way, 64B lines -> 16 lines total, 8 sets.
+        cache, _ = _cache(size=1024, assoc=2)
+        # 3 lines mapping to the same set (stride = sets*line = 512).
+        for addr in (0x0000, 0x0200, 0x0400):
+            cache.access(addr)
+        assert cache.stats.evictions == 1
+        # LRU: 0x0000 was evicted, 0x0200/0x0400 remain.
+        assert cache.access(0x0200) == 2
+        assert cache.access(0x0400) == 2
+        assert cache.access(0x0000) == 12
+
+    def test_lru_update_on_hit(self):
+        cache, _ = _cache(size=1024, assoc=2)
+        cache.access(0x0000)
+        cache.access(0x0200)
+        cache.access(0x0000)  # refresh 0x0000
+        cache.access(0x0400)  # evicts LRU = 0x0200
+        assert cache.access(0x0000) == 2
+        assert cache.access(0x0200) == 12
+
+    def test_contains(self):
+        cache, _ = _cache()
+        assert not cache.contains(0x1000)
+        cache.access(0x1000)
+        assert cache.contains(0x1000)
+        assert cache.contains(0x1010)  # same line
+
+    def test_flush(self):
+        cache, _ = _cache()
+        cache.access(0x1000)
+        cache.flush()
+        assert not cache.contains(0x1000)
+
+
+class TestWriteback:
+    def test_dirty_eviction_writes_back(self):
+        cache, backing = _cache(size=1024, assoc=2)
+        cache.access(0x0000, is_write=True)
+        cache.access(0x0200)
+        cache.access(0x0400)  # evicts dirty 0x0000
+        assert cache.stats.writebacks == 1
+        assert (0x0000, True) in backing.accesses
+
+    def test_clean_eviction_no_writeback(self):
+        cache, backing = _cache(size=1024, assoc=2)
+        cache.access(0x0000)
+        cache.access(0x0200)
+        cache.access(0x0400)
+        assert cache.stats.writebacks == 0
+        assert all(not w for _a, w in backing.accesses)
+
+    def test_write_hit_marks_dirty(self):
+        cache, backing = _cache(size=1024, assoc=2)
+        cache.access(0x0000)           # clean fill
+        cache.access(0x0000, True)     # dirty it
+        cache.access(0x0200)
+        cache.access(0x0400)           # evict -> must write back
+        assert cache.stats.writebacks == 1
+
+
+class TestPrefetch:
+    def test_prefetch_installs_line(self):
+        cache, backing = _cache()
+        cache.prefetch(0x2000)
+        assert cache.contains(0x2000)
+        assert cache.stats.prefetches == 1
+        # The fill hit the next level (bandwidth), but a later demand
+        # access is a hit.
+        assert cache.access(0x2000) == 2
+
+    def test_prefetch_hit_counted_not_refetched(self):
+        cache, backing = _cache()
+        cache.access(0x2000)
+        fills = len(backing.accesses)
+        cache.prefetch(0x2000)
+        assert cache.stats.prefetch_hits == 1
+        assert len(backing.accesses) == fills
+
+    def test_used_prefetch_counted(self):
+        cache, _ = _cache()
+        cache.prefetch(0x2000)
+        cache.access(0x2000)
+        assert cache.stats.prefetch_used == 1
+        assert cache.stats.prefetch_wasted == 0
+
+    def test_wasted_prefetch_counted_on_eviction(self):
+        cache, _ = _cache(size=1024, assoc=2)
+        cache.prefetch(0x0000)
+        cache.access(0x0200)
+        cache.access(0x0400)  # evicts the never-used prefetched line
+        assert cache.stats.prefetch_wasted == 1
+        assert cache.stats.prefetch_waste_rate == 1.0
+
+    def test_demand_reads_counted_for_pressure(self):
+        cache, _ = _cache()
+        cache.access(0x0000)
+        cache.access(0x4000)
+        cache.access(0x0000)
+        assert cache.stats.demand_reads_to_next == 2

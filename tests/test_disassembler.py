@@ -1,0 +1,140 @@
+"""Disassembler tests: recursive descent, linear sweep, combined pass."""
+
+from repro.analysis import (
+    default_roots,
+    disassemble,
+    linear_sweep,
+    recursive_descent,
+)
+from repro.isa import assemble
+
+SIMPLE = """
+.code 0x400000
+main:
+    movi eax, 1
+    call helper
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+helper:
+    nop
+    ret
+"""
+
+
+class TestRecursiveDescent:
+    def test_follows_calls(self):
+        image = assemble(SIMPLE)
+        disasm = recursive_descent(image)
+        helper = image.symbols.resolve("helper")
+        assert disasm.is_instruction_start(helper)
+        assert disasm.at(helper).mnemonic == "nop"
+
+    def test_reached_marks_reachable_only(self):
+        src = """
+.code 0x400000
+main:
+    jmp target
+dead:
+    nop
+    nop
+target:
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+"""
+        image = assemble(src)
+        # Only the entry as root: 'dead' is unreachable, 'target' reached.
+        disasm = recursive_descent(image, roots=[image.entry])
+        target = image.symbols.resolve("target")
+        dead = image.symbols.resolve("dead")
+        assert target in disasm.reached
+        assert dead not in disasm.reached
+
+    def test_stops_at_unconditional_transfers(self):
+        src = ".code 0x400000\nmain:\n jmp main\n nop\n"
+        image = assemble(src)
+        disasm = recursive_descent(image, roots=[image.entry])
+        # The nop after jmp is not reached.
+        assert len(disasm.reached) == 1
+
+    def test_conditional_branch_explores_both_paths(self):
+        src = """
+.code 0x400000
+main:
+    cmp eax, 0
+    jz skip
+    nop
+skip:
+    ret
+"""
+        image = assemble(src)
+        disasm = recursive_descent(image, roots=[image.entry])
+        assert disasm.at(image.symbols.resolve("skip")).mnemonic == "ret"
+        assert len(disasm.reached) == 4
+
+    def test_default_roots_include_relocation_targets(self):
+        src = """
+.code 0x400000
+main:
+    ret
+table_target:
+    nop
+    ret
+.data 0x8000000
+tab: .word table_target
+"""
+        image = assemble(src)
+        roots = default_roots(image)
+        assert image.symbols.resolve("table_target") in roots
+
+
+class TestLinearSweep:
+    def test_covers_whole_section(self):
+        image = assemble(SIMPLE)
+        disasm = linear_sweep(image)
+        code = image.section("code")
+        covered = sum(inst.length for inst in disasm.by_addr.values())
+        assert covered == code.size
+        assert not disasm.undecodable
+
+    def test_resynchronizes_after_junk(self):
+        # Hand-build an image with an undecodable byte in the middle.
+        image = assemble(".code 0x400000\nmain:\n nop\n nop\n nop\n")
+        image.section("code").data[1] = 0x06  # invalid opcode
+        disasm = linear_sweep(image)
+        assert 0x400001 in disasm.undecodable
+        assert disasm.is_instruction_start(0x400002)
+
+
+class TestCombined:
+    def test_descent_plus_sweep_fills_gaps(self):
+        src = """
+.code 0x400000
+main:
+    jmp end
+orphan:
+    nop
+    ret
+end:
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+"""
+        image = assemble(src)
+        disasm = disassemble(image, roots=[image.entry])
+        orphan = image.symbols.resolve("orphan")
+        # Unreachable code is still decoded by the sweep...
+        assert disasm.is_instruction_start(orphan)
+        # ...but not marked reached.
+        assert orphan not in disasm.reached
+
+    def test_instructions_sorted(self):
+        image = assemble(SIMPLE)
+        disasm = disassemble(image)
+        addrs = [inst.addr for inst in disasm.instructions]
+        assert addrs == sorted(addrs)
+
+    def test_len(self):
+        image = assemble(SIMPLE)
+        assert len(disassemble(image)) == 7

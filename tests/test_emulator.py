@@ -1,0 +1,109 @@
+"""Software-ILR emulator: correctness and host-cost accounting."""
+
+import pytest
+
+from repro.emu import HostCostParams, ILREmulator, emulate
+from repro.ilr import RandomizerConfig, randomize, verify_equivalence
+from repro.isa import assemble
+
+PROGRAM = """
+.code 0x400000
+main:
+    movi edi, 0
+    movi ecx, 0
+.loop:
+    mov eax, ecx
+    imul eax, eax
+    add edi, eax
+    movi esi, scratch
+    mov [esi+0], edi
+    add ecx, 1
+    cmp ecx, 50
+    jl .loop
+    call finish
+finish:
+    movi eax, 5
+    mov ebx, edi
+    int 0x80
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+.data 0x8000000
+scratch:
+    .space 16
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return randomize(assemble(PROGRAM), RandomizerConfig(seed=31))
+
+
+class TestCorrectness:
+    def test_matches_all_hardware_modes(self, program):
+        reference = verify_equivalence(program).baseline
+        result = emulate(program)
+        assert result.run.output == reference.output
+        assert result.run.exit_code == reference.exit_code
+        assert result.run.icount == reference.icount
+
+    def test_runs_the_randomized_space(self, program):
+        # The emulator starts at the randomized entry and must translate
+        # every PC; a fresh program with a different layout still works.
+        other = randomize(assemble(PROGRAM), RandomizerConfig(seed=99))
+        assert other.entry_rand != program.entry_rand
+        assert emulate(other).run.output == emulate(program).run.output
+
+
+class TestHostCost:
+    def test_every_instruction_charged(self, program):
+        result = emulate(program)
+        icount = result.run.icount
+        counters = result.counters.by_activity
+        params = HostCostParams()
+        # Dispatch + derand + decode + flags are per-instruction.
+        assert counters["dispatch"] == icount * params.dispatch
+        assert counters["derand_lookup"] == icount * params.derand_lookup
+        assert counters["decode"] >= icount * (params.decode_base +
+                                               params.decode_per_byte)
+
+    def test_control_transfers_cost_extra(self, program):
+        result = emulate(program)
+        counters = result.counters.by_activity
+        assert counters["control_transfer"] > 0
+        # 49 taken loop branches + 1 call.
+        assert counters["control_transfer"] >= 50 * HostCostParams().control_transfer
+
+    def test_memory_ops_cost_extra(self, program):
+        result = emulate(program)
+        assert result.counters.by_activity["memory_op"] > 0
+
+    def test_total_is_sum(self, program):
+        result = emulate(program)
+        assert result.host_instructions == sum(
+            result.counters.by_activity.values()
+        )
+
+    def test_slowdown_metric(self, program):
+        result = emulate(program)
+        assert result.slowdown_vs(result.host_instructions) == pytest.approx(1.0)
+        assert result.slowdown_vs(result.host_instructions // 100) == (
+            pytest.approx(100.0, rel=0.05)
+        )
+        assert result.slowdown_vs(0) == 0.0
+
+    def test_custom_params(self, program):
+        cheap = ILREmulator(program, params=HostCostParams(
+            dispatch=1, derand_lookup=1, decode_base=1, decode_per_byte=0,
+            execute=1, flags_update=0, memory_op=0, control_transfer=0,
+            syscall=0,
+        )).run()
+        default = emulate(program)
+        assert cheap.host_instructions < default.host_instructions
+        assert cheap.run.output == default.run.output
+
+    def test_per_guest_instruction_cost_in_band(self, program):
+        """Interpretive emulators burn 10^2-10^3 host insts per guest inst."""
+        result = emulate(program)
+        per_guest = result.host_instructions / result.run.icount
+        assert 100 <= per_guest <= 1000

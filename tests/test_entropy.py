@@ -1,0 +1,69 @@
+"""Entropy analysis tests (paper §V-C)."""
+
+import math
+
+from repro.ilr import RandomizerConfig, randomize
+from repro.isa import assemble
+from repro.security import analyze_entropy
+
+SRC = """
+.code 0x400000
+main:
+    call f
+    movi edx, f
+    calli edx
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+f:
+    nop
+    ret
+"""
+
+
+def _program(spread=16, seed=1):
+    return randomize(
+        assemble(SRC), RandomizerConfig(seed=seed, spread_factor=spread)
+    )
+
+
+class TestEntropy:
+    def test_entropy_matches_layout(self):
+        program = _program()
+        report = analyze_entropy(program)
+        slots = program.layout.region_size // program.layout.slot_size
+        assert report.region_slots == slots
+        assert report.placement_entropy_bits == math.log2(slots)
+
+    def test_guess_probability(self):
+        report = analyze_entropy(_program(spread=16))
+        assert report.guess_hit_probability == (
+            report.live_slots / report.region_slots
+        )
+        assert abs(report.guess_hit_probability - 1 / 16) < 0.01
+
+    def test_more_spread_more_entropy(self):
+        low = analyze_entropy(_program(spread=4))
+        high = analyze_entropy(_program(spread=64))
+        assert high.placement_entropy_bits > low.placement_entropy_bits
+        assert high.guess_hit_probability < low.guess_hit_probability
+
+    def test_residual_surface_counts_redirects(self):
+        program = _program()
+        report = analyze_entropy(program)
+        assert report.unrandomized_entries == len(program.rdr.redirect)
+        assert 0.0 <= report.residual_entry_fraction < 1.0
+
+    def test_expected_guesses(self):
+        report = analyze_entropy(_program(spread=16))
+        expected = report.expected_guesses_for_gadget(needed=3)
+        assert expected >= 3 / report.guess_hit_probability - 1e-9
+
+    def test_expected_guesses_infinite_when_empty(self):
+        report = analyze_entropy(_program())
+        emptyish = type(report)(
+            placement_entropy_bits=0, region_slots=0, live_slots=0,
+            guess_hit_probability=0.0, unrandomized_entries=0,
+            residual_entry_fraction=0.0,
+        )
+        assert emptyish.expected_guesses_for_gadget() == math.inf

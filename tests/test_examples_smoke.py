@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs cleanly as documented."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/rop_attack_demo.py",
+    "examples/compile_and_protect.py",
+]
+
+SLOW_EXAMPLES = [
+    "examples/emulator_vs_hardware.py",
+    "examples/moving_target_defense.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+@pytest.mark.parametrize("path", SLOW_EXAMPLES)
+def test_slow_example_runs(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "QED" in out or "slowdown" in out
+
+
+def test_examples_have_docstrings():
+    import ast as python_ast
+    import glob
+
+    for path in glob.glob("examples/*.py"):
+        with open(path) as fh:
+            module = python_ast.parse(fh.read())
+        doc = python_ast.get_docstring(module)
+        assert doc and "Run:" in doc, path

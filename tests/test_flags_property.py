@@ -1,0 +1,88 @@
+"""Property tests: FLAGS semantics against a reference model (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import opcodes
+from repro.isa.flags import Flags, to_signed32
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(U32, U32)
+@settings(max_examples=300)
+def test_sub_flags_reference(a, b):
+    flags = Flags()
+    flags.set_sub(a, b)
+    sa, sb = to_signed32(a), to_signed32(b)
+    result = (a - b) & 0xFFFFFFFF
+    assert flags.zf == (a == b)
+    assert flags.cf == (b > a)  # unsigned borrow
+    assert flags.sf == bool(result & 0x80000000)
+    # Signed overflow: true signed difference does not fit in 32 bits.
+    true_diff = sa - sb
+    assert flags.of == (not -(1 << 31) <= true_diff < (1 << 31))
+
+
+@given(U32, U32)
+@settings(max_examples=300)
+def test_add_flags_reference(a, b):
+    flags = Flags()
+    total = a + b
+    flags.set_add(a, b, total)
+    result = total & 0xFFFFFFFF
+    assert flags.zf == (result == 0)
+    assert flags.cf == (total > 0xFFFFFFFF)
+    assert flags.sf == bool(result & 0x80000000)
+    true_sum = to_signed32(a) + to_signed32(b)
+    assert flags.of == (not -(1 << 31) <= true_sum < (1 << 31))
+
+
+@given(U32)
+@settings(max_examples=200)
+def test_logic_flags_reference(value):
+    flags = Flags()
+    flags.set_logic(value)
+    assert flags.zf == (value & 0xFFFFFFFF == 0)
+    assert flags.sf == bool(value & 0x80000000)
+    assert not flags.cf and not flags.of
+
+
+@given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+       st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+@settings(max_examples=300)
+def test_mul_overflow_flag(a, b):
+    flags = Flags()
+    flags.set_mul(a * b)
+    fits = -(1 << 31) <= a * b < (1 << 31)
+    assert flags.of == (not fits)
+    assert flags.cf == (not fits)
+
+
+@given(U32, U32)
+@settings(max_examples=300)
+def test_condition_codes_consistent(a, b):
+    """Jcc conditions after cmp must agree with Python comparisons."""
+    flags = Flags()
+    flags.set_sub(a, b)
+    sa, sb = to_signed32(a), to_signed32(b)
+    assert flags.evaluate(opcodes.CC_Z) == (a == b)
+    assert flags.evaluate(opcodes.CC_NZ) == (a != b)
+    assert flags.evaluate(opcodes.CC_L) == (sa < sb)
+    assert flags.evaluate(opcodes.CC_GE) == (sa >= sb)
+    assert flags.evaluate(opcodes.CC_LE) == (sa <= sb)
+    assert flags.evaluate(opcodes.CC_G) == (sa > sb)
+    assert flags.evaluate(opcodes.CC_B) == (a < b)
+    assert flags.evaluate(opcodes.CC_AE) == (a >= b)
+
+
+@given(U32, U32)
+@settings(max_examples=100)
+def test_condition_pairs_are_complements(a, b):
+    flags = Flags()
+    flags.set_sub(a, b)
+    for cc, inverse in ((opcodes.CC_Z, opcodes.CC_NZ),
+                        (opcodes.CC_L, opcodes.CC_GE),
+                        (opcodes.CC_LE, opcodes.CC_G),
+                        (opcodes.CC_B, opcodes.CC_AE)):
+        assert flags.evaluate(cc) != flags.evaluate(inverse)

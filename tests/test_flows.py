@@ -1,0 +1,185 @@
+"""Execution-mode flow tests: resolution, security, bitmap fixups."""
+
+import pytest
+
+from repro.ilr import (
+    BaselineFlow,
+    NaiveILRFlow,
+    RandomizerConfig,
+    SecurityFault,
+    VCFRFlow,
+    make_flow,
+    randomize,
+)
+from repro.ilr.rdr import RDRTable
+from repro.isa import assemble
+from repro.isa.encoder import make
+
+
+def _rdr():
+    rdr = RDRTable()
+    rdr.add_mapping(0x400000, 0x40000000)
+    rdr.add_mapping(0x400001, 0x40000020)
+    rdr.fallthrough[0x40000000] = 0x40000020
+    rdr.ret_randomized.add(0x400001)
+    return rdr
+
+
+class TestBaselineFlow:
+    def test_identity_everything(self):
+        flow = BaselineFlow(0x400000)
+        assert flow.initial_fetch_pc() == 0x400000
+        assert flow.transfer(0x1234) == 0x1234
+        inst = make("nop", addr=0x400000)
+        assert flow.sequential(inst) == 0x400001
+        assert flow.call_retaddr(make("call", addr=0x10, imm=0)) == 0x15
+        assert flow.fixup_load(0, 0x42) == 0x42
+
+
+class TestResolution:
+    def test_randomized_target_executes_there(self):
+        rdr = _rdr()
+        flow = VCFRFlow(rdr, 0x40000000)
+        assert flow.transfer(0x40000020) == 0x400001  # fetch at original
+
+        naive = NaiveILRFlow(rdr, 0x40000000)
+        assert naive.transfer(0x40000020) == 0x40000020  # fetch at randomized
+
+    def test_tagged_original_address_faults(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        with pytest.raises(SecurityFault):
+            flow.transfer(0x400000)
+
+    def test_redirect_reenters_randomized_space(self):
+        rdr = _rdr()
+        rdr.add_redirect(0x400000)
+        flow = VCFRFlow(rdr, 0x40000000)
+        assert flow.transfer(0x400000) == 0x400000  # fetch at original
+        naive = NaiveILRFlow(rdr, 0x40000000)
+        assert naive.transfer(0x400000) == 0x40000000  # arch re-enters rand
+
+    def test_unknown_address_faults_under_strict_policy(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        with pytest.raises(SecurityFault):
+            flow.transfer(0x12345678)
+
+    def test_permissive_policy_allows_unknown(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        flow.strict_entry = False
+        assert flow.transfer(0x12345678) == 0x12345678
+
+
+class TestSequential:
+    def test_naive_uses_fallthrough_map(self):
+        rdr = _rdr()
+        flow = NaiveILRFlow(rdr, 0x40000000)
+        inst = make("nop", addr=0x40000000)
+        assert flow.sequential(inst) == 0x40000020
+
+    def test_vcfr_uses_upc_increment(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        inst = make("nop", addr=0x400000)
+        assert flow.sequential(inst) == 0x400001
+
+    def test_vcfr_initial_fetch_is_original_entry(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        assert flow.initial_fetch_pc() == 0x400000
+
+    def test_naive_initial_fetch_is_randomized_entry(self):
+        flow = NaiveILRFlow(_rdr(), 0x40000000)
+        assert flow.initial_fetch_pc() == 0x40000000
+
+
+class TestRetaddrRandomization:
+    def test_safe_site_pushes_randomized(self):
+        rdr = _rdr()
+        flow = VCFRFlow(rdr, 0x40000000)
+        # call at 0x3ffffc..0x400000: fallthrough 0x400001 is randomizable.
+        call = make("call", addr=0x400001 - 5, imm=0)
+        assert flow.call_retaddr(call) == 0x40000020
+
+    def test_unsafe_site_pushes_original(self):
+        rdr = _rdr()
+        rdr.ret_randomized.clear()
+        flow = VCFRFlow(rdr, 0x40000000)
+        call = make("call", addr=0x400001 - 5, imm=0)
+        assert flow.call_retaddr(call) == 0x400001
+
+    def test_naive_retaddr_uses_original_fallthrough(self):
+        rdr = _rdr()
+        flow = NaiveILRFlow(rdr, 0x40000000)
+        # Call placed at randomized 0x40000000 (original 0x400000, len 5
+        # would put fallthrough at 0x400005 — not mapped; use len from the
+        # actual original instruction: our fake original is 1 byte, so use
+        # a 1-byte mnemonic stand-in to exercise the path).
+        inst = make("call", addr=0x40000000, imm=0)
+        # original fallthrough = derand(0x40000000) + 5 = 0x400005 (unmapped
+        # -> not randomizable -> pushed as original).
+        assert flow.call_retaddr(inst) == 0x400005
+
+
+class TestBitmapFixup:
+    def test_marked_slot_derandomizes_on_load(self):
+        rdr = _rdr()
+        flow = VCFRFlow(rdr, 0x40000000)
+        flow.note_retaddr_push(0x7FFF0000, 0x40000020)
+        assert 0x7FFF0000 in flow.marked_slots
+        assert flow.fixup_load(0x7FFF0000, 0x40000020) == 0x400001
+
+    def test_store_clears_mark(self):
+        rdr = _rdr()
+        flow = VCFRFlow(rdr, 0x40000000)
+        flow.note_retaddr_push(0x7FFF0000, 0x40000020)
+        flow.note_store(0x7FFF0000)
+        assert flow.fixup_load(0x7FFF0000, 0x40000020) == 0x40000020
+
+    def test_unmarked_slot_passthrough(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        assert flow.fixup_load(0x1000, 0x40000020) == 0x40000020
+
+    def test_pushing_unrandomized_value_does_not_mark(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        flow.note_retaddr_push(0x7FFF0000, 0x400005)  # original-space value
+        assert 0x7FFF0000 not in flow.marked_slots
+
+
+class TestEvents:
+    def test_events_recorded_only_when_enabled(self):
+        rdr = _rdr()
+        flow = VCFRFlow(rdr, 0x40000000)
+        flow.transfer(0x40000020)
+        assert flow.events == []
+        flow.record_events = True
+        flow.transfer(0x40000020)
+        assert ("derand", 0x40000020) in flow.events
+
+    def test_rand_event_on_retaddr(self):
+        flow = VCFRFlow(_rdr(), 0x40000000)
+        flow.record_events = True
+        flow.call_retaddr(make("call", addr=0x400001 - 5, imm=0))
+        assert ("rand", 0x400001) in flow.events
+
+    def test_redirect_event(self):
+        rdr = _rdr()
+        rdr.add_redirect(0x400000)
+        flow = VCFRFlow(rdr, 0x40000000)
+        flow.record_events = True
+        flow.transfer(0x400000)
+        assert ("redirect", 0x400000) in flow.events
+
+
+class TestFactory:
+    def test_make_flow_modes(self):
+        image = assemble(".code 0x400000\nmain:\n movi eax, 1\n movi ebx, 0\n int 0x80\n")
+        program = randomize(image, RandomizerConfig(seed=1))
+        assert isinstance(make_flow("baseline", program), BaselineFlow)
+        assert isinstance(make_flow("naive_ilr", program), NaiveILRFlow)
+        assert isinstance(make_flow("vcfr", program), VCFRFlow)
+
+    def test_make_flow_errors(self):
+        with pytest.raises(ValueError):
+            make_flow("baseline")
+        with pytest.raises(ValueError):
+            make_flow("vcfr")
+        with pytest.raises(ValueError):
+            make_flow("warp_drive", program=object())

@@ -1,0 +1,99 @@
+"""Functional (un-timed) CPU runner tests."""
+
+import pytest
+
+from repro.arch import FunctionalCPU, InstructionLimitExceeded, run_image
+from repro.arch.state import ExitProgram
+from repro.ilr import BaselineFlow
+from repro.isa import assemble
+from repro.isa.decoder import DecodeError
+
+
+class TestRunLoop:
+    def test_halt_terminates(self):
+        image = assemble(".code 0x400000\nmain:\n movi eax, 7\n halt\n")
+        result = run_image(image)
+        assert result.halted
+        assert result.exit_code is None
+        assert result.icount == 2
+
+    def test_exit_syscall_terminates(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n movi eax, 1\n movi ebx, 3\n int 0x80\n"
+        )
+        result = run_image(image)
+        assert not result.halted
+        assert result.exit_code == 3
+
+    def test_instruction_limit(self):
+        image = assemble(".code 0x400000\nmain:\n jmp main\n")
+        with pytest.raises(InstructionLimitExceeded):
+            run_image(image, max_instructions=100)
+
+    def test_wild_jump_fails_decode(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n movi edx, 0x100000\n jmpi edx\n"
+        )
+        with pytest.raises(DecodeError):
+            run_image(image)
+
+    def test_decode_cache_by_fetch_pc(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n movi ecx, 0\n.l:\n add ecx, 1\n"
+            " cmp ecx, 50\n jl .l\n halt\n"
+        )
+        cpu = FunctionalCPU(image)
+        cpu.run()
+        assert len(cpu._decode_cache) == 5
+
+    def test_explicit_flow(self):
+        image = assemble(".code 0x400000\nmain:\n halt\n")
+        result = FunctionalCPU(image, flow=BaselineFlow(image.entry)).run()
+        assert result.halted
+
+    def test_snapshot_contract(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n movi eax, 5\n movi ebx, 9\n int 0x80\n"
+            " movi eax, 1\n movi ebx, 0\n int 0x80\n"
+        )
+        a = run_image(image).snapshot()
+        b = run_image(assemble(
+            ".code 0x400000\nmain:\n movi eax, 5\n movi ebx, 9\n int 0x80\n"
+            " movi eax, 1\n movi ebx, 0\n int 0x80\n"
+        )).snapshot()
+        assert a == b
+
+    def test_stack_initialized_below_top(self):
+        image = assemble(
+            ".code 0x400000\nmain:\n push eax\n pop ebx\n halt\n"
+        )
+        cpu = FunctionalCPU(image)
+        result = cpu.run()
+        assert result.halted  # stack usable without explicit setup
+
+
+class TestRecursion:
+    def test_deep_recursion(self):
+        src = """
+.code 0x400000
+main:
+    movi eax, 200
+    call down
+    movi eax, 1
+    mov ebx, eax
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+down:
+    cmp eax, 0
+    jz .base
+    sub eax, 1
+    call down
+    add eax, 1
+.base:
+    ret
+"""
+        result = run_image(assemble(src))
+        assert result.exit_code == 0
+        # 200 nested frames execute and unwind correctly.
+        assert result.icount > 1000

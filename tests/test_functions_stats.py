@@ -1,0 +1,135 @@
+"""Function analysis (Fig. 9) and static control-flow stats (Table II)."""
+
+from repro.analysis import (
+    analyze_functions,
+    collect_stats,
+    disassemble,
+    ret_randomization_safety,
+)
+from repro.isa import assemble
+
+PROGRAM = """
+.code 0x400000
+main:
+    call with_ret
+    call no_ret
+    movi edx, with_ret
+    calli edx
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+with_ret:
+    nop
+    ret
+no_ret:
+    ; returns by jumping through a register (no ret instruction)
+    movi edx, with_ret
+    jmpi edx
+getpc_user:
+    call .next
+.next:
+    pop ebx
+    ret
+"""
+
+
+class TestFunctionAnalysis:
+    def test_function_discovery(self):
+        image = assemble(PROGRAM)
+        analysis = analyze_functions(image)
+        names = {f.name for f in analysis.functions.values()}
+        assert {"main", "with_ret", "no_ret", "getpc_user"} <= names
+
+    def test_has_ret_classification(self):
+        image = assemble(PROGRAM)
+        analysis = analyze_functions(image)
+        by_name = {f.name: f for f in analysis.functions.values()}
+        assert by_name["with_ret"].has_ret
+        assert not by_name["no_ret"].has_ret
+        assert by_name["main"] in analysis.without_ret
+
+    def test_call_site_collection(self):
+        image = assemble(PROGRAM)
+        analysis = analyze_functions(image)
+        main = next(f for f in analysis.functions.values() if f.name == "main")
+        assert len(main.call_sites) == 2
+        assert len(main.indirect_call_sites) == 1
+
+    def test_getpc_idiom_detected(self):
+        image = assemble(PROGRAM)
+        analysis = analyze_functions(image)
+        getpc = next(
+            f for f in analysis.functions.values() if f.name == "getpc_user"
+        )
+        assert getpc.uses_getpc
+
+
+class TestRetSafety:
+    def test_indirect_calls_never_randomized(self):
+        image = assemble(PROGRAM)
+        disasm = disassemble(image)
+        analysis = analyze_functions(image, disasm)
+        safety = ret_randomization_safety(analysis, disasm)
+        calli_site = next(
+            a for a, i in disasm.by_addr.items() if i.mnemonic == "calli"
+        )
+        assert safety[calli_site] is False
+
+    def test_getpc_never_randomized(self):
+        image = assemble(PROGRAM)
+        disasm = disassemble(image)
+        analysis = analyze_functions(image, disasm)
+        safety = ret_randomization_safety(analysis, disasm)
+        getpc_call = next(
+            a for a, i in disasm.by_addr.items()
+            if i.mnemonic == "call" and i.target == i.next_addr
+        )
+        assert safety[getpc_call] is False
+
+    def test_architectural_policy_randomizes_noret_callees(self):
+        image = assemble(PROGRAM)
+        disasm = disassemble(image)
+        analysis = analyze_functions(image, disasm)
+        no_ret = image.symbols.resolve("no_ret")
+        site = next(
+            a for a, i in disasm.by_addr.items()
+            if i.mnemonic == "call" and i.target == no_ret
+        )
+        arch = ret_randomization_safety(analysis, disasm, conservative=False)
+        soft = ret_randomization_safety(analysis, disasm, conservative=True)
+        assert arch[site] is True  # §IV-C hardware support makes it safe
+        assert soft[site] is False  # software-only policy must refuse
+
+    def test_conservative_is_strictly_more_restrictive(self):
+        image = assemble(PROGRAM)
+        disasm = disassemble(image)
+        analysis = analyze_functions(image, disasm)
+        arch = ret_randomization_safety(analysis, disasm, conservative=False)
+        soft = ret_randomization_safety(analysis, disasm, conservative=True)
+        for site, safe in soft.items():
+            if safe:
+                assert arch[site]
+
+
+class TestStats:
+    def test_table2_row(self):
+        image = assemble(PROGRAM)
+        stats = collect_stats(image)
+        direct, indirect, calls, indirect_calls = stats.as_table2_row()
+        # direct: 3 calls (incl. getpc call); indirect: jmpi + calli.
+        assert direct == 3
+        assert indirect == 2
+        assert calls == 4  # 3 direct + 1 indirect
+        assert indirect_calls == 1
+
+    def test_ret_counts_match_function_analysis(self):
+        image = assemble(PROGRAM)
+        analysis = analyze_functions(image)
+        stats = collect_stats(image, functions=analysis)
+        assert stats.functions_with_ret == len(analysis.with_ret)
+        assert stats.functions_without_ret == len(analysis.without_ret)
+
+    def test_total_instructions(self):
+        image = assemble(PROGRAM)
+        stats = collect_stats(image)
+        assert stats.total_instructions == len(disassemble(image))

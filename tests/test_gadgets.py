@@ -1,0 +1,163 @@
+"""Gadget scanner, role classification, payload compiler tests."""
+
+import pytest
+
+from repro.binary import BinaryImage, FLAG_EXEC, FLAG_READ, Section
+from repro.ilr import RandomizerConfig, randomize
+from repro.isa import assemble
+from repro.security import (
+    END_CALL,
+    END_JMP,
+    END_RET,
+    PayloadError,
+    SHELL_MAGIC,
+    attacker_visible_gadgets,
+    can_build_payload,
+    classify_roles,
+    compile_shell_payload,
+    scan_gadgets,
+    survey_image,
+)
+from repro.isa.registers import EAX, EBX
+
+
+def _raw_image(code: bytes) -> BinaryImage:
+    image = BinaryImage(entry=0x400000)
+    image.add_section(
+        Section("code", 0x400000, bytearray(code), FLAG_READ | FLAG_EXEC)
+    )
+    return image
+
+
+class TestScanner:
+    def test_finds_pop_ret(self):
+        # pop eax (0x58) ; ret (0xC3)
+        image = _raw_image(bytes([0x58, 0xC3]))
+        gadgets = scan_gadgets(image)
+        texts = [g.text() for g in gadgets]
+        assert "pop eax ; ret" in texts
+        assert "ret" in texts  # the bare terminator at offset 1
+
+    def test_finds_unintended_offsets(self):
+        # movi eax, 0xC358: the immediate bytes contain 58 C3 = pop eax; ret.
+        image = _raw_image(bytes([0xB8, 0x58, 0xC3, 0x00, 0x00]))
+        gadgets = scan_gadgets(image)
+        assert any(
+            g.addr == 0x400001 and g.text() == "pop eax ; ret" for g in gadgets
+        )
+
+    def test_end_kinds(self):
+        # RX86 register-indirect forms use ModRM mode 0:
+        # jmpi eax = FF 20 (subop /4), calli eax = FF 10 (subop /2).
+        image = _raw_image(bytes([0xFF, 0x20, 0xFF, 0x10, 0xC3]))
+        kinds = {g.end_kind for g in scan_gadgets(image)}
+        assert {END_JMP, END_CALL, END_RET} <= kinds
+
+    def test_intermediate_control_flow_breaks_gadget(self):
+        # jmp rel32 ; ret — the jmp is unusable mid-gadget, only the bare
+        # ret at offset 5 is a gadget.
+        image = _raw_image(bytes([0xE9, 0, 0, 0, 0, 0xC3]))
+        gadgets = scan_gadgets(image)
+        assert all(g.addr == 0x400005 for g in gadgets)
+
+    def test_max_length_respected(self):
+        code = bytes([0x90] * 10 + [0xC3])
+        image = _raw_image(code)
+        gadgets = scan_gadgets(image, max_instructions=3)
+        assert max(g.length for g in gadgets) <= 3
+
+    def test_one_gadget_per_start_address(self):
+        image = _raw_image(bytes([0x58, 0x5B, 0xC3]))
+        gadgets = scan_gadgets(image)
+        addrs = [g.addr for g in gadgets]
+        assert len(addrs) == len(set(addrs))
+
+
+class TestRoles:
+    def test_pop_roles_by_register(self):
+        image = _raw_image(bytes([0x58, 0xC3, 0x5B, 0xC3]))  # pop eax/pop ebx
+        pool = classify_roles(scan_gadgets(image))
+        assert EAX in pool.pop_to_reg
+        assert EBX in pool.pop_to_reg
+
+    def test_syscall_role(self):
+        image = _raw_image(bytes([0xCD, 0x80, 0xC3]))  # int 0x80 ; ret
+        pool = classify_roles(scan_gadgets(image))
+        assert len(pool.syscall) == 1
+
+    def test_non_ret_endings_excluded(self):
+        image = _raw_image(bytes([0x58, 0xFF, 0xE0]))  # pop eax ; jmp eax
+        pool = classify_roles(scan_gadgets(image))
+        assert EAX not in pool.pop_to_reg
+
+    def test_dirty_gadget_not_a_clean_pop(self):
+        # pop eax ; pop ebx ; ret — not a single-pop role for eax.
+        image = _raw_image(bytes([0x58, 0x5B, 0xC3]))
+        pool = classify_roles(scan_gadgets(image))
+        assert EAX not in pool.pop_to_reg
+        assert EBX in pool.pop_to_reg  # offset 1 gives pop ebx ; ret
+
+
+class TestPayload:
+    def _full_pool_image(self):
+        return _raw_image(bytes([
+            0x58, 0xC3,        # pop eax ; ret
+            0x5B, 0xC3,        # pop ebx ; ret
+            0xCD, 0x80, 0xC3,  # int 0x80 ; ret
+        ]))
+
+    def test_compiles_when_roles_present(self):
+        payload = compile_shell_payload(scan_gadgets(self._full_pool_image()))
+        assert SHELL_MAGIC in payload.words
+        assert len(payload.words) == 10
+        assert payload.words[0] == 0x400000  # pop eax gadget address
+
+    def test_fails_without_syscall_gadget(self):
+        image = _raw_image(bytes([0x58, 0xC3, 0x5B, 0xC3]))
+        with pytest.raises(PayloadError) as err:
+            compile_shell_payload(scan_gadgets(image))
+        assert "int 0x80" in str(err.value)
+
+    def test_fails_without_pop_ebx(self):
+        image = _raw_image(bytes([0x58, 0xC3, 0xCD, 0x80, 0xC3]))
+        assert not can_build_payload(scan_gadgets(image))
+
+    def test_can_build_payload_true_case(self):
+        assert can_build_payload(scan_gadgets(self._full_pool_image()))
+
+
+class TestSurvivors:
+    @pytest.fixture(scope="class")
+    def program(self):
+        src = """
+.code 0x400000
+main:
+    call helper
+    movi edx, helper
+    calli edx
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+helper:
+    pop eax
+    push eax
+    ret
+"""
+        return randomize(assemble(src), RandomizerConfig(seed=13))
+
+    def test_survivors_are_redirect_entries(self, program):
+        gadgets = scan_gadgets(program.original)
+        survivors = attacker_visible_gadgets(gadgets, program.rdr)
+        legal = program.rdr.unrandomized_entries()
+        assert all(g.addr in legal for g in survivors)
+
+    def test_survey_consistency(self, program):
+        survey = survey_image(program.original, program.rdr)
+        gadgets = scan_gadgets(program.original)
+        assert survey.total_before == len(gadgets)
+        assert survey.usable_after <= survey.total_before
+        assert 0.0 <= survey.removal_percent <= 100.0
+
+    def test_randomization_removes_most_gadgets(self, program):
+        survey = survey_image(program.original, program.rdr)
+        assert survey.removal_percent >= 80.0

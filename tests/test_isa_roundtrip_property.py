@@ -1,0 +1,122 @@
+"""Property-based encode/decode round-trip tests (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import decode, encode, make
+from repro.isa import opcodes
+from repro.isa.decoder import try_decode
+
+REG = st.integers(min_value=0, max_value=7)
+IMM32 = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+U32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+IMM8 = st.integers(min_value=0, max_value=255)
+DISP = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+
+
+def _canonical_instructions():
+    """Strategy over encoder-canonical instructions (all emittable forms)."""
+    simple = st.sampled_from(["nop", "halt", "ret", "leave"]).map(lambda m: make(m))
+    reg_in_op = st.tuples(st.sampled_from(["push", "pop"]), REG).map(
+        lambda t: make(t[0], reg=t[1])
+    )
+    movi = st.tuples(REG, U32).map(lambda t: make("movi", reg=t[0], imm=t[1]))
+    intq = IMM8.map(lambda v: make("int", imm=v))
+    rel32 = st.tuples(st.sampled_from(["call", "jmp"]), IMM32).map(
+        lambda t: make(t[0], imm=t[1])
+    )
+    rel8 = st.integers(min_value=-128, max_value=127).map(
+        lambda v: make("jmp8", imm=v)
+    )
+    jcc = st.tuples(
+        st.sampled_from(["j" + n for n in opcodes.CC_NAMES]), IMM32
+    ).map(lambda t: make(t[0], imm=t[1]))
+    shift = st.tuples(st.sampled_from(["shl", "shr", "sar"]), REG, IMM8).map(
+        lambda t: make(t[0], rm=t[1], imm=t[2])
+    )
+
+    alu_names = st.sampled_from(
+        ["add", "or", "and", "sub", "xor", "cmp", "test", "mov", "imul"]
+    )
+    alu_rr = st.tuples(alu_names, REG, REG).map(
+        lambda t: make(t[0], mode=opcodes.MODE_RR, reg=t[1], rm=t[2])
+    )
+    alu_rm = st.tuples(alu_names, REG, REG, DISP).map(
+        lambda t: make(t[0], mode=opcodes.MODE_RM, reg=t[1], rm=t[2], disp=t[3])
+    )
+    alu_mr = st.tuples(alu_names, REG, REG, DISP).map(
+        lambda t: make(t[0], mode=opcodes.MODE_MR, reg=t[1], rm=t[2], disp=t[3])
+    )
+    alu_ri = st.tuples(alu_names, REG, U32).map(
+        lambda t: make(t[0], mode=opcodes.MODE_RI, reg=t[1], imm=t[2])
+    )
+    lea = st.tuples(REG, REG, DISP).map(
+        lambda t: make("lea", mode=opcodes.MODE_RM, reg=t[0], rm=t[1], disp=t[2])
+    )
+    indirect_rr = st.tuples(st.sampled_from(["jmpi", "calli"]), REG).map(
+        lambda t: make(t[0], mode=opcodes.MODE_RR, rm=t[1])
+    )
+    indirect_rm = st.tuples(st.sampled_from(["jmpi", "calli"]), REG, DISP).map(
+        lambda t: make(t[0], mode=opcodes.MODE_RM, rm=t[1], disp=t[2])
+    )
+    return st.one_of(
+        simple, reg_in_op, movi, intq, rel32, rel8, jcc, shift,
+        alu_rr, alu_rm, alu_mr, alu_ri, lea, indirect_rr, indirect_rm,
+    )
+
+
+@given(_canonical_instructions())
+@settings(max_examples=400)
+def test_encode_decode_roundtrip(inst):
+    raw = encode(inst)
+    assert len(raw) == inst.length
+    back = decode(raw, 0, inst.addr)
+    assert back.mnemonic == inst.mnemonic
+    assert back.length == inst.length
+    if inst.mode is not None:
+        assert back.mode == inst.mode
+    if inst.rm is not None:
+        assert back.rm == inst.rm
+    if inst.reg is not None and inst.mnemonic not in ("jmpi", "calli"):
+        assert back.reg == inst.reg
+    # Immediates compare modulo the field width / signedness.
+    if inst.mnemonic in ("call", "jmp", "jmp8") or inst.cc is not None:
+        assert back.imm == _sign(inst.imm, 1 if inst.mnemonic == "jmp8" else 4)
+    elif inst.mode == opcodes.MODE_RI or inst.mnemonic == "movi":
+        assert back.imm == inst.imm & 0xFFFFFFFF
+    if inst.mode in (opcodes.MODE_RM, opcodes.MODE_MR):
+        assert back.disp == _sign(inst.disp, 4)
+
+
+def _sign(value, width):
+    bits = width * 8
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value >= 1 << (bits - 1) else value
+
+
+@given(st.binary(min_size=1, max_size=8))
+@settings(max_examples=400)
+def test_decoder_never_crashes_on_junk(raw):
+    """The gadget scanner decodes at arbitrary offsets: junk must not crash."""
+    inst = try_decode(raw, 0, 0x1000)
+    if inst is not None:
+        assert 1 <= inst.length <= 6
+        # Whatever decoded must re-encode to the same prefix of the bytes
+        # unless it came from a decode-only legacy form (rel8 Jcc).
+        if not (inst.cc is not None and inst.length == 2):
+            assert encode(inst) == raw[: inst.length]
+
+
+@given(st.binary(min_size=6, max_size=64), st.integers(min_value=0, max_value=5))
+@settings(max_examples=200)
+def test_decode_offset_consistency(raw, offset):
+    """decode(data, off, addr) must equal decode(data[off:], 0, addr)."""
+    a = try_decode(raw, offset, 0x400000)
+    b = try_decode(raw[offset:], 0, 0x400000)
+    if a is None:
+        assert b is None
+    else:
+        assert b is not None
+        assert (a.mnemonic, a.length, a.imm, a.disp) == (
+            b.mnemonic, b.length, b.imm, b.disp,
+        )

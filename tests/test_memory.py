@@ -1,0 +1,106 @@
+"""SparseMemory unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.memory import PAGE_SIZE, MemoryFault, SparseMemory
+
+
+class TestBasics:
+    def test_zero_initialized(self):
+        mem = SparseMemory()
+        assert mem.read_u8(0x1234) == 0
+        assert mem.read_u32(0x4000) == 0
+
+    def test_u8_roundtrip(self):
+        mem = SparseMemory()
+        mem.write_u8(0x1000, 0xAB)
+        assert mem.read_u8(0x1000) == 0xAB
+
+    def test_u8_masks_to_byte(self):
+        mem = SparseMemory()
+        mem.write_u8(0, 0x1FF)
+        assert mem.read_u8(0) == 0xFF
+
+    def test_u32_little_endian(self):
+        mem = SparseMemory()
+        mem.write_u32(0x100, 0x01020304)
+        assert [mem.read_u8(0x100 + i) for i in range(4)] == [4, 3, 2, 1]
+
+    def test_u32_cross_page(self):
+        mem = SparseMemory()
+        addr = PAGE_SIZE - 2
+        mem.write_u32(addr, 0xAABBCCDD)
+        assert mem.read_u32(addr) == 0xAABBCCDD
+
+    def test_block_cross_page(self):
+        mem = SparseMemory()
+        addr = PAGE_SIZE - 5
+        payload = bytes(range(16))
+        mem.write_block(addr, payload)
+        assert mem.read_block(addr, 16) == payload
+
+    def test_strict_mode_faults(self):
+        mem = SparseMemory(strict=True)
+        with pytest.raises(MemoryFault):
+            mem.read_u8(0x5000)
+
+    def test_strict_mode_after_mapping(self):
+        mem = SparseMemory(strict=False)
+        mem.write_u8(0x5000, 1)
+        strict = mem.copy()
+        strict.strict = True
+        assert strict.read_u8(0x5001) == 0  # same page is mapped
+
+    def test_copy_is_deep(self):
+        mem = SparseMemory()
+        mem.write_u32(0, 1)
+        clone = mem.copy()
+        clone.write_u32(0, 2)
+        assert mem.read_u32(0) == 1
+
+    def test_mapped_pages(self):
+        mem = SparseMemory()
+        assert mem.mapped_pages() == 0
+        mem.write_u8(0, 0)
+        mem.write_u8(PAGE_SIZE * 3, 0)
+        assert mem.mapped_pages() == 2
+        assert mem.is_mapped(0) and not mem.is_mapped(PAGE_SIZE)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1 << 20),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=150)
+def test_memory_matches_dict_model(writes):
+    """SparseMemory must agree with a plain dict byte model."""
+    mem = SparseMemory()
+    model = {}
+    for addr, value in writes:
+        mem.write_u32(addr, value)
+        for i, byte in enumerate(value.to_bytes(4, "little")):
+            model[addr + i] = byte
+    for addr in {a for a, _v in writes}:
+        expected = int.from_bytes(
+            bytes(model.get(addr + i, 0) for i in range(4)), "little"
+        )
+        assert mem.read_u32(addr) == expected
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 20),
+    st.binary(min_size=1, max_size=3 * PAGE_SIZE),
+)
+@settings(max_examples=60)
+def test_block_roundtrip(addr, payload):
+    mem = SparseMemory()
+    mem.write_block(addr, payload)
+    assert mem.read_block(addr, len(payload)) == payload

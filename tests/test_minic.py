@@ -1,0 +1,323 @@
+"""MiniC compiler tests: lexer, parser, codegen semantics, pipeline."""
+
+import pytest
+
+from repro.arch.functional import run_image
+from repro.cc import (
+    CompileError,
+    LexError,
+    ParseError,
+    compile_source,
+    compile_to_assembly,
+    parse,
+    tokenize,
+)
+from repro.ilr import RandomizerConfig, randomize, verify_equivalence
+
+
+def run_main(body: str, prelude: str = ""):
+    """Compile ``int main() { body }`` and return the emitted words."""
+    source = "%s\nint main() { %s return 0; }" % (prelude, body)
+    result = run_image(compile_source(source))
+    assert result.exit_code == 0
+    return result.output.words
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize("int x = 42;")]
+        assert kinds == [
+            ("keyword", "int"), ("ident", "x"), ("op", "="),
+            ("num", "42"), ("op", ";"), ("eof", ""),
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// line\nint /* block\nmore */ x;")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["int", "x", ";"]
+
+    def test_hex_and_char_literals(self):
+        tokens = tokenize("0xFF 'A' '\\n'")
+        assert [t.text for t in tokens[:3]] == ["0xFF", "65", "10"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("int\nx\n;\n")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("int @;")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* nope")
+
+
+class TestParser:
+    def test_precedence(self):
+        program = parse("int main() { return 1 + 2 * 3; }")
+        ret = program.functions[0].body[0]
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_global_array_with_init(self):
+        program = parse("int t[4] = {1, 2};\nint main() { return 0; }")
+        var = program.globals[0]
+        assert var.size == 4 and var.init == (1, 2) and var.is_array
+
+    @pytest.mark.parametrize("source", [
+        "int main() { return 1 }",          # missing semicolon
+        "int main() { 1 = 2; }",            # bad lvalue
+        "int x[0];\nint main() { return 0; }",  # zero-size array
+        "int x = {1};\nint main() { return 0; }",  # brace init on scalar
+        "int main(",                        # truncated
+    ])
+    def test_parse_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+
+class TestCodegenSemantics:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 - 3 - 2", 5),              # left associative
+        ("5 & 3", 1),
+        ("5 | 2", 7),
+        ("5 ^ 1", 4),
+        ("1 << 4", 16),
+        ("256 >> 4", 16),
+        ("-3 * -4", 12),
+        ("!0", 1),
+        ("!7", 0),
+        ("3 < 4", 1),
+        ("4 <= 4", 1),
+        ("5 > 9", 0),
+        ("5 >= 5", 1),
+        ("2 == 2", 1),
+        ("2 != 2", 0),
+        ("-1 < 0", 1),                  # signed comparison
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 0", 0),
+        ("0 || 9", 1),
+    ])
+    def test_expressions(self, expr, expected):
+        assert run_main("emit(%s);" % expr) == [expected]
+
+    def test_locals_and_params(self):
+        words = run_main(
+            "emit(addmul(3, 4));",
+            prelude="int addmul(int a, int b) { int c = a + b; return c * b; }",
+        )
+        assert words == [28]
+
+    def test_globals(self):
+        words = run_main(
+            "g = g + 5; emit(g);",
+            prelude="int g = 37;",
+        )
+        assert words == [42]
+
+    def test_arrays(self):
+        words = run_main(
+            "int i = 0; while (i < 5) { a[i] = i * i; i = i + 1; }"
+            " emit(a[0] + a[1] + a[2] + a[3] + a[4]);",
+            prelude="int a[5];",
+        )
+        assert words == [0 + 1 + 4 + 9 + 16]
+
+    def test_if_else(self):
+        assert run_main("if (3 > 2) { emit(1); } else { emit(2); }") == [1]
+        assert run_main("if (3 < 2) { emit(1); } else { emit(2); }") == [2]
+
+    def test_while_loop(self):
+        assert run_main(
+            "int s = 0; int i = 1; while (i <= 10) { s = s + i; i = i + 1; }"
+            " emit(s);"
+        ) == [55]
+
+    def test_recursion(self):
+        words = run_main(
+            "emit(fact(6));",
+            prelude="int fact(int n) { if (n < 2) { return 1; }"
+                    " return n * fact(n - 1); }",
+        )
+        assert words == [720]
+
+    def test_parity_loop(self):
+        # (Forward declarations are not in the language, so true mutual
+        # recursion cannot be written; an iterative parity stands in.)
+        prelude = """
+int is_even(int n) {
+    int k = n;
+    int even = 1;
+    while (k > 0) { k = k - 1; even = 1 - even; }
+    return even;
+}
+"""
+        assert run_main("emit(is_even(10)); emit(is_even(7));",
+                        prelude=prelude) == [1, 0]
+
+    def test_short_circuit_skips_side_effects(self):
+        prelude = """
+int g = 0;
+int bump() { g = g + 1; return 1; }
+"""
+        words = run_main("int x = 0 && bump(); emit(g); emit(x);",
+                         prelude=prelude)
+        assert words == [0, 0]  # bump() never ran
+
+    def test_builtins(self):
+        source = "int main() { putc('h'); putc('i'); emit(9); exit(3); }"
+        result = run_image(compile_source(source))
+        assert result.output.text() == "hi"
+        assert result.output.words == [9]
+        assert result.exit_code == 3
+
+    def test_signed_wraparound(self):
+        # 2^31 - 1 + 1 wraps negative, as 32-bit int arithmetic does.
+        assert run_main("emit((2147483647 + 1) < 0);") == [1]
+
+    def test_fall_off_end_returns_zero(self):
+        words = run_main("emit(noret());",
+                         prelude="int noret(int) { }".replace("(int)", "()"))
+        assert words == [0]
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("int main() { return x; }", "undefined variable"),
+        ("int main() { return f(); }", "undefined function"),
+        ("int f(int a) { return a; }\nint main() { return f(); }",
+         "argument"),
+        ("int main() { int a; int a; return 0; }", "duplicate local"),
+        ("int main() { int n = 2; return 1 << n; }", "shift"),
+        ("int a[3];\nint main() { return a; }", "is an array"),
+        ("int a = 1;\nint main() { return a[0]; }", "not an array"),
+        ("int f() { return 0; }", "no main"),
+        ("int x;\nint x() { return 0; }\nint main() { return 0; }",
+         "both global and function"),
+    ])
+    def test_error_cases(self, source, fragment):
+        with pytest.raises(CompileError) as err:
+            compile_source(source)
+        assert fragment in str(err.value)
+
+
+class TestPipelineIntegration:
+    def test_compiled_program_randomizes_and_verifies(self):
+        source = """
+int acc = 0;
+int work(int n) {
+    int i = 0;
+    while (i < n) { acc = acc + i * i; i = i + 1; }
+    return acc;
+}
+int main() { emit(work(20)); return 0; }
+"""
+        image = compile_source(source)
+        program = randomize(image, RandomizerConfig(seed=6))
+        report = verify_equivalence(program)
+        assert report.baseline.output.words == [sum(i * i for i in range(20))]
+
+    def test_assembly_is_deterministic(self):
+        source = "int main() { emit(1); return 0; }"
+        assert compile_to_assembly(source) == compile_to_assembly(source)
+
+
+class TestRealAlgorithms:
+    """Complete algorithms through the compiler — the adoption test."""
+
+    def test_sieve_of_eratosthenes(self):
+        source = """
+int sieve[100];
+int main() {
+    int i = 2;
+    while (i < 100) {
+        if (sieve[i] == 0) {
+            int j = i * i;
+            while (j < 100) { sieve[j] = 1; j = j + i; }
+        }
+        i = i + 1;
+    }
+    int count = 0;
+    i = 2;
+    while (i < 100) {
+        if (sieve[i] == 0) { count = count + 1; }
+        i = i + 1;
+    }
+    emit(count);
+    return 0;
+}
+"""
+        result = run_image(compile_source(source), max_instructions=500_000)
+        assert result.output.words == [25]  # primes below 100
+
+    def test_fibonacci_iterative_and_recursive_agree(self):
+        source = """
+int fib_rec(int n) {
+    if (n < 2) { return n; }
+    return fib_rec(n - 1) + fib_rec(n - 2);
+}
+int fib_iter(int n) {
+    int a = 0;
+    int b = 1;
+    while (n > 0) { int t = a + b; a = b; b = t; n = n - 1; }
+    return a;
+}
+int main() {
+    int i = 0;
+    while (i < 15) {
+        if (fib_rec(i) != fib_iter(i)) { emit(i); exit(1); }
+        i = i + 1;
+    }
+    emit(fib_iter(14));
+    return 0;
+}
+"""
+        result = run_image(compile_source(source), max_instructions=2_000_000)
+        assert result.exit_code == 0
+        assert result.output.words == [377]
+
+    def test_bubble_sort(self):
+        source = """
+int data[10] = {9, 3, 7, 1, 8, 2, 6, 0, 5, 4};
+int main() {
+    int i = 0;
+    while (i < 10) {
+        int j = 0;
+        while (j < 9) {
+            if (data[j] > data[j + 1]) {
+                int t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    int k = 0;
+    while (k < 10) { emit(data[k]); k = k + 1; }
+    return 0;
+}
+"""
+        result = run_image(compile_source(source), max_instructions=500_000)
+        assert result.output.words == list(range(10))
+
+    def test_compiled_algorithm_survives_randomization(self):
+        source = """
+int acc = 1;
+int main() {
+    int i = 1;
+    while (i <= 12) { acc = acc * i; acc = acc & 0xFFFFFF; i = i + 1; }
+    emit(acc);
+    return 0;
+}
+"""
+        image = compile_source(source)
+        program = randomize(image, RandomizerConfig(seed=99))
+        report = verify_equivalence(program)
+        expected = 1
+        for i in range(1, 13):
+            expected = (expected * i) & 0xFFFFFF
+        assert report.baseline.output.words == [expected]

@@ -1,0 +1,71 @@
+"""Opcode-table consistency invariants."""
+
+from repro.isa import opcodes
+from repro.isa.encoder import encode, instruction_length, make
+from repro.isa.decoder import decode
+
+
+class TestTableConsistency:
+    def test_no_primary_opcode_collisions(self):
+        """Every byte value decodes to at most one instruction family."""
+        claimed = {}
+
+        def claim(value, owner):
+            assert value not in claimed, (
+                "opcode 0x%02x claimed by %s and %s"
+                % (value, claimed[value], owner)
+            )
+            claimed[value] = owner
+
+        for name, info in opcodes.ALU_OPCODES.items():
+            claim(info.opcode, name)
+        for name, info in opcodes.SIMPLE_OPCODES.items():
+            if info.fmt == opcodes.F_REG_IN_OP:
+                for reg in range(8):
+                    claim(info.opcode + reg, name)
+            elif info.fmt == opcodes.F_REG_IMM32:
+                for reg in range(8):
+                    claim(info.opcode + reg, name)
+            elif name not in ("calli", "jmpi", "shr", "sar"):
+                # the FF and shift groups share one opcode byte by design
+                claim(info.opcode, name)
+        for cc in range(opcodes.NUM_CC):
+            claim(opcodes.OP_JCC8_BASE + cc, "jcc8")
+        claim(opcodes.OP_TWO_BYTE, "two-byte prefix")
+
+    def test_every_mnemonic_has_positive_latency(self):
+        for info in opcodes.MNEMONICS.values():
+            assert info.latency >= 1
+
+    def test_every_mnemonic_encodable(self):
+        """Each mnemonic has at least one canonical encodable form."""
+        for name, info in opcodes.MNEMONICS.items():
+            if info.fmt == opcodes.F_MODRM:
+                mode = (opcodes.MODE_RR if name not in ("lea",)
+                        else opcodes.MODE_RM)
+                inst = make(name, mode=mode, reg=0, rm=0)
+            else:
+                inst = make(name, reg=0, rm=0, imm=0)
+            raw = encode(inst)
+            assert len(raw) == instruction_length(name, inst.mode)
+            back = decode(raw, 0, 0)
+            assert back.mnemonic == name or (
+                name == "jmp8" and back.mnemonic == "jmp8"
+            )
+
+    def test_cc_aliases(self):
+        assert opcodes.cc_number("e") == opcodes.CC_Z
+        assert opcodes.cc_number("ne") == opcodes.CC_NZ
+        assert opcodes.cc_number("ge") == opcodes.CC_GE
+
+    def test_control_classification_consistent(self):
+        for name, info in opcodes.MNEMONICS.items():
+            if name in ("call", "jmp", "jmp8", "ret", "calli", "jmpi") or (
+                name.startswith("j") and name[1:] in opcodes.CC_NAMES
+            ):
+                assert info.is_control or name in ("calli", "jmpi"), name
+
+    def test_lookup_raises_for_unknown(self):
+        import pytest
+        with pytest.raises(KeyError):
+            opcodes.lookup("hcf")

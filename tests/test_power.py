@@ -1,0 +1,47 @@
+"""McPAT-style energy model tests."""
+
+from repro.arch.power import EnergyParams, compute_energy
+
+
+class TestEnergyModel:
+    def test_total_is_sum_of_structures(self):
+        breakdown = compute_energy({"il1": 100, "dl1": 50})
+        params = EnergyParams()
+        expected = 100 * params.pj_per_access["il1"] + 50 * params.pj_per_access["dl1"]
+        assert breakdown.total_pj == expected
+
+    def test_unknown_structures_ignored(self):
+        breakdown = compute_energy({"warp_core": 10 ** 9, "il1": 1})
+        assert "warp_core" not in breakdown.by_structure
+
+    def test_drc_overhead_percentage(self):
+        breakdown = compute_energy({"il1": 1000, "drc": 100})
+        assert 0 < breakdown.drc_overhead_percent < 100
+        no_drc = compute_energy({"il1": 1000})
+        assert no_drc.drc_overhead_percent == 0.0
+
+    def test_drc_energy_scales_with_entries(self):
+        small = compute_energy({"drc": 1000}, drc_entries=64)
+        large = compute_energy({"drc": 1000}, drc_entries=512)
+        assert large.drc_pj > small.drc_pj
+        # sqrt scaling: 512/64 = 8x entries => ~2.83x energy.
+        ratio = large.drc_pj / small.drc_pj
+        assert 2.5 < ratio < 3.2
+
+    def test_drc_is_cheap_relative_to_il1(self):
+        params = EnergyParams()
+        assert params.scaled_drc(512) < params.pj_per_access["il1"] / 4
+
+    def test_bitmap_counted_as_drc(self):
+        breakdown = compute_energy({"drc": 10, "drc_bitmap": 10, "il1": 10})
+        assert breakdown.drc_pj > compute_energy({"drc": 10, "il1": 10}).drc_pj
+
+    def test_rows_sorted_by_energy(self):
+        breakdown = compute_energy({"il1": 1, "dram": 1, "ras": 1})
+        energies = [e for _n, e in breakdown.rows()]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_empty_activity(self):
+        breakdown = compute_energy({})
+        assert breakdown.total_pj == 0
+        assert breakdown.drc_overhead_percent == 0.0

@@ -1,0 +1,115 @@
+"""Blind-probing attack model and execution tracer tests."""
+
+import pytest
+
+from repro.arch.cpu import CycleCPU
+from repro.arch.trace import Tracer, attach_tracer
+from repro.ilr import RandomizerConfig, make_flow, randomize
+from repro.isa import assemble
+from repro.security import probes_to_defeat, simulate_probing
+
+SRC = """
+.code 0x400000
+main:
+    movi esi, 0
+.loop:
+    call bump
+    cmp esi, 20
+    jl .loop
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+bump:
+    add esi, 1
+    ret
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return randomize(assemble(SRC), RandomizerConfig(seed=8, spread_factor=16))
+
+
+class TestProbing:
+    def test_probe_accounting(self, program):
+        report = simulate_probing(program, probes=2000, seed=1)
+        assert report.probes == 2000
+        assert report.crashes + report.live_hits == 2000
+        assert 0.0 <= report.crash_rate <= 1.0
+
+    def test_most_probes_crash(self, program):
+        # 1/16 of slots are live: ~94% of probes crash the service.
+        report = simulate_probing(program, probes=4000, seed=2)
+        assert report.crash_rate > 0.85
+
+    def test_hit_rate_matches_occupancy(self, program):
+        report = simulate_probing(program, probes=20_000, seed=3)
+        expected = 1.0 / report.expected_probes_per_hit
+        measured = report.live_hits / report.probes
+        assert abs(measured - expected) < 0.02
+
+    def test_deterministic_for_seed(self, program):
+        a = simulate_probing(program, probes=500, seed=9)
+        b = simulate_probing(program, probes=500, seed=9)
+        assert (a.crashes, a.live_hits, a.first_live_probe) == (
+            b.crashes, b.live_hits, b.first_live_probe,
+        )
+
+    def test_more_spread_more_crashes(self):
+        tight = randomize(assemble(SRC), RandomizerConfig(seed=8, spread_factor=4))
+        wide = randomize(assemble(SRC), RandomizerConfig(seed=8, spread_factor=64))
+        tight_report = simulate_probing(tight, probes=5000, seed=4)
+        wide_report = simulate_probing(wide, probes=5000, seed=4)
+        assert wide_report.crash_rate > tight_report.crash_rate
+
+    def test_probes_to_defeat_scales_with_spread(self, program):
+        expected = probes_to_defeat(program, gadgets_needed=3)
+        assert expected == pytest.approx(3 * 16, rel=0.01)
+
+
+class TestTracer:
+    def test_records_dual_pcs_under_vcfr(self, program):
+        cpu = CycleCPU(program.vcfr_image, make_flow("vcfr", program))
+        tracer = attach_tracer(cpu, capacity=256)
+        cpu.run(max_instructions=200)
+        assert tracer.retired > 0
+        # Under VCFR the architectural PC (randomized) differs from the
+        # fetch PC (original layout) for every instruction.
+        assert tracer.pcs_diverge()
+
+    def test_baseline_pcs_coincide(self, program):
+        cpu = CycleCPU(program.original, make_flow("baseline", program))
+        tracer = attach_tracer(cpu, capacity=256)
+        cpu.run(max_instructions=200)
+        assert not tracer.pcs_diverge()
+
+    def test_capacity_bounded(self, program):
+        cpu = CycleCPU(program.original, make_flow("baseline", program))
+        tracer = attach_tracer(cpu, capacity=16)
+        cpu.run(max_instructions=500)
+        assert len(tracer.entries) == 16
+        assert tracer.retired > 16
+
+    def test_branches_only_filter(self, program):
+        cpu = CycleCPU(program.original, make_flow("baseline", program))
+        tracer = attach_tracer(cpu, branches_only=True)
+        cpu.run(max_instructions=300)
+        assert all(e.mnemonic in ("call", "ret", "jl", "jmp", "jz", "jnz",
+                                  "jge", "jle", "jg", "jb", "jae", "calli",
+                                  "jmpi", "jmp8")
+                   for e in tracer.entries)
+
+    def test_branch_entries_and_formatting(self, program):
+        cpu = CycleCPU(program.original, make_flow("baseline", program))
+        tracer = attach_tracer(cpu)
+        cpu.run(max_instructions=100)
+        taken = tracer.branch_entries()
+        assert taken and all(e.taken for e in taken)
+        text = tracer.format_tail(5)
+        assert "RPC=0x" in text and "UPC=0x" in text
+
+    def test_clear(self):
+        tracer = Tracer()
+        assert tracer.tail() == []
+        tracer.clear()
+        assert tracer.retired == 0

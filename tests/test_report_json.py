@@ -1,0 +1,63 @@
+"""Report JSON export and harness CLI tests."""
+
+import json
+
+import pytest
+
+from repro.harness.__main__ import main as harness_main
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import results_to_dict, write_json
+
+
+def _result():
+    res = ExperimentResult("figX", "Title", ("a", "b"), rows=[(1, 2), (3, 4)])
+    res.summary = "m"
+    res.paper_summary = "p"
+    res.check("ok", True)
+    return res
+
+
+class TestJsonExport:
+    def test_dict_shape(self):
+        data = results_to_dict({"figX": _result()})
+        entry = data["figX"]
+        assert entry["rows"] == [[1, 2], [3, 4]]
+        assert entry["headers"] == ["a", "b"]
+        assert entry["checks"] == [{"description": "ok", "passed": True}]
+        assert entry["passed"] is True
+
+    def test_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        write_json({"figX": _result()}, path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["figX"]["summary"] == "m"
+
+    def test_failed_check_serialized(self):
+        res = _result()
+        res.check("broken", False)
+        data = results_to_dict({"x": res})
+        assert data["x"]["passed"] is False
+
+
+class TestHarnessCLI:
+    def test_single_cheap_experiment(self, capsys, tmp_path):
+        path = str(tmp_path / "r.json")
+        status = harness_main(
+            ["fig9", "--max-instructions", "20000", "--json", path]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "FIG9" in out and "[PASS]" in out
+        with open(path) as fh:
+            assert "fig9" in json.load(fh)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            harness_main(["fig99"])
+
+    def test_ablation_by_name_is_addressable(self):
+        # Just registry resolution — running a full ablation is bench work.
+        from repro.harness.__main__ import ALL_ABLATIONS, ALL_EXPERIMENTS
+        assert "drc_associativity" in ALL_ABLATIONS
+        assert not set(ALL_ABLATIONS) & set(ALL_EXPERIMENTS)

@@ -1,0 +1,107 @@
+"""Re-randomization tests (paper §V-C table-leak defense)."""
+
+import pytest
+
+from repro.ilr import (
+    RandomizerConfig,
+    RerandomizationSchedule,
+    layout_overlap,
+    randomize,
+    rerandomize,
+    verify_equivalence,
+)
+from repro.isa import assemble
+
+SRC = """
+.code 0x400000
+main:
+    movi edi, 0
+    movi esi, 0
+.loop:
+    mov eax, esi
+    call square
+    add edi, eax
+    add esi, 1
+    cmp esi, 10
+    jl .loop
+    movi eax, 5
+    mov ebx, edi
+    int 0x80
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+square:
+    imul eax, eax
+    ret
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return randomize(assemble(SRC), RandomizerConfig(seed=1))
+
+
+class TestRerandomize:
+    def test_new_layout_same_behaviour(self, program):
+        fresh = rerandomize(program, new_seed=777)
+        assert fresh.layout.placement != program.layout.placement
+        a = verify_equivalence(program).baseline
+        b = verify_equivalence(fresh).baseline
+        assert a.output == b.output
+
+    def test_preserves_configuration(self, program):
+        conservative = randomize(
+            assemble(SRC),
+            RandomizerConfig(seed=1, conservative_retaddr=True,
+                             spread_factor=32),
+        )
+        fresh = rerandomize(conservative, new_seed=5)
+        assert fresh.config.conservative_retaddr
+        assert fresh.config.spread_factor == 32
+        assert fresh.config.seed == 5
+
+    def test_default_seed_derivation_is_deterministic(self, program):
+        a = rerandomize(program)
+        b = rerandomize(program)
+        assert a.config.seed == b.config.seed
+        assert a.config.seed != program.config.seed
+
+    def test_overlap_metric(self, program):
+        assert layout_overlap(program, program) == 1.0
+        fresh = rerandomize(program, new_seed=999)
+        overlap = layout_overlap(program, fresh)
+        # 45 slots per instruction in a 16x region: collisions are rare.
+        assert overlap < 0.2
+
+
+class TestSchedule:
+    def test_initial_epoch(self, program):
+        schedule = RerandomizationSchedule(program)
+        assert len(schedule.epochs) == 1
+        assert schedule.current is program
+
+    def test_rotation_advances(self, program):
+        schedule = RerandomizationSchedule(program)
+        epoch = schedule.rotate(new_seed=11)
+        assert epoch.index == 1
+        assert schedule.current is epoch.program
+        assert schedule.current is not program
+
+    def test_stale_tables_become_useless(self, program):
+        schedule = RerandomizationSchedule(program)
+        for seed in (21, 22, 23):
+            schedule.rotate(new_seed=seed)
+        # A table leaked in any epoch describes almost nothing of the next.
+        assert schedule.max_stale_overlap() < 0.2
+
+    def test_rotated_epochs_all_behave_identically(self, program):
+        schedule = RerandomizationSchedule(program)
+        reference = verify_equivalence(program).baseline
+        for seed in (31, 32):
+            epoch = schedule.rotate(new_seed=seed)
+            result = verify_equivalence(epoch.program).baseline
+            assert result.output == reference.output
+
+    def test_max_stale_overlap_without_rotation(self, program):
+        schedule = RerandomizationSchedule(program)
+        assert schedule.max_stale_overlap() == 0.0

@@ -1,0 +1,55 @@
+"""SimResult derived-metric math tests."""
+
+from repro.arch.simstats import SimResult
+
+
+def _result(**kwargs):
+    base = dict(mode="vcfr", cycles=1000, instructions=600)
+    base.update(kwargs)
+    return SimResult(**base)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert _result().ipc == 0.6
+        assert _result(cycles=0).ipc == 0.0
+
+    def test_miss_rates(self):
+        res = _result(il1={"accesses": 100, "misses": 7},
+                      dl1={"accesses": 50, "misses": 5},
+                      l2={"accesses": 10, "misses": 1})
+        assert res.il1_miss_rate == 0.07
+        assert res.dl1_miss_rate == 0.1
+        assert res.l2_miss_rate == 0.1
+
+    def test_miss_rates_empty(self):
+        res = _result()
+        assert res.il1_miss_rate == 0.0
+        assert res.dl1_miss_rate == 0.0
+        assert res.l2_miss_rate == 0.0
+
+    def test_l2_pressure(self):
+        res = _result(
+            il1={"demand_reads_to_next": 4, "prefetches": 3},
+            dl1={"demand_reads_to_next": 2},
+        )
+        assert res.l2_pressure == 9
+
+    def test_prefetch_waste(self):
+        res = _result(il1={"prefetch_used": 3, "prefetch_wasted": 1})
+        assert res.il1_prefetch_waste_rate == 0.25
+        assert _result().il1_prefetch_waste_rate == 0.0
+
+    def test_drc_miss_rate(self):
+        res = _result(drc_lookups=200, drc_misses=30)
+        assert res.drc_miss_rate == 0.15
+        assert _result().drc_miss_rate == 0.0
+
+    def test_power_overhead_without_energy(self):
+        assert _result().drc_power_overhead_percent == 0.0
+
+    def test_summary_includes_drc_only_when_used(self):
+        with_drc = _result(drc_lookups=5)
+        without = _result()
+        assert "drc" in with_drc.summary()
+        assert "drc" not in without.summary()

@@ -1,0 +1,171 @@
+"""TLB (with page-visibility bit), DRAM row-buffer model, and DRC tests."""
+
+import pytest
+
+from repro.arch.config import DRAMConfig, DRCConfig, TLBConfig
+from repro.arch.dram import DRAM
+from repro.arch.drc import DRC, KIND_DERAND, KIND_RAND
+from repro.arch.tlb import TLB, PageVisibilityFault
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(TLBConfig(entries=4, miss_penalty=12))
+        assert tlb.access(0x1000) == 12
+        assert tlb.access(0x1004) == 0  # same page
+        assert tlb.stats.misses == 1
+        assert tlb.stats.accesses == 2
+
+    def test_lru_eviction(self):
+        tlb = TLB(TLBConfig(entries=2, miss_penalty=12))
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)  # refresh page 1
+        tlb.access(0x3000)  # evicts page 2
+        assert tlb.access(0x1000) == 0
+        assert tlb.access(0x2000) == 12
+
+    def test_flush(self):
+        tlb = TLB(TLBConfig(entries=4, miss_penalty=12))
+        tlb.access(0x1000)
+        tlb.flush()
+        assert tlb.access(0x1000) == 12
+
+    def test_visibility_fault_for_user_access(self):
+        tlb = TLB(TLBConfig())
+        tlb.set_invisible(0x60000000, 0x1000)
+        with pytest.raises(PageVisibilityFault):
+            tlb.access(0x60000800, user=True)
+
+    def test_microarch_access_bypasses_visibility(self):
+        tlb = TLB(TLBConfig())
+        tlb.set_invisible(0x60000000, 0x1000)
+        # DRC refills are micro-architectural: allowed.
+        tlb.access(0x60000800, user=False)
+
+    def test_visible_pages_unaffected(self):
+        tlb = TLB(TLBConfig())
+        tlb.set_invisible(0x60000000, 0x1000)
+        tlb.access(0x400000, user=True)  # normal code page
+
+
+class TestDRAM:
+    def test_row_hit_cheaper_than_conflict(self):
+        dram = DRAM(DRAMConfig())
+        first = dram.access(0x100000)
+        second = dram.access(0x100040)  # same row
+        assert second < first
+        assert dram.stats.row_hits == 1
+
+    def test_row_conflict_reopens(self):
+        cfg = DRAMConfig()
+        dram = DRAM(cfg)
+        dram.access(0x000000)
+        far = 0x000000 + (cfg.num_banks << cfg.row_bits)  # same bank, new row
+        latency = dram.access(far)
+        assert latency == cfg.controller_overhead + cfg.t_rp + cfg.t_rcd + cfg.t_cas
+        assert dram.stats.row_conflicts == 2  # both opens were conflicts
+
+    def test_banks_independent(self):
+        cfg = DRAMConfig()
+        dram = DRAM(cfg)
+        dram.access(0 << cfg.row_bits)  # bank 0
+        dram.access(1 << cfg.row_bits)  # bank 1
+        # Returning to bank 0's open row is a hit.
+        assert dram.access(0x40) == cfg.controller_overhead + cfg.t_cas
+
+    def test_read_write_counters(self):
+        dram = DRAM(DRAMConfig())
+        dram.access(0, is_write=False)
+        dram.access(0, is_write=True)
+        assert dram.stats.reads == 1 and dram.stats.writes == 1
+        assert dram.stats.row_hit_rate == 0.5
+
+
+class _TableBacking:
+    def __init__(self, latency=12):
+        self.latency = latency
+        self.refills = []
+
+    def refill(self, key, kind):
+        self.refills.append((key, kind))
+        return self.latency
+
+
+class TestDRC:
+    def _drc(self, entries=64):
+        backing = _TableBacking()
+        return DRC(DRCConfig(entries=entries), backing.refill), backing
+
+    def test_miss_then_hit(self):
+        drc, backing = self._drc()
+        first = drc.lookup(0x40000000, KIND_DERAND)
+        assert first == 1 + 12
+        second = drc.lookup(0x40000000, KIND_DERAND)
+        assert second == 1
+        assert drc.stats.misses == 1
+        assert drc.stats.lookups == 2
+        assert backing.refills == [(0x40000000, KIND_DERAND)]
+
+    def test_kind_is_part_of_the_tag(self):
+        # Same key, different type tag: distinct entries (paper Fig. 8's
+        # derand/rand single-bit tag).
+        drc, _ = self._drc()
+        drc.lookup(0x1000, KIND_DERAND)
+        latency = drc.lookup(0x1000, KIND_RAND)
+        assert latency > 1
+        assert drc.stats.misses == 2
+
+    def test_direct_mapped_conflict(self):
+        drc, _ = self._drc(entries=64)
+        key_a = 0x40000000
+        # Find a second key landing on the same index.
+        key_b = next(
+            k for k in range(0x40000008, 0x40100000, 8)
+            if drc._index(k) == drc._index(key_a)
+        )
+        drc.lookup(key_a, KIND_DERAND)
+        drc.lookup(key_b, KIND_DERAND)
+        # key_a was displaced: it must miss again.
+        assert drc.lookup(key_a, KIND_DERAND) > 1
+
+    def test_working_set_within_capacity_hits(self):
+        drc, _ = self._drc(entries=512)
+        keys = [0x40000000 + 8 * i for i in range(40)]
+        for key in keys:
+            drc.lookup(key, KIND_DERAND)
+        before = drc.stats.misses
+        for _round in range(5):
+            for key in keys:
+                drc.lookup(key, KIND_DERAND)
+        # A 512-entry DRC holds 40 keys with at most a few conflicts.
+        assert drc.stats.misses - before <= 10 * 5
+
+    def test_larger_drc_fewer_misses(self):
+        keys = [0x40000000 + 8 * i for i in range(96)]
+        results = {}
+        for entries in (64, 512):
+            drc, _ = self._drc(entries=entries)
+            for _round in range(10):
+                for key in keys:
+                    drc.lookup(key, KIND_DERAND)
+            results[entries] = drc.stats.miss_rate
+        assert results[512] < results[64]
+
+    def test_bitmap_probe_counted(self):
+        drc, _ = self._drc()
+        drc.bitmap_probe()
+        assert drc.stats.bitmap_probes == 1
+
+    def test_flush(self):
+        drc, _ = self._drc()
+        drc.lookup(0x1000, KIND_DERAND)
+        drc.flush()
+        assert drc.lookup(0x1000, KIND_DERAND) > 1
+
+    def test_stats_by_kind(self):
+        drc, _ = self._drc()
+        drc.lookup(0x1000, KIND_DERAND)
+        drc.lookup(0x2000, KIND_RAND)
+        assert drc.stats.derand_lookups == 1
+        assert drc.stats.rand_lookups == 1

