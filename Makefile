@@ -1,0 +1,19 @@
+# Developer entry points.  `make verify` is the tier-1 gate: the full
+# test suite plus the observability-overhead budget check.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: verify test bench-obs bench
+
+verify: test bench-obs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs_overhead.py
+
+# Full per-figure benchmark suite (slow; regenerates paper tables).
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q

@@ -29,11 +29,14 @@ diverge semantically from the functional reference.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import time
+from typing import Callable, Dict, Optional
 
 from ..binary import BinaryImage, load_image
 from ..isa.decoder import decode
 from ..isa.instruction import Instruction
+from ..obs.events import EventLog
+from ..obs.metrics import get_registry
 from .branch import BranchUnit
 from .cache import Cache
 from .config import MachineConfig, default_config
@@ -42,7 +45,7 @@ from .dram import DRAM
 from .executor import CTRL_HALT, CTRL_JUMP, CTRL_NONE, execute
 from .memory import SparseMemory
 from .power import EnergyParams, compute_energy
-from .simstats import SimResult
+from .simstats import Checkpoint, SimResult, ratio
 from .state import ExitProgram, MachineState
 from .tlb import TLB
 
@@ -57,6 +60,15 @@ TABLE_REGION_SIZE = 0x04000000
 #: Extra execute-stage cycles per mnemonic (beyond the 1-cycle issue slot).
 _EXEC_EXTRA: Dict[str, int] = {"imul": 2}
 
+#: ``_next_checkpoint`` sentinel when checkpointing is off: one integer
+#: compare per retired instruction is the entire disabled-path cost.
+_NO_CHECKPOINT = 1 << 62
+
+#: Minimum run of back-to-back IL1 fetch fills that counts as a
+#: ``cache_fill_burst`` event (naive ILR's scattered layout produces
+#: long runs of these; baseline/VCFR essentially never do).
+FILL_BURST_THRESHOLD = 8
+
 
 class CycleCPU:
     """One simulated core executing one program under one flow."""
@@ -66,6 +78,10 @@ class CycleCPU:
         image: BinaryImage,
         flow,
         config: Optional[MachineConfig] = None,
+        events: Optional[EventLog] = None,
+        checkpoint_interval: int = 0,
+        on_checkpoint: Optional[Callable[[Checkpoint], None]] = None,
+        event_fields: Optional[dict] = None,
     ):
         self.config = config or default_config()
         self.image = image
@@ -96,6 +112,41 @@ class CycleCPU:
         self.cycle = 0
         #: optional execution tracer (see repro.arch.trace.attach_tracer).
         self.tracer = None
+
+        # -- observability (repro.obs) ---------------------------------
+        #: structured event log; the default Null-backed log drops
+        #: everything and keeps producers branch-cheap via ``enabled``.
+        self.events = events if events is not None else EventLog()
+        #: extra fields merged into every emitted record (the harness
+        #: sets e.g. ``{"workload": "gcc"}``; the CPU adds ``mode``).
+        self.event_fields = dict(event_fields or {})
+        self.checkpoint_interval = max(0, checkpoint_interval)
+        self.on_checkpoint = on_checkpoint
+        self.checkpoints = []
+        self._next_checkpoint = _NO_CHECKPOINT
+        self._ckpt_icount = 0
+        self._ckpt_cycle = 0
+        self._ckpt_il1_acc = 0
+        self._ckpt_il1_miss = 0
+        self._ckpt_drc_lookups = 0
+        self._ckpt_drc_misses = 0
+        self._ckpt_drc_evictions = 0
+        self._run_t0 = 0.0
+        # IL1 fetch-fill burst detection (events-enabled runs only).
+        self._burst_track = self.events.enabled
+        self._fill_streak = 0
+        self._fill_streak_pc = 0
+
+        self.event_fields.setdefault(
+            "mode", getattr(flow, "name", "unknown")
+        )
+        self._warmup_icount = 0
+        self._warmup_cycle = 0
+
+        # Opt-in per-phase host-time attribution (see run_profiled).
+        self._profiled = False
+        self._phase_times: Dict[str, float] = {}
+
         self._started = False
         self._finished = False
         self._resume_fetch_pc = 0
@@ -144,6 +195,9 @@ class CycleCPU:
             self._last_fetch_line = line
             latency = self.il1.access(fetch_pc, False)
             stall += latency - self.config.il1.latency  # hits are pipelined
+            if self._burst_track:
+                self._note_fetch_fill(latency > self.config.il1.latency,
+                                      fetch_pc)
             if self.config.prefetch_il1:
                 self.il1.prefetch((line + 1) << self._line_shift)
         # A fetch group that straddles into the next line touches it too.
@@ -152,9 +206,31 @@ class CycleCPU:
             self._last_fetch_line = end_line
             latency = self.il1.access(end_line << self._line_shift, False)
             stall += latency - self.config.il1.latency
+            if self._burst_track:
+                self._note_fetch_fill(latency > self.config.il1.latency,
+                                      fetch_pc)
             if self.config.prefetch_il1:
                 self.il1.prefetch((end_line + 1) << self._line_shift)
         return stall
+
+    def _note_fetch_fill(self, missed: bool, fetch_pc: int) -> None:
+        """Track runs of consecutive IL1 fetch fills; a long run is the
+        micro-architectural signature of destroyed instruction locality
+        (naive ILR), emitted as one ``cache_fill_burst`` record."""
+        if missed:
+            if not self._fill_streak:
+                self._fill_streak_pc = fetch_pc
+            self._fill_streak += 1
+        elif self._fill_streak:
+            if self._fill_streak >= FILL_BURST_THRESHOLD:
+                self.events.emit(
+                    "cache_fill_burst",
+                    length=self._fill_streak,
+                    start_pc=self._fill_streak_pc,
+                    instructions=self.state.icount,
+                    **self.event_fields,
+                )
+            self._fill_streak = 0
 
     # -- data side -------------------------------------------------------------------
 
@@ -255,6 +331,13 @@ class CycleCPU:
         ``warmup_instructions`` executes (and warms caches/predictors) but
         is excluded from the reported statistics.
         """
+        self.events.emit(
+            "run_start",
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+            checkpoint_interval=self.checkpoint_interval,
+            **self.event_fields,
+        )
         if warmup_instructions:
             self._ensure_started()
             self._execute_loop(self.state.icount + warmup_instructions)
@@ -262,8 +345,23 @@ class CycleCPU:
         elif not self._started:
             self._reset_stats()
         self._ensure_started()
-        finished = self._execute_loop(self.state.icount + max_instructions)
-        return self._result(finished, warmup_instructions)
+        finished = self._execute_with_checkpoints(
+            self.state.icount + max_instructions
+        )
+        result = self._result(finished, warmup_instructions)
+        self.events.emit(
+            "run_end",
+            instructions=result.instructions,
+            cycles=result.cycles,
+            ipc=round(result.ipc, 6),
+            il1_miss_rate=round(result.il1_miss_rate, 6),
+            drc_miss_rate=round(result.drc_miss_rate, 6),
+            finished=result.finished,
+            checkpoints=len(result.checkpoints),
+            host_seconds=round(time.perf_counter() - self._run_t0, 6),
+            **self.event_fields,
+        )
+        return result
 
     def run_slice(self, instructions: int) -> bool:
         """Resumable execution: run up to ``instructions`` more.
@@ -278,14 +376,74 @@ class CycleCPU:
         self._ensure_started()
         return self._execute_loop(self.state.icount + instructions)
 
+    def run_profiled(
+        self,
+        max_instructions: int = 1_000_000,
+        warmup_instructions: int = 0,
+        profiler=None,
+        prefix: str = "sim.",
+    ) -> SimResult:
+        """Like :meth:`run`, but attribute host wall-time to pipeline
+        phases (decode, fetch-translate, execute, cache-data,
+        branch-predict, drc, retire).
+
+        The timed loop costs a handful of ``perf_counter`` calls per
+        instruction, so it is opt-in; the always-on path stays
+        unprofiled.  When ``profiler`` (a
+        :class:`~repro.obs.profile.PhaseProfiler`) is given, the totals
+        are folded into it under ``prefix`` and mirrored as ``phase``
+        events.
+        """
+        self._phase_times = dict.fromkeys(
+            ("decode", "fetch-translate", "execute", "cache-data",
+             "branch-predict", "drc", "retire"), 0.0,
+        )
+        self._profiled = True
+        try:
+            result = self.run(max_instructions, warmup_instructions)
+        finally:
+            self._profiled = False
+        if profiler is not None:
+            for name, seconds in self._phase_times.items():
+                profiler.add(
+                    prefix + name, seconds,
+                    calls=result.instructions, **self.event_fields,
+                )
+        return result
+
+    @property
+    def phase_times(self) -> Dict[str, float]:
+        """Per-phase host seconds from the last :meth:`run_profiled`."""
+        return dict(self._phase_times)
+
     def _ensure_started(self) -> None:
         if not self._started:
             self._resume_fetch_pc = self.flow.initial_fetch_pc()
             self._started = True
 
+    def _execute_with_checkpoints(self, budget: int) -> bool:
+        """Run to ``budget``, pausing at checkpoint boundaries.
+
+        Checkpointing costs nothing on the per-instruction path: the
+        inner loop's own budget check doubles as the checkpoint trigger
+        (each chunk's budget is clipped to the next boundary), so a
+        disabled-checkpoint run and an enabled one execute the same
+        loop body.
+        """
+        if not self.checkpoint_interval:
+            return self._execute_loop(budget)
+        while True:
+            finished = self._execute_loop(min(budget, self._next_checkpoint))
+            if self.state.icount >= self._next_checkpoint:
+                self._take_checkpoint()
+            if finished or self.state.icount >= budget:
+                return finished
+
     def _execute_loop(self, budget: int) -> bool:
         """The pipeline loop; runs until ``state.icount`` reaches ``budget``
         or the program terminates.  Returns the termination flag."""
+        if self._profiled:
+            return self._execute_loop_profiled(budget)
         state = self.state
         flow = self.flow
         fetch_pc = self._resume_fetch_pc
@@ -335,6 +493,153 @@ class CycleCPU:
         self._resume_fetch_pc = fetch_pc
         return self._finished
 
+    def _execute_loop_profiled(self, budget: int) -> bool:
+        """Timed mirror of :meth:`_execute_loop`.
+
+        Keep the two loop bodies in lockstep when changing pipeline
+        behaviour — this variant only adds ``perf_counter`` brackets
+        that deposit per-phase host seconds into ``_phase_times``.
+        """
+        state = self.state
+        flow = self.flow
+        times = self._phase_times
+        now = time.perf_counter
+        fetch_pc = self._resume_fetch_pc
+        if self._finished:
+            return True
+
+        while state.icount < budget:
+            t0 = now()
+            inst = self._fetch(fetch_pc)
+            t1 = now()
+            state.pc = flow.arch_pc_of(fetch_pc)
+            stall = self._fetch_stall(fetch_pc, inst.length)
+            t2 = now()
+            times["decode"] += t1 - t0
+            times["fetch-translate"] += t2 - t1
+
+            try:
+                kind, target = execute(inst, state, flow)
+            except ExitProgram:
+                self._finished = True
+                self.cycle += 1
+                times["execute"] += now() - t2
+                break
+            t3 = now()
+            times["execute"] += t3 - t2
+
+            stall += _EXEC_EXTRA.get(inst.mnemonic, 0)
+            stall += self._data_stall()
+            t4 = now()
+            times["cache-data"] += t4 - t3
+
+            if kind == CTRL_NONE:
+                next_fetch_pc = flow.sequential(inst)
+            elif kind == CTRL_HALT:
+                self._finished = True
+                self.cycle += 1 + stall
+                times["retire"] += now() - t4
+                break
+            else:
+                next_fetch_pc = flow.transfer(target)
+
+            branch_penalty, predicted_ok = self._branch_stall(
+                inst, kind, next_fetch_pc, target
+            )
+            stall += branch_penalty
+            t5 = now()
+            times["branch-predict"] += t5 - t4
+
+            stall += self._drc_stall(
+                fetch_waits=not predicted_ok, overlap=branch_penalty
+            )
+            t6 = now()
+            times["drc"] += t6 - t5
+
+            if self.tracer is not None:
+                self.tracer.record(
+                    inst, state.pc, fetch_pc, kind != CTRL_NONE, target
+                )
+
+            self.cycle += 1 + stall
+            fetch_pc = next_fetch_pc
+            times["retire"] += now() - t6
+
+        self._resume_fetch_pc = fetch_pc
+        return self._finished
+
+    # -- progress checkpoints ------------------------------------------------------------------
+
+    def _arm_checkpoints(self) -> None:
+        """(Re)base the checkpoint windows on the current counters."""
+        if self.checkpoint_interval:
+            self._next_checkpoint = (
+                self.state.icount + self.checkpoint_interval
+            )
+        else:
+            self._next_checkpoint = _NO_CHECKPOINT
+        self.checkpoints = []
+        self._ckpt_icount = self.state.icount
+        self._ckpt_cycle = self.cycle
+        il1 = self.il1.stats
+        self._ckpt_il1_acc = il1.accesses
+        self._ckpt_il1_miss = il1.misses
+        drc = self.drc.stats
+        self._ckpt_drc_lookups = drc.lookups
+        self._ckpt_drc_misses = drc.misses
+        self._ckpt_drc_evictions = drc.evictions
+        self._run_t0 = time.perf_counter()
+
+    def _take_checkpoint(self) -> None:
+        """Sample the window since the previous checkpoint."""
+        icount = self.state.icount
+        delta_instr = icount - self._ckpt_icount
+        if delta_instr <= 0:
+            self._next_checkpoint = icount + (
+                self.checkpoint_interval or _NO_CHECKPOINT
+            )
+            return
+        il1 = self.il1.stats
+        drc = self.drc.stats
+        delta_cycle = self.cycle - self._ckpt_cycle
+        checkpoint = Checkpoint(
+            instructions=icount - self._warmup_icount,
+            cycles=self.cycle - self._warmup_cycle,
+            ipc=ratio(delta_instr, delta_cycle),
+            il1_miss_rate=ratio(il1.misses - self._ckpt_il1_miss,
+                                il1.accesses - self._ckpt_il1_acc),
+            drc_miss_rate=ratio(drc.misses - self._ckpt_drc_misses,
+                                drc.lookups - self._ckpt_drc_lookups),
+            host_seconds=time.perf_counter() - self._run_t0,
+        )
+        self.checkpoints.append(checkpoint)
+        if self.events.enabled:
+            self.events.emit(
+                "checkpoint", **checkpoint.as_dict(), **self.event_fields
+            )
+            evictions = drc.evictions - self._ckpt_drc_evictions
+            if evictions:
+                self.events.emit(
+                    "drc_evict",
+                    evictions=evictions,
+                    lookups=drc.lookups - self._ckpt_drc_lookups,
+                    misses=drc.misses - self._ckpt_drc_misses,
+                    instructions=checkpoint.instructions,
+                    **self.event_fields,
+                )
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(checkpoint)
+        self._ckpt_icount = icount
+        self._ckpt_cycle = self.cycle
+        self._ckpt_il1_acc = il1.accesses
+        self._ckpt_il1_miss = il1.misses
+        self._ckpt_drc_lookups = drc.lookups
+        self._ckpt_drc_misses = drc.misses
+        self._ckpt_drc_evictions = drc.evictions
+        self._next_checkpoint = icount + (
+            self.checkpoint_interval or _NO_CHECKPOINT
+        )
+
     # -- bookkeeping ----------------------------------------------------------------------------
 
     def _reset_stats(self) -> None:
@@ -355,8 +660,17 @@ class CycleCPU:
         self.dtlb.stats = TLBStats()
         self.branch.stats = BranchStats()
         self.drc.stats = DRCStats()
+        self._arm_checkpoints()
 
     def _result(self, finished: bool, warmup: int) -> SimResult:
+        # Close out observability state: a final partial-window sample
+        # (so short runs still report trailing progress) and any fill
+        # streak still open when the program stopped.
+        if self.checkpoint_interval and self.state.icount > self._ckpt_icount:
+            self._take_checkpoint()
+        if self._burst_track and self._fill_streak:
+            self._note_fetch_fill(False, 0)
+
         warm_icount = getattr(self, "_warmup_icount", 0)
         warm_cycle = getattr(self, "_warmup_cycle", 0)
         state = self.state
@@ -385,11 +699,35 @@ class CycleCPU:
             drc_lookups=self.drc.stats.lookups,
             drc_misses=self.drc.stats.misses,
             drc_bitmap_probes=self.drc.stats.bitmap_probes,
+            checkpoints=list(self.checkpoints),
         )
         result.energy = compute_energy(
             self._activity(result), EnergyParams(), self.config.drc.entries
         )
+        self._sync_metrics(result)
         return result
+
+    def _sync_metrics(self, result: SimResult) -> None:
+        """Fold the finished run into the process-global metrics
+        registry (end-of-run only, so the hot loop never touches it)."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        mode = result.mode
+        registry.counter("sim.runs").inc()
+        registry.counter("sim.instructions").inc(result.instructions)
+        registry.counter("sim.cycles").inc(result.cycles)
+        registry.counter("sim.%s.instructions" % mode).inc(result.instructions)
+        registry.counter("sim.%s.cycles" % mode).inc(result.cycles)
+        if result.drc_lookups:
+            registry.counter("sim.drc.lookups").inc(result.drc_lookups)
+            registry.counter("sim.drc.misses").inc(result.drc_misses)
+        registry.gauge("sim.%s.last_ipc" % mode).set(result.ipc)
+        histogram = registry.histogram(
+            "sim.checkpoint.ipc", bounds=(0.2, 0.4, 0.6, 0.8, 1.0)
+        )
+        for checkpoint in result.checkpoints:
+            histogram.observe(checkpoint.ipc)
 
     def _activity(self, result: SimResult) -> Dict[str, int]:
         """Activity counters for the power model."""
@@ -418,7 +756,19 @@ def simulate(
     config: Optional[MachineConfig] = None,
     max_instructions: int = 1_000_000,
     warmup_instructions: int = 0,
+    events: Optional[EventLog] = None,
+    checkpoint_interval: int = 0,
+    on_checkpoint: Optional[Callable[[Checkpoint], None]] = None,
+    event_fields: Optional[dict] = None,
 ) -> SimResult:
     """One-shot helper: build a :class:`CycleCPU` and run it."""
-    cpu = CycleCPU(image, flow, config)
+    cpu = CycleCPU(
+        image,
+        flow,
+        config,
+        events=events,
+        checkpoint_interval=checkpoint_interval,
+        on_checkpoint=on_checkpoint,
+        event_fields=event_fields,
+    )
     return cpu.run(max_instructions, warmup_instructions)

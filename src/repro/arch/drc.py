@@ -24,7 +24,7 @@ KIND_RAND = 1
 
 class DRCStats:
     __slots__ = ("lookups", "misses", "derand_lookups", "rand_lookups",
-                 "bitmap_probes", "refill_latency_total")
+                 "bitmap_probes", "refill_latency_total", "evictions")
 
     def __init__(self):
         self.lookups = 0
@@ -33,6 +33,9 @@ class DRCStats:
         self.rand_lookups = 0
         self.bitmap_probes = 0
         self.refill_latency_total = 0
+        #: valid entries displaced by a refill (capacity/conflict churn;
+        #: aggregated into ``drc_evict`` events at checkpoint boundaries).
+        self.evictions = 0
 
     @property
     def miss_rate(self) -> float:
@@ -97,6 +100,7 @@ class DRC:
         stats.refill_latency_total += latency
         if len(ways) >= self.assoc:
             ways.pop(0)
+            stats.evictions += 1
         ways.append(entry)
         return latency
 

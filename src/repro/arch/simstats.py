@@ -3,10 +3,66 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..isa.syscalls import OutputStream
 from .power import EnergyBreakdown
+
+
+def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator`` with a uniform zero-denominator policy.
+
+    Every derived rate in the simulator (IPC, miss rates, speedups,
+    normalized IPC) is a ratio whose denominator can legitimately be
+    zero on a degenerate run; callers use this instead of hand-rolled
+    ``x / y if y else ...`` guards with inconsistent defaults.
+    """
+    return numerator / denominator if denominator else default
+
+
+def miss_rate(stats: Dict[str, int],
+              misses: str = "misses",
+              accesses: str = "accesses") -> float:
+    """Miss rate from a counter-snapshot dict, zero-guarded.
+
+    Works on any ``{"accesses": N, "misses": M}``-shaped dict (the
+    :class:`~repro.arch.cache.CacheStats` snapshots stored on
+    :class:`SimResult`); alternate key names cover TLB/DRC-style dicts.
+    """
+    return ratio(stats.get(misses, 0), stats.get(accesses, 0))
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One periodic progress sample of a running simulation.
+
+    Rates are *instantaneous* — computed over the window since the
+    previous checkpoint — so a sequence of checkpoints is an
+    IPC/miss-rate-over-time curve, not a running average.
+    """
+
+    #: retired instructions at sample time (cumulative, post-warmup).
+    instructions: int
+    #: simulated cycles at sample time (cumulative, post-warmup).
+    cycles: int
+    #: instantaneous IPC over the window since the previous checkpoint.
+    ipc: float
+    #: instantaneous IL1 miss rate over the window.
+    il1_miss_rate: float
+    #: instantaneous DRC miss rate over the window (0.0 outside VCFR).
+    drc_miss_rate: float
+    #: host wall-clock seconds since the run started.
+    host_seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": round(self.ipc, 6),
+            "il1_miss_rate": round(self.il1_miss_rate, 6),
+            "drc_miss_rate": round(self.drc_miss_rate, 6),
+            "host_seconds": round(self.host_seconds, 6),
+        }
 
 
 @dataclass
@@ -45,24 +101,24 @@ class SimResult:
     # Power.
     energy: Optional[EnergyBreakdown] = None
 
+    #: periodic progress samples (empty unless checkpointing was enabled).
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+
     @property
     def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
+        return ratio(self.instructions, self.cycles)
 
     @property
     def il1_miss_rate(self) -> float:
-        acc = self.il1.get("accesses", 0)
-        return self.il1.get("misses", 0) / acc if acc else 0.0
+        return miss_rate(self.il1)
 
     @property
     def dl1_miss_rate(self) -> float:
-        acc = self.dl1.get("accesses", 0)
-        return self.dl1.get("misses", 0) / acc if acc else 0.0
+        return miss_rate(self.dl1)
 
     @property
     def l2_miss_rate(self) -> float:
-        acc = self.l2.get("accesses", 0)
-        return self.l2.get("misses", 0) / acc if acc else 0.0
+        return miss_rate(self.l2)
 
     @property
     def l2_pressure(self) -> int:
@@ -75,12 +131,11 @@ class SimResult:
     def il1_prefetch_waste_rate(self) -> float:
         used = self.il1.get("prefetch_used", 0)
         wasted = self.il1.get("prefetch_wasted", 0)
-        total = used + wasted
-        return wasted / total if total else 0.0
+        return ratio(wasted, used + wasted)
 
     @property
     def drc_miss_rate(self) -> float:
-        return self.drc_misses / self.drc_lookups if self.drc_lookups else 0.0
+        return ratio(self.drc_misses, self.drc_lookups)
 
     @property
     def drc_power_overhead_percent(self) -> float:
@@ -102,5 +157,11 @@ class SimResult:
                 "drc lookups=%d miss rate=%.4f power overhead=%.4f%%"
                 % (self.drc_lookups, self.drc_miss_rate,
                    self.drc_power_overhead_percent)
+            )
+        if self.checkpoints:
+            first, last = self.checkpoints[0], self.checkpoints[-1]
+            lines.append(
+                "checkpoints=%d ipc %0.4f -> %0.4f"
+                % (len(self.checkpoints), first.ipc, last.ipc)
             )
         return "\n".join(lines)

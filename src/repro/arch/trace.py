@@ -34,6 +34,16 @@ class TraceEntry:
             self.seq, self.arch_pc, self.fetch_pc, self.mnemonic, tag,
         )
 
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "arch_pc": self.arch_pc,
+            "fetch_pc": self.fetch_pc,
+            "mnemonic": self.mnemonic,
+            "taken": self.taken,
+            "target": self.target,
+        }
+
 
 class Tracer:
     """Bounded instruction/branch trace collector."""
@@ -70,6 +80,19 @@ class Tracer:
 
     def format_tail(self, count: int = 20) -> str:
         return "\n".join(entry.format() for entry in self.tail(count))
+
+    def to_jsonl(self, path: str) -> int:
+        """Dump the ring's entries as JSONL (one record per retired
+        instruction still in the buffer) for offline inspection next to
+        a captured event log.  Returns the number of records written."""
+        import json
+
+        count = 0
+        with open(path, "w") as fh:
+            for entry in self.entries:
+                fh.write(json.dumps(entry.as_dict(), sort_keys=True) + "\n")
+                count += 1
+        return count
 
     def clear(self) -> None:
         self.entries.clear()

@@ -20,8 +20,9 @@ via :class:`HostCostParams`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from ..arch.executor import CTRL_HALT, CTRL_NONE, execute
 from ..arch.functional import RunResult
@@ -31,6 +32,7 @@ from ..binary import load_image
 from ..ilr.flow import NaiveILRFlow
 from ..ilr.randomizer import RandomizedProgram
 from ..isa.decoder import decode
+from ..obs.events import EventLog
 from .hostcost import HostCostCounters, HostCostParams
 
 
@@ -41,6 +43,10 @@ class EmulationResult:
     run: RunResult
     host_instructions: int
     counters: HostCostCounters
+    #: periodic progress samples: dicts with guest ``instructions``,
+    #: cumulative ``host_instructions``, instantaneous ``host_per_guest``
+    #: over the window, and ``host_seconds`` wall time.
+    checkpoints: List[dict] = field(default_factory=list)
 
     def slowdown_vs(self, native_cycles: int, host_ipc: float = 1.0) -> float:
         """Fig. 2 metric: emulated host cycles over native cycles."""
@@ -57,10 +63,18 @@ class ILREmulator:
         program: RandomizedProgram,
         params: Optional[HostCostParams] = None,
         max_instructions: int = 50_000_000,
+        events: Optional[EventLog] = None,
+        checkpoint_interval: int = 0,
+        event_fields: Optional[dict] = None,
     ):
         self.program = program
         self.params = params or HostCostParams()
         self.max_instructions = max_instructions
+        self.events = events if events is not None else EventLog()
+        self.checkpoint_interval = max(0, checkpoint_interval)
+        self.event_fields = dict(event_fields or {})
+        self.event_fields.setdefault("mode", "emulate")
+        self.checkpoints: List[dict] = []
 
         self.mem = SparseMemory()
         info = load_image(program.naive_image, self.mem)
@@ -77,6 +91,19 @@ class ILREmulator:
         state = self.state
         flow = self.flow
         charge = counters.charge
+
+        self.events.emit(
+            "run_start",
+            max_instructions=self.max_instructions,
+            checkpoint_interval=self.checkpoint_interval,
+            **self.event_fields,
+        )
+        run_t0 = time.perf_counter()
+        next_checkpoint = (
+            self.checkpoint_interval or self.max_instructions + 1
+        )
+        ckpt_icount = 0
+        ckpt_host = 0
 
         vpc = flow.initial_fetch_pc()
         halted = False
@@ -118,6 +145,26 @@ class ILREmulator:
                 charge("control_transfer", params.control_transfer)
                 vpc = flow.transfer(target)
 
+            if state.icount >= next_checkpoint:
+                window = state.icount - ckpt_icount
+                checkpoint = {
+                    "instructions": state.icount,
+                    "host_instructions": counters.total,
+                    "host_per_guest": round(
+                        (counters.total - ckpt_host) / window, 3
+                    ) if window else 0.0,
+                    "host_seconds": round(
+                        time.perf_counter() - run_t0, 6
+                    ),
+                }
+                self.checkpoints.append(checkpoint)
+                self.events.emit(
+                    "checkpoint", **checkpoint, **self.event_fields
+                )
+                ckpt_icount = state.icount
+                ckpt_host = counters.total
+                next_checkpoint = state.icount + self.checkpoint_interval
+
         run = RunResult(
             exit_code=state.exit_code,
             icount=state.icount,
@@ -125,10 +172,19 @@ class ILREmulator:
             state=state,
             halted=halted,
         )
+        self.events.emit(
+            "run_end",
+            instructions=run.icount,
+            host_instructions=counters.total,
+            halted=halted,
+            host_seconds=round(time.perf_counter() - run_t0, 6),
+            **self.event_fields,
+        )
         return EmulationResult(
             run=run,
             host_instructions=counters.total,
             counters=counters,
+            checkpoints=list(self.checkpoints),
         )
 
 

@@ -5,7 +5,15 @@ Options:
   --max-instructions N    per-run instruction budget (default 300000)
   --seed N                randomizer seed (default 42)
   --ablations             also run the ablation studies
-  --json PATH             write all results as JSON
+  --json PATH             write all results as JSON ("-" for stdout)
+  --events PATH           write a JSONL structured event log
+  --progress              heartbeat line per simulation checkpoint
+  --profile-phases        attribute host time to CPU pipeline phases
+  --checkpoint-interval N instructions between checkpoints (0 = auto)
+
+Only the experiment report (or, with ``--json -``, the JSON document)
+goes to stdout; all diagnostics — timings, heartbeats, file notices —
+go to stderr, so piped output is always machine-clean.
 """
 
 from __future__ import annotations
@@ -14,9 +22,10 @@ import argparse
 import sys
 import time
 
+from ..obs import open_log, status
 from .ablations import ALL_ABLATIONS
 from .experiments import ALL_EXPERIMENTS
-from .report import format_result, write_json
+from .report import format_result, results_to_dict, write_json
 from .runner import Runner
 
 
@@ -34,7 +43,16 @@ def main(argv=None) -> int:
     parser.add_argument("--ablations", action="store_true",
                         help="include the ablation studies")
     parser.add_argument("--json", metavar="PATH", default=None,
-                        help="write results as JSON to PATH")
+                        help='write results as JSON to PATH ("-" = stdout)')
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="write a JSONL structured event log to PATH")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a heartbeat line per checkpoint (stderr)")
+    parser.add_argument("--profile-phases", action="store_true",
+                        help="attribute host time to CPU pipeline phases")
+    parser.add_argument("--checkpoint-interval", type=int, default=0,
+                        help="instructions between progress checkpoints "
+                             "(0 = automatic when --events/--progress)")
     args = parser.parse_args(argv)
 
     registry = dict(ALL_EXPERIMENTS)
@@ -49,21 +67,54 @@ def main(argv=None) -> int:
     if unknown:
         parser.error("unknown experiment(s): %s" % ", ".join(unknown))
 
-    runner = Runner(scale=args.scale, seed=args.seed,
-                    max_instructions=args.max_instructions)
-    results = {}
-    all_ok = True
-    for exp_id in wanted:
-        start = time.time()
-        result = registry[exp_id](runner)
-        results[exp_id] = result
-        print(format_result(result))
-        print("(%.1fs)" % (time.time() - start))
-        print()
-        all_ok &= result.passed
-    if args.json:
-        write_json(results, args.json)
-        print("wrote %s" % args.json)
+    # With --json - the report moves to stderr so stdout carries only
+    # the JSON document.
+    json_to_stdout = args.json == "-"
+    emit_report = status if json_to_stdout else print
+
+    with open_log(args.events) as events:
+        runner = Runner(
+            scale=args.scale,
+            seed=args.seed,
+            max_instructions=args.max_instructions,
+            events=events,
+            progress=args.progress,
+            checkpoint_interval=args.checkpoint_interval,
+            profile_phases=args.profile_phases,
+        )
+        events.status("harness start", experiments=list(wanted),
+                      scale=args.scale,
+                      max_instructions=args.max_instructions,
+                      seed=args.seed)
+        results = {}
+        all_ok = True
+        for exp_id in wanted:
+            start = time.time()
+            with runner.profiler.phase("experiment", experiment=exp_id):
+                result = registry[exp_id](runner)
+            results[exp_id] = result
+            emit_report(format_result(result))
+            status("(%s: %.1fs)" % (exp_id, time.time() - start))
+            if not json_to_stdout:
+                print()
+            all_ok &= result.passed
+        events.status("harness end", passed=bool(all_ok))
+
+        if args.events or args.progress or args.profile_phases:
+            status("")
+            status(runner.profiler.format_table("host-time by phase"))
+        if args.json:
+            if json_to_stdout:
+                import json as _json
+
+                _json.dump(results_to_dict(results), sys.stdout,
+                           indent=2, sort_keys=True)
+                sys.stdout.write("\n")
+            else:
+                write_json(results, args.json)
+                status("wrote %s" % args.json)
+        if args.events:
+            status("wrote %s" % args.events)
     return 0 if all_ok else 1
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..analysis import analyze_functions, collect_stats
+from ..arch.simstats import ratio
 from ..security import can_build_payload, scan_gadgets, survey_image
 from ..workloads import build_image
 from . import paper
@@ -130,16 +131,16 @@ def fig3(runner: Runner) -> ExperimentResult:
     for app in paper.SPEC_APPS:
         base = runner.sim(app, "baseline")
         naive = runner.sim(app, "naive_ilr")
-        ratio = naive.il1_miss_rate / max(base.il1_miss_rate, 1e-9)
+        miss_ratio = ratio(naive.il1_miss_rate,
+                           max(base.il1_miss_rate, 1e-9))
         waste = 100 * (naive.il1_prefetch_waste_rate - base.il1_prefetch_waste_rate)
-        pressure = 100 * (naive.l2_pressure - base.l2_pressure) / max(
-            base.l2_pressure, 1
-        )
-        ratios.append(ratio)
+        pressure = 100 * ratio(naive.l2_pressure - base.l2_pressure,
+                               max(base.l2_pressure, 1))
+        ratios.append(miss_ratio)
         waste_deltas.append(waste)
         pressure_deltas.append(pressure)
         result.rows.append(
-            (app, round(ratio, 1), round(waste, 1), round(pressure, 1))
+            (app, round(miss_ratio, 1), round(waste, 1), round(pressure, 1))
         )
     result.summary = (
         "IL1 miss ratio: median %.1fx, max %.0fx; prefetch waste +%.0fpp avg; "
@@ -178,7 +179,7 @@ def fig4(runner: Runner) -> ExperimentResult:
     for app in paper.SPEC_APPS:
         base = runner.sim(app, "baseline")
         naive = runner.sim(app, "naive_ilr")
-        norm = naive.ipc / base.ipc
+        norm = ratio(naive.ipc, base.ipc)
         normalized.append(norm)
         result.rows.append(
             (app, round(base.ipc, 3), round(naive.ipc, 3), round(norm, 3))
@@ -302,7 +303,7 @@ def fig12(runner: Runner) -> ExperimentResult:
     for app in paper.SPEC_APPS:
         naive = runner.sim(app, "naive_ilr")
         vcfr = runner.sim(app, "vcfr", drc_entries=128)
-        speedup = vcfr.ipc / naive.ipc
+        speedup = ratio(vcfr.ipc, naive.ipc)
         speedups[app] = speedup
         result.rows.append(
             (app, round(naive.ipc, 3), round(vcfr.ipc, 3), round(speedup, 2))
@@ -338,7 +339,7 @@ def fig13(runner: Runner) -> ExperimentResult:
         row = [app]
         for size in sizes:
             vcfr = runner.sim(app, "vcfr", drc_entries=size)
-            norm = vcfr.ipc / base.ipc
+            norm = ratio(vcfr.ipc, base.ipc)
             by_size[size].append(norm)
             row.append(round(norm, 3))
         result.rows.append(tuple(row))

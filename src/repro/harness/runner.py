@@ -3,6 +3,13 @@
 Experiments share randomized programs and simulation results through one
 :class:`Runner`, so the full per-paper experiment suite performs each
 (workload, mode, DRC-size) simulation exactly once.
+
+The runner is also the harness's observability anchor: every stage
+(image build, randomization, cycle simulation, emulation) is timed by a
+:class:`~repro.obs.profile.PhaseProfiler`, simulations emit periodic
+progress checkpoints into the shared
+:class:`~repro.obs.events.EventLog`, and ``progress=True`` turns those
+checkpoints into live heartbeat lines on stderr.
 """
 
 from __future__ import annotations
@@ -11,10 +18,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..arch.config import MachineConfig, default_config
-from ..arch.cpu import simulate
-from ..arch.simstats import SimResult
+from ..arch.cpu import CycleCPU
+from ..arch.simstats import Checkpoint, SimResult
 from ..emu import EmulationResult, ILREmulator
 from ..ilr import RandomizedProgram, RandomizerConfig, make_flow, randomize
+from ..obs import status
+from ..obs.events import EventLog
+from ..obs.profile import PhaseProfiler
 from ..workloads import build_image
 
 
@@ -28,22 +38,51 @@ class Runner:
     warmup_instructions: int = 0
     config: Optional[MachineConfig] = None
 
+    #: structured event log shared by every run (None -> null log).
+    events: Optional[EventLog] = None
+    #: print a heartbeat line per simulation checkpoint (stderr).
+    progress: bool = False
+    #: retired instructions between checkpoints; 0 = auto (about 100
+    #: samples over a full-budget run) whenever events or progress are
+    #: active, disabled otherwise.
+    checkpoint_interval: int = 0
+    #: attribute host time to CPU pipeline phases (opt-in: the profiled
+    #: loop costs a few perf_counter calls per instruction).
+    profile_phases: bool = False
+
     _programs: Dict[str, RandomizedProgram] = field(default_factory=dict)
     _sims: Dict[Tuple[str, str, int], SimResult] = field(default_factory=dict)
     _emulations: Dict[str, EmulationResult] = field(default_factory=dict)
 
+    def __post_init__(self):
+        if self.events is None:
+            self.events = EventLog()
+        #: host wall-time attribution across harness stages (and, with
+        #: ``profile_phases``, the CPU pipeline phases under ``sim.*``).
+        self.profiler = PhaseProfiler(self.events)
+
     def base_config(self) -> MachineConfig:
         return self.config or default_config()
+
+    def effective_checkpoint_interval(self) -> int:
+        """Resolve the checkpointing cadence for cycle simulations."""
+        if self.checkpoint_interval:
+            return self.checkpoint_interval
+        if self.events.enabled or self.progress:
+            return max(250, self.max_instructions // 100)
+        return 0
 
     # -- programs ---------------------------------------------------------------
 
     def program(self, name: str) -> RandomizedProgram:
         """Randomized program for workload ``name`` (cached)."""
         if name not in self._programs:
-            image = build_image(name, scale=self.scale)
-            self._programs[name] = randomize(
-                image, RandomizerConfig(seed=self.seed)
-            )
+            with self.profiler.phase("build", workload=name):
+                image = build_image(name, scale=self.scale)
+            with self.profiler.phase("randomize", workload=name):
+                self._programs[name] = randomize(
+                    image, RandomizerConfig(seed=self.seed)
+                )
         return self._programs[name]
 
     # -- cycle simulations -----------------------------------------------------------
@@ -67,22 +106,56 @@ class Runner:
             config = self.base_config()
             if mode == "vcfr":
                 config = config.with_drc_entries(drc_entries)
-            self._sims[key] = simulate(
+            cpu = CycleCPU(
                 image,
                 make_flow(mode, program),
                 config,
-                max_instructions=self.max_instructions,
-                warmup_instructions=self.warmup_instructions,
+                events=self.events,
+                checkpoint_interval=self.effective_checkpoint_interval(),
+                on_checkpoint=self._heartbeat(name, mode),
+                event_fields={"workload": name},
             )
+            with self.profiler.phase("simulate", workload=name, mode=mode):
+                if self.profile_phases:
+                    self._sims[key] = cpu.run_profiled(
+                        self.max_instructions,
+                        self.warmup_instructions,
+                        profiler=self.profiler,
+                    )
+                else:
+                    self._sims[key] = cpu.run(
+                        self.max_instructions, self.warmup_instructions
+                    )
         return self._sims[key]
+
+    def _heartbeat(self, name: str, mode: str):
+        """Per-checkpoint stderr progress line (``progress=True`` only)."""
+        if not self.progress:
+            return None
+
+        def _on_checkpoint(checkpoint: Checkpoint) -> None:
+            status(
+                "[%s/%s] %7d instr  ipc %.3f  il1 %.4f  drc %.4f"
+                % (name, mode, checkpoint.instructions, checkpoint.ipc,
+                   checkpoint.il1_miss_rate, checkpoint.drc_miss_rate)
+            )
+
+        return _on_checkpoint
 
     # -- software-ILR emulation ----------------------------------------------------------
 
     def emulate(self, name: str) -> EmulationResult:
         """Run the software-ILR emulator on workload ``name`` (cached)."""
         if name not in self._emulations:
-            self._emulations[name] = ILREmulator(
-                self.program(name),
-                max_instructions=self.max_instructions * 10,
-            ).run()
+            program = self.program(name)
+            with self.profiler.phase("emulate", workload=name):
+                self._emulations[name] = ILREmulator(
+                    program,
+                    max_instructions=self.max_instructions * 10,
+                    events=self.events,
+                    checkpoint_interval=(
+                        self.effective_checkpoint_interval() * 10
+                    ),
+                    event_fields={"workload": name},
+                ).run()
         return self._emulations[name]

@@ -1,0 +1,62 @@
+"""Simulator-wide observability layer.
+
+Three independent instruments, designed to be threaded through every
+subsystem without coupling them to each other:
+
+* :mod:`repro.obs.metrics` — an always-on metrics registry (counters,
+  gauges, fixed-bucket histograms) with snapshot/reset semantics.  The
+  hot simulation loops keep their ``__slots__`` stat dataclasses; the
+  registry is the cross-run aggregation point they sync into.
+* :mod:`repro.obs.events` — a structured event log emitting typed JSONL
+  records (``run_start``, ``phase``, ``checkpoint``, ``drc_evict``,
+  ``cache_fill_burst``, ``run_end``) through a pluggable sink (null /
+  in-memory / file), replacing ad-hoc prints.
+* :mod:`repro.obs.profile` — context-manager phase timers attributing
+  host wall-time to simulator phases and harness stages.
+
+``repro.tools.stats`` consumes the JSONL output and renders metric
+tables, per-phase host-time breakdowns, and A-vs-B mode comparisons.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .events import (
+    EventLog,
+    FileSink,
+    MemorySink,
+    NullSink,
+    make_sink,
+    open_log,
+    read_events,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .profile import PhaseProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "EventLog",
+    "NullSink",
+    "MemorySink",
+    "FileSink",
+    "make_sink",
+    "open_log",
+    "read_events",
+    "PhaseProfiler",
+    "status",
+]
+
+
+def status(message: str) -> None:
+    """Print a diagnostic/progress line to stderr.
+
+    Every CLI routes its non-product chatter ("wrote X", timings,
+    heartbeats) through here so machine-readable stdout (``--json``,
+    report tables) is never polluted.
+    """
+    print(message, file=sys.stderr, flush=True)

@@ -1,0 +1,180 @@
+"""Structured event log: typed JSONL records through a pluggable sink.
+
+Producers call ``log.emit(kind, **fields)``; the record is a flat dict
+``{"kind": ..., "t": <seconds since log creation>, **fields}``.  Known
+kinds (consumed by ``repro.tools.stats``):
+
+``run_start``        one simulation/emulation begins (workload, mode)
+``checkpoint``       periodic progress sample (instantaneous IPC, miss
+                     rates since the previous checkpoint)
+``phase``            one profiled host-time phase completed (seconds)
+``drc_evict``        DRC evictions since the last checkpoint (aggregated
+                     so a hot run cannot flood the log)
+``cache_fill_burst`` a streak of consecutive IL1 fetch misses ended —
+                     the signature of naive ILR's destroyed locality
+``run_end``          the run finished (totals)
+``status``           free-form harness diagnostics
+
+Sinks: :class:`NullSink` (drop, ``enabled == False`` so producers can
+skip building expensive fields), :class:`MemorySink` (list of dicts),
+:class:`FileSink` (JSONL file).  ``read_events`` loads JSONL back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "EventLog",
+    "NullSink",
+    "MemorySink",
+    "FileSink",
+    "make_sink",
+    "open_log",
+    "read_events",
+    "EVENT_KINDS",
+]
+
+#: The typed record vocabulary (free-form kinds are allowed but these
+#: are what the stats CLI knows how to render).
+EVENT_KINDS = (
+    "run_start",
+    "checkpoint",
+    "phase",
+    "drc_evict",
+    "cache_fill_burst",
+    "run_end",
+    "status",
+)
+
+
+class NullSink:
+    """Drops everything; the always-on default."""
+
+    enabled = False
+
+    def write(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Buffers records in a list (tests, in-process consumers)."""
+
+    enabled = True
+
+    def __init__(self):
+        self.records: List[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class FileSink:
+    """Appends one JSON object per line to ``path``."""
+
+    enabled = True
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = path
+        self._fh = open(path, "a" if append else "w")
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+def make_sink(spec: Optional[str]):
+    """Sink from a CLI spec: None/"null" -> null, "memory" -> memory,
+    anything else -> a JSONL file at that path."""
+    if spec is None or spec == "null":
+        return NullSink()
+    if spec == "memory":
+        return MemorySink()
+    return FileSink(spec)
+
+
+class EventLog:
+    """Typed event emitter bound to one sink.
+
+    ``log.enabled`` mirrors the sink: producers guard *expensive field
+    construction* behind it (emit itself is always safe to call).
+    Timestamps are seconds relative to log creation, so diffs between
+    two captured logs line up regardless of wall-clock epoch.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = self.sink.enabled
+        self._t0 = time.perf_counter()
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        if not self.enabled:
+            return
+        record: Dict[str, object] = {
+            "kind": kind,
+            "seq": self._seq,
+            "t": round(time.perf_counter() - self._t0, 6),
+        }
+        record.update(fields)
+        self._seq += 1
+        self.sink.write(record)
+
+    # Convenience wrappers: keep producer call sites short and the
+    # field names consistent across subsystems.
+
+    def run_start(self, workload: str, mode: str, **fields) -> None:
+        self.emit("run_start", workload=workload, mode=mode, **fields)
+
+    def run_end(self, workload: str, mode: str, **fields) -> None:
+        self.emit("run_end", workload=workload, mode=mode, **fields)
+
+    def phase(self, phase: str, seconds: float, **fields) -> None:
+        self.emit("phase", phase=phase, seconds=round(seconds, 6), **fields)
+
+    def status(self, message: str, **fields) -> None:
+        self.emit("status", message=message, **fields)
+
+    def close(self) -> None:
+        self.sink.close()
+
+    # Context-manager sugar so CLIs can ``with open_log(path) as log:``.
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_log(spec: Optional[str]) -> EventLog:
+    """EventLog from a CLI ``--events`` spec (see :func:`make_sink`)."""
+    return EventLog(make_sink(spec))
+
+
+def read_events(path: str,
+                kinds: Optional[Iterable[str]] = None) -> List[dict]:
+    """Load a JSONL event file, optionally filtered to ``kinds``."""
+    wanted = set(kinds) if kinds is not None else None
+    records: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if wanted is None or record.get("kind") in wanted:
+                records.append(record)
+    return records

@@ -1,0 +1,231 @@
+"""Always-on metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints (ISSUE 1):
+
+* cheap enough to be always-on — instruments are plain ``__slots__``
+  objects and an increment is one attribute add, no locks, no labels
+  hashing on the hot path (callers hold the instrument, not its name);
+* snapshot/reset on demand — the harness snapshots between runs so one
+  registry can serve a whole experiment suite;
+* a *disabled* registry hands out shared null instruments whose methods
+  are no-ops, so instrumented code needs no ``if enabled`` guards.
+
+The simulator's per-run ``__slots__`` stat classes (``CacheStats``,
+``DRCStats``, ...) remain the per-component source of truth; the
+registry is the cross-run aggregation layer they sync into (see
+``CycleCPU._sync_metrics``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (powers of four: latencies and
+#: burst lengths in the simulator span several orders of magnitude).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style bounds, +inf implicit).
+
+    ``bounds`` are upper edges: an observation lands in the first bucket
+    whose bound is >= the value, or the overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for idx, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[idx] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def snapshot(self):
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+            "mean": self.mean,
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+    total = 0.0
+    count = 0
+    bounds: Tuple[float, ...] = ()
+    counts: List[int] = []
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self):
+        return None
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instrument store with create-or-get semantics.
+
+    ``registry.counter("sim.instructions")`` returns the same
+    :class:`Counter` on every call; hot loops fetch the instrument once
+    and increment the bound object.  ``enabled=False`` swaps every
+    accessor for a shared null instrument (measured ≈ no-op, see
+    ``benchmarks/bench_obs_overhead.py``).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, bounds)
+        return inst
+
+    # -- bulk operations ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """One JSON-serializable dict of every instrument's state."""
+        return {
+            "counters": {n: c.snapshot() for n, c in self._counters.items()},
+            "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
+            "histograms": {
+                n: h.snapshot() for n, h in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (instrument identity is preserved, so
+        hot loops holding a bound instrument keep working)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for inst in group.values():
+                inst.reset()
+
+    def clear(self) -> None:
+        """Drop all instruments entirely."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: Process-global default registry; the simulator syncs aggregate run
+#: statistics here so long-lived harness processes can watch totals.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY

@@ -6,6 +6,7 @@ import argparse
 import sys
 
 from ..isa import AssemblyError, assemble
+from ..obs import status
 
 
 def main(argv=None) -> int:
@@ -26,7 +27,8 @@ def main(argv=None) -> int:
         return 1
     with open(args.output, "wb") as fh:
         fh.write(image.to_bytes())
-    print(
+    # Diagnostic, not product: stdout stays clean for pipelines.
+    status(
         "%s: %d bytes of code, %d symbols, %d relocations, entry 0x%x"
         % (args.output, image.code_size, len(image.symbols),
            len(image.relocations), image.entry)

@@ -15,6 +15,7 @@ import sys
 
 from ..cc import CompileError, LexError, ParseError, compile_to_assembly
 from ..isa import AssemblyError, assemble
+from ..obs import status
 
 
 def main(argv=None) -> int:
@@ -40,8 +41,8 @@ def main(argv=None) -> int:
     if args.assembly:
         with open(args.output, "w") as fh:
             fh.write(assembly)
-        print("%s: %d lines of assembly" % (args.output,
-                                            assembly.count("\n")))
+        status("%s: %d lines of assembly" % (args.output,
+                                             assembly.count("\n")))
         return 0
 
     try:
@@ -51,8 +52,9 @@ def main(argv=None) -> int:
         return 2
     with open(args.output, "wb") as fh:
         fh.write(image.to_bytes())
-    print("%s: %d bytes of code, entry 0x%x"
-          % (args.output, image.code_size, image.entry))
+    # Diagnostic, not product: stdout stays clean for pipelines.
+    status("%s: %d bytes of code, entry 0x%x"
+           % (args.output, image.code_size, image.entry))
     return 0
 
 

@@ -4,6 +4,11 @@ Modes: ``baseline`` (plain .rxbf or a bundle's original image),
 ``naive_ilr`` / ``vcfr`` (bundles only), ``emulate`` (software-ILR VM).
 ``--timing`` switches from the functional runner to the cycle simulator
 and prints IPC/cache/DRC statistics.
+
+Observability: ``--events PATH`` captures a JSONL event log
+(checkpoints every ``--checkpoint-interval`` instructions), and
+``--trace PATH`` dumps the bounded instruction trace ring as JSONL —
+both consumable by ``python -m repro.tools.stats``.
 """
 
 from __future__ import annotations
@@ -11,12 +16,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..arch.cpu import simulate
+from ..arch.cpu import CycleCPU
 from ..arch.functional import run_image
+from ..arch.trace import attach_tracer
 from ..binary import BinaryImage
 from ..emu import ILREmulator
 from ..ilr import SecurityFault, make_flow
 from ..ilr.bundle import BundleError, load
+from ..obs import open_log, status
 
 
 def _load_any(path: str):
@@ -39,7 +46,21 @@ def main(argv=None) -> int:
     parser.add_argument("--timing", action="store_true",
                         help="cycle simulation with statistics")
     parser.add_argument("--max-instructions", type=int, default=50_000_000)
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="write a JSONL event log (run/checkpoints)")
+    parser.add_argument("--checkpoint-interval", type=int, default=10_000,
+                        help="instructions between progress checkpoints "
+                             "when --events is given")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="dump the bounded instruction trace as JSONL "
+                             "(requires --timing)")
+    parser.add_argument("--trace-capacity", type=int, default=4096,
+                        help="trace ring size (last N instructions kept)")
     args = parser.parse_args(argv)
+
+    if args.trace and not args.timing and args.mode != "emulate":
+        parser.error("--trace requires --timing (the tracer instruments "
+                     "the cycle simulator)")
 
     program, image = _load_any(args.path)
     if program is None and args.mode != "baseline":
@@ -47,36 +68,52 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 1
 
+    checkpoint_interval = args.checkpoint_interval if args.events else 0
     try:
-        if args.mode == "emulate":
-            result = ILREmulator(
-                program, max_instructions=args.max_instructions
-            ).run()
-            run = result.run
-            print("emulated %d instructions (%d host instructions, %.0f/guest)"
-                  % (run.icount, result.host_instructions,
-                     result.host_instructions / max(1, run.icount)))
+        with open_log(args.events) as events:
+            if args.mode == "emulate":
+                result = ILREmulator(
+                    program,
+                    max_instructions=args.max_instructions,
+                    events=events,
+                    checkpoint_interval=checkpoint_interval,
+                ).run()
+                run = result.run
+                print("emulated %d instructions (%d host instructions, %.0f/guest)"
+                      % (run.icount, result.host_instructions,
+                         result.host_instructions / max(1, run.icount)))
+                _print_outcome(run.exit_code, run.output)
+                return run.exit_code or 0
+
+            target = image if program is None else {
+                "baseline": program.original,
+                "naive_ilr": program.naive_image,
+                "vcfr": program.vcfr_image,
+            }[args.mode]
+            flow = make_flow(args.mode, program=program, image=target)
+
+            if args.timing:
+                cpu = CycleCPU(
+                    target, flow,
+                    events=events,
+                    checkpoint_interval=checkpoint_interval,
+                )
+                tracer = None
+                if args.trace:
+                    tracer = attach_tracer(cpu, capacity=args.trace_capacity)
+                result = cpu.run(max_instructions=args.max_instructions)
+                if tracer is not None:
+                    written = tracer.to_jsonl(args.trace)
+                    status("wrote %s (%d of %d retired instructions)"
+                           % (args.trace, written, tracer.retired))
+                print(result.summary())
+                _print_outcome(result.exit_code, result.output)
+                return result.exit_code or 0
+
+            run = run_image(target, flow, args.max_instructions)
+            print("retired %d instructions" % run.icount)
             _print_outcome(run.exit_code, run.output)
             return run.exit_code or 0
-
-        target = image if program is None else {
-            "baseline": program.original,
-            "naive_ilr": program.naive_image,
-            "vcfr": program.vcfr_image,
-        }[args.mode]
-        flow = make_flow(args.mode, program=program, image=target)
-
-        if args.timing:
-            result = simulate(target, flow,
-                              max_instructions=args.max_instructions)
-            print(result.summary())
-            _print_outcome(result.exit_code, result.output)
-            return result.exit_code or 0
-
-        run = run_image(target, flow, args.max_instructions)
-        print("retired %d instructions" % run.icount)
-        _print_outcome(run.exit_code, run.output)
-        return run.exit_code or 0
     except SecurityFault as fault:
         print("SECURITY FAULT: %s" % fault, file=sys.stderr)
         return 139  # SIGSEGV-style status, as a faulting process would get

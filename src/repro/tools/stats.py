@@ -1,0 +1,278 @@
+"""``python -m repro.tools.stats`` — analyze captured JSONL event logs.
+
+Loads one or more event files written by ``--events`` (harness or
+``repro.tools.run``) and renders:
+
+* an event-kind summary,
+* a per-run table (from ``run_end`` records),
+* a per-phase host-time breakdown (from ``phase`` records),
+* IPC-over-time per run (from ``checkpoint`` records, with a sparkline),
+* with ``--compare A B``: an A-vs-B mode comparison per workload,
+  aligning checkpoints on retired-instruction counts (e.g.
+  ``--compare vcfr naive_ilr`` shows where VCFR's speedup comes from).
+
+Multiple files are merged; records keep a ``file`` tag so two captured
+runs (say, two branches of the simulator) can be diffed in one view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.simstats import ratio
+from ..obs.events import read_events
+
+#: Eight-level bar glyphs for inline IPC-over-time sparklines.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers, rows) -> str:
+    """Align ``rows`` under ``headers`` with simple column padding."""
+    table = [tuple(str(c) for c in headers)]
+    table += [tuple(str(c) for c in row) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)
+        ).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * widths[i]
+                                   for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def sparkline(values: List[float]) -> str:
+    """Unicode sparkline scaled to the series' own min..max."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[3] * len(values)
+    return "".join(
+        _SPARK[min(7, int((v - lo) / span * 7.999))] for v in values
+    )
+
+
+def _run_key(record: dict) -> Tuple[str, str]:
+    return (str(record.get("workload", "?")), str(record.get("mode", "?")))
+
+
+def load_files(paths: List[str]) -> List[dict]:
+    """Merge event files, tagging each record with its source file."""
+    records: List[dict] = []
+    for path in paths:
+        for record in read_events(path):
+            record["file"] = path
+            records.append(record)
+    return records
+
+
+# -- sections ---------------------------------------------------------------
+
+
+def kind_summary(records: List[dict]) -> str:
+    counts: Dict[str, int] = OrderedDict()
+    for record in records:
+        kind = record.get("kind", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    rows = [(kind, count) for kind, count in counts.items()]
+    return format_table(("event kind", "count"), rows)
+
+
+def runs_table(records: List[dict]) -> Optional[str]:
+    rows = []
+    for record in records:
+        if record.get("kind") != "run_end":
+            continue
+        workload, mode = _run_key(record)
+        if "ipc" in record:  # cycle simulation
+            rows.append((
+                workload, mode, record.get("instructions", 0),
+                record.get("cycles", 0),
+                "%.3f" % record.get("ipc", 0.0),
+                "%.4f" % record.get("il1_miss_rate", 0.0),
+                "%.4f" % record.get("drc_miss_rate", 0.0),
+                record.get("checkpoints", 0),
+                "%.2f" % record.get("host_seconds", 0.0),
+            ))
+        else:  # emulator run
+            host = record.get("host_instructions", 0)
+            guest = record.get("instructions", 0)
+            rows.append((
+                workload, mode, guest, "-",
+                "%.0f/guest" % ratio(host, guest), "-", "-", "-",
+                "%.2f" % record.get("host_seconds", 0.0),
+            ))
+    if not rows:
+        return None
+    return format_table(
+        ("workload", "mode", "instructions", "cycles", "ipc", "il1 miss",
+         "drc miss", "ckpts", "host s"),
+        rows,
+    )
+
+
+def phase_breakdown(records: List[dict]) -> Optional[str]:
+    seconds: Dict[str, float] = {}
+    calls: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") != "phase":
+            continue
+        name = str(record.get("phase", "?"))
+        seconds[name] = seconds.get(name, 0.0) + record.get("seconds", 0.0)
+        calls[name] = calls.get(name, 0) + 1
+    if not seconds:
+        return None
+    total = sum(seconds.values())
+    rows = [
+        (name, "%.4f" % secs, calls[name],
+         "%.1f%%" % (100 * ratio(secs, total)))
+        for name, secs in sorted(seconds.items(), key=lambda kv: -kv[1])
+    ]
+    rows.append(("total", "%.4f" % total, sum(calls.values()), ""))
+    return format_table(("phase", "seconds", "events", "share"), rows)
+
+
+def checkpoint_series(
+    records: List[dict],
+) -> "OrderedDict[Tuple[str, str], List[dict]]":
+    """Checkpoints grouped per (workload, mode), in emission order."""
+    series: "OrderedDict[Tuple[str, str], List[dict]]" = OrderedDict()
+    for record in records:
+        if record.get("kind") != "checkpoint":
+            continue
+        series.setdefault(_run_key(record), []).append(record)
+    return series
+
+
+def ipc_over_time(records: List[dict]) -> Optional[str]:
+    rows = []
+    for (workload, mode), points in checkpoint_series(records).items():
+        ipcs = [p["ipc"] for p in points if "ipc" in p]
+        if not ipcs:
+            continue
+        rows.append((
+            workload, mode, len(ipcs),
+            "%.3f" % min(ipcs),
+            "%.3f" % (sum(ipcs) / len(ipcs)),
+            "%.3f" % max(ipcs),
+            sparkline(ipcs),
+        ))
+    if not rows:
+        return None
+    return format_table(
+        ("workload", "mode", "ckpts", "ipc min", "mean", "max",
+         "ipc over time"),
+        rows,
+    )
+
+
+def compare_modes(records: List[dict], mode_a: str,
+                  mode_b: str) -> Optional[str]:
+    """A-vs-B IPC-over-time: align checkpoints of the two modes on the
+    retired-instruction axis, per workload."""
+    series = checkpoint_series(records)
+    by_workload: Dict[str, Dict[str, List[dict]]] = {}
+    for (workload, mode), points in series.items():
+        if mode in (mode_a, mode_b):
+            by_workload.setdefault(workload, {})[mode] = points
+    sections = []
+    for workload in sorted(by_workload):
+        modes = by_workload[workload]
+        if mode_a not in modes or mode_b not in modes:
+            continue
+        a_by_instr = {p["instructions"]: p for p in modes[mode_a]
+                      if "ipc" in p}
+        b_by_instr = {p["instructions"]: p for p in modes[mode_b]
+                      if "ipc" in p}
+        shared = sorted(set(a_by_instr) & set(b_by_instr))
+        if not shared:
+            continue
+        rows = [
+            (instr,
+             "%.3f" % a_by_instr[instr]["ipc"],
+             "%.3f" % b_by_instr[instr]["ipc"],
+             "%.2fx" % ratio(a_by_instr[instr]["ipc"],
+                             b_by_instr[instr]["ipc"]))
+            for instr in shared
+        ]
+        ratios = [ratio(a_by_instr[i]["ipc"], b_by_instr[i]["ipc"])
+                  for i in shared]
+        sections.append(
+            "%s — %s vs %s (mean %.2fx)\n%s"
+            % (workload, mode_a, mode_b,
+               sum(ratios) / len(ratios),
+               format_table(
+                   ("instructions", "%s ipc" % mode_a, "%s ipc" % mode_b,
+                    "ratio"),
+                   rows,
+               ))
+        )
+    if not sections:
+        return None
+    return "\n\n".join(sections)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.stats",
+        description="Analyze JSONL event logs captured with --events.",
+    )
+    parser.add_argument("files", nargs="+", help="JSONL event file(s)")
+    parser.add_argument("--workload", default=None,
+                        help="restrict every section to one workload")
+    parser.add_argument("--compare", nargs=2, metavar=("MODE_A", "MODE_B"),
+                        default=None,
+                        help="A-vs-B IPC-over-time comparison "
+                             "(e.g. --compare vcfr naive_ilr)")
+    parser.add_argument("--section", action="append", default=None,
+                        choices=("kinds", "runs", "phases", "ipc"),
+                        help="only render the named section(s)")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_files(args.files)
+    except (OSError, ValueError) as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+    if args.workload:
+        records = [r for r in records
+                   if r.get("workload") in (None, args.workload)]
+    if not records:
+        print("error: no events found", file=sys.stderr)
+        return 1
+
+    wanted = set(args.section) if args.section else None
+
+    def section(name: str, title: str, text: Optional[str]) -> None:
+        if text is None or (wanted is not None and name not in wanted):
+            return
+        print("== %s ==" % title)
+        print(text)
+        print()
+
+    section("kinds", "events", kind_summary(records))
+    section("runs", "runs", runs_table(records))
+    section("phases", "host-time by phase", phase_breakdown(records))
+    section("ipc", "IPC over time", ipc_over_time(records))
+    if args.compare:
+        comparison = compare_modes(records, args.compare[0], args.compare[1])
+        if comparison is None:
+            print("no overlapping checkpoints for modes %s vs %s"
+                  % tuple(args.compare), file=sys.stderr)
+        else:
+            print("== %s vs %s ==" % tuple(args.compare))
+            print(comparison)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ EXAMPLES = [
     "examples/quickstart.py",
     "examples/rop_attack_demo.py",
     "examples/compile_and_protect.py",
+    "examples/observe_run.py",
 ]
 
 SLOW_EXAMPLES = [

@@ -1,0 +1,179 @@
+"""Event log: JSONL round-trip, sink selection, checkpoint cadence."""
+
+import json
+
+from repro.arch.cpu import CycleCPU, simulate
+from repro.arch.trace import attach_tracer
+from repro.ilr import make_flow
+from repro.isa import assemble
+from repro.obs.events import (
+    EventLog,
+    FileSink,
+    MemorySink,
+    NullSink,
+    make_sink,
+    open_log,
+    read_events,
+)
+from repro.obs.profile import PhaseProfiler
+
+LOOPY = """
+.code 0x400000
+main:
+    movi ecx, 0
+.loop:
+    add ecx, 1
+    cmp ecx, 4000
+    jl .loop
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+"""
+
+
+class TestSinks:
+    def test_null_sink_is_disabled(self):
+        log = EventLog()
+        assert not log.enabled
+        log.emit("checkpoint", ipc=1.0)  # safe no-op
+
+    def test_memory_sink_records(self):
+        sink = MemorySink()
+        log = EventLog(sink)
+        log.emit("run_start", workload="w", mode="baseline")
+        log.status("hello", detail=1)
+        assert [r["kind"] for r in sink.records] == ["run_start", "status"]
+        assert sink.records[0]["workload"] == "w"
+        assert sink.records[0]["seq"] == 0
+        assert sink.records[1]["seq"] == 1
+        assert sink.records[1]["t"] >= sink.records[0]["t"]
+
+    def test_make_sink_selection(self, tmp_path):
+        assert isinstance(make_sink(None), NullSink)
+        assert isinstance(make_sink("null"), NullSink)
+        assert isinstance(make_sink("memory"), MemorySink)
+        file_sink = make_sink(str(tmp_path / "ev.jsonl"))
+        assert isinstance(file_sink, FileSink)
+        file_sink.close()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open_log(path) as log:
+            log.run_start("gcc", "vcfr", max_instructions=100)
+            log.phase("simulate", 0.25, workload="gcc")
+            log.run_end("gcc", "vcfr", instructions=100)
+        records = read_events(path)
+        assert [r["kind"] for r in records] == [
+            "run_start", "phase", "run_end",
+        ]
+        assert records[1]["seconds"] == 0.25
+        # the file is genuinely line-delimited JSON
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_read_events_kind_filter(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open_log(path) as log:
+            log.emit("a")
+            log.emit("b")
+            log.emit("a")
+        assert len(read_events(path, kinds=("a",))) == 2
+
+
+class TestProfilerEvents:
+    def test_phase_accumulation_and_emission(self):
+        sink = MemorySink()
+        prof = PhaseProfiler(EventLog(sink))
+        with prof.phase("build", workload="gcc"):
+            pass
+        with prof.phase("build", workload="mcf"):
+            pass
+        assert prof.stats["build"].calls == 2
+        assert prof.stats["build"].seconds >= 0.0
+        phases = [r for r in sink.records if r["kind"] == "phase"]
+        assert len(phases) == 2
+        assert phases[0]["workload"] == "gcc"
+        assert "build" in prof.format_table()
+
+    def test_add_direct(self):
+        prof = PhaseProfiler()
+        prof.add("sim.decode", 1.5, calls=100)
+        prof.add("sim.decode", 0.5, calls=50)
+        assert prof.stats["sim.decode"].seconds == 2.0
+        assert prof.stats["sim.decode"].calls == 150
+        assert prof.total_seconds == 2.0
+
+
+class TestCheckpointCadence:
+    def _run(self, interval, sink=None):
+        image = assemble(LOOPY)
+        log = EventLog(sink) if sink is not None else None
+        return simulate(
+            image,
+            make_flow("baseline", image=image),
+            events=log,
+            checkpoint_interval=interval,
+            event_fields={"workload": "loopy"},
+        )
+
+    def test_checkpoints_off_by_default(self):
+        image = assemble(LOOPY)
+        result = simulate(image, make_flow("baseline", image=image))
+        assert result.checkpoints == []
+
+    def test_cadence_and_final_partial_window(self):
+        result = self._run(1000)
+        # ~12k retired instructions at interval 1000, plus the final
+        # partial window sampled at program exit.
+        assert result.finished
+        expected = result.instructions // 1000
+        assert expected <= len(result.checkpoints) <= expected + 1
+        # cumulative axis is monotonic; windows cover the whole run
+        instrs = [c.instructions for c in result.checkpoints]
+        assert instrs == sorted(instrs)
+        assert instrs[-1] == result.instructions
+        # instantaneous IPC windows are consistent with the totals
+        assert all(0 < c.ipc <= 1.0 for c in result.checkpoints)
+
+    def test_checkpoint_events_match_result(self):
+        sink = MemorySink()
+        result = self._run(2000, sink=sink)
+        checkpoints = [r for r in sink.records if r["kind"] == "checkpoint"]
+        assert len(checkpoints) == len(result.checkpoints)
+        assert checkpoints[0]["workload"] == "loopy"
+        assert checkpoints[0]["mode"] == "baseline"
+        kinds = [r["kind"] for r in sink.records]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        run_end = sink.records[-1]
+        assert run_end["instructions"] == result.instructions
+        assert run_end["checkpoints"] == len(result.checkpoints)
+
+    def test_run_profiled_attributes_host_time(self):
+        image = assemble(LOOPY)
+        cpu = CycleCPU(image, make_flow("baseline", image=image))
+        prof = PhaseProfiler()
+        result = cpu.run_profiled(profiler=prof)
+        assert result.finished
+        names = set(prof.stats)
+        assert {"sim.decode", "sim.fetch-translate", "sim.execute",
+                "sim.cache-data", "sim.branch-predict", "sim.drc",
+                "sim.retire"} <= names
+        assert prof.total_seconds > 0.0
+
+
+class TestTracerJsonl:
+    def test_to_jsonl_round_trip(self, tmp_path):
+        image = assemble(LOOPY)
+        cpu = CycleCPU(image, make_flow("baseline", image=image))
+        tracer = attach_tracer(cpu, capacity=64)
+        cpu.run(max_instructions=1000)
+        path = str(tmp_path / "trace.jsonl")
+        written = tracer.to_jsonl(path)
+        assert written == 64  # ring bounded the dump
+        with open(path) as fh:
+            records = [json.loads(line) for line in fh]
+        assert len(records) == 64
+        assert records[-1]["seq"] == tracer.retired
+        assert {"seq", "arch_pc", "fetch_pc", "mnemonic", "taken",
+                "target"} <= set(records[0])

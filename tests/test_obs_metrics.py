@@ -1,0 +1,141 @@
+"""Metrics registry semantics: instruments, snapshot/reset, disabled path."""
+
+import timeit
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.snapshot() == 6
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("g")
+        g.set(2.5)
+        g.add(0.5)
+        assert g.value == 3.0
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("h", bounds=(1, 10, 100))
+        for v in (0, 1, 5, 50, 5000):
+            h.observe(v)
+        # buckets: <=1, <=10, <=100, overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == 5056
+        assert h.mean == 5056 / 5
+
+    def test_bounds_sorted(self):
+        h = Histogram("h", bounds=(100, 1, 10))
+        assert h.bounds == (1, 10, 100)
+
+    def test_snapshot_and_reset(self):
+        h = Histogram("h", bounds=(1, 2))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["counts"] == [0, 1, 0]
+        assert snap["count"] == 1
+        h.reset()
+        assert h.count == 0 and h.total == 0.0
+        assert h.counts == [0, 0, 0]
+
+    def test_default_buckets(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_create_or_get_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("sim.runs")
+        b = reg.counter("sim.runs")
+        assert a is b
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(1,)).observe(3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["counts"] == [0, 1]
+
+    def test_reset_preserves_instrument_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(7)
+        reg.reset()
+        assert c.value == 0
+        assert reg.counter("c") is c  # hot loops keep their binding
+
+    def test_clear_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.clear()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_global_registry_is_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestDisabledRegistry:
+    def test_disabled_hands_out_null_instruments(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c")
+        c.inc(100)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1)
+        # nothing is recorded, nothing is registered
+        assert c.snapshot() is None
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_null_instrument_is_shared(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.counter("b") is reg.gauge("c")
+
+    def test_disabled_overhead_smoke(self):
+        """Disabled instruments must cost about as much as `pass`.
+
+        Not a precision benchmark — just a guard against someone adding
+        work (allocation, dict lookups per call) to the null path.  A
+        generous 20x bound keeps this stable on noisy CI hosts while
+        still catching accidental O(instruments) behaviour.
+        """
+        reg = MetricsRegistry(enabled=False)
+        null_counter = reg.counter("x")
+        n = 20_000
+        t_noop = min(timeit.repeat(lambda: None, number=n, repeat=3))
+        t_null = min(timeit.repeat(
+            lambda: null_counter.inc(), number=n, repeat=3
+        ))
+        assert t_null < 20 * max(t_noop, 1e-6)
