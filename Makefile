@@ -1,18 +1,22 @@
 # Developer entry points.  `make verify` is the tier-1 gate: the full
-# test suite plus the observability-overhead budget check.
+# test suite plus the observability-overhead and parallel-sweep budget
+# checks.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench-obs bench
+.PHONY: verify test bench-obs bench-sweep bench
 
-verify: test bench-obs
+verify: test bench-obs bench-sweep
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
+
+bench-sweep:
+	$(PYTHON) benchmarks/bench_parallel_speedup.py
 
 # Full per-figure benchmark suite (slow; regenerates paper tables).
 bench:

@@ -64,6 +64,17 @@ class Checkpoint:
             "host_seconds": round(self.host_seconds, 6),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Checkpoint":
+        return cls(
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            ipc=data["ipc"],
+            il1_miss_rate=data["il1_miss_rate"],
+            drc_miss_rate=data["drc_miss_rate"],
+            host_seconds=data.get("host_seconds", 0.0),
+        )
+
 
 @dataclass
 class SimResult:
@@ -140,6 +151,91 @@ class SimResult:
     @property
     def drc_power_overhead_percent(self) -> float:
         return self.energy.drc_overhead_percent if self.energy else 0.0
+
+    # -- serialization -----------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (exact for every counter; checkpoint
+        rates carry the same 6-decimal precision as event records).
+
+        Together with :meth:`from_dict` this is the round-trip used by
+        the on-disk result cache and the parallel sweep workers, so any
+        new field added to :class:`SimResult` must be representable
+        here.
+        """
+        output = None
+        if self.output is not None:
+            output = {
+                "chars": bytes(self.output.chars).decode("latin-1"),
+                "words": list(self.output.words),
+            }
+        return {
+            "mode": self.mode,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "exit_code": self.exit_code,
+            "finished": self.finished,
+            "output": output,
+            "il1": dict(self.il1),
+            "dl1": dict(self.dl1),
+            "l2": dict(self.l2),
+            "itlb_misses": self.itlb_misses,
+            "dtlb_misses": self.dtlb_misses,
+            "dram_accesses": self.dram_accesses,
+            "dram_row_hit_rate": self.dram_row_hit_rate,
+            "cond_branches": self.cond_branches,
+            "cond_mispredicts": self.cond_mispredicts,
+            "ras_mispredicts": self.ras_mispredicts,
+            "indirect_mispredicts": self.indirect_mispredicts,
+            "drc_lookups": self.drc_lookups,
+            "drc_misses": self.drc_misses,
+            "drc_bitmap_probes": self.drc_bitmap_probes,
+            "energy": (
+                dict(self.energy.by_structure) if self.energy else None
+            ),
+            "checkpoints": [cp.as_dict() for cp in self.checkpoints],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        output = None
+        if data.get("output") is not None:
+            output = OutputStream(
+                chars=bytearray(data["output"]["chars"], "latin-1"),
+                words=list(data["output"]["words"]),
+            )
+        energy = None
+        if data.get("energy") is not None:
+            energy = EnergyBreakdown(by_structure=dict(data["energy"]))
+        return cls(
+            mode=data["mode"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            warmup_instructions=data.get("warmup_instructions", 0),
+            exit_code=data.get("exit_code"),
+            finished=data.get("finished", False),
+            output=output,
+            il1=dict(data.get("il1", {})),
+            dl1=dict(data.get("dl1", {})),
+            l2=dict(data.get("l2", {})),
+            itlb_misses=data.get("itlb_misses", 0),
+            dtlb_misses=data.get("dtlb_misses", 0),
+            dram_accesses=data.get("dram_accesses", 0),
+            dram_row_hit_rate=data.get("dram_row_hit_rate", 0.0),
+            cond_branches=data.get("cond_branches", 0),
+            cond_mispredicts=data.get("cond_mispredicts", 0),
+            ras_mispredicts=data.get("ras_mispredicts", 0),
+            indirect_mispredicts=data.get("indirect_mispredicts", 0),
+            drc_lookups=data.get("drc_lookups", 0),
+            drc_misses=data.get("drc_misses", 0),
+            drc_bitmap_probes=data.get("drc_bitmap_probes", 0),
+            energy=energy,
+            checkpoints=[
+                Checkpoint.from_dict(cp)
+                for cp in data.get("checkpoints", [])
+            ],
+        )
 
     def summary(self) -> str:
         lines = [

@@ -7,19 +7,41 @@ Usage::
     results = run_all(runner)          # every table and figure
     print(format_report(results))
 
+Scale it out with a worker pool and a persistent result cache::
+
+    runner = Runner(workers=4, cache_dir=".repro-cache")
+    results = run_all(runner)          # parallel sweep; warm reruns
+                                       # perform zero simulations
+
 or from the command line::
 
-    python -m repro.harness            # full report
-    python -m repro.harness fig12      # a single experiment
+    python -m repro.harness                       # full report
+    python -m repro.harness fig12                 # a single experiment
+    python -m repro.harness --workers 4 --cache-dir .repro-cache
 """
 
 from . import paper
-from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_all
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_all,
+    suite_specs,
+)
 from .report import format_report, format_result, format_table
+from .resultcache import ResultCache
 from .runner import Runner
+from .spec import RunSpec, config_fingerprint
+from .sweep import SweepOutcome, execute_spec, sweep
 
 __all__ = [
     "Runner",
+    "RunSpec",
+    "ResultCache",
+    "SweepOutcome",
+    "sweep",
+    "execute_spec",
+    "suite_specs",
+    "config_fingerprint",
     "ExperimentResult",
     "ALL_EXPERIMENTS",
     "run_all",

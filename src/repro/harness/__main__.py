@@ -10,6 +10,13 @@ Options:
   --progress              heartbeat line per simulation checkpoint
   --profile-phases        attribute host time to CPU pipeline phases
   --checkpoint-interval N instructions between checkpoints (0 = auto)
+  --workers N             parallel sweep worker processes
+  --cache-dir DIR         persistent on-disk result cache
+
+With ``--workers`` the suite's simulations fan out over a process pool;
+with ``--cache-dir`` results persist across invocations so a warm rerun
+performs zero cycle simulations.  Both produce row-for-row identical
+tables to a sequential, uncached run.
 
 Only the experiment report (or, with ``--json -``, the JSON document)
 goes to stdout; all diagnostics — timings, heartbeats, file notices —
@@ -24,7 +31,8 @@ import time
 
 from ..obs import open_log, status
 from .ablations import ALL_ABLATIONS
-from .experiments import ALL_EXPERIMENTS
+from .cli import add_observability_options, add_sweep_options
+from .experiments import ALL_EXPERIMENTS, suite_specs
 from .report import format_result, results_to_dict, write_json
 from .runner import Runner
 
@@ -44,15 +52,10 @@ def main(argv=None) -> int:
                         help="include the ablation studies")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help='write results as JSON to PATH ("-" = stdout)')
-    parser.add_argument("--events", metavar="PATH", default=None,
-                        help="write a JSONL structured event log to PATH")
-    parser.add_argument("--progress", action="store_true",
-                        help="print a heartbeat line per checkpoint (stderr)")
     parser.add_argument("--profile-phases", action="store_true",
                         help="attribute host time to CPU pipeline phases")
-    parser.add_argument("--checkpoint-interval", type=int, default=0,
-                        help="instructions between progress checkpoints "
-                             "(0 = automatic when --events/--progress)")
+    add_observability_options(parser)
+    add_sweep_options(parser)
     args = parser.parse_args(argv)
 
     registry = dict(ALL_EXPERIMENTS)
@@ -81,11 +84,27 @@ def main(argv=None) -> int:
             progress=args.progress,
             checkpoint_interval=args.checkpoint_interval,
             profile_phases=args.profile_phases,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
         )
         events.status("harness start", experiments=list(wanted),
                       scale=args.scale,
                       max_instructions=args.max_instructions,
-                      seed=args.seed)
+                      seed=args.seed,
+                      workers=args.workers)
+
+        # Fan the suite's full spec list out before any experiment runs:
+        # the pool (and the disk cache) see every independent simulation
+        # at once instead of discovering them serially.
+        if args.workers >= 2 or args.cache_dir:
+            specs = suite_specs(
+                runner, [e for e in wanted if e in ALL_EXPERIMENTS]
+            )
+            start = time.time()
+            runner.prefetch(specs)
+            status("(sweep: %d specs, %d workers, %.1fs)"
+                   % (len(specs), args.workers, time.time() - start))
+
         results = {}
         all_ok = True
         for exp_id in wanted:
@@ -100,6 +119,11 @@ def main(argv=None) -> int:
             all_ok &= result.passed
         events.status("harness end", passed=bool(all_ok))
 
+        if runner.cache is not None:
+            stats = runner.cache.stats()
+            status("(cache %s: %d hits, %d misses, %d writes)"
+                   % (runner.cache.root, stats["hits"], stats["misses"],
+                      stats["writes"]))
         if args.events or args.progress or args.profile_phases:
             status("")
             status(runner.profiler.format_table("host-time by phase"))

@@ -39,7 +39,7 @@ def drc_associativity(runner: Runner) -> ExperimentResult:
     )
     gains = []
     for app in ABLATION_APPS:
-        program = runner.program(app)
+        program = runner.program_for(runner.spec(app))
         by_assoc = {}
         for assoc in (1, 4, 0):
             config = runner.base_config().with_drc(entries=128, assoc=assoc)
@@ -173,7 +173,7 @@ def prefetcher(runner: Runner) -> ExperimentResult:
     )
     base_gains, naive_gains = [], []
     for app in ("gcc", "h264ref"):
-        program = runner.program(app)
+        program = runner.program_for(runner.spec(app))
         gains = {}
         for mode, image in (
             ("baseline", program.original),
@@ -220,7 +220,7 @@ def context_switching(runner: Runner) -> ExperimentResult:
         "abl_ctxswitch", "Context-switch (DRC cold-start) sensitivity",
         ("quantum (insts)", "IPC", "DRC miss rate"),
     )
-    program = runner.program("xalan")
+    program = runner.program_for(runner.spec("xalan"))
     quanta = (100_000, 20_000, 5_000, 1_000)
     sweep = measure_switch_sensitivity(
         program, make_flow, config=runner.base_config(), quanta=quanta,

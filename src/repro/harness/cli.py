@@ -1,0 +1,44 @@
+"""Shared CLI option builders for the harness and tool entry points.
+
+``python -m repro.harness`` and ``python -m repro.tools.run`` expose the
+same observability and sweep knobs; defining the flags here (once) keeps
+names, defaults, and help text from drifting between the two parsers.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["add_observability_options", "add_sweep_options"]
+
+
+def add_observability_options(
+    parser: argparse.ArgumentParser,
+    *,
+    default_checkpoint_interval: int = 0,
+) -> None:
+    """``--events`` / ``--progress`` / ``--checkpoint-interval``."""
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="write a JSONL structured event log to PATH")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a heartbeat line per simulation "
+                             "checkpoint (stderr)")
+    if default_checkpoint_interval:
+        interval_help = ("instructions between progress checkpoints "
+                         "(default %d)" % default_checkpoint_interval)
+    else:
+        interval_help = ("instructions between progress checkpoints "
+                         "(0 = automatic when --events/--progress)")
+    parser.add_argument("--checkpoint-interval", type=int,
+                        default=default_checkpoint_interval,
+                        help=interval_help)
+
+
+def add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--cache-dir``."""
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the simulation sweep "
+                             "(0/1 = sequential)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent result cache: simulations hit "
+                             "here are loaded instead of re-run")

@@ -19,6 +19,7 @@ from ..security import can_build_payload, scan_gadgets, survey_image
 from ..workloads import build_image
 from . import paper
 from .runner import Runner
+from .spec import RunSpec
 
 
 @dataclass
@@ -58,9 +59,9 @@ def table1(runner: Runner) -> ExperimentResult:
         ("property",) + paper.TABLE1_COLUMNS,
     )
     probe = "h264ref"  # any app with a non-trivial footprint
-    base = runner.sim(probe, "baseline")
-    naive = runner.sim(probe, "naive_ilr")
-    vcfr = runner.sim(probe, "vcfr")
+    base = runner.run(runner.spec(probe, "baseline"))
+    naive = runner.run(runner.spec(probe, "naive_ilr"))
+    vcfr = runner.run(runner.spec(probe, "vcfr"))
 
     locality_naive = naive.il1_miss_rate < 2 * base.il1_miss_rate
     locality_vcfr = vcfr.il1_miss_rate < 2 * base.il1_miss_rate
@@ -99,7 +100,7 @@ def fig2(runner: Runner) -> ExperimentResult:
     )
     slowdowns = []
     for app in paper.FIG2["apps"]:
-        native = runner.sim(app, "baseline")
+        native = runner.run(runner.spec(app, "baseline"))
         emulated = runner.emulate(app)
         slowdown = emulated.slowdown_vs(native.cycles)
         slowdowns.append(slowdown)
@@ -129,8 +130,8 @@ def fig3(runner: Runner) -> ExperimentResult:
     )
     ratios, waste_deltas, pressure_deltas = [], [], []
     for app in paper.SPEC_APPS:
-        base = runner.sim(app, "baseline")
-        naive = runner.sim(app, "naive_ilr")
+        base = runner.run(runner.spec(app, "baseline"))
+        naive = runner.run(runner.spec(app, "naive_ilr"))
         miss_ratio = ratio(naive.il1_miss_rate,
                            max(base.il1_miss_rate, 1e-9))
         waste = 100 * (naive.il1_prefetch_waste_rate - base.il1_prefetch_waste_rate)
@@ -177,8 +178,8 @@ def fig4(runner: Runner) -> ExperimentResult:
     )
     normalized = []
     for app in paper.SPEC_APPS:
-        base = runner.sim(app, "baseline")
-        naive = runner.sim(app, "naive_ilr")
+        base = runner.run(runner.spec(app, "baseline"))
+        naive = runner.run(runner.spec(app, "naive_ilr"))
         norm = ratio(naive.ipc, base.ipc)
         normalized.append(norm)
         result.rows.append(
@@ -264,7 +265,7 @@ def fig11(runner: Runner) -> ExperimentResult:
     removals = []
     payload_blocked_everywhere = True
     for app in paper.SPEC_APPS:
-        program = runner.program(app)
+        program = runner.program_for(runner.spec(app))
         survey = survey_image(program.original, program.rdr)
         gadgets = scan_gadgets(program.original)
         before = can_build_payload(gadgets)
@@ -301,8 +302,8 @@ def fig12(runner: Runner) -> ExperimentResult:
     )
     speedups = {}
     for app in paper.SPEC_APPS:
-        naive = runner.sim(app, "naive_ilr")
-        vcfr = runner.sim(app, "vcfr", drc_entries=128)
+        naive = runner.run(runner.spec(app, "naive_ilr"))
+        vcfr = runner.run(runner.spec(app, "vcfr", drc_entries=128))
         speedup = ratio(vcfr.ipc, naive.ipc)
         speedups[app] = speedup
         result.rows.append(
@@ -335,10 +336,10 @@ def fig13(runner: Runner) -> ExperimentResult:
     )
     by_size = {s: [] for s in sizes}
     for app in paper.SPEC_APPS:
-        base = runner.sim(app, "baseline")
+        base = runner.run(runner.spec(app, "baseline"))
         row = [app]
         for size in sizes:
-            vcfr = runner.sim(app, "vcfr", drc_entries=size)
+            vcfr = runner.run(runner.spec(app, "vcfr", drc_entries=size))
             norm = ratio(vcfr.ipc, base.ipc)
             by_size[size].append(norm)
             row.append(round(norm, 3))
@@ -375,7 +376,7 @@ def fig14(runner: Runner) -> ExperimentResult:
     for app in paper.SPEC_APPS:
         row = [app]
         for size in sizes:
-            vcfr = runner.sim(app, "vcfr", drc_entries=size)
+            vcfr = runner.run(runner.spec(app, "vcfr", drc_entries=size))
             miss = vcfr.drc_miss_rate
             by_size[size].append(miss)
             row.append(round(miss, 4))
@@ -409,7 +410,7 @@ def fig15(runner: Runner) -> ExperimentResult:
     )
     overheads = []
     for app in paper.SPEC_APPS:
-        vcfr = runner.sim(app, "vcfr", drc_entries=128)
+        vcfr = runner.run(runner.spec(app, "vcfr", drc_entries=128))
         pct = vcfr.drc_power_overhead_percent
         overheads.append(pct)
         result.rows.append((app, vcfr.drc_lookups, round(pct, 3)))
@@ -439,6 +440,65 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Runner], ExperimentResult]] = {
 }
 
 
-def run_all(runner: Runner) -> Dict[str, ExperimentResult]:
-    """Run every experiment, sharing the runner's caches."""
-    return {name: fn(runner) for name, fn in ALL_EXPERIMENTS.items()}
+# ---------------------------------------------------------------------------
+# Suite spec enumeration — the sweep engine's work list
+# ---------------------------------------------------------------------------
+
+#: Declarative run requirements per experiment: (apps, mode, drc_entries)
+#: groups, expanded against the runner's defaults by :func:`suite_specs`.
+#: Static experiments (table2, fig9, fig11) need programs, not runs.
+_EXPERIMENT_RUNS: Dict[str, List[Tuple[Sequence[str], str, int]]] = {
+    "table1": [(("h264ref",), "baseline", 0),
+               (("h264ref",), "naive_ilr", 0),
+               (("h264ref",), "vcfr", 0)],
+    "fig2": [(tuple(paper.FIG2["apps"]), "baseline", 0),
+             (tuple(paper.FIG2["apps"]), "emulate", 0)],
+    "fig3": [(tuple(paper.SPEC_APPS), "baseline", 0),
+             (tuple(paper.SPEC_APPS), "naive_ilr", 0)],
+    "fig4": [(tuple(paper.SPEC_APPS), "baseline", 0),
+             (tuple(paper.SPEC_APPS), "naive_ilr", 0)],
+    "fig12": [(tuple(paper.SPEC_APPS), "naive_ilr", 0),
+              (tuple(paper.SPEC_APPS), "vcfr", 128)],
+    "fig13": [(tuple(paper.SPEC_APPS), "baseline", 0)] + [
+        (tuple(paper.SPEC_APPS), "vcfr", size) for size in (512, 128, 64)
+    ],
+    "fig14": [(tuple(paper.SPEC_APPS), "vcfr", size)
+              for size in (512, 128, 64)],
+    "fig15": [(tuple(paper.SPEC_APPS), "vcfr", 128)],
+}
+
+
+def suite_specs(runner: Runner,
+                experiments: Sequence[str] = ()) -> List[RunSpec]:
+    """Every :class:`RunSpec` the named experiments will ask for.
+
+    This is what makes ``run_all`` sweepable: the full work list is
+    known up front, so it can be fanned out over workers and checked
+    against the result cache *before* any experiment starts.  Specs are
+    deduplicated and ordered app-major within each experiment, matching
+    the order a sequential run would first need them.
+    """
+    wanted = list(experiments) or list(ALL_EXPERIMENTS)
+    specs: List[RunSpec] = []
+    for exp_id in wanted:
+        for apps, mode, drc_entries in _EXPERIMENT_RUNS.get(exp_id, ()):
+            for app in apps:
+                specs.append(runner.spec(app, mode, drc_entries))
+    return list(dict.fromkeys(specs))
+
+
+def run_all(runner: Runner,
+            experiments: Sequence[str] = ()) -> Dict[str, ExperimentResult]:
+    """Run every experiment (or the named subset), sharing the runner's
+    caches.
+
+    When the runner has a worker pool or a persistent result cache, the
+    suite's full spec list is prefetched first — simulations fan out in
+    parallel and/or load from disk, and the experiment functions then
+    assemble their tables from memoized results.  Row values are
+    bit-identical to a plain sequential run either way.
+    """
+    wanted = list(experiments) or list(ALL_EXPERIMENTS)
+    if runner.workers >= 2 or runner.cache is not None:
+        runner.prefetch(suite_specs(runner, wanted))
+    return {name: ALL_EXPERIMENTS[name](runner) for name in wanted}

@@ -1,0 +1,152 @@
+"""Persistent, content-addressed cache of simulation results.
+
+:class:`ResultCache` maps a (:class:`~repro.harness.spec.RunSpec`,
+:class:`~repro.arch.config.MachineConfig`) pair to a stored result on
+disk, so a warm rerun of the full experiment suite performs **zero**
+cycle simulations.  The key is a SHA-256 digest over:
+
+* every field of the normalized spec (workload, mode, DRC entries,
+  seed, scale, instruction budgets),
+* the machine-config fingerprint (any parameter change invalidates), and
+* a code-version salt (:data:`CACHE_SALT`) bumped whenever simulator
+  semantics change, so stale results from an older simulator can never
+  be served.
+
+Cycle-simulation results are stored as JSON
+(:meth:`~repro.arch.simstats.SimResult.as_dict` round-trip — human
+inspectable, diffable); emulation results are stored as pickle (their
+payload includes full machine state).  Entries are written atomically
+(temp file + rename) so a crashed or parallel writer can never leave a
+half-written entry, and unreadable/corrupt entries degrade to cache
+misses rather than errors.
+
+Observability settings (event sinks, checkpoint cadence, progress) are
+deliberately **not** part of the key: they must never change a result's
+architectural numbers.  The one observable consequence is that a cached
+result carries the progress checkpoints of the run that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Optional
+
+from ..arch.simstats import SimResult
+from .spec import RunSpec, config_fingerprint
+
+__all__ = ["ResultCache", "CACHE_SALT"]
+
+#: Bump whenever a change to the simulator alters results for the same
+#: spec — old on-disk entries then miss instead of serving stale numbers.
+CACHE_SALT = "repro-results-v1"
+
+
+class ResultCache:
+    """Content-addressed on-disk store of per-spec results."""
+
+    def __init__(self, root: str, salt: str = CACHE_SALT):
+        self.root = root
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        os.makedirs(root, exist_ok=True)
+
+    # -- keys --------------------------------------------------------------
+
+    def key(self, spec: RunSpec, config) -> str:
+        """Hex digest addressing ``spec`` under ``config``."""
+        payload = json.dumps(
+            {
+                "spec": spec.normalized().as_dict(),
+                "config": config_fingerprint(config),
+                "salt": self.salt,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path(self, spec: RunSpec, config) -> str:
+        digest = self.key(spec, config)
+        ext = "json" if spec.is_simulation else "pkl"
+        # Two-level fanout keeps directory listings sane at scale.
+        return os.path.join(self.root, digest[:2], "%s.%s" % (digest, ext))
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(self, spec: RunSpec, config):
+        """Stored result for ``spec``, or None (counts a hit/miss)."""
+        path = self.path(spec, config)
+        try:
+            if spec.is_simulation:
+                with open(path) as fh:
+                    entry = json.load(fh)
+                result = SimResult.from_dict(entry["result"])
+            else:
+                with open(path, "rb") as fh:
+                    result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError,
+                EOFError, AttributeError):
+            # Corrupt or incompatible entry: treat as a miss and drop it
+            # so the rewrite below repairs the cache.
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, config, result) -> str:
+        """Store ``result`` for ``spec`` (atomic); returns the path."""
+        path = self.path(spec, config)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-"
+        )
+        try:
+            if spec.is_simulation:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(
+                        {
+                            "spec": spec.normalized().as_dict(),
+                            "result": result.as_dict(),
+                        },
+                        fh,
+                        sort_keys=True,
+                    )
+            else:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(tmp)
+            raise
+        self.writes += 1
+        return path
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ResultCache(root=%r, hits=%d, misses=%d, writes=%d)" % (
+            self.root, self.hits, self.misses, self.writes,
+        )

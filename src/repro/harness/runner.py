@@ -1,8 +1,19 @@
-"""Cached workload execution for the experiment harness.
+"""RunSpec-keyed workload execution for the experiment harness.
 
 Experiments share randomized programs and simulation results through one
-:class:`Runner`, so the full per-paper experiment suite performs each
-(workload, mode, DRC-size) simulation exactly once.
+:class:`Runner`.  Every run is identified by a frozen
+:class:`~repro.harness.spec.RunSpec` — the same currency used by the
+parallel sweep engine (:mod:`repro.harness.sweep`), the persistent
+result cache (:mod:`repro.harness.resultcache`), CLI flags, and event
+records — so the full per-paper suite performs each distinct simulation
+exactly once per process, and (with ``cache_dir``) once *ever* per
+machine model and code version.
+
+Typical use::
+
+    runner = Runner(workers=4, cache_dir=".repro-cache")
+    runner.prefetch(specs)             # parallel, cache-aware fan-out
+    result = runner.run(runner.spec("gcc", "vcfr", drc_entries=64))
 
 The runner is also the harness's observability anchor: every stage
 (image build, randomization, cycle simulation, emulation) is timed by a
@@ -10,22 +21,32 @@ The runner is also the harness's observability anchor: every stage
 progress checkpoints into the shared
 :class:`~repro.obs.events.EventLog`, and ``progress=True`` turns those
 checkpoints into live heartbeat lines on stderr.
+
+The pre-RunSpec entry points ``Runner.sim(name, mode, drc_entries)`` and
+``Runner.program(name)`` remain as thin deprecated shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..arch.config import MachineConfig, default_config
-from ..arch.cpu import CycleCPU
 from ..arch.simstats import Checkpoint, SimResult
-from ..emu import EmulationResult, ILREmulator
-from ..ilr import RandomizedProgram, RandomizerConfig, make_flow, randomize
+from ..emu import EmulationResult
+from ..ilr import RandomizedProgram
 from ..obs import status
 from ..obs.events import EventLog
 from ..obs.profile import PhaseProfiler
-from ..workloads import build_image
+from .resultcache import ResultCache
+from .spec import RunSpec
+from .sweep import ProgramKey, SweepOutcome, build_program, sweep
+
+#: Emulation interprets ~an order of magnitude more guest instructions
+#: than a cycle simulation retires in the same reporting window, so
+#: emulate specs scale the budget (and checkpoint cadence) by this.
+EMULATE_BUDGET_FACTOR = 10
 
 
 @dataclass
@@ -50,13 +71,24 @@ class Runner:
     #: loop costs a few perf_counter calls per instruction).
     profile_phases: bool = False
 
-    _programs: Dict[str, RandomizedProgram] = field(default_factory=dict)
-    _sims: Dict[Tuple[str, str, int], SimResult] = field(default_factory=dict)
-    _emulations: Dict[str, EmulationResult] = field(default_factory=dict)
+    #: worker processes for :meth:`prefetch` sweeps (0/1 = sequential).
+    workers: int = 0
+    #: directory for the persistent result cache (None = in-memory only).
+    cache_dir: Optional[str] = None
+    #: the cache instance; built from ``cache_dir`` unless injected.
+    cache: Optional[ResultCache] = None
+
+    _programs: Dict[ProgramKey, RandomizedProgram] = field(
+        default_factory=dict
+    )
+    _sims: Dict[RunSpec, SimResult] = field(default_factory=dict)
+    _emulations: Dict[RunSpec, EmulationResult] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.events is None:
             self.events = EventLog()
+        if self.cache is None and self.cache_dir:
+            self.cache = ResultCache(self.cache_dir)
         #: host wall-time attribution across harness stages (and, with
         #: ``profile_phases``, the CPU pipeline phases under ``sim.*``).
         self.profiler = PhaseProfiler(self.events)
@@ -72,90 +104,136 @@ class Runner:
             return max(250, self.max_instructions // 100)
         return 0
 
-    # -- programs ---------------------------------------------------------------
+    def _interval_for(self, spec: RunSpec) -> int:
+        interval = self.effective_checkpoint_interval()
+        if spec.mode == "emulate":
+            interval *= EMULATE_BUDGET_FACTOR
+        return interval
 
-    def program(self, name: str) -> RandomizedProgram:
-        """Randomized program for workload ``name`` (cached)."""
-        if name not in self._programs:
-            with self.profiler.phase("build", workload=name):
-                image = build_image(name, scale=self.scale)
-            with self.profiler.phase("randomize", workload=name):
-                self._programs[name] = randomize(
-                    image, RandomizerConfig(seed=self.seed)
-                )
-        return self._programs[name]
+    # -- specs -------------------------------------------------------------
 
-    # -- cycle simulations -----------------------------------------------------------
+    def spec(self, workload: str, mode: str = "baseline",
+             drc_entries: int = 0) -> RunSpec:
+        """A normalized :class:`RunSpec` inheriting this runner's
+        seed/scale/budget defaults."""
+        budget = self.max_instructions
+        warmup = self.warmup_instructions
+        if mode == "emulate":
+            budget *= EMULATE_BUDGET_FACTOR
+            warmup = 0
+        return RunSpec(
+            workload=workload,
+            mode=mode,
+            drc_entries=drc_entries,
+            seed=self.seed,
+            scale=self.scale,
+            max_instructions=budget,
+            warmup_instructions=warmup,
+        ).normalized()
 
-    def sim(self, name: str, mode: str, drc_entries: int = 128) -> SimResult:
-        """Cycle-simulate workload ``name`` under ``mode`` (cached).
+    # -- programs ----------------------------------------------------------
 
-        ``drc_entries`` only affects the VCFR mode; other modes share one
-        cached result per workload.
+    def program_for(self, spec: RunSpec) -> RandomizedProgram:
+        """Randomized program for ``spec``'s workload (memoized)."""
+        return build_program(spec.normalized(), self.profiler,
+                             self._programs)
+
+    # -- execution ---------------------------------------------------------
+
+    def _memo_for(self, spec: RunSpec) -> Dict[RunSpec, object]:
+        return self._sims if spec.is_simulation else self._emulations
+
+    def run(self, spec: RunSpec):
+        """Result for ``spec`` — memo, then disk cache, then execute.
+
+        Returns a :class:`~repro.arch.simstats.SimResult` for simulator
+        modes, an :class:`~repro.emu.EmulationResult` for ``emulate``.
         """
-        if mode != "vcfr":
-            drc_entries = 0
-        key = (name, mode, drc_entries)
-        if key not in self._sims:
-            program = self.program(name)
-            image = {
-                "baseline": program.original,
-                "naive_ilr": program.naive_image,
-                "vcfr": program.vcfr_image,
-            }[mode]
-            config = self.base_config()
-            if mode == "vcfr":
-                config = config.with_drc_entries(drc_entries)
-            cpu = CycleCPU(
-                image,
-                make_flow(mode, program),
-                config,
-                events=self.events,
-                checkpoint_interval=self.effective_checkpoint_interval(),
-                on_checkpoint=self._heartbeat(name, mode),
-                event_fields={"workload": name},
-            )
-            with self.profiler.phase("simulate", workload=name, mode=mode):
-                if self.profile_phases:
-                    self._sims[key] = cpu.run_profiled(
-                        self.max_instructions,
-                        self.warmup_instructions,
-                        profiler=self.profiler,
-                    )
-                else:
-                    self._sims[key] = cpu.run(
-                        self.max_instructions, self.warmup_instructions
-                    )
-        return self._sims[key]
+        spec = spec.normalized()
+        memo = self._memo_for(spec)
+        if spec not in memo:
+            self.prefetch([spec])
+        return memo[spec]
 
-    def _heartbeat(self, name: str, mode: str):
+    def prefetch(self, specs: Iterable[RunSpec]) -> List[SweepOutcome]:
+        """Materialize many specs at once (cache-aware; parallel when
+        ``workers >= 2``), populating the in-memory memo.
+
+        This is the fan-out point: ``run_all`` calls it with the whole
+        suite's spec list so independent simulations saturate the worker
+        pool instead of running serially inside each experiment.
+        """
+        wanted = [
+            spec for spec in dict.fromkeys(s.normalized() for s in specs)
+            if spec not in self._memo_for(spec)
+        ]
+        if not wanted:
+            return []
+        outcomes = sweep(
+            wanted,
+            self.base_config(),
+            workers=self.workers,
+            cache=self.cache,
+            events=self.events,
+            profiler=self.profiler,
+            checkpoint_interval=self._interval_for,
+            profile_phases=self.profile_phases,
+            on_checkpoint_for=self._heartbeat,
+            program_cache=self._programs,
+            on_outcome=self._note_outcome if self.progress else None,
+        )
+        for outcome in outcomes:
+            self._memo_for(outcome.spec)[outcome.spec] = outcome.result
+        return outcomes
+
+    def _note_outcome(self, outcome: SweepOutcome) -> None:
+        status("[%s] %s" % (
+            outcome.spec.label(), "cached" if outcome.cached else "done",
+        ))
+
+    def _heartbeat(self, spec: RunSpec):
         """Per-checkpoint stderr progress line (``progress=True`` only)."""
         if not self.progress:
             return None
+        label = spec.label()
 
         def _on_checkpoint(checkpoint: Checkpoint) -> None:
             status(
-                "[%s/%s] %7d instr  ipc %.3f  il1 %.4f  drc %.4f"
-                % (name, mode, checkpoint.instructions, checkpoint.ipc,
+                "[%s] %7d instr  ipc %.3f  il1 %.4f  drc %.4f"
+                % (label, checkpoint.instructions, checkpoint.ipc,
                    checkpoint.il1_miss_rate, checkpoint.drc_miss_rate)
             )
 
         return _on_checkpoint
 
-    # -- software-ILR emulation ----------------------------------------------------------
+    # -- software-ILR emulation --------------------------------------------
 
     def emulate(self, name: str) -> EmulationResult:
-        """Run the software-ILR emulator on workload ``name`` (cached)."""
-        if name not in self._emulations:
-            program = self.program(name)
-            with self.profiler.phase("emulate", workload=name):
-                self._emulations[name] = ILREmulator(
-                    program,
-                    max_instructions=self.max_instructions * 10,
-                    events=self.events,
-                    checkpoint_interval=(
-                        self.effective_checkpoint_interval() * 10
-                    ),
-                    event_fields={"workload": name},
-                ).run()
-        return self._emulations[name]
+        """Run the software-ILR emulator on workload ``name``."""
+        return self.run(self.spec(name, "emulate"))
+
+    # -- deprecated pre-RunSpec API ----------------------------------------
+
+    def sim(self, name: str, mode: str, drc_entries: int = 128) -> SimResult:
+        """Deprecated: use ``run(runner.spec(name, mode, drc_entries))``.
+
+        Kept as a thin shim (it builds the equivalent :class:`RunSpec`)
+        so pre-RunSpec callers keep working during migration.
+        """
+        warnings.warn(
+            "Runner.sim(name, mode, drc_entries) is deprecated; use "
+            "Runner.run(runner.spec(name, mode, drc_entries))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(self.spec(name, mode, drc_entries))
+
+    def program(self, name: str) -> RandomizedProgram:
+        """Deprecated: use ``program_for(runner.spec(name))``."""
+        warnings.warn(
+            "Runner.program(name) is deprecated; use "
+            "Runner.program_for(runner.spec(name))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.program_for(self.spec(name))

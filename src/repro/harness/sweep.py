@@ -1,0 +1,290 @@
+"""Parallel sweep engine: fan RunSpecs over worker processes + cache.
+
+The harness's experiment suite is sweep-shaped — many independent
+(workload, mode, DRC-size) simulations whose results are only combined
+at reporting time.  :func:`sweep` executes a list of
+:class:`~repro.harness.spec.RunSpec`\\ s:
+
+1. deduplicating normalized specs,
+2. serving anything already in the on-disk
+   :class:`~repro.harness.resultcache.ResultCache`,
+3. fanning the rest over a ``concurrent.futures.ProcessPoolExecutor``
+   (``workers >= 2``) or running them inline (``workers <= 1``), and
+4. merging worker observability back into the parent: buffered event
+   records are replayed into the parent's
+   :class:`~repro.obs.events.EventLog` (file sinks stay single-writer),
+   profiler phase totals fold into the parent's
+   :class:`~repro.obs.profile.PhaseProfiler`, and metrics snapshots
+   merge into the process-global registry.
+
+Every execution path funnels through :func:`execute_spec`, so a pooled
+sweep produces **bit-identical** results to a sequential one: each spec
+fully determines its program (seeded randomization) and simulation, and
+outcomes are merged in input order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.config import MachineConfig, default_config
+from ..arch.cpu import CycleCPU
+from ..emu import ILREmulator
+from ..ilr import RandomizedProgram, RandomizerConfig, make_flow, randomize
+from ..obs.events import EventLog, MemorySink
+from ..obs.metrics import get_registry
+from ..obs.profile import PhaseProfiler
+from ..workloads import build_image
+from .resultcache import ResultCache
+from .spec import RunSpec
+
+__all__ = ["sweep", "execute_spec", "build_program", "SweepOutcome"]
+
+#: Key of one randomized program build: workload identity + everything
+#: the randomizer consumes.
+ProgramKey = Tuple[str, int, float]
+
+
+def program_key(spec: RunSpec) -> ProgramKey:
+    return (spec.workload, spec.seed, spec.scale)
+
+
+def build_program(
+    spec: RunSpec,
+    profiler: Optional[PhaseProfiler] = None,
+    program_cache: Optional[Dict[ProgramKey, RandomizedProgram]] = None,
+) -> RandomizedProgram:
+    """Build + randomize the workload a spec names (memoized).
+
+    Deterministic in ``(workload, seed, scale)``, which is what makes
+    worker-side rebuilds safe: a program built in a pool worker is
+    byte-identical to one built in the parent.
+    """
+    key = program_key(spec)
+    if program_cache is not None and key in program_cache:
+        return program_cache[key]
+    profiler = profiler or PhaseProfiler()
+    with profiler.phase("build", workload=spec.workload):
+        image = build_image(spec.workload, scale=spec.scale)
+    with profiler.phase("randomize", workload=spec.workload):
+        program = randomize(image, RandomizerConfig(seed=spec.seed))
+    if program_cache is not None:
+        program_cache[key] = program
+    return program
+
+
+def execute_spec(
+    spec: RunSpec,
+    config: Optional[MachineConfig] = None,
+    *,
+    events: Optional[EventLog] = None,
+    checkpoint_interval: int = 0,
+    on_checkpoint=None,
+    profiler: Optional[PhaseProfiler] = None,
+    profile_phases: bool = False,
+    program_cache: Optional[Dict[ProgramKey, RandomizedProgram]] = None,
+):
+    """Execute one spec from scratch (no caches consulted).
+
+    The single definition of "run this spec" shared by the sequential
+    runner and the pool workers.  Returns a
+    :class:`~repro.arch.simstats.SimResult` for simulator modes or an
+    :class:`~repro.emu.EmulationResult` for ``emulate``.
+    """
+    spec = spec.normalized()
+    config = config or default_config()
+    events = events if events is not None else EventLog()
+    profiler = profiler or PhaseProfiler(events)
+    program = build_program(spec, profiler, program_cache)
+
+    if spec.mode == "emulate":
+        with profiler.phase("emulate", workload=spec.workload):
+            return ILREmulator(
+                program,
+                max_instructions=spec.max_instructions,
+                events=events,
+                checkpoint_interval=checkpoint_interval,
+                event_fields=spec.event_fields(),
+            ).run()
+
+    image = {
+        "baseline": program.original,
+        "naive_ilr": program.naive_image,
+        "vcfr": program.vcfr_image,
+    }[spec.mode]
+    if spec.mode == "vcfr":
+        config = config.with_drc_entries(spec.drc_entries)
+    cpu = CycleCPU(
+        image,
+        make_flow(spec.mode, program),
+        config,
+        events=events,
+        checkpoint_interval=checkpoint_interval,
+        on_checkpoint=on_checkpoint,
+        event_fields=spec.event_fields(),
+    )
+    with profiler.phase("simulate", workload=spec.workload, mode=spec.mode):
+        if profile_phases:
+            return cpu.run_profiled(
+                spec.max_instructions,
+                spec.warmup_instructions,
+                profiler=profiler,
+            )
+        return cpu.run(spec.max_instructions, spec.warmup_instructions)
+
+
+@dataclass
+class SweepOutcome:
+    """One spec's result plus the observability captured with it."""
+
+    spec: RunSpec
+    result: object
+    #: True when served from the on-disk cache (no execution happened).
+    cached: bool = False
+    #: event records buffered by the worker (empty when run inline —
+    #: inline runs emit straight into the parent log).
+    events: List[dict] = field(default_factory=list)
+
+
+# -- pool worker -------------------------------------------------------------
+
+#: Per-worker-process program memo: tasks for the same workload landing
+#: on the same worker skip the rebuild, mirroring the parent's memo.
+_WORKER_PROGRAMS: Dict[ProgramKey, RandomizedProgram] = {}
+
+
+def _pool_task(spec_dict: dict, config: MachineConfig,
+               checkpoint_interval: int, profile_phases: bool):
+    """Execute one spec in a pool worker.
+
+    Events are buffered in a :class:`MemorySink` (file sinks are
+    single-writer; see :meth:`EventLog.replay`), profiler phases and a
+    per-task metrics snapshot ride back with the result for the parent
+    to merge.  Module-level so the pool can pickle it.
+    """
+    spec = RunSpec.from_dict(spec_dict)
+    registry = get_registry()
+    registry.reset()  # isolate this task's delta in a reused worker
+    sink = MemorySink()
+    log = EventLog(sink)
+    profiler = PhaseProfiler(log)
+    result = execute_spec(
+        spec,
+        config,
+        events=log,
+        checkpoint_interval=checkpoint_interval,
+        profiler=profiler,
+        profile_phases=profile_phases,
+        program_cache=_WORKER_PROGRAMS,
+    )
+    return result, sink.records, profiler.snapshot(), registry.snapshot()
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def _interval_fn(checkpoint_interval) -> Callable[[RunSpec], int]:
+    if callable(checkpoint_interval):
+        return checkpoint_interval
+    return lambda spec: int(checkpoint_interval)
+
+
+def sweep(
+    specs: Sequence[RunSpec],
+    config: Optional[MachineConfig] = None,
+    *,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    events: Optional[EventLog] = None,
+    profiler: Optional[PhaseProfiler] = None,
+    checkpoint_interval=0,
+    profile_phases: bool = False,
+    on_checkpoint_for: Optional[Callable[[RunSpec], Optional[Callable]]] = None,
+    program_cache: Optional[Dict[ProgramKey, RandomizedProgram]] = None,
+    on_outcome: Optional[Callable[[SweepOutcome], None]] = None,
+) -> List[SweepOutcome]:
+    """Execute ``specs`` (cache-aware, optionally in parallel).
+
+    Returns one :class:`SweepOutcome` per input spec, in input order;
+    duplicate specs share one execution.  ``checkpoint_interval`` is an
+    int or a ``spec -> int`` callable.  ``on_checkpoint_for`` supplies
+    per-spec heartbeat callbacks and only applies to inline execution
+    (callbacks cannot cross the process boundary); pooled sweeps report
+    completion through ``on_outcome`` instead, which fires for every
+    outcome in merge order.
+
+    Results are bit-identical between ``workers=0`` and ``workers=N``:
+    execution is deterministic per spec and merging happens in input
+    order.
+    """
+    config = config or default_config()
+    events = events if events is not None else EventLog()
+    profiler = profiler or PhaseProfiler(events)
+    interval_for = _interval_fn(checkpoint_interval)
+
+    normalized = [spec.normalized() for spec in specs]
+    outcomes: Dict[RunSpec, SweepOutcome] = {}
+    todo: List[RunSpec] = []
+    for spec in normalized:
+        if spec in outcomes or spec in todo:
+            continue
+        cached = cache.get(spec, config) if cache is not None else None
+        if cached is not None:
+            events.status("run cached", mode=spec.mode,
+                          **spec.event_fields())
+            outcomes[spec] = SweepOutcome(spec, cached, cached=True)
+        else:
+            todo.append(spec)
+
+    if todo and workers >= 2:
+        _run_pooled(todo, config, workers, cache, events, profiler,
+                    interval_for, profile_phases, outcomes)
+    else:
+        for spec in todo:
+            on_checkpoint = (
+                on_checkpoint_for(spec) if on_checkpoint_for else None
+            )
+            result = execute_spec(
+                spec,
+                config,
+                events=events,
+                checkpoint_interval=interval_for(spec),
+                on_checkpoint=on_checkpoint,
+                profiler=profiler,
+                profile_phases=profile_phases,
+                program_cache=program_cache,
+            )
+            if cache is not None:
+                cache.put(spec, config, result)
+            outcomes[spec] = SweepOutcome(spec, result)
+
+    ordered = [outcomes[spec] for spec in normalized]
+    if on_outcome is not None:
+        seen = set()
+        for outcome in ordered:
+            if outcome.spec not in seen:
+                seen.add(outcome.spec)
+                on_outcome(outcome)
+    return ordered
+
+
+def _run_pooled(todo, config, workers, cache, events, profiler,
+                interval_for, profile_phases, outcomes) -> None:
+    """Fan ``todo`` over a process pool; merge results in input order."""
+    registry = get_registry()
+    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+        futures = [
+            pool.submit(_pool_task, spec.as_dict(), config,
+                        interval_for(spec), profile_phases)
+            for spec in todo
+        ]
+        for spec, future in zip(todo, futures):
+            result, records, phases, metrics = future.result()
+            events.replay(records)
+            profiler.merge_snapshot(phases)
+            registry.merge_snapshot(metrics)
+            if cache is not None:
+                cache.put(spec, config, result)
+            outcomes[spec] = SweepOutcome(spec, result, events=records)

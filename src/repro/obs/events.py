@@ -78,7 +78,13 @@ class MemorySink:
 
 
 class FileSink:
-    """Appends one JSON object per line to ``path``."""
+    """Appends one JSON object per line to ``path``.
+
+    Single-writer by design: only the parent process may hold a
+    FileSink.  Sweep workers buffer into a :class:`MemorySink` and the
+    parent merges via :meth:`EventLog.replay`, so parallel runs cannot
+    interleave partial lines into the JSONL stream.
+    """
 
     enabled = True
 
@@ -146,6 +152,31 @@ class EventLog:
 
     def status(self, message: str, **fields) -> None:
         self.emit("status", message=message, **fields)
+
+    def replay(self, records: Iterable[dict], **extra_fields) -> None:
+        """Merge records captured in another process into this log.
+
+        File sinks are **not** multi-process safe: concurrent workers
+        appending to one JSONL file interleave partial lines and corrupt
+        the stream.  The sweep engine therefore gives each worker an
+        in-memory :class:`MemorySink` and the parent replays the buffered
+        records here, serializing all file writes in one process.
+
+        Replayed records keep their original fields (including the
+        worker-relative ``t``) but are re-sequenced into this log's
+        ``seq`` ordering so the merged stream stays monotonic.
+        ``extra_fields`` are stamped onto every replayed record
+        (e.g. a worker id) without overriding existing keys.
+        """
+        if not self.enabled:
+            return
+        for record in records:
+            merged = dict(record)
+            for key, value in extra_fields.items():
+                merged.setdefault(key, value)
+            merged["seq"] = self._seq
+            self._seq += 1
+            self.sink.write(merged)
 
     def close(self) -> None:
         self.sink.close()

@@ -215,6 +215,35 @@ class MetricsRegistry:
             for inst in group.values():
                 inst.reset()
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process aggregation primitive: sweep workers simulate
+        in their own process (syncing into *their* global registry),
+        ship a snapshot back, and the parent merges so process-global
+        totals match a sequential run.  Counters and histogram buckets
+        add; gauges are last-write-wins, matching their single-process
+        semantics.
+        """
+        if not self.enabled or not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, snap in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, bounds=tuple(snap["bounds"]))
+            if hist.bounds != tuple(snap["bounds"]):
+                # Pre-existing instrument with different buckets: replay
+                # through the mean so totals still aggregate.
+                for _ in range(snap["count"]):
+                    hist.observe(snap["mean"])
+                continue
+            for idx, count in enumerate(snap["counts"]):
+                hist.counts[idx] += count
+            hist.total += snap["total"]
+            hist.count += snap["count"]
+
     def clear(self) -> None:
         """Drop all instruments entirely."""
         self._counters.clear()

@@ -81,6 +81,20 @@ class PhaseProfiler:
         if self.events is not None:
             self.events.phase(name, seconds, **fields)
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Unlike :meth:`add`, nothing is re-emitted to the event log: the
+        sweep engine replays the worker's own buffered ``phase`` records
+        separately, so emitting here would double-count them offline.
+        """
+        for name, stat in snapshot.items():
+            mine = self.stats.get(name)
+            if mine is None:
+                mine = self.stats[name] = PhaseStat()
+            mine.seconds += stat["seconds"]
+            mine.calls += stat["calls"]
+
     # -- inspection --------------------------------------------------------
 
     @property

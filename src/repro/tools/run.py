@@ -6,9 +6,12 @@ Modes: ``baseline`` (plain .rxbf or a bundle's original image),
 and prints IPC/cache/DRC statistics.
 
 Observability: ``--events PATH`` captures a JSONL event log
-(checkpoints every ``--checkpoint-interval`` instructions), and
-``--trace PATH`` dumps the bounded instruction trace ring as JSONL —
-both consumable by ``python -m repro.tools.stats``.
+(checkpoints every ``--checkpoint-interval`` instructions),
+``--progress`` prints a heartbeat per checkpoint under ``--timing``,
+and ``--trace PATH`` dumps the bounded instruction trace ring as
+JSONL — all consumable by ``python -m repro.tools.stats``.  The flags
+are shared with ``python -m repro.harness`` via
+:mod:`repro.harness.cli`.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from ..arch.functional import run_image
 from ..arch.trace import attach_tracer
 from ..binary import BinaryImage
 from ..emu import ILREmulator
+from ..harness.cli import add_observability_options
 from ..ilr import SecurityFault, make_flow
 from ..ilr.bundle import BundleError, load
 from ..obs import open_log, status
@@ -46,11 +50,7 @@ def main(argv=None) -> int:
     parser.add_argument("--timing", action="store_true",
                         help="cycle simulation with statistics")
     parser.add_argument("--max-instructions", type=int, default=50_000_000)
-    parser.add_argument("--events", metavar="PATH", default=None,
-                        help="write a JSONL event log (run/checkpoints)")
-    parser.add_argument("--checkpoint-interval", type=int, default=10_000,
-                        help="instructions between progress checkpoints "
-                             "when --events is given")
+    add_observability_options(parser, default_checkpoint_interval=10_000)
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="dump the bounded instruction trace as JSONL "
                              "(requires --timing)")
@@ -68,7 +68,14 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 1
 
-    checkpoint_interval = args.checkpoint_interval if args.events else 0
+    observing = args.events or args.progress
+    checkpoint_interval = args.checkpoint_interval if observing else 0
+
+    def heartbeat(checkpoint) -> None:
+        status("[%s] %8d instr  ipc %.3f  il1 %.4f  drc %.4f"
+               % (args.mode, checkpoint.instructions, checkpoint.ipc,
+                  checkpoint.il1_miss_rate, checkpoint.drc_miss_rate))
+
     try:
         with open_log(args.events) as events:
             if args.mode == "emulate":
@@ -97,6 +104,7 @@ def main(argv=None) -> int:
                     target, flow,
                     events=events,
                     checkpoint_interval=checkpoint_interval,
+                    on_checkpoint=heartbeat if args.progress else None,
                 )
                 tracer = None
                 if args.trace:

@@ -59,7 +59,15 @@ def sparkline(values: List[float]) -> str:
 
 
 def _run_key(record: dict) -> Tuple[str, str]:
-    return (str(record.get("workload", "?")), str(record.get("mode", "?")))
+    """Group key of one run: workload + mode, with the DRC size folded
+    into the mode label (``vcfr@64`` vs ``vcfr@512``) so the RunSpec
+    sweeps the harness emits stay distinct series instead of collapsing
+    into one ``vcfr`` line."""
+    mode = str(record.get("mode", "?"))
+    drc_entries = record.get("drc_entries")
+    if drc_entries:
+        mode = "%s@%d" % (mode, drc_entries)
+    return (str(record.get("workload", "?")), mode)
 
 
 def load_files(paths: List[str]) -> List[dict]:
@@ -172,23 +180,37 @@ def ipc_over_time(records: List[dict]) -> Optional[str]:
     )
 
 
+def _select_series(by_label: Dict[str, List[dict]],
+                   want: str) -> Optional[List[dict]]:
+    """Series for mode ``want``: exact label first (``vcfr@64``), else
+    the first series whose base mode matches (``vcfr`` finds
+    ``vcfr@128``)."""
+    if want in by_label:
+        return by_label[want]
+    for label, points in by_label.items():
+        if label.split("@", 1)[0] == want:
+            return points
+    return None
+
+
 def compare_modes(records: List[dict], mode_a: str,
                   mode_b: str) -> Optional[str]:
     """A-vs-B IPC-over-time: align checkpoints of the two modes on the
-    retired-instruction axis, per workload."""
+    retired-instruction axis, per workload.  Modes are matched by exact
+    series label (``vcfr@64``) or bare mode name (``vcfr``)."""
     series = checkpoint_series(records)
     by_workload: Dict[str, Dict[str, List[dict]]] = {}
     for (workload, mode), points in series.items():
-        if mode in (mode_a, mode_b):
-            by_workload.setdefault(workload, {})[mode] = points
+        by_workload.setdefault(workload, {})[mode] = points
     sections = []
     for workload in sorted(by_workload):
-        modes = by_workload[workload]
-        if mode_a not in modes or mode_b not in modes:
+        series_a = _select_series(by_workload[workload], mode_a)
+        series_b = _select_series(by_workload[workload], mode_b)
+        if series_a is None or series_b is None or series_a is series_b:
             continue
-        a_by_instr = {p["instructions"]: p for p in modes[mode_a]
+        a_by_instr = {p["instructions"]: p for p in series_a
                       if "ipc" in p}
-        b_by_instr = {p["instructions"]: p for p in modes[mode_b]
+        b_by_instr = {p["instructions"]: p for p in series_b
                       if "ipc" in p}
         shared = sorted(set(a_by_instr) & set(b_by_instr))
         if not shared:

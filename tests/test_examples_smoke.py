@@ -1,6 +1,7 @@
 """Smoke tests: every example script runs cleanly as documented."""
 
 import runpy
+import shutil
 import sys
 
 import pytest
@@ -10,7 +11,16 @@ EXAMPLES = [
     "examples/rop_attack_demo.py",
     "examples/compile_and_protect.py",
     "examples/observe_run.py",
+    "examples/parallel_sweep.py",
 ]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _drop_example_cache():
+    """parallel_sweep.py leaves its cache dir behind by design; tests
+    must not."""
+    yield
+    shutil.rmtree(".repro-cache-example", ignore_errors=True)
 
 SLOW_EXAMPLES = [
     "examples/emulator_vs_hardware.py",

@@ -1,0 +1,104 @@
+"""Result cache: SimResult/Checkpoint round-trips and on-disk behavior."""
+
+import json
+import os
+
+import pytest
+
+from repro.arch.config import default_config
+from repro.arch.simstats import Checkpoint, SimResult
+from repro.harness import ResultCache, Runner, RunSpec
+from repro.isa.syscalls import OutputStream
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    """A real simulation result with every optional field populated."""
+    runner = Runner(max_instructions=4000, checkpoint_interval=500)
+    return runner.run(runner.spec("mcf", "vcfr", 64))
+
+
+class TestSimResultSerialization:
+    def test_round_trip_preserves_everything(self, sim_result):
+        clone = SimResult.from_dict(sim_result.as_dict())
+        assert clone.as_dict() == sim_result.as_dict()
+        # Derived properties reproduce exactly (counters are integers).
+        assert clone.ipc == sim_result.ipc
+        assert clone.il1_miss_rate == sim_result.il1_miss_rate
+        assert clone.drc_miss_rate == sim_result.drc_miss_rate
+        assert clone.l2_pressure == sim_result.l2_pressure
+        assert clone.energy.drc_overhead_percent == (
+            sim_result.energy.drc_overhead_percent
+        )
+        assert clone.output == sim_result.output
+        assert len(clone.checkpoints) == len(sim_result.checkpoints)
+
+    def test_dict_is_json_clean(self, sim_result):
+        clone = SimResult.from_dict(
+            json.loads(json.dumps(sim_result.as_dict()))
+        )
+        assert clone.as_dict() == sim_result.as_dict()
+
+    def test_output_bytes_survive(self):
+        result = SimResult(mode="baseline", output=OutputStream(
+            chars=bytearray(bytes(range(256))), words=[1, 0xFFFFFFFF],
+        ))
+        clone = SimResult.from_dict(json.loads(json.dumps(result.as_dict())))
+        assert clone.output == result.output
+
+    def test_checkpoint_round_trip(self):
+        checkpoint = Checkpoint(
+            instructions=1000, cycles=2500, ipc=0.4,
+            il1_miss_rate=0.125, drc_miss_rate=0.0625, host_seconds=0.5,
+        )
+        assert Checkpoint.from_dict(checkpoint.as_dict()) == checkpoint
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, sim_result, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec("mcf", "vcfr", 64, max_instructions=4000)
+        config = default_config()
+        assert cache.get(spec, config) is None
+        cache.put(spec, config, sim_result)
+        loaded = cache.get(spec, config)
+        assert loaded is not None
+        assert loaded.as_dict() == sim_result.as_dict()
+        assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_key_separates_specs_and_configs(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = default_config()
+        spec = RunSpec("mcf", "vcfr", 64)
+        assert cache.key(spec, config) != cache.key(
+            RunSpec("mcf", "vcfr", 128), config
+        )
+        assert cache.key(spec, config) != cache.key(
+            spec, config.with_drc_entries(64)
+        )
+
+    def test_key_uses_normalized_spec(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = default_config()
+        assert cache.key(RunSpec("mcf", "baseline", 64), config) == (
+            cache.key(RunSpec("mcf", "baseline", 512), config)
+        )
+
+    def test_salt_invalidates(self, sim_result, tmp_path):
+        config = default_config()
+        spec = RunSpec("mcf", "vcfr", 64, max_instructions=4000)
+        ResultCache(str(tmp_path), salt="v1").put(spec, config, sim_result)
+        assert ResultCache(str(tmp_path), salt="v2").get(spec, config) is None
+
+    def test_corrupt_entry_degrades_to_miss(self, sim_result, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = default_config()
+        spec = RunSpec("mcf", "vcfr", 64, max_instructions=4000)
+        path = cache.put(spec, config, sim_result)
+        with open(path, "w") as fh:
+            fh.write("{ truncated")
+        assert cache.get(spec, config) is None
+        assert not os.path.exists(path)  # corrupt entry dropped
+        # ... and a rewrite repairs it.
+        cache.put(spec, config, sim_result)
+        assert cache.get(spec, config) is not None

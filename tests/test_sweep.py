@@ -1,0 +1,124 @@
+"""Sweep engine: parallel determinism, event merging, warm-cache runs."""
+
+import pytest
+
+from repro.harness import Runner, RunSpec, sweep
+from repro.harness.experiments import suite_specs, table1
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.metrics import get_registry
+
+BUDGET = 3000
+
+SPECS = [
+    RunSpec("mcf", "baseline", max_instructions=BUDGET),
+    RunSpec("mcf", "vcfr", 64, max_instructions=BUDGET),
+    RunSpec("bzip2", "naive_ilr", max_instructions=BUDGET),
+    RunSpec("bzip2", "vcfr", 128, max_instructions=BUDGET),
+]
+
+
+def result_dicts(outcomes):
+    return [outcome.result.as_dict() for outcome in outcomes]
+
+
+@pytest.fixture(scope="module")
+def sequential_outcomes():
+    return sweep(list(SPECS), workers=0)
+
+
+class TestParallelDeterminism:
+    def test_pool_matches_sequential_bit_for_bit(self, sequential_outcomes):
+        pooled = sweep(list(SPECS), workers=2)
+        assert result_dicts(pooled) == result_dicts(sequential_outcomes)
+
+    def test_table1_rows_identical_under_workers(self):
+        rows_by_workers = []
+        for workers in (0, 2):
+            runner = Runner(max_instructions=BUDGET, workers=workers)
+            runner.prefetch(suite_specs(runner, ["table1"]))
+            rows_by_workers.append(table1(runner).rows)
+        assert rows_by_workers[0] == rows_by_workers[1]
+
+    def test_duplicate_specs_share_one_execution(self):
+        spec = RunSpec("mcf", "baseline", max_instructions=BUDGET)
+        outcomes = sweep([spec, spec, spec.normalized()], workers=0)
+        assert len(outcomes) == 3
+        assert outcomes[0].result is outcomes[1].result is outcomes[2].result
+
+
+class TestObservabilityMerge:
+    def test_worker_events_replayed_into_parent_log(self):
+        sink = MemorySink()
+        log = EventLog(sink)
+        sweep(list(SPECS), workers=2, events=log,
+              checkpoint_interval=1000)
+        kinds = [record["kind"] for record in sink.records]
+        assert kinds.count("run_start") == len(SPECS)
+        assert kinds.count("run_end") == len(SPECS)
+        assert kinds.count("checkpoint") >= 3 * len(SPECS)
+        # Replay re-sequences: the merged JSONL stream stays monotonic.
+        seqs = [record["seq"] for record in sink.records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        # Records keep their run identity for offline grouping.
+        vcfr_starts = [r for r in sink.records
+                       if r["kind"] == "run_start" and r["mode"] == "vcfr"]
+        assert {r["drc_entries"] for r in vcfr_starts} == {64, 128}
+
+    def test_worker_phases_and_metrics_merge(self):
+        registry = get_registry()
+        registry.reset()
+        log = EventLog(MemorySink())
+        from repro.obs.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        sweep(list(SPECS), workers=2, events=log, profiler=profiler)
+        assert profiler.stats["simulate"].calls == len(SPECS)
+        assert profiler.stats["simulate"].seconds > 0
+        assert registry.counter("sim.runs").value == len(SPECS)
+        assert registry.counter("sim.instructions").value == (
+            BUDGET * len(SPECS)
+        )
+
+
+class TestWarmCache:
+    def test_warm_rerun_simulates_nothing(self, tmp_path,
+                                          sequential_outcomes):
+        cold = Runner(max_instructions=BUDGET, cache_dir=str(tmp_path))
+        cold.prefetch(SPECS)
+        assert cold.cache.stats()["writes"] == len(SPECS)
+        assert cold.profiler.stats["simulate"].calls == len(SPECS)
+
+        warm = Runner(max_instructions=BUDGET, cache_dir=str(tmp_path))
+        warm.prefetch(SPECS)
+        assert "simulate" not in warm.profiler.stats
+        assert warm.cache.stats() == {
+            "hits": len(SPECS), "misses": 0, "writes": 0,
+        }
+        for spec, sequential in zip(SPECS, sequential_outcomes):
+            assert warm.run(spec).as_dict() == sequential.result.as_dict()
+
+    def test_parallel_warm_rerun_also_hits(self, tmp_path):
+        cold = Runner(max_instructions=BUDGET, workers=2,
+                      cache_dir=str(tmp_path))
+        cold.prefetch(SPECS)
+        warm = Runner(max_instructions=BUDGET, workers=2,
+                      cache_dir=str(tmp_path))
+        warm.prefetch(SPECS)
+        assert warm.cache.stats()["hits"] == len(SPECS)
+        assert "simulate" not in warm.profiler.stats
+
+
+class TestRunnerIntegration:
+    def test_run_and_prefetch_share_memo(self):
+        runner = Runner(max_instructions=BUDGET)
+        runner.prefetch(SPECS)
+        first = runner.run(SPECS[0])
+        assert runner.run(RunSpec("mcf", "baseline",
+                                  max_instructions=BUDGET)) is first
+
+    def test_emulate_specs_flow_through_prefetch(self):
+        runner = Runner(max_instructions=2000, workers=2)
+        spec = runner.spec("mcf", "emulate")
+        runner.prefetch([spec])
+        result = runner.emulate("mcf")
+        assert result.host_instructions > result.run.icount
