@@ -1,13 +1,13 @@
 # Developer entry points.  `make verify` is the tier-1 gate: the full
-# test suite plus the observability-overhead and parallel-sweep budget
-# checks.
+# test suite plus the observability-overhead, parallel-sweep, and
+# fast-path speedup/equivalence budget checks.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench-obs bench-sweep bench
+.PHONY: verify test bench-obs bench-sweep bench-hotloop bench
 
-verify: test bench-obs bench-sweep
+verify: test bench-obs bench-sweep bench-hotloop
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,9 @@ bench-obs:
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_parallel_speedup.py
+
+bench-hotloop:
+	$(PYTHON) benchmarks/bench_hot_loop.py
 
 # Full per-figure benchmark suite (slow; regenerates paper tables).
 bench:

@@ -1,0 +1,148 @@
+"""Micro-benchmark: the block fast path must actually be fast.
+
+Runs a branchy-but-hot kernel (a long straight-line inner loop, a call
+per outer iteration — the shape the block cache is built for) under all
+three cycle-simulated modes, once with the fast path
+(``MachineConfig.fastpath=True``) and once with the reference
+execute loop, and asserts two things:
+
+1. **Equivalence** — the two loops return *identical* ``SimResult``
+   serializations (every cycle, every counter).  Speed that changes the
+   numbers is not an optimization.
+2. **Speedup** — the fast path is at least :data:`MIN_SPEEDUP` times
+   faster than the reference loop in every mode (the PR's acceptance
+   floor is 1.8x).
+
+Run directly (the ``Makefile verify`` target does)::
+
+    PYTHONPATH=src python benchmarks/bench_hot_loop.py
+
+or through pytest: ``pytest benchmarks/bench_hot_loop.py -q``.  Timing
+uses min-of-N interleaved repetitions, which is robust to transient
+host noise.
+"""
+
+import time
+
+from repro.arch.config import default_config
+from repro.arch.cpu import CycleCPU
+from repro.ilr import RandomizerConfig, make_flow, randomize
+from repro.workloads.builder import ProgramBuilder
+
+MAX_INSTRUCTIONS = 120_000
+REPETITIONS = 3
+MIN_SPEEDUP = 1.8
+MODES = ("baseline", "naive_ilr", "vcfr")
+
+_INNER_ITERS = 40
+_OUTER_ITERS = 100_000  # never reached; MAX_INSTRUCTIONS bounds the run
+
+
+def build_hot_loop_image():
+    """A kernel dominated by one long, hot basic block.
+
+    The inner loop is ten straight-line instructions ending in a single
+    conditional branch; the outer loop adds a call/return pair so the
+    block cache sees calls, returns, and a taken back-edge — the common
+    control shapes — while still spending ~80% of retirement inside one
+    block.
+    """
+    b = ProgramBuilder("hotloop")
+    b.label("main")
+    b.emits("movi esi, buf", "movi ecx, 0", "movi eax, 1")
+    b.label("outer")
+    b.emit("movi edi, 0")
+    b.label("inner")
+    b.emits(
+        "mov edx, [esi+0]",
+        "add eax, edx",
+        "movi ebx, 40503",
+        "imul eax, ebx",
+        "xor eax, ecx",
+        "and eax, 268435455",
+        "mov [esi+4], eax",
+        "add edi, 1",
+        "cmp edi, %d" % _INNER_ITERS,
+        "jl inner",
+    )
+    b.emits(
+        "call helper",
+        "add ecx, 1",
+        "cmp ecx, %d" % _OUTER_ITERS,
+        "jl outer",
+    )
+    b.emit_word("eax")
+    b.exit(0)
+    b.func("helper")
+    b.emits("add eax, 7", "shr eax, 1")
+    b.endfunc()
+    b.data_label("buf")
+    b.data(".space 4096")
+    return b.image()
+
+
+def _build_program():
+    return randomize(build_hot_loop_image(), RandomizerConfig(seed=42))
+
+
+def _image_for(mode, program):
+    return {
+        "baseline": program.original,
+        "naive_ilr": program.naive_image,
+        "vcfr": program.vcfr_image,
+    }[mode]
+
+
+def _run_once(program, mode, fastpath):
+    """One fresh simulation; returns (host_seconds, result_dict)."""
+    config = default_config()
+    config.fastpath = fastpath
+    cpu = CycleCPU(_image_for(mode, program), make_flow(mode, program),
+                   config)
+    start = time.perf_counter()
+    result = cpu.run(max_instructions=MAX_INSTRUCTIONS)
+    return time.perf_counter() - start, result.to_dict()
+
+
+def measure_mode(program, mode):
+    """Returns (seconds_ref, seconds_fast, speedup) after asserting the
+    two loops produced identical results."""
+    # Warm both paths once (allocator, bytecode caches) before timing.
+    _, warm_fast = _run_once(program, mode, True)
+    _, warm_ref = _run_once(program, mode, False)
+    assert warm_fast == warm_ref, (
+        "%s: fast path diverged from the reference loop" % mode
+    )
+    fast_times, ref_times = [], []
+    for _ in range(REPETITIONS):  # interleave to share host noise
+        seconds, _result = _run_once(program, mode, True)
+        fast_times.append(seconds)
+        seconds, _result = _run_once(program, mode, False)
+        ref_times.append(seconds)
+    best_fast = min(fast_times)
+    best_ref = min(ref_times)
+    return best_ref, best_fast, best_ref / best_fast
+
+
+def test_fast_path_speedup_and_equivalence():
+    program = _build_program()
+    failures = []
+    for mode in MODES:
+        ref, fast, speedup = measure_mode(program, mode)
+        print(
+            "\nhot loop [%s]: ref %.4fs, fast %.4fs -> %.2fx"
+            % (mode, ref, fast, speedup)
+        )
+        if speedup < MIN_SPEEDUP:
+            failures.append((mode, speedup))
+    assert not failures, (
+        "fast path below the %.1fx floor: %s"
+        % (MIN_SPEEDUP,
+           ", ".join("%s %.2fx" % pair for pair in failures))
+    )
+
+
+if __name__ == "__main__":
+    test_fast_path_speedup_and_equivalence()
+    print("OK: fast path >= %.1fx in every mode, results identical"
+          % MIN_SPEEDUP)

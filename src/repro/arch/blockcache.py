@@ -1,0 +1,271 @@
+"""Pre-decoded basic-block cache for the cycle simulator's fast path.
+
+The reference interpreter loop (:meth:`CycleCPU._execute_loop_ref`)
+re-derives, for *every* retired instruction, facts that are static for
+the whole run: the decoded instruction, its architectural PC, its
+fall-through fetch PC, the icache line/iTLB page it occupies and the
+next-line prefetch addresses.  This module hoists all of that to
+first-execution time: the first time a fetch PC is used as a *leader*,
+:meth:`BlockCache.build` decodes the straight-line run up to the next
+control transfer (or the ``block_max_insts`` cap) and freezes one op
+tuple per instruction.  The fast loop then replays op tuples, touching
+the dynamic machinery (caches, TLBs, predictors, DRC, executor handler)
+with everything else precomputed.
+
+Correctness contract
+--------------------
+
+* Every precomputed field is a pure function of the program image and
+  the flow's randomization tables.  Both are static *between explicit
+  invalidations*: any code rewrite (:meth:`CycleCPU.rewrite_code`) or
+  randomization-table swap (re-randomization epoch) must call
+  :meth:`invalidate_range` / :meth:`invalidate_all`, otherwise blocks
+  would replay stale fall-through and architectural PCs.
+* Blocks never cross a control transfer or a ``halt``; interior
+  instructions are therefore guaranteed ``CTRL_NONE``, which is what
+  lets the fast loop skip the branch unit for them (the reference
+  ``_branch_stall`` is a stat-free ``(0, True)`` for such instructions).
+* Storage is bounded (``block_cache_capacity`` blocks; the shared
+  decode map is bounded by ``capacity * max_insts`` entries) with
+  flush-on-overflow, so a pathological workload degrades to rebuild
+  cost instead of unbounded host memory — this replaces the old
+  unbounded ``CycleCPU._decode_cache``.
+
+Op tuple layout (index: field) — consumed by ``_execute_loop_fast``:
+
+====  =========================================================
+ 0    executor handler, specialized to the instruction at decode
+      time (:func:`~repro.arch.executor.specialize_handler`)
+ 1    decoded :class:`Instruction`
+ 2    fetch PC
+ 3    architectural PC (``flow.arch_pc_of(fetch_pc)``)
+ 4    extra execute-stage cycles (``EXEC_EXTRA``)
+ 5    iTLB page of the fetch PC
+ 6    IL1 line of the fetch PC
+ 7    next-line prefetch address for field 6
+ 8    True when the instruction straddles into a second line
+ 9    fetch address of the second line (valid when 8 is True)
+10    second line number (valid when 8 is True)
+11    next-line prefetch address for the second line
+12    fall-through fetch PC (``flow.sequential``), or None when it
+      is not statically computable (recomputed dynamically; only
+      reachable for CTRL_NONE terminals)
+13    True when the instruction can touch data memory (reads or
+      writes) — False lets the fast loop skip the load/store-address
+      reset and the data-stall probe entirely
+14    True for ``int`` (syscalls observe ``state.icount``, so it must
+      be synced before the handler runs)
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa import opcodes
+from ..isa.decoder import DecodeError, decode
+from ..isa.instruction import Instruction
+from .executor import DISPATCH, EXEC_EXTRA, ExecutionError, specialize_handler
+
+#: Mnemonics whose handlers can return a non-``CTRL_NONE`` kind; any
+#: such instruction terminates its block.
+_TERMINAL_MNEMONICS = frozenset(
+    ["call", "calli", "jmp", "jmp8", "jmpi", "ret", "halt"]
+    + ["j" + name for name in opcodes.CC_NAMES]
+)
+
+
+def _missing_handler(mnemonic: str):
+    """Deferred ExecutionError: raised at *execution* time so the fast
+    path charges the same fetch-side stalls the reference loop charges
+    before ``execute`` rejects the instruction."""
+
+    def raise_no_semantics(inst, state, adapter):
+        raise ExecutionError("no semantics for %s" % mnemonic)
+
+    return raise_no_semantics
+
+
+class Block:
+    """One pre-decoded straight-line run of instructions.
+
+    ``interior`` ops are guaranteed non-control (always ``CTRL_NONE``);
+    ``term`` is the single terminal op (control transfer, halt, cap hit
+    or decode-ahead boundary).  ``lo``/``hi`` bound every fetch byte the
+    block's instructions occupy (used by range invalidation; for the
+    naive-ILR scattered fetch space this is a conservative envelope).
+    """
+
+    __slots__ = ("leader", "interior", "term", "n", "lo", "hi")
+
+    def __init__(self, leader, interior, term, n, lo, hi):
+        self.leader = leader
+        self.interior = interior
+        self.term = term
+        self.n = n
+        self.lo = lo
+        self.hi = hi
+
+
+class BlockCache:
+    """Bounded, invalidation-aware block + decode storage."""
+
+    __slots__ = (
+        "capacity", "max_insts", "blocks", "decoded",
+        "_decoded_capacity", "builds", "flushes", "invalidations",
+    )
+
+    def __init__(self, capacity: int = 4096, max_insts: int = 32):
+        self.capacity = max(1, capacity)
+        self.max_insts = max(1, max_insts)
+        #: leader fetch PC -> :class:`Block` (the fast loop indexes this
+        #: dict directly).
+        self.blocks: Dict[int, Block] = {}
+        #: fetch PC -> decoded instruction, shared with the reference
+        #: loop's ``_fetch`` so both paths decode each PC once.
+        self.decoded: Dict[int, Instruction] = {}
+        self._decoded_capacity = self.capacity * self.max_insts
+        self.builds = 0
+        self.flushes = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    # -- decode ------------------------------------------------------------
+
+    def decode_one(self, fetch_pc: int, mem) -> Instruction:
+        """Decode (and cache) the instruction at ``fetch_pc``."""
+        decoded = self.decoded
+        if len(decoded) >= self._decoded_capacity:
+            decoded.clear()
+            self.flushes += 1
+        inst = decode(mem.read_block(fetch_pc, 8), 0, fetch_pc)
+        decoded[fetch_pc] = inst
+        return inst
+
+    # -- block construction ------------------------------------------------
+
+    def build(self, leader: int, mem, flow, page_shift: int,
+              line_shift: int) -> Block:
+        """Decode the block led by ``leader`` and install it.
+
+        A decode/semantics failure on the leader propagates (mirroring
+        the reference loop, which faults when it reaches that PC); a
+        failure on any *later* instruction just ends the block early, so
+        the faulting PC becomes a leader itself and faults at exactly
+        the same retired-instruction boundary the reference loop would.
+        """
+        blocks = self.blocks
+        if len(blocks) >= self.capacity:
+            blocks.clear()
+            self.flushes += 1
+
+        ops = []
+        lo = leader
+        hi = leader
+        fetch_pc: Optional[int] = leader
+        decoded = self.decoded
+        max_insts = self.max_insts
+        while len(ops) < max_insts and fetch_pc is not None:
+            inst = decoded.get(fetch_pc)
+            if inst is None:
+                if ops:
+                    try:
+                        inst = self.decode_one(fetch_pc, mem)
+                    except DecodeError:
+                        break
+                else:
+                    inst = self.decode_one(fetch_pc, mem)
+
+            if inst.mnemonic in DISPATCH:
+                handler = specialize_handler(inst)
+                is_control = inst.mnemonic in _TERMINAL_MNEMONICS
+            else:
+                if ops:
+                    break
+                handler = _missing_handler(inst.mnemonic)
+                is_control = True
+
+            seq: Optional[int]
+            try:
+                seq = flow.sequential(inst)
+            except Exception:
+                # Not statically computable (e.g. no fall-through map
+                # entry past a terminal).  The fast loop recomputes it
+                # dynamically if a CTRL_NONE outcome ever needs it.
+                seq = None
+
+            length = inst.length
+            line = fetch_pc >> line_shift
+            end_line = (fetch_pc + length - 1) >> line_shift
+            ops.append((
+                handler,
+                inst,
+                fetch_pc,
+                flow.arch_pc_of(fetch_pc),
+                EXEC_EXTRA.get(inst.mnemonic, 0),
+                fetch_pc >> page_shift,
+                line,
+                (line + 1) << line_shift,
+                end_line != line,
+                end_line << line_shift,
+                end_line,
+                (end_line + 1) << line_shift,
+                seq,
+                inst.reads_memory or inst.writes_memory,
+                inst.mnemonic == "int",
+            ))
+            if fetch_pc < lo:
+                lo = fetch_pc
+            if fetch_pc + length > hi:
+                hi = fetch_pc + length
+            if is_control:
+                break
+            fetch_pc = seq
+
+        block = Block(leader, tuple(ops[:-1]), ops[-1], len(ops), lo, hi)
+        blocks[leader] = block
+        self.builds += 1
+        return block
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Drop every block and decoded instruction (table swap /
+        re-randomization epoch: every precomputed PC may be stale)."""
+        if self.blocks or self.decoded:
+            self.invalidations += 1
+        self.blocks.clear()
+        self.decoded.clear()
+
+    def invalidate_range(self, start: int, size: int) -> None:
+        """Drop blocks and decoded instructions overlapping
+        ``[start, start + size)`` in fetch space (code rewrite)."""
+        if size <= 0:
+            return
+        end = start + size
+        blocks = self.blocks
+        stale = [pc for pc, b in blocks.items()
+                 if b.lo < end and b.hi > start]
+        for pc in stale:
+            del blocks[pc]
+        decoded = self.decoded
+        stale_pcs = [pc for pc, inst in decoded.items()
+                     if pc < end and pc + inst.length > start]
+        for pc in stale_pcs:
+            del decoded[pc]
+        if stale or stale_pcs:
+            self.invalidations += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Host-side counters (not part of simulated statistics)."""
+        return {
+            "blocks": len(self.blocks),
+            "decoded": len(self.decoded),
+            "builds": self.builds,
+            "flushes": self.flushes,
+            "invalidations": self.invalidations,
+        }

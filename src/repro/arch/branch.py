@@ -43,6 +43,8 @@ class BranchStats:
 class GShare:
     """Global-history XOR PC indexed table of 2-bit saturating counters."""
 
+    __slots__ = ("history_bits", "mask", "table", "history")
+
     def __init__(self, history_bits: int):
         self.history_bits = history_bits
         self.mask = (1 << history_bits) - 1
@@ -68,13 +70,25 @@ class GShare:
 class BTB:
     """Set-associative branch target buffer (LRU)."""
 
+    __slots__ = ("num_sets", "assoc", "_sets", "_set_mask")
+
     def __init__(self, entries: int, assoc: int):
         self.num_sets = max(1, entries // assoc)
         self.assoc = assoc
+        # Power-of-two index mask (-1 = fall back to ``%``).
+        if self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask = self.num_sets - 1
+        else:
+            self._set_mask = -1
         self._sets = [[] for _ in range(self.num_sets)]  # [tag, target] LRU order
 
+    def _set_for(self, pc: int):
+        idx = pc >> 2
+        mask = self._set_mask
+        return self._sets[idx & mask if mask >= 0 else idx % self.num_sets]
+
     def lookup(self, pc: int):
-        ways = self._sets[(pc >> 2) % self.num_sets]
+        ways = self._set_for(pc)
         for idx, entry in enumerate(ways):
             if entry[0] == pc:
                 ways.append(ways.pop(idx))
@@ -82,7 +96,7 @@ class BTB:
         return None
 
     def update(self, pc: int, target: int) -> None:
-        ways = self._sets[(pc >> 2) % self.num_sets]
+        ways = self._set_for(pc)
         for idx, entry in enumerate(ways):
             if entry[0] == pc:
                 entry[1] = target
@@ -95,6 +109,8 @@ class BTB:
 
 class RAS:
     """Fixed-depth return address stack (overwrites on overflow)."""
+
+    __slots__ = ("entries", "_stack")
 
     def __init__(self, entries: int):
         self.entries = entries
@@ -117,6 +133,8 @@ class BranchUnit:
     ``penalty_*`` methods return stall cycles to charge and update the
     predictors, given the architectural outcome of the instruction.
     """
+
+    __slots__ = ("config", "gshare", "btb", "ras", "stats")
 
     def __init__(self, config: BranchConfig):
         self.config = config

@@ -61,7 +61,16 @@ class Cache:
     ``next_level`` is a callable ``(line_addr, is_write) -> latency`` used
     on misses and writebacks — either another :class:`Cache`'s
     :meth:`access` or the DRAM model.
+
+    The class is flattened for the simulator's hot loop: ``__slots__``
+    storage, a precomputed set-index mask for power-of-two set counts,
+    and an :meth:`access` body that binds its hot references to locals.
     """
+
+    __slots__ = (
+        "config", "name", "next_level", "num_sets", "assoc",
+        "line_shift", "latency", "stats", "_sets", "_set_mask",
+    )
 
     def __init__(
         self,
@@ -77,6 +86,12 @@ class Cache:
         self.line_shift = config.line_bytes.bit_length() - 1
         self.latency = config.latency
         self.stats = CacheStats()
+        # Set-index mask; -1 disables it for non-power-of-two set counts
+        # (``line & mask == line % num_sets`` only when num_sets is 2**k).
+        if self.num_sets > 0 and self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask = self.num_sets - 1
+        else:
+            self._set_mask = -1
         # Per set: list of [tag, dirty, prefetched, touched] in LRU order
         # (index 0 = LRU, -1 = MRU).
         self._sets = [[] for _ in range(self.num_sets)]
@@ -86,6 +101,10 @@ class Cache:
     def line_addr(self, addr: int) -> int:
         return addr >> self.line_shift
 
+    def _set_index(self, line: int) -> int:
+        mask = self._set_mask
+        return line & mask if mask >= 0 else line % self.num_sets
+
     def _find(self, ways, tag):
         for idx, entry in enumerate(ways):
             if entry[0] == tag:
@@ -94,43 +113,49 @@ class Cache:
 
     def contains(self, addr: int) -> bool:
         line = self.line_addr(addr)
-        ways = self._sets[line % self.num_sets]
+        ways = self._sets[self._set_index(line)]
         return self._find(ways, line) >= 0
 
     # -- main access path ------------------------------------------------------
 
     def access(self, addr: int, is_write: bool = False) -> int:
         """Demand access; returns total latency in cycles."""
-        line = self.line_addr(addr)
-        set_idx = line % self.num_sets
-        ways = self._sets[set_idx]
-        self.stats.accesses += 1
+        line = addr >> self.line_shift
+        mask = self._set_mask
+        ways = self._sets[line & mask if mask >= 0 else line % self.num_sets]
+        stats = self.stats
+        stats.accesses += 1
 
-        way = self._find(ways, line)
-        if way >= 0:
-            entry = ways.pop(way)
-            if entry[2] and not entry[3]:
-                self.stats.prefetch_used += 1
-            entry[3] = True
-            if is_write:
-                entry[1] = True
-            ways.append(entry)
-            return self.latency
+        idx = 0
+        for entry in ways:
+            if entry[0] == line:
+                if entry[2] and not entry[3]:
+                    stats.prefetch_used += 1
+                entry[3] = True
+                if is_write:
+                    entry[1] = True
+                if entry is not ways[-1]:  # already-MRU: skip the reorder
+                    del ways[idx]
+                    ways.append(entry)
+                return self.latency
+            idx += 1
 
         # Miss: fill from the next level.
-        self.stats.misses += 1
-        self.stats.demand_reads_to_next += 1
+        stats.misses += 1
+        stats.demand_reads_to_next += 1
         latency = self.latency + self.next_level(line << self.line_shift, False)
         self._install(ways, line, dirty=is_write, prefetched=False, touched=True)
         return latency
 
     def prefetch(self, addr: int) -> None:
         """Install ``addr``'s line speculatively (no latency charged to the core)."""
-        line = self.line_addr(addr)
-        ways = self._sets[line % self.num_sets]
-        if self._find(ways, line) >= 0:
-            self.stats.prefetch_hits += 1
-            return
+        line = addr >> self.line_shift
+        mask = self._set_mask
+        ways = self._sets[line & mask if mask >= 0 else line % self.num_sets]
+        for entry in ways:
+            if entry[0] == line:
+                self.stats.prefetch_hits += 1
+                return
         self.stats.prefetches += 1
         # The fill still loads the next level (bandwidth/pressure there).
         self.next_level(line << self.line_shift, False)

@@ -10,7 +10,22 @@ model, and a small direct-mapped DRC (64–512 entries).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
+
+#: Version of the *timing semantics* of the simulator.  Bump whenever a
+#: change alters cycle counts or statistics for an identical spec; the
+#: result-cache fingerprint includes it, so results produced by an older
+#: timing model can never be served against a newer one.
+TIMING_MODEL_VERSION = 2
+
+#: MachineConfig fields that tune *host-side* execution strategy only.
+#: They are required (and differentially tested) to have zero effect on
+#: simulated cycles and statistics, so the result-cache fingerprint
+#: excludes them — a result computed by the reference loop is equally
+#: valid for the fast path and vice versa.
+HOST_TUNING_FIELDS: Tuple[str, ...] = (
+    "fastpath", "block_cache_capacity", "block_max_insts",
+)
 
 
 @dataclass
@@ -91,6 +106,15 @@ class MachineConfig:
     prefetch_il1: bool = True
     #: average exposed load-use latency for a DL1 hit, in stall cycles.
     load_use_stall: int = 1
+    #: run the basic-block fast path (pre-decoded block cache + flattened
+    #: stall kernels).  ``False`` selects the per-instruction reference
+    #: loop; both are cycle- and stats-exact by construction (host-side
+    #: knob — excluded from the result-cache fingerprint).
+    fastpath: bool = True
+    #: bounded capacity of the basic-block cache, in blocks (host-side).
+    block_cache_capacity: int = 4096
+    #: maximum instructions pre-decoded into one block (host-side).
+    block_max_insts: int = 32
 
     def with_drc_entries(self, entries: int) -> "MachineConfig":
         """A copy of this config with a different DRC size (Fig. 13/14 sweeps)."""

@@ -120,6 +120,12 @@ class TimeSharedCPU:
         # The DRC held the *outgoing* process's translations: its context
         # (the RDR tables) is swapped, so the cache contents are dead.
         cpu.drc.flush()
+        # The decoded block cache needs NO invalidation here: each process
+        # has its own CycleCPU (and so its own block cache), and a switch
+        # changes neither the process's text image nor its RDR tables —
+        # the precomputed per-op metadata stays valid.  Only table swaps
+        # (ilr.rerandomize.apply_rerandomization) or code rewrites
+        # (CycleCPU.rewrite_code) invalidate blocks.
         # New address space: TLBs flush; caches are physically tagged in
         # this model (the shared L2 keeps both processes' lines, which is
         # what lets warm RDR table lines survive in L2 across switches).

@@ -33,16 +33,16 @@ import time
 from typing import Callable, Dict, Optional
 
 from ..binary import BinaryImage, load_image
-from ..isa.decoder import decode
 from ..isa.instruction import Instruction
 from ..obs.events import EventLog
 from ..obs.metrics import get_registry
+from .blockcache import BlockCache
 from .branch import BranchUnit
 from .cache import Cache
 from .config import MachineConfig, default_config
 from .drc import DRC, KIND_DERAND, KIND_RAND
 from .dram import DRAM
-from .executor import CTRL_HALT, CTRL_JUMP, CTRL_NONE, execute
+from .executor import CTRL_HALT, CTRL_JUMP, CTRL_NONE, EXEC_EXTRA, execute
 from .memory import SparseMemory
 from .power import EnergyParams, compute_energy
 from .simstats import Checkpoint, SimResult, ratio
@@ -57,8 +57,9 @@ RAND_TABLE_BASE = 0x68000000
 BITMAP_BASE = 0x6C000000
 TABLE_REGION_SIZE = 0x04000000
 
-#: Extra execute-stage cycles per mnemonic (beyond the 1-cycle issue slot).
-_EXEC_EXTRA: Dict[str, int] = {"imul": 2}
+#: Extra execute-stage cycles per mnemonic — canonical table lives with
+#: the executor semantics; kept under the historical name for callers.
+_EXEC_EXTRA: Dict[str, int] = EXEC_EXTRA
 
 #: ``_next_checkpoint`` sentinel when checkpointing is off: one integer
 #: compare per retired instruction is the entire disabled-path cost.
@@ -150,11 +151,16 @@ class CycleCPU:
         self._started = False
         self._finished = False
         self._resume_fetch_pc = 0
-        self._decode_cache: Dict[int, Instruction] = {}
         self._line_shift = cfg.il1.line_bytes.bit_length() - 1
         self._page_shift = cfg.itlb.page_bits
         self._last_fetch_line = -1
         self._last_fetch_page = -1
+        #: host-side execution strategy (cycle/stat-invariant by contract,
+        #: enforced by tests/test_fastpath_equivalence.py).
+        self._fastpath = cfg.fastpath
+        self._blockcache = BlockCache(
+            cfg.block_cache_capacity, cfg.block_max_insts
+        )
 
     # -- DRC refill path -----------------------------------------------------
 
@@ -175,12 +181,40 @@ class CycleCPU:
     # -- fetch ------------------------------------------------------------------
 
     def _fetch(self, fetch_pc: int) -> Instruction:
-        inst = self._decode_cache.get(fetch_pc)
+        # Decoded instructions live in the block cache's bounded map so
+        # the reference and fast paths share one invalidation domain.
+        blockcache = self._blockcache
+        inst = blockcache.decoded.get(fetch_pc)
         if inst is None:
-            raw = self.mem.read_block(fetch_pc, 8)
-            inst = decode(raw, 0, fetch_pc)
-            self._decode_cache[fetch_pc] = inst
+            inst = blockcache.decode_one(fetch_pc, self.mem)
         return inst
+
+    # -- code mutation ----------------------------------------------------------
+
+    def invalidate_blocks(self, start: Optional[int] = None,
+                          size: int = 0) -> None:
+        """Invalidate pre-decoded blocks (and cached decodes).
+
+        With no arguments, everything is dropped — required after any
+        randomization-table swap (re-randomization epoch), since blocks
+        freeze per-run ``arch_pc_of``/``sequential`` results.  With a
+        range, only blocks overlapping ``[start, start + size)`` in
+        fetch space go.
+        """
+        if start is None:
+            self._blockcache.invalidate_all()
+        else:
+            self._blockcache.invalidate_range(start, size)
+
+    def rewrite_code(self, addr: int, data: bytes) -> None:
+        """Patch simulated memory and invalidate affected blocks.
+
+        All code-rewriting flows must go through this (or call
+        :meth:`invalidate_blocks` themselves): the block cache assumes
+        text is immutable between explicit invalidations.
+        """
+        self.mem.write_block(addr, bytes(data))
+        self._blockcache.invalidate_range(addr, len(data))
 
     def _fetch_stall(self, fetch_pc: int, length: int) -> int:
         """Instruction-side stall: IL1 (with prefetch) + iTLB."""
@@ -440,10 +474,28 @@ class CycleCPU:
                 return finished
 
     def _execute_loop(self, budget: int) -> bool:
-        """The pipeline loop; runs until ``state.icount`` reaches ``budget``
-        or the program terminates.  Returns the termination flag."""
+        """Run until ``state.icount`` reaches ``budget`` or the program
+        terminates; returns the termination flag.
+
+        Dispatches to one of three cycle/stat-identical loop bodies: the
+        pre-decoded block fast path (default), the per-instruction
+        reference loop (``fastpath=False``), or the reference loop's
+        timed mirror (:meth:`run_profiled`).
+        """
         if self._profiled:
             return self._execute_loop_profiled(budget)
+        if self._fastpath:
+            return self._execute_loop_fast(budget)
+        return self._execute_loop_ref(budget)
+
+    def _execute_loop_ref(self, budget: int) -> bool:
+        """The per-instruction reference pipeline loop.
+
+        This is the semantic ground truth the block fast path is
+        differentially tested against; it also executes partial-block
+        tails for the fast path when a budget boundary (checkpoint or
+        instruction cap) lands inside a block.
+        """
         state = self.state
         flow = self.flow
         fetch_pc = self._resume_fetch_pc
@@ -493,12 +545,232 @@ class CycleCPU:
         self._resume_fetch_pc = fetch_pc
         return self._finished
 
-    def _execute_loop_profiled(self, budget: int) -> bool:
-        """Timed mirror of :meth:`_execute_loop`.
+    def _execute_loop_fast(self, budget: int) -> bool:
+        """The basic-block fast path.
 
-        Keep the two loop bodies in lockstep when changing pipeline
-        behaviour — this variant only adds ``perf_counter`` brackets
-        that deposit per-phase host seconds into ``_phase_times``.
+        Replays pre-decoded op tuples (:mod:`repro.arch.blockcache`) and
+        must stay cycle- and stat-identical to :meth:`_execute_loop_ref`
+        — any timing change must land in both bodies (and the profiled
+        mirror).  The interior of a block only skips work the reference
+        loop performs vacuously there: the branch unit returns a
+        stat-free ``(0, True)`` for non-control instructions, and the
+        DRC drain is a no-op without pending flow events (checked per
+        instruction, since VCFR loads from marked stack slots emit
+        events mid-block).  A block that does not fit in the remaining
+        budget is delegated whole to the reference loop, which stops at
+        exactly the boundary — so checkpoint windows clip identically.
+        """
+        if self._finished:
+            return True
+        state = self.state
+        flow = self.flow
+        flow_events = flow.events
+        transfer = flow.transfer
+        sequential = flow.sequential
+        blockcache = self._blockcache
+        blocks = blockcache.blocks
+        build = blockcache.build
+        mem = self.mem
+        page_shift = self._page_shift
+        line_shift = self._line_shift
+        cfg = self.config
+        il1_access = self.il1.access
+        il1_prefetch = self.il1.prefetch
+        il1_latency = cfg.il1.latency
+        do_prefetch = cfg.prefetch_il1
+        itlb_access = self.itlb.access
+        dtlb_access = self.dtlb.access
+        dl1_access = self.dl1.access
+        dl1_latency = cfg.dl1.latency
+        load_use = cfg.load_use_stall
+        burst = self._burst_track
+        note_fill = self._note_fetch_fill
+        drc_stall = self._drc_stall
+        branch_stall = self._branch_stall
+        tracer = self.tracer
+
+        fetch_pc = self._resume_fetch_pc
+        cycle = self.cycle
+        last_page = self._last_fetch_page
+        last_line = self._last_fetch_line
+        icount = state.icount
+        tail = False
+        try:
+            while icount < budget:
+                block = blocks.get(fetch_pc)
+                if block is None:
+                    block = build(fetch_pc, mem, flow, page_shift,
+                                  line_shift)
+                if icount + block.n > budget:
+                    # Partial block: let the reference loop retire the
+                    # head of it up to the exact budget boundary.
+                    tail = True
+                    break
+
+                halted = False
+                for op in block.interior:
+                    (handler, inst, fpc, arch_pc, extra, page, line, pf1,
+                     cross, addr2, line2, pf2, _seq, touch, is_int) = op
+                    state.pc = arch_pc
+                    stall = extra
+                    if page != last_page:
+                        last_page = page
+                        stall += itlb_access(fpc)
+                    if line != last_line:
+                        last_line = line
+                        latency = il1_access(fpc, False)
+                        stall += latency - il1_latency
+                        if burst:
+                            note_fill(latency > il1_latency, fpc)
+                        if do_prefetch:
+                            il1_prefetch(pf1)
+                    if cross and line2 != last_line:
+                        last_line = line2
+                        latency = il1_access(addr2, False)
+                        stall += latency - il1_latency
+                        if burst:
+                            note_fill(latency > il1_latency, fpc)
+                        if do_prefetch:
+                            il1_prefetch(pf2)
+
+                    icount += 1
+                    if burst or is_int:
+                        state.icount = icount
+                    if touch:
+                        state.last_load_addr = None
+                        state.last_store_addr = None
+                        try:
+                            handler(inst, state, flow)
+                        except ExitProgram:
+                            self._finished = True
+                            cycle += 1
+                            fetch_pc = fpc
+                            halted = True
+                            break
+                        addr = state.last_load_addr
+                        if addr is not None:
+                            stall += dtlb_access(addr)
+                            stall += dl1_access(addr, False) - dl1_latency
+                            stall += load_use
+                        addr = state.last_store_addr
+                        if addr is not None:
+                            stall += dtlb_access(addr)
+                            stall += dl1_access(addr, True) - dl1_latency
+                    else:
+                        try:
+                            handler(inst, state, flow)
+                        except ExitProgram:
+                            self._finished = True
+                            cycle += 1
+                            fetch_pc = fpc
+                            halted = True
+                            break
+
+                    if flow_events:
+                        drc_stall(False, 0)
+                    if tracer is not None:
+                        tracer.record(inst, arch_pc, fpc, False, 0)
+                    cycle += 1 + stall
+                if halted:
+                    break
+
+                (handler, inst, fpc, arch_pc, extra, page, line, pf1,
+                 cross, addr2, line2, pf2, seq, touch, is_int) = block.term
+                state.pc = arch_pc
+                stall = extra
+                if page != last_page:
+                    last_page = page
+                    stall += itlb_access(fpc)
+                if line != last_line:
+                    last_line = line
+                    latency = il1_access(fpc, False)
+                    stall += latency - il1_latency
+                    if burst:
+                        note_fill(latency > il1_latency, fpc)
+                    if do_prefetch:
+                        il1_prefetch(pf1)
+                if cross and line2 != last_line:
+                    last_line = line2
+                    latency = il1_access(addr2, False)
+                    stall += latency - il1_latency
+                    if burst:
+                        note_fill(latency > il1_latency, fpc)
+                    if do_prefetch:
+                        il1_prefetch(pf2)
+
+                icount += 1
+                if burst or is_int:
+                    state.icount = icount
+                if touch:
+                    state.last_load_addr = None
+                    state.last_store_addr = None
+                try:
+                    kind, target = handler(inst, state, flow)
+                except ExitProgram:
+                    self._finished = True
+                    cycle += 1
+                    fetch_pc = fpc
+                    break
+
+                if touch:
+                    addr = state.last_load_addr
+                    if addr is not None:
+                        stall += dtlb_access(addr)
+                        stall += dl1_access(addr, False) - dl1_latency
+                        stall += load_use
+                    addr = state.last_store_addr
+                    if addr is not None:
+                        stall += dtlb_access(addr)
+                        stall += dl1_access(addr, True) - dl1_latency
+
+                if kind == CTRL_NONE:
+                    next_fetch_pc = seq if seq is not None else \
+                        sequential(inst)
+                elif kind == CTRL_HALT:
+                    self._finished = True
+                    cycle += 1 + stall
+                    fetch_pc = fpc
+                    break
+                else:
+                    next_fetch_pc = transfer(target)
+
+                branch_penalty, predicted_ok = branch_stall(
+                    inst, kind, next_fetch_pc, target
+                )
+                stall += branch_penalty
+                if flow_events:
+                    stall += drc_stall(not predicted_ok, branch_penalty)
+
+                if tracer is not None:
+                    tracer.record(inst, arch_pc, fpc, kind != CTRL_NONE,
+                                  target)
+
+                cycle += 1 + stall
+                fetch_pc = next_fetch_pc
+        finally:
+            # Exceptions (security faults, decode errors, visibility
+            # faults) propagate with counters written back, exactly as
+            # the reference loop leaves them; ``_resume_fetch_pc`` is
+            # deliberately not updated on that path (reference parity).
+            # ``state.icount`` is synced lazily inside the loop (only
+            # syscalls and burst tracking observe it mid-run), so it is
+            # settled here for checkpoints, results and fault handlers.
+            state.icount = icount
+            self.cycle = cycle
+            self._last_fetch_page = last_page
+            self._last_fetch_line = last_line
+        self._resume_fetch_pc = fetch_pc
+        if tail:
+            return self._execute_loop_ref(budget)
+        return self._finished
+
+    def _execute_loop_profiled(self, budget: int) -> bool:
+        """Timed mirror of :meth:`_execute_loop_ref`.
+
+        Keep the loop bodies (reference, fast, profiled) in lockstep
+        when changing pipeline behaviour — this variant only adds
+        ``perf_counter`` brackets that deposit per-phase host seconds
+        into ``_phase_times``.
         """
         state = self.state
         flow = self.flow

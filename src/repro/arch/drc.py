@@ -53,6 +53,11 @@ class DRC:
     claim; ``assoc=0`` means fully associative.
     """
 
+    __slots__ = (
+        "config", "num_entries", "refill", "stats", "assoc", "num_sets",
+        "_sets", "_set_mask", "_hit_latency",
+    )
+
     def __init__(
         self,
         config: DRCConfig,
@@ -69,6 +74,13 @@ class DRC:
             assoc = config.entries
         self.assoc = max(1, min(assoc, config.entries))
         self.num_sets = max(1, config.entries // self.assoc)
+        # Precomputed index mask (the paper's DRC sizes are powers of
+        # two; -1 falls back to ``%`` for odd ablation geometries).
+        if self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask = self.num_sets - 1
+        else:
+            self._set_mask = -1
+        self._hit_latency = config.latency
         # Per set: list of (addr_tag, kind) in LRU order (index 0 = LRU).
         self._sets = [[] for _ in range(self.num_sets)]
 
@@ -76,7 +88,9 @@ class DRC:
         # Multiplicative (Fibonacci) hash index: randomized addresses are
         # 8-byte slot-aligned and original addresses are dense, so a plain
         # low-bit index would alias badly for both key populations.
-        return (((key >> 2) * 2654435761) >> 8) % self.num_sets
+        hashed = ((key >> 2) * 2654435761) >> 8
+        mask = self._set_mask
+        return hashed & mask if mask >= 0 else hashed % self.num_sets
 
     def lookup(self, key: int, kind: int) -> int:
         """Translate ``key``; returns latency in cycles (hit or refill)."""
@@ -93,10 +107,10 @@ class DRC:
             if existing == entry:
                 if self.assoc > 1:
                     ways.append(ways.pop(idx))
-                return self.config.latency
+                return self._hit_latency
 
         stats.misses += 1
-        latency = self.config.latency + self.refill(key, kind)
+        latency = self._hit_latency + self.refill(key, kind)
         stats.refill_latency_total += latency
         if len(ways) >= self.assoc:
             ways.pop(0)

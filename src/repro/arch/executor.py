@@ -13,9 +13,18 @@ software emulation) is delegated to a :class:`ModeAdapter`:
 
 All four execution paths in this repo drive this one executor, which is
 what makes the cross-mode equivalence invariant testable.
+
+Semantics are organized as one handler function per mnemonic, dispatched
+through :data:`DISPATCH`.  :func:`execute` remains the public entry
+point (per-instruction prologue + table dispatch); the cycle simulator's
+basic-block fast path binds handlers per pre-decoded instruction so its
+hot loop pays neither the mnemonic lookup nor the wrapper frame — both
+paths run the *same* handler bodies, so they cannot diverge.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 from ..isa import opcodes
 from ..isa.flags import to_signed32
@@ -29,6 +38,10 @@ CTRL_JUMP = 1  # taken jump (conditional or not, direct or indirect)
 CTRL_CALL = 2
 CTRL_RET = 3
 CTRL_HALT = 4
+
+#: Extra execute-stage cycles per mnemonic (beyond the 1-cycle issue
+#: slot) — consumed by the cycle simulator's timing model.
+EXEC_EXTRA: Dict[str, int] = {"imul": 2}
 
 
 class ExecutionError(Exception):
@@ -61,135 +74,137 @@ class ModeAdapter:
 BASELINE_ADAPTER = ModeAdapter()
 
 
-def execute(inst: Instruction, state: MachineState, adapter: ModeAdapter):
-    """Execute one instruction; returns ``(kind, target)``.
+# -- per-mnemonic handlers ---------------------------------------------------
+#
+# Every handler has the signature ``(inst, state, adapter) -> (kind,
+# target)`` and assumes the per-instruction prologue (icount bump,
+# load/store address reset) already ran — :func:`execute` provides it for
+# the functional paths, the block fast path inlines it.
 
-    ``target`` is the architectural branch target for JUMP/CALL/RET, else 0.
-    The caller is responsible for updating ``state.pc`` (so that the cycle
-    simulator can interleave translation and security checks) — except for
-    register/flag/memory side effects, which happen here.
+def _op_movi(inst, state, adapter):
+    state.regs.regs[inst.reg] = inst.imm & MASK32
+    return (CTRL_NONE, 0)
 
-    May raise :class:`~repro.arch.state.ExitProgram` (EXIT syscall) or
-    :class:`ExecutionError`.
-    """
-    state.icount += 1
-    state.last_load_addr = None
-    state.last_store_addr = None
 
+def _op_push(inst, state, adapter):
+    slot = state.push(state.regs.regs[inst.reg])
+    adapter.note_store(slot)
+    state.last_store_addr = slot
+    return (CTRL_NONE, 0)
+
+
+def _op_pop(inst, state, adapter):
+    value, slot = state.pop()
+    state.regs.regs[inst.reg] = adapter.fixup_load(slot, value)
+    state.last_load_addr = slot
+    return (CTRL_NONE, 0)
+
+
+def _op_nop(inst, state, adapter):
+    return (CTRL_NONE, 0)
+
+
+def _op_halt(inst, state, adapter):
+    return (CTRL_HALT, 0)
+
+
+def _op_int(inst, state, adapter):
+    state.syscall(inst.imm)
+    return (CTRL_NONE, 0)
+
+
+def _op_leave(inst, state, adapter):
+    # mov esp, ebp ; pop ebp
+    regs = state.regs.regs
+    regs[4] = regs[5]
+    value, slot = state.pop()
+    regs[5] = adapter.fixup_load(slot, value)
+    state.last_load_addr = slot
+    return (CTRL_NONE, 0)
+
+
+def _op_jmp(inst, state, adapter):
+    return (CTRL_JUMP, inst.target)
+
+
+def _op_jcc(inst, state, adapter):
+    if state.flags.evaluate(inst.cc):
+        return (CTRL_JUMP, inst.target)
+    return (CTRL_NONE, 0)
+
+
+def _op_call(inst, state, adapter):
+    ret = adapter.call_retaddr(inst)
+    slot = state.push(ret)
+    adapter.note_retaddr_push(slot, ret)
+    state.last_store_addr = slot
+    state.last_retaddr = ret
+    return (CTRL_CALL, inst.target)
+
+
+def _op_calli(inst, state, adapter):
+    if inst.mode == opcodes.MODE_RR:
+        target = state.regs.regs[inst.rm]
+    else:
+        addr = (state.regs.regs[inst.rm] + inst.disp) & MASK32
+        target = state.mem.read_u32(addr)
+        state.last_load_addr = addr
+    ret = adapter.call_retaddr(inst)
+    slot = state.push(ret)
+    adapter.note_retaddr_push(slot, ret)
+    state.last_store_addr = slot
+    state.last_retaddr = ret
+    return (CTRL_CALL, target)
+
+
+def _op_jmpi(inst, state, adapter):
+    if inst.mode == opcodes.MODE_RR:
+        target = state.regs.regs[inst.rm]
+    else:
+        addr = (state.regs.regs[inst.rm] + inst.disp) & MASK32
+        target = state.mem.read_u32(addr)
+        state.last_load_addr = addr
+    return (CTRL_JUMP, target)
+
+
+def _op_ret(inst, state, adapter):
+    # The popped value is consumed *as a control-flow target*; it is
+    # intentionally NOT run through fixup_load — a randomized return
+    # address must stay randomized so fetch can translate and police it.
+    target, slot = state.pop()
+    state.last_load_addr = slot
+    return (CTRL_RET, target)
+
+
+def _op_shift(inst, state, adapter):
+    m = inst.mnemonic
+    regs = state.regs.regs
+    count = inst.imm & 31
+    value = regs[inst.rm]
+    if m == "shl":
+        result = (value << count) & MASK32
+    elif m == "shr":
+        result = (value >> count) & MASK32
+    else:
+        result = (to_signed32(value) >> count) & MASK32
+    regs[inst.rm] = result
+    state.flags.set_logic(result)
+    return (CTRL_NONE, 0)
+
+
+def _op_lea(inst, state, adapter):
+    if inst.mode != opcodes.MODE_RM:
+        raise ExecutionError("lea requires the load form")
+    regs = state.regs.regs
+    regs[inst.reg] = (regs[inst.rm] + inst.disp) & MASK32
+    return (CTRL_NONE, 0)
+
+
+def _op_alu(inst, state, adapter):
+    """Two-operand ALU / mov group (mode-driven operand fetch)."""
     m = inst.mnemonic
     regs = state.regs.regs
     mem = state.mem
-
-    # -- moves and stack ----------------------------------------------------
-
-    if m == "movi":
-        regs[inst.reg] = inst.imm & MASK32
-        return (CTRL_NONE, 0)
-
-    if m == "push":
-        slot = state.push(regs[inst.reg])
-        adapter.note_store(slot)
-        state.last_store_addr = slot
-        return (CTRL_NONE, 0)
-
-    if m == "pop":
-        value, slot = state.pop()
-        regs[inst.reg] = adapter.fixup_load(slot, value)
-        state.last_load_addr = slot
-        return (CTRL_NONE, 0)
-
-    if m == "nop":
-        return (CTRL_NONE, 0)
-
-    if m == "halt":
-        return (CTRL_HALT, 0)
-
-    if m == "int":
-        state.syscall(inst.imm)
-        return (CTRL_NONE, 0)
-
-    if m == "leave":
-        # mov esp, ebp ; pop ebp
-        regs[4] = regs[5]
-        value, slot = state.pop()
-        regs[5] = adapter.fixup_load(slot, value)
-        state.last_load_addr = slot
-        return (CTRL_NONE, 0)
-
-    # -- control transfers -----------------------------------------------------
-
-    if m == "jmp" or m == "jmp8":
-        return (CTRL_JUMP, inst.target)
-
-    if inst.cc is not None:
-        if state.flags.evaluate(inst.cc):
-            return (CTRL_JUMP, inst.target)
-        return (CTRL_NONE, 0)
-
-    if m == "call":
-        ret = adapter.call_retaddr(inst)
-        slot = state.push(ret)
-        adapter.note_retaddr_push(slot, ret)
-        state.last_store_addr = slot
-        state.last_retaddr = ret
-        return (CTRL_CALL, inst.target)
-
-    if m == "calli":
-        if inst.mode == opcodes.MODE_RR:
-            target = regs[inst.rm]
-        else:
-            addr = (regs[inst.rm] + inst.disp) & MASK32
-            target = mem.read_u32(addr)
-            state.last_load_addr = addr
-        ret = adapter.call_retaddr(inst)
-        slot = state.push(ret)
-        adapter.note_retaddr_push(slot, ret)
-        state.last_store_addr = slot
-        state.last_retaddr = ret
-        return (CTRL_CALL, target)
-
-    if m == "jmpi":
-        if inst.mode == opcodes.MODE_RR:
-            target = regs[inst.rm]
-        else:
-            addr = (regs[inst.rm] + inst.disp) & MASK32
-            target = mem.read_u32(addr)
-            state.last_load_addr = addr
-        return (CTRL_JUMP, target)
-
-    if m == "ret":
-        # The popped value is consumed *as a control-flow target*; it is
-        # intentionally NOT run through fixup_load — a randomized return
-        # address must stay randomized so fetch can translate and police it.
-        target, slot = state.pop()
-        state.last_load_addr = slot
-        return (CTRL_RET, target)
-
-    # -- shifts ---------------------------------------------------------------
-
-    if m in ("shl", "shr", "sar"):
-        count = inst.imm & 31
-        value = regs[inst.rm]
-        if m == "shl":
-            result = (value << count) & MASK32
-        elif m == "shr":
-            result = (value >> count) & MASK32
-        else:
-            result = (to_signed32(value) >> count) & MASK32
-        regs[inst.rm] = result
-        state.flags.set_logic(result)
-        return (CTRL_NONE, 0)
-
-    # -- lea ----------------------------------------------------------------------
-
-    if m == "lea":
-        if inst.mode != opcodes.MODE_RM:
-            raise ExecutionError("lea requires the load form")
-        regs[inst.reg] = (regs[inst.rm] + inst.disp) & MASK32
-        return (CTRL_NONE, 0)
-
-    # -- two-operand ALU / mov ---------------------------------------------------------
-
     mode = inst.mode
     if mode is None:
         raise ExecutionError("no semantics for %s" % m)
@@ -260,3 +275,328 @@ def execute(inst: Instruction, state: MachineState, adapter: ModeAdapter):
             regs[inst.reg] = result
 
     return (CTRL_NONE, 0)
+
+
+#: Mnemonic -> handler table.  One entry per mnemonic the decoder can
+#: produce (the conditional-branch family shares ``_op_jcc``, the
+#: two-operand ALU/mov group shares ``_op_alu``).
+DISPATCH: Dict[str, object] = {
+    "movi": _op_movi,
+    "push": _op_push,
+    "pop": _op_pop,
+    "nop": _op_nop,
+    "halt": _op_halt,
+    "int": _op_int,
+    "leave": _op_leave,
+    "jmp": _op_jmp,
+    "jmp8": _op_jmp,
+    "call": _op_call,
+    "calli": _op_calli,
+    "jmpi": _op_jmpi,
+    "ret": _op_ret,
+    "shl": _op_shift,
+    "shr": _op_shift,
+    "sar": _op_shift,
+    "lea": _op_lea,
+}
+DISPATCH.update(("j" + name, _op_jcc) for name in opcodes.CC_NAMES)
+DISPATCH.update(
+    (name, _op_alu)
+    for name in ("mov", "add", "sub", "cmp", "test", "and", "or", "xor",
+                 "imul")
+)
+
+
+def handler_for(inst: Instruction):
+    """The semantics handler for ``inst`` (raises like :func:`execute`
+    would for an instruction with no defined semantics)."""
+    handler = DISPATCH.get(inst.mnemonic)
+    if handler is None:
+        raise ExecutionError("no semantics for %s" % inst.mnemonic)
+    return handler
+
+
+# -- decode-time specialization (block fast path) -----------------------------
+
+#: Shared sequential-outcome tuple; handlers may return the same object
+#: every call (callers only unpack it).
+_NONE0 = (CTRL_NONE, 0)
+
+
+def specialize_handler(inst: Instruction):
+    """A handler specialized to ``inst`` at decode time.
+
+    Semantically identical to :func:`handler_for`'s result — same side
+    effects, same flag updates, same exceptions — but with the mnemonic
+    and operand-mode dispatch resolved *once* and the instruction's
+    fields (register indices, displacement, immediate, branch target)
+    captured as locals, so the per-call body is straight-line.  Shapes
+    not worth specializing fall back to the generic handler.  The block
+    cache binds these into its op tuples; the functional paths keep
+    dispatching through :data:`DISPATCH`, and
+    ``tests/test_fastpath_equivalence.py`` locks the two together.
+    """
+    m = inst.mnemonic
+    mode = inst.mode
+    RR, RI = opcodes.MODE_RR, opcodes.MODE_RI
+    RM, MR = opcodes.MODE_RM, opcodes.MODE_MR
+
+    if m == "movi":
+        def h(inst, state, adapter, _r=inst.reg, _v=inst.imm & MASK32):
+            state.regs.regs[_r] = _v
+            return _NONE0
+        return h
+
+    if inst.cc is not None:  # the conditional-branch family
+        def h(inst, state, adapter, _cc=inst.cc,
+              _taken=(CTRL_JUMP, inst.target)):
+            if state.flags.evaluate(_cc):
+                return _taken
+            return _NONE0
+        return h
+
+    if m in ("jmp", "jmp8"):
+        def h(inst, state, adapter, _out=(CTRL_JUMP, inst.target)):
+            return _out
+        return h
+
+    if m == "call":
+        def h(inst, state, adapter, _out=(CTRL_CALL, inst.target)):
+            ret = adapter.call_retaddr(inst)
+            slot = state.push(ret)
+            adapter.note_retaddr_push(slot, ret)
+            state.last_store_addr = slot
+            state.last_retaddr = ret
+            return _out
+        return h
+
+    if m == "push":
+        def h(inst, state, adapter, _r=inst.reg):
+            slot = state.push(state.regs.regs[_r])
+            adapter.note_store(slot)
+            state.last_store_addr = slot
+            return _NONE0
+        return h
+
+    if m == "pop":
+        def h(inst, state, adapter, _r=inst.reg):
+            value, slot = state.pop()
+            state.regs.regs[_r] = adapter.fixup_load(slot, value)
+            state.last_load_addr = slot
+            return _NONE0
+        return h
+
+    if m in ("shl", "shr", "sar"):
+        count = inst.imm & 31
+        if m == "shl":
+            def h(inst, state, adapter, _rm=inst.rm, _c=count):
+                regs = state.regs.regs
+                result = (regs[_rm] << _c) & MASK32
+                regs[_rm] = result
+                state.flags.set_logic(result)
+                return _NONE0
+        elif m == "shr":
+            def h(inst, state, adapter, _rm=inst.rm, _c=count):
+                regs = state.regs.regs
+                result = (regs[_rm] >> _c) & MASK32
+                regs[_rm] = result
+                state.flags.set_logic(result)
+                return _NONE0
+        else:
+            def h(inst, state, adapter, _rm=inst.rm, _c=count):
+                regs = state.regs.regs
+                result = (to_signed32(regs[_rm]) >> _c) & MASK32
+                regs[_rm] = result
+                state.flags.set_logic(result)
+                return _NONE0
+        return h
+
+    if m == "lea" and mode == opcodes.MODE_RM:
+        def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
+              _d=inst.disp):
+            regs = state.regs.regs
+            regs[_r] = (regs[_rm] + _d) & MASK32
+            return _NONE0
+        return h
+
+    if m == "int":
+        def h(inst, state, adapter, _imm=inst.imm):
+            state.syscall(_imm)
+            return _NONE0
+        return h
+
+    if m == "mov":
+        if mode == RR:
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm):
+                regs = state.regs.regs
+                regs[_r] = regs[_rm]
+                return _NONE0
+            return h
+        if mode == RI:
+            def h(inst, state, adapter, _r=inst.reg,
+                  _v=inst.imm & MASK32):
+                state.regs.regs[_r] = _v
+                return _NONE0
+            return h
+        if mode == RM:
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
+                  _d=inst.disp):
+                regs = state.regs.regs
+                addr = (regs[_rm] + _d) & MASK32
+                regs[_r] = adapter.fixup_load(addr, state.mem.read_u32(addr))
+                state.last_load_addr = addr
+                return _NONE0
+            return h
+        if mode == MR:
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
+                  _d=inst.disp):
+                regs = state.regs.regs
+                addr = (regs[_rm] + _d) & MASK32
+                state.mem.write_u32(addr, regs[_r])
+                adapter.note_store(addr)
+                state.last_store_addr = addr
+                return _NONE0
+            return h
+        return _op_alu
+
+    if m == "add":
+        if mode == RR:
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm):
+                regs = state.regs.regs
+                a = regs[_r]
+                b = regs[_rm]
+                total = a + b
+                regs[_r] = total & MASK32
+                state.flags.set_add(a, b, total)
+                return _NONE0
+            return h
+        if mode == RI:
+            def h(inst, state, adapter, _r=inst.reg,
+                  _b=inst.imm & MASK32):
+                regs = state.regs.regs
+                a = regs[_r]
+                total = a + _b
+                regs[_r] = total & MASK32
+                state.flags.set_add(a, _b, total)
+                return _NONE0
+            return h
+        if mode == RM:
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
+                  _d=inst.disp):
+                regs = state.regs.regs
+                addr = (regs[_rm] + _d) & MASK32
+                a = regs[_r]
+                b = adapter.fixup_load(addr, state.mem.read_u32(addr))
+                state.last_load_addr = addr
+                total = a + b
+                regs[_r] = total & MASK32
+                state.flags.set_add(a, b, total)
+                return _NONE0
+            return h
+        if mode == MR:
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
+                  _d=inst.disp):
+                regs = state.regs.regs
+                addr = (regs[_rm] + _d) & MASK32
+                b = regs[_r]
+                a = adapter.fixup_load(addr, state.mem.read_u32(addr))
+                state.last_load_addr = addr
+                total = a + b
+                result = total & MASK32
+                state.flags.set_add(a, b, total)
+                state.mem.write_u32(addr, result)
+                adapter.note_store(addr)
+                state.last_store_addr = addr
+                return _NONE0
+            return h
+        return _op_alu
+
+    if m in ("sub", "cmp", "test", "and", "or", "xor", "imul"):
+        if mode not in (RR, RI):
+            return _op_alu  # rare store/load forms: generic ladder
+        reg = inst.reg
+        rm = inst.rm
+        imm = inst.imm & MASK32 if mode == RI else 0
+        is_ri = mode == RI
+        if m == "sub":
+            def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
+                  _ri=is_ri):
+                regs = state.regs.regs
+                a = regs[_r]
+                b = _imm if _ri else regs[_rm]
+                regs[_r] = (a - b) & MASK32
+                state.flags.set_sub(a, b)
+                return _NONE0
+        elif m == "cmp":
+            def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
+                  _ri=is_ri):
+                regs = state.regs.regs
+                state.flags.set_sub(
+                    regs[_r], _imm if _ri else regs[_rm]
+                )
+                return _NONE0
+        elif m == "test":
+            def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
+                  _ri=is_ri):
+                regs = state.regs.regs
+                state.flags.set_logic(
+                    regs[_r] & (_imm if _ri else regs[_rm])
+                )
+                return _NONE0
+        elif m == "and":
+            def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
+                  _ri=is_ri):
+                regs = state.regs.regs
+                result = regs[_r] & (_imm if _ri else regs[_rm])
+                regs[_r] = result
+                state.flags.set_logic(result)
+                return _NONE0
+        elif m == "or":
+            def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
+                  _ri=is_ri):
+                regs = state.regs.regs
+                result = regs[_r] | (_imm if _ri else regs[_rm])
+                regs[_r] = result
+                state.flags.set_logic(result)
+                return _NONE0
+        elif m == "xor":
+            def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
+                  _ri=is_ri):
+                regs = state.regs.regs
+                result = regs[_r] ^ (_imm if _ri else regs[_rm])
+                regs[_r] = result
+                state.flags.set_logic(result)
+                return _NONE0
+        else:  # imul
+            def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
+                  _ri=is_ri):
+                regs = state.regs.regs
+                a = regs[_r]
+                b = _imm if _ri else regs[_rm]
+                product = to_signed32(a) * to_signed32(b)
+                regs[_r] = product & MASK32
+                state.flags.set_mul(product)
+                return _NONE0
+        return h
+
+    return handler_for(inst)
+
+
+def execute(inst: Instruction, state: MachineState, adapter: ModeAdapter):
+    """Execute one instruction; returns ``(kind, target)``.
+
+    ``target`` is the architectural branch target for JUMP/CALL/RET, else 0.
+    The caller is responsible for updating ``state.pc`` (so that the cycle
+    simulator can interleave translation and security checks) — except for
+    register/flag/memory side effects, which happen here.
+
+    May raise :class:`~repro.arch.state.ExitProgram` (EXIT syscall) or
+    :class:`ExecutionError`.
+    """
+    state.icount += 1
+    state.last_load_addr = None
+    state.last_store_addr = None
+    handler = DISPATCH.get(inst.mnemonic)
+    if handler is None:
+        raise ExecutionError("no semantics for %s" % inst.mnemonic)
+    return handler(inst, state, adapter)

@@ -197,6 +197,10 @@ class SimResult:
             "checkpoints": [cp.as_dict() for cp in self.checkpoints],
         }
 
+    #: Alias so callers used to the common ``to_dict`` spelling (and the
+    #: fast-path acceptance harness) get the same serialization.
+    to_dict = as_dict
+
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":
         output = None

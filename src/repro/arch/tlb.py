@@ -41,7 +41,17 @@ class TLBStats:
 
 
 class TLB:
-    """LRU fully-associative TLB (timing only; translation is identity)."""
+    """LRU fully-associative TLB (timing only; translation is identity).
+
+    Flattened for the simulator's hot loop: ``__slots__`` storage and
+    precomputed page-shift / entry-count / penalty fields so
+    :meth:`access` never chases ``self.config`` attributes.
+    """
+
+    __slots__ = (
+        "config", "name", "stats", "_entries", "_invisible",
+        "_page_bits", "_capacity", "_miss_penalty", "_inv_lo", "_inv_hi",
+    )
 
     def __init__(self, config: TLBConfig, name: str = "tlb"):
         self.config = config
@@ -50,14 +60,30 @@ class TLB:
         self._entries: "OrderedDict[int, bool]" = OrderedDict()
         #: (start_page, end_page) ranges whose visibility bit is clear.
         self._invisible: List[Tuple[int, int]] = []
+        self._page_bits = config.page_bits
+        self._capacity = config.entries
+        self._miss_penalty = config.miss_penalty
+        # Envelope of all invisible pages: one range compare rejects the
+        # overwhelmingly common visible case before any per-range scan.
+        self._inv_lo = 1 << 62
+        self._inv_hi = -1
 
     def set_invisible(self, start: int, size: int) -> None:
         """Mark byte range [start, start+size) as user-invisible."""
-        bits = self.config.page_bits
-        self._invisible.append((start >> bits, (start + size - 1) >> bits))
+        bits = self._page_bits
+        lo = start >> bits
+        hi = (start + size - 1) >> bits
+        self._invisible.append((lo, hi))
+        if lo < self._inv_lo:
+            self._inv_lo = lo
+        if hi > self._inv_hi:
+            self._inv_hi = hi
 
     def _is_invisible(self, page: int) -> bool:
-        return any(lo <= page <= hi for lo, hi in self._invisible)
+        for lo, hi in self._invisible:
+            if lo <= page <= hi:
+                return True
+        return False
 
     def access(self, addr: int, user: bool = True) -> int:
         """Translate; returns extra latency (0 on hit, miss penalty otherwise).
@@ -65,19 +91,22 @@ class TLB:
         ``user=False`` marks a micro-architectural access (DRC refill),
         which may touch invisible pages.
         """
-        page = addr >> self.config.page_bits
-        if user and self._invisible and self._is_invisible(page):
+        page = addr >> self._page_bits
+        if user and self._inv_lo <= page <= self._inv_hi \
+                and self._is_invisible(page):
             raise PageVisibilityFault(addr)
 
-        self.stats.accesses += 1
-        if page in self._entries:
-            self._entries.move_to_end(page)
+        stats = self.stats
+        entries = self._entries
+        stats.accesses += 1
+        if page in entries:
+            entries.move_to_end(page)
             return 0
-        self.stats.misses += 1
-        if len(self._entries) >= self.config.entries:
-            self._entries.popitem(last=False)
-        self._entries[page] = True
-        return self.config.miss_penalty
+        stats.misses += 1
+        if len(entries) >= self._capacity:
+            entries.popitem(last=False)
+        entries[page] = True
+        return self._miss_penalty
 
     def flush(self) -> None:
         self._entries.clear()

@@ -42,7 +42,10 @@ __all__ = ["ResultCache", "CACHE_SALT"]
 
 #: Bump whenever a change to the simulator alters results for the same
 #: spec — old on-disk entries then miss instead of serving stale numbers.
-CACHE_SALT = "repro-results-v1"
+#: (v2: block fast path + flattened stall kernels; cycle counts are
+#: unchanged by construction, but the fingerprint schema gained the
+#: timing-model version and dropped host-tuning fields.)
+CACHE_SALT = "repro-results-v2"
 
 
 class ResultCache:

@@ -131,6 +131,21 @@ def config_fingerprint(config) -> str:
     regardless of object identity; any parameter change (cache geometry,
     penalties, DRC associativity, ...) changes the digest, so cached
     results can never be served across machine models.
+
+    Host-side tuning knobs (``fastpath`` and the block-cache sizing —
+    :data:`~repro.arch.config.HOST_TUNING_FIELDS`) are *excluded*: they
+    are contractually cycle- and stat-invariant, so a result computed by
+    the reference loop is equally valid for the fast path and vice
+    versa.  The timing-model version
+    (:data:`~repro.arch.config.TIMING_MODEL_VERSION`) is *included*, so
+    results produced under older timing semantics can never be served
+    against newer ones even when every config field matches.
     """
-    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    from ..arch.config import HOST_TUNING_FIELDS, TIMING_MODEL_VERSION
+
+    fields = dataclasses.asdict(config)
+    for name in HOST_TUNING_FIELDS:
+        fields.pop(name, None)
+    fields["timing_model_version"] = TIMING_MODEL_VERSION
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -22,6 +22,7 @@ from .layout import RandomLayout, allocate_layout
 from .rerandomize import (
     Epoch,
     RerandomizationSchedule,
+    apply_rerandomization,
     layout_overlap,
     rerandomize,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "EquivalenceError",
     "EquivalenceReport",
     "rerandomize",
+    "apply_rerandomization",
     "RerandomizationSchedule",
     "Epoch",
     "layout_overlap",

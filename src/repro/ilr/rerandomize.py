@@ -11,7 +11,9 @@ tables, the information would be outdated for mounting new attacks."
 :func:`rerandomize` creates a fresh :class:`RandomizedProgram` for the
 same original binary under a new seed; :class:`RerandomizationSchedule`
 models an epoch-based deployment and quantifies how stale a leaked table
-becomes.
+becomes; :func:`apply_rerandomization` rotates a *live* VCFR CPU onto a
+new epoch (table swap + stack-slot patching + DRC flush + decoded-block
+invalidation).
 """
 
 from __future__ import annotations
@@ -43,6 +45,99 @@ def rerandomize(
         conservative_retaddr=old.conservative_retaddr,
     )
     return randomize(program.original, config)
+
+
+def apply_rerandomization(cpu, new_program: RandomizedProgram) -> None:
+    """Rotate a *live* VCFR CPU onto a freshly re-randomized program.
+
+    VCFR is the only mode where an in-place epoch rotation is cheap: the
+    fetch space is the original layout (UPC), so instructions stay where
+    they are — only the *targets* change.  The kernel-side work modelled
+    here:
+
+    * rewrite the executable sections from the new epoch's VCFR image —
+      direct-branch immediates and in-code pointer slots embed randomized
+      (RPC-space) targets, which the rotation moves.  This goes through
+      :meth:`~repro.arch.cpu.CycleCPU.rewrite_code`, so any decoded
+      blocks over the rewritten ranges are dropped by the explicit
+      invalidation API;
+    * re-translate data-resident code pointers (function-pointer / jump
+      tables) using the binary's relocation records, without disturbing
+      slots the program has since overwritten with plain data;
+    * swap the flow's RDR table context to the new epoch's tables;
+    * re-translate live *marked* stack slots (they hold randomized return
+      addresses minted under the old tables, which the new tables cannot
+      de-randomize) — the §IV-C stack bitmap tells the kernel exactly
+      which words to patch;
+    * flush the DRC — its cached translations belong to the dead tables;
+    * invalidate the rest of the decoded block cache — even blocks whose
+      bytes did not change bake in per-op ``arch_pc`` / fall-through
+      metadata computed from the old tables.
+
+    Branch predictors and the BTB/RAS are deliberately left alone: they
+    index and predict in *fetch* space, which re-randomization does not
+    move under VCFR.  (Data sections are untouched — they hold the live
+    program state.)  The model assumes the kernel rotates at a point
+    where no *register* holds a randomized code pointer; stack-resident
+    ones are covered by the bitmap above.
+
+    Raises :class:`ValueError` for non-VCFR flows (naive ILR stores the
+    text at randomized addresses, so its rotation is a full image reload,
+    not an in-place table swap).
+    """
+    flow = cpu.flow
+    old_rdr = getattr(flow, "rdr", None)
+    if old_rdr is None or not getattr(flow, "uses_drc", False):
+        raise ValueError(
+            "in-place re-randomization requires a VCFR flow "
+            "(got %r)" % getattr(flow, "name", type(flow).__name__)
+        )
+    new_rdr = new_program.rdr
+    # New epoch's text: same original layout, re-randomized embedded
+    # targets.  rewrite_code invalidates decoded blocks per range.
+    exec_ranges = []
+    for sec in new_program.vcfr_image.sections:
+        if sec.executable:
+            cpu.rewrite_code(sec.base, sec.data)
+            exec_ranges.append((sec.base, sec.base + len(sec.data)))
+    # Data-resident code pointers (jump/function-pointer tables): the
+    # relocation records say exactly which words hold randomized targets.
+    # Re-translate the *live* word old->original->new, skipping slots the
+    # program overwrote with plain data (no longer in the old table) and
+    # slots inside the text (just rewritten above — their fresh values
+    # may collide with old randomized addresses, so they must not be
+    # re-translated again).
+    from .rewriter import collect_pointer_slots_from_relocations
+
+    for slot, _target in collect_pointer_slots_from_relocations(
+        new_program.original
+    ):
+        if any(lo <= slot < hi for lo, hi in exec_ranges):
+            continue
+        value = cpu.mem.read_u32(slot)
+        original = old_rdr.derand.get(value)
+        if original is not None:
+            cpu.mem.write_u32(slot, new_rdr.rand.get(original, original))
+    # Patch live randomized return addresses before retiring the old
+    # tables; an unpatched slot would fault on return next epoch.
+    for slot in list(flow.marked_slots):
+        value = cpu.mem.read_u32(slot)
+        original = old_rdr.derand.get(value)
+        if original is None:
+            flow.marked_slots.discard(slot)
+            continue
+        replacement = new_rdr.rand.get(original)
+        if replacement is None:
+            # New layout keeps this retaddr un-randomized: store the
+            # original and unmark the slot.
+            cpu.mem.write_u32(slot, original)
+            flow.marked_slots.discard(slot)
+        else:
+            cpu.mem.write_u32(slot, replacement)
+    flow.rdr = new_rdr
+    flow.entry_rand = new_program.entry_rand
+    cpu.drc.flush()
+    cpu.invalidate_blocks()
 
 
 def layout_overlap(a: RandomizedProgram, b: RandomizedProgram) -> float:

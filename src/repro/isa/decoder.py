@@ -22,6 +22,13 @@ class DecodeError(ValueError):
     """Raised when the byte sequence is not a valid RX86 instruction."""
 
 
+#: Pre-built conditional-branch mnemonics ("jz", "jnz", ...), indexed by
+#: condition code — decoding a Jcc must not concatenate strings (the
+#: mnemonic strings stay interned and identical across all decodes, which
+#: keeps downstream string compares pointer-fast).
+_JCC_MNEMONICS = tuple("j" + name for name in opcodes.CC_NAMES)
+
+
 def _i32(data, offset: int) -> int:
     return struct.unpack_from("<i", data, offset)[0]
 
@@ -92,7 +99,7 @@ def decode(data, offset: int = 0, addr: int = 0) -> Instruction:
         # rel8 Jcc shares the logical mnemonic with the rel32 form but keeps
         # its own 2-byte length.
         return Instruction(
-            "j" + opcodes.CC_NAMES[cc], addr, 2, imm=_i8(data, offset + 1), cc=cc
+            _JCC_MNEMONICS[cc], addr, 2, imm=_i8(data, offset + 1), cc=cc
         )
 
     if op == opcodes.OP_TWO_BYTE:
@@ -102,7 +109,7 @@ def decode(data, offset: int = 0, addr: int = 0) -> Instruction:
             _need(data, offset, 6)
             cc = op2 - opcodes.OP2_JCC32_BASE
             return Instruction(
-                "j" + opcodes.CC_NAMES[cc], addr, 6, imm=_i32(data, offset + 2), cc=cc
+                _JCC_MNEMONICS[cc], addr, 6, imm=_i32(data, offset + 2), cc=cc
             )
         raise DecodeError("bad two-byte opcode 0x0f 0x%02x" % op2)
 

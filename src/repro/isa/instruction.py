@@ -2,8 +2,11 @@
 
 A :class:`Instruction` is the normal-form representation produced by the
 decoder and consumed by the executor, the static analyses, the randomizer
-and the gadget scanner.  It is deliberately flat (plain integer fields) so
-the cycle simulator can interrogate it cheaply in its hot loop.
+and the gadget scanner.  It is deliberately flat (plain integer fields,
+``__slots__`` storage) so the cycle simulator can interrogate it cheaply
+in its hot loop: the slot layout keeps every field access monomorphic —
+no per-instance ``__dict__`` probe — which matters when the block fast
+path replays millions of pre-decoded instructions.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from . import opcodes
 from .registers import reg_name
 
 
-@dataclass
+@dataclass(slots=True)
 class Instruction:
     """One decoded RX86 instruction.
 

@@ -194,9 +194,25 @@ class TestCycleCPUInternals:
         image = assemble(LOOPY)
         cpu = CycleCPU(image, make_flow("baseline", image=image))
         cpu.run(max_instructions=2000)
-        # The loop has ~10 distinct instructions; the cache must not grow
-        # with dynamic instruction count.
-        assert len(cpu._decode_cache) < 20
+        # The loop has ~10 distinct instructions; the block cache's
+        # decode map must not grow with dynamic instruction count, and
+        # the pre-decoded blocks only cover those static instructions.
+        assert len(cpu._blockcache.decoded) < 20
+        assert 1 <= len(cpu._blockcache.blocks) < 20
+
+    def test_decode_storage_bounded(self):
+        # A block cache sized below the static footprint must flush on
+        # overflow instead of growing without bound.
+        image = assemble(LOOPY)
+        cfg = default_config()
+        cfg.block_cache_capacity = 2
+        cfg.block_max_insts = 4
+        cpu = CycleCPU(image, make_flow("baseline", image=image), cfg)
+        cpu.run(max_instructions=2000)
+        blockcache = cpu._blockcache
+        assert len(blockcache.blocks) <= 2
+        assert len(blockcache.decoded) <= 8
+        assert blockcache.flushes > 0
 
     def test_l2_pressure_property(self):
         image = assemble(MEMORY)

@@ -100,3 +100,23 @@ class TestConfigFingerprint:
         small_l2 = default_config()
         small_l2.l2.size_bytes //= 2
         assert config_fingerprint(small_l2) != base
+
+    def test_host_tuning_fields_excluded(self):
+        # fastpath / block-cache sizing are host-side strategy knobs:
+        # a reference-loop result must be servable to a fast-path run.
+        base = config_fingerprint(default_config())
+        tuned = default_config()
+        tuned.fastpath = False
+        tuned.block_cache_capacity = 7
+        tuned.block_max_insts = 3
+        assert config_fingerprint(tuned) == base
+
+    def test_timing_model_version_included(self, monkeypatch):
+        from repro.arch import config as arch_config
+
+        base = config_fingerprint(default_config())
+        monkeypatch.setattr(
+            arch_config, "TIMING_MODEL_VERSION",
+            arch_config.TIMING_MODEL_VERSION + 1,
+        )
+        assert config_fingerprint(default_config()) != base
