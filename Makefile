@@ -1,16 +1,23 @@
 # Developer entry points.  `make verify` is the tier-1 gate: the full
-# test suite plus the observability-overhead, parallel-sweep, and
-# fast-path speedup/equivalence budget checks.
+# test suite (slow robustness tests included), plus the
+# observability-overhead, parallel-sweep, fast-path, and
+# fault-tolerance-overhead budget checks.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench-obs bench-sweep bench-hotloop bench
+.PHONY: verify test test-slow bench-obs bench-sweep bench-hotloop \
+        bench-faults bench
 
-verify: test bench-obs bench-sweep bench-hotloop
+verify: test test-slow bench-obs bench-sweep bench-hotloop bench-faults
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Subprocess kill -9 / resume robustness tests (excluded from the
+# default run by the `-m 'not slow'` addopts so tier-1 stays fast).
+test-slow:
+	$(PYTHON) -m pytest -x -q -m slow
 
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
@@ -20,6 +27,9 @@ bench-sweep:
 
 bench-hotloop:
 	$(PYTHON) benchmarks/bench_hot_loop.py
+
+bench-faults:
+	$(PYTHON) benchmarks/bench_fault_overhead.py
 
 # Full per-figure benchmark suite (slow; regenerates paper tables).
 bench:

@@ -27,17 +27,30 @@ from .experiments import (
     run_all,
     suite_specs,
 )
+from .faults import FaultPlan, InjectedFault
 from .report import format_report, format_result, format_table
 from .resultcache import ResultCache
 from .runner import Runner
 from .spec import RunSpec, config_fingerprint
-from .sweep import SweepOutcome, execute_spec, sweep
+from .sweep import (
+    FailedRun,
+    FailedRunError,
+    RetryPolicy,
+    SweepOutcome,
+    execute_spec,
+    sweep,
+)
 
 __all__ = [
     "Runner",
     "RunSpec",
     "ResultCache",
     "SweepOutcome",
+    "RetryPolicy",
+    "FailedRun",
+    "FailedRunError",
+    "FaultPlan",
+    "InjectedFault",
     "sweep",
     "execute_spec",
     "suite_specs",

@@ -12,11 +12,17 @@ Options:
   --checkpoint-interval N instructions between checkpoints (0 = auto)
   --workers N             parallel sweep worker processes
   --cache-dir DIR         persistent on-disk result cache
+  --retry-attempts N      max executions per spec before quarantine
+  --spec-timeout S        soft per-attempt timeout (seconds)
+  --inject-faults PLAN    deterministic fault injection (testing)
 
 With ``--workers`` the suite's simulations fan out over a process pool;
 with ``--cache-dir`` results persist across invocations so a warm rerun
 performs zero cycle simulations.  Both produce row-for-row identical
-tables to a sequential, uncached run.
+tables to a sequential, uncached run.  The sweep is fault-tolerant:
+crashing or hanging workers are retried and the pool rebuilt; results
+commit to the cache as they finish, so a killed invocation resumes from
+its completed work when re-run with the same ``--cache-dir``.
 
 Only the experiment report (or, with ``--json -``, the JSON document)
 goes to stdout; all diagnostics — timings, heartbeats, file notices —
@@ -30,11 +36,18 @@ import sys
 import time
 
 from ..obs import open_log, status
+from ..obs.metrics import get_registry
 from .ablations import ALL_ABLATIONS
-from .cli import add_observability_options, add_sweep_options
+from .cli import (
+    add_fault_options,
+    add_observability_options,
+    add_sweep_options,
+    fault_config_from_args,
+)
 from .experiments import ALL_EXPERIMENTS, suite_specs
 from .report import format_result, results_to_dict, write_json
 from .runner import Runner
+from .sweep import FailedRunError
 
 
 def main(argv=None) -> int:
@@ -56,7 +69,9 @@ def main(argv=None) -> int:
                         help="attribute host time to CPU pipeline phases")
     add_observability_options(parser)
     add_sweep_options(parser)
+    add_fault_options(parser)
     args = parser.parse_args(argv)
+    retry, faults = fault_config_from_args(args)
 
     registry = dict(ALL_EXPERIMENTS)
     registry.update(ALL_ABLATIONS)
@@ -86,6 +101,8 @@ def main(argv=None) -> int:
             profile_phases=args.profile_phases,
             workers=args.workers,
             cache_dir=args.cache_dir,
+            retry=retry,
+            faults=faults,
         )
         events.status("harness start", experiments=list(wanted),
                       scale=args.scale,
@@ -104,13 +121,24 @@ def main(argv=None) -> int:
             runner.prefetch(specs)
             status("(sweep: %d specs, %d workers, %.1fs)"
                    % (len(specs), args.workers, time.time() - start))
+            for failure in runner.failures.values():
+                status("QUARANTINED %s after %d attempt(s) [%s]: %s"
+                       % (failure.spec.label(), failure.attempts,
+                          failure.kind, failure.error))
 
         results = {}
         all_ok = True
         for exp_id in wanted:
             start = time.time()
-            with runner.profiler.phase("experiment", experiment=exp_id):
-                result = registry[exp_id](runner)
+            try:
+                with runner.profiler.phase("experiment", experiment=exp_id):
+                    result = registry[exp_id](runner)
+            except FailedRunError as err:
+                # A quarantined spec poisons only the experiments that
+                # need it; the rest of the report still renders.
+                status("(%s: skipped — %s)" % (exp_id, err))
+                all_ok = False
+                continue
             results[exp_id] = result
             emit_report(format_result(result))
             status("(%s: %.1fs)" % (exp_id, time.time() - start))
@@ -124,6 +152,16 @@ def main(argv=None) -> int:
             status("(cache %s: %d hits, %d misses, %d writes)"
                    % (runner.cache.root, stats["hits"], stats["misses"],
                       stats["writes"]))
+        fault_counters = {
+            name: value
+            for name, value in get_registry().counters("sweep.").items()
+            if value
+        }
+        if fault_counters:
+            status("(sweep fault handling: %s)" % ", ".join(
+                "%s=%d" % (name.split(".", 1)[1], value)
+                for name, value in sorted(fault_counters.items())
+            ))
         if args.events or args.progress or args.profile_phases:
             status("")
             status(runner.profiler.format_table("host-time by phase"))

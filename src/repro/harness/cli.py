@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import argparse
 
-__all__ = ["add_observability_options", "add_sweep_options"]
+__all__ = [
+    "add_observability_options",
+    "add_sweep_options",
+    "add_fault_options",
+    "fault_config_from_args",
+]
 
 
 def add_observability_options(
@@ -41,4 +46,47 @@ def add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "(0/1 = sequential)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="persistent result cache: simulations hit "
-                             "here are loaded instead of re-run")
+                             "here are loaded instead of re-run; results "
+                             "commit as they finish, so a killed sweep "
+                             "resumes from its completed work")
+
+
+def add_fault_options(parser: argparse.ArgumentParser) -> None:
+    """``--inject-faults`` / ``--retry-attempts`` / ``--spec-timeout``."""
+    parser.add_argument("--inject-faults", metavar="PLAN", default=None,
+                        help="deterministic fault injection plan, e.g. "
+                             "'crash@mcf/baseline#0,corrupt@*#1' or "
+                             "'crash:0.05,seed=7' (kinds: crash, raise, "
+                             "hang, corrupt, cachefail)")
+    parser.add_argument("--retry-attempts", type=int, default=0,
+                        metavar="N",
+                        help="max executions per spec before it is "
+                             "quarantined (0 = engine default of 3)")
+    parser.add_argument("--spec-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="soft per-attempt timeout; a spec producing "
+                             "no result in time is retried (default: no "
+                             "timeout)")
+
+
+def fault_config_from_args(args):
+    """``(RetryPolicy or None, FaultPlan or None)`` from parsed args.
+
+    None means "use the engine default" for the policy and "no injected
+    faults" for the plan, so CLIs that never pass the flags behave
+    exactly as before.
+    """
+    from .faults import FaultPlan
+    from .sweep import DEFAULT_RETRY, RetryPolicy
+
+    faults = (FaultPlan.from_string(args.inject_faults)
+              if args.inject_faults else None)
+    retry = None
+    if args.retry_attempts or args.spec_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=args.retry_attempts or DEFAULT_RETRY.max_attempts,
+            timeout=args.spec_timeout,
+            backoff=DEFAULT_RETRY.backoff,
+            backoff_factor=DEFAULT_RETRY.backoff_factor,
+        )
+    return retry, faults

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..arch.simstats import ratio
 from .experiments import ExperimentResult
 
 
@@ -45,9 +46,11 @@ def format_report(results: Dict[str, ExperimentResult]) -> str:
     )
     failed_ids = [rid for rid, res in results.items() if not res.passed]
     sections.append("=" * 72)
+    # ratio(): an empty result set (every experiment skipped, e.g. all
+    # of its specs quarantined) must report 0%, not divide by zero.
     sections.append(
-        "SHAPE CHECKS: %d/%d passed%s"
-        % (passed, total,
+        "SHAPE CHECKS: %d/%d passed (%.0f%%)%s"
+        % (passed, total, 100.0 * ratio(passed, total),
            "" if not failed_ids else "; failing: " + ", ".join(failed_ids))
     )
     return "\n\n".join(sections)

@@ -33,12 +33,20 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from typing import Optional
 
 from ..arch.simstats import SimResult
 from .spec import RunSpec, config_fingerprint
 
 __all__ = ["ResultCache", "CACHE_SALT"]
+
+#: When this process began (well, when this module was imported — close
+#: enough for the stale-temp-file sweep): any ``.tmp-*`` file older than
+#: this was left by a *previous* process that died between ``mkstemp``
+#: and ``os.replace``, and can never be completed.  Fresh temp files are
+#: kept — they may belong to a concurrent writer sharing the cache.
+_PROCESS_START = time.time()
 
 #: Bump whenever a change to the simulator alters results for the same
 #: spec — old on-disk entries then miss instead of serving stale numbers.
@@ -57,7 +65,31 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: orphaned temp files removed on open (died-mid-write debris).
+        self.stale_tmp_removed = 0
         os.makedirs(root, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``.tmp-*`` orphans left by writers that died mid-put.
+
+        :meth:`put` is atomic (temp file + rename), so a crash between
+        ``mkstemp`` and ``os.replace`` can never corrupt an entry — but
+        it does leak the temp file.  Only files older than this process
+        are swept: a fresh temp file may be a concurrent writer's
+        in-flight put.
+        """
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.stat(path).st_mtime < _PROCESS_START:
+                        os.unlink(path)
+                        self.stale_tmp_removed += 1
+                except OSError:
+                    continue  # already gone or unreadable: not ours to fix
 
     # -- keys --------------------------------------------------------------
 

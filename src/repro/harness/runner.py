@@ -39,9 +39,18 @@ from ..ilr import RandomizedProgram
 from ..obs import status
 from ..obs.events import EventLog
 from ..obs.profile import PhaseProfiler
+from .faults import FaultPlan
 from .resultcache import ResultCache
 from .spec import RunSpec
-from .sweep import ProgramKey, SweepOutcome, build_program, sweep
+from .sweep import (
+    FailedRun,
+    FailedRunError,
+    ProgramKey,
+    RetryPolicy,
+    SweepOutcome,
+    build_program,
+    sweep,
+)
 
 #: Emulation interprets ~an order of magnitude more guest instructions
 #: than a cycle simulation retires in the same reporting window, so
@@ -77,12 +86,19 @@ class Runner:
     cache_dir: Optional[str] = None
     #: the cache instance; built from ``cache_dir`` unless injected.
     cache: Optional[ResultCache] = None
+    #: retry/timeout policy for sweeps (None = engine default: three
+    #: attempts with backoff, no timeout).
+    retry: Optional[RetryPolicy] = None
+    #: deterministic fault-injection plan (None = no injected faults).
+    faults: Optional[FaultPlan] = None
 
     _programs: Dict[ProgramKey, RandomizedProgram] = field(
         default_factory=dict
     )
     _sims: Dict[RunSpec, SimResult] = field(default_factory=dict)
     _emulations: Dict[RunSpec, EmulationResult] = field(default_factory=dict)
+    #: quarantined specs from past sweeps: spec -> FailedRun.
+    failures: Dict[RunSpec, FailedRun] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.events is None:
@@ -148,11 +164,16 @@ class Runner:
 
         Returns a :class:`~repro.arch.simstats.SimResult` for simulator
         modes, an :class:`~repro.emu.EmulationResult` for ``emulate``.
+        Raises :class:`~repro.harness.sweep.FailedRunError` when the
+        spec was quarantined (every attempt failed, including a fresh
+        round of attempts made by this call).
         """
         spec = spec.normalized()
         memo = self._memo_for(spec)
         if spec not in memo:
             self.prefetch([spec])
+        if spec not in memo and spec in self.failures:
+            raise FailedRunError(self.failures[spec])
         return memo[spec]
 
     def prefetch(self, specs: Iterable[RunSpec]) -> List[SweepOutcome]:
@@ -181,12 +202,26 @@ class Runner:
             on_checkpoint_for=self._heartbeat,
             program_cache=self._programs,
             on_outcome=self._note_outcome if self.progress else None,
+            retry=self.retry,
+            faults=self.faults,
         )
         for outcome in outcomes:
-            self._memo_for(outcome.spec)[outcome.spec] = outcome.result
+            if outcome.ok:
+                self._memo_for(outcome.spec)[outcome.spec] = outcome.result
+                self.failures.pop(outcome.spec, None)
+            else:
+                # Quarantined, never memoized: a later run() retries it
+                # and raises FailedRunError if it keeps failing.
+                self.failures[outcome.spec] = outcome.failure
         return outcomes
 
     def _note_outcome(self, outcome: SweepOutcome) -> None:
+        if not outcome.ok:
+            status("[%s] FAILED after %d attempt(s): %s" % (
+                outcome.spec.label(), outcome.attempts,
+                outcome.failure.error,
+            ))
+            return
         status("[%s] %s" % (
             outcome.spec.label(), "cached" if outcome.cached else "done",
         ))

@@ -1,4 +1,4 @@
-"""Parallel sweep engine: fan RunSpecs over worker processes + cache.
+"""Fault-tolerant parallel sweep engine: fan RunSpecs over workers + cache.
 
 The harness's experiment suite is sweep-shaped — many independent
 (workload, mode, DRC-size) simulations whose results are only combined
@@ -21,11 +21,59 @@ Every execution path funnels through :func:`execute_spec`, so a pooled
 sweep produces **bit-identical** results to a sequential one: each spec
 fully determines its program (seeded randomization) and simulation, and
 outcomes are merged in input order regardless of completion order.
+
+Fault tolerance (ISSUE 4)
+-------------------------
+
+A sweep at scale must survive its own components failing.  The engine
+guarantees, under a :class:`RetryPolicy` (on by default):
+
+* **Retries with backoff** — an attempt that raises, times out, or
+  returns a corrupt payload is retried up to ``max_attempts`` times
+  with exponential backoff; the winning attempt's result is identical
+  to a clean run's (execution is deterministic per spec).
+* **Soft timeouts** — with ``timeout`` set, an attempt that produces no
+  result in time is abandoned (its late result is still accepted if it
+  arrives before a retry wins) and retried; if every worker is wedged,
+  the pool is recycled.
+* **Crash recovery** — a dying worker process breaks the whole
+  ``ProcessPoolExecutor``; the engine rebuilds the pool and re-enqueues
+  only the specs that were in flight.  Because the culprit cannot be
+  identified from the wreckage, crash-involved specs are retried one at
+  a time in a separate single-worker *probe* pool, so a poisoned spec
+  can only crash itself: innocent bystanders complete on their probe,
+  the poisoned spec exhausts its attempts and is **quarantined** as a
+  :class:`FailedRun` (captured traceback and all) instead of sinking
+  the sweep or wrongly quarantining its neighbours.
+* **Result integrity** — workers ship a SHA-256 digest of each result;
+  the parent re-derives it and treats a mismatch as a failed attempt.
+* **Resumability** — results are committed to the on-disk cache *as
+  they complete* (not at merge time), so a killed sweep's finished work
+  is preserved and a re-invoked sweep picks up where it stopped.
+* **Idempotent observability** — worker snapshots are tagged with their
+  attempt id and merged exactly once per spec (the winning attempt
+  only), so a retried spec can never double-count events, metrics, or
+  phase totals in the parent.
+
+Failures and retries surface through the process-global metrics
+registry (``sweep.retries``, ``sweep.timeouts``, ``sweep.quarantined``,
+``sweep.pool_rebuilds``, ``sweep.requeued``, ``sweep.corrupt_results``,
+``sweep.cache_write_errors``, ``sweep.duplicates_ignored``) and the
+event log (``run_retry``, ``run_failed``, ``pool_rebuild`` records).
+Deterministic fault injection for all of the above lives in
+:mod:`repro.harness.faults`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import hashlib
+import json
+import time
+import traceback
+from collections import deque
+from concurrent.futures import CancelledError, FIRST_COMPLETED
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -37,14 +85,32 @@ from ..obs.events import EventLog, MemorySink
 from ..obs.metrics import get_registry
 from ..obs.profile import PhaseProfiler
 from ..workloads import build_image
+from .faults import FaultPlan, apply_inline_fault, apply_worker_fault
 from .resultcache import ResultCache
 from .spec import RunSpec
 
-__all__ = ["sweep", "execute_spec", "build_program", "SweepOutcome"]
+__all__ = [
+    "sweep",
+    "execute_spec",
+    "build_program",
+    "SweepOutcome",
+    "RetryPolicy",
+    "FailedRun",
+    "FailedRunError",
+    "DEFAULT_RETRY",
+]
 
 #: Key of one randomized program build: workload identity + everything
 #: the randomizer consumes.
 ProgramKey = Tuple[str, int, float]
+
+#: Poll granularity of the pooled dispatcher (seconds).  Bounds how
+#: stale timeout checks and retry promotions can be; completions are
+#: still reaped the moment they happen inside a tick.
+_TICK = 0.05
+
+#: What a ``corrupt`` fault leaves where the result should be.
+_CORRUPT_SENTINEL = "\x00corrupt-result\x00"
 
 
 def program_key(spec: RunSpec) -> ProgramKey:
@@ -135,6 +201,68 @@ def execute_spec(
         return cpu.run(spec.max_instructions, spec.warmup_instructions)
 
 
+# -- fault-tolerance vocabulary ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the sweep engine fights for each spec.
+
+    ``max_attempts`` bounds total executions of one spec (first try
+    included); ``timeout`` is a *soft* per-attempt deadline in seconds
+    (None disables timeout handling); retry *n* is delayed by
+    ``backoff * backoff_factor ** (n - 1)`` seconds.
+    """
+
+    max_attempts: int = 3
+    timeout: Optional[float] = None
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff * self.backoff_factor ** max(0, attempt - 1)
+
+
+#: The default policy: three attempts, mild backoff, no timeout (a
+#: timeout needs workload knowledge the engine does not have).
+DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass
+class FailedRun:
+    """A quarantined spec: every attempt failed; the sweep moved on."""
+
+    spec: RunSpec
+    attempts: int
+    #: failure class of the final attempt: ``error`` (task raised),
+    #: ``crash`` (worker process died), ``timeout``, or ``corrupt``.
+    kind: str
+    error: str
+    traceback: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec.as_dict(),
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
+
+class FailedRunError(RuntimeError):
+    """Raised when a caller demands the result of a quarantined spec."""
+
+    def __init__(self, failure: FailedRun):
+        super().__init__(
+            "%s failed after %d attempt(s) [%s]: %s"
+            % (failure.spec.label(), failure.attempts, failure.kind,
+               failure.error)
+        )
+        self.failure = failure
+
+
 @dataclass
 class SweepOutcome:
     """One spec's result plus the observability captured with it."""
@@ -146,6 +274,70 @@ class SweepOutcome:
     #: event records buffered by the worker (empty when run inline —
     #: inline runs emit straight into the parent log).
     events: List[dict] = field(default_factory=list)
+    #: executions it took to produce (or give up on) this outcome.
+    attempts: int = 1
+    #: set when the spec was quarantined; ``result`` is then None.
+    failure: Optional[FailedRun] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _result_digest(result) -> str:
+    """Integrity digest of a result payload.
+
+    Canonical JSON over ``as_dict()`` when the result supports it
+    (:class:`~repro.arch.simstats.SimResult`).  Emulation results hold
+    full machine state whose pickle bytes are not canonical (identity
+    sharing inside the object graph does not survive a process-boundary
+    round trip), so they are digested over their *observable* fields —
+    the architectural outcome and host-cost numbers the experiments
+    consume.  Computed in the worker before the payload crosses the
+    process boundary and re-derived by the parent on receipt.
+    """
+    as_dict = getattr(result, "as_dict", None)
+    if callable(as_dict):
+        view = as_dict()
+    elif hasattr(result, "run") and hasattr(result, "host_instructions"):
+        run = result.run
+        view = {
+            "type": type(result).__name__,
+            "exit_code": run.exit_code,
+            "icount": run.icount,
+            "halted": run.halted,
+            "output_chars": repr(bytes(run.output.chars)),
+            "output_words": list(run.output.words),
+            "host_instructions": result.host_instructions,
+            "counters": dict(result.counters.by_activity),
+            "checkpoints": result.checkpoints,
+        }
+    else:
+        view = {"type": type(result).__name__, "repr": repr(result)}
+    payload = json.dumps(view, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _commit_result(cache, spec, config, result, faults, events,
+                   registry) -> None:
+    """Commit one finished result to the on-disk cache (non-fatal).
+
+    Called as results complete — not at merge time — so a sweep killed
+    mid-run keeps everything already finished.  A failing write (disk
+    full, permissions, injected ``cachefail``) must never sink the
+    sweep: the result is still returned in-memory, the spec simply gets
+    recomputed on resume.
+    """
+    if cache is None:
+        return
+    try:
+        if faults is not None and faults.cache_write_fails(spec.label()):
+            raise OSError("injected cache write failure")
+        cache.put(spec, config, result)
+    except OSError as exc:
+        registry.counter("sweep.cache_write_errors").inc()
+        events.status("cache write failed", error=str(exc),
+                      mode=spec.mode, **spec.event_fields())
 
 
 # -- pool worker -------------------------------------------------------------
@@ -156,15 +348,18 @@ _WORKER_PROGRAMS: Dict[ProgramKey, RandomizedProgram] = {}
 
 
 def _pool_task(spec_dict: dict, config: MachineConfig,
-               checkpoint_interval: int, profile_phases: bool):
-    """Execute one spec in a pool worker.
+               checkpoint_interval: int, profile_phases: bool,
+               attempt: int = 0, faults: Optional[FaultPlan] = None):
+    """Execute one spec attempt in a pool worker.
 
     Events are buffered in a :class:`MemorySink` (file sinks are
-    single-writer; see :meth:`EventLog.replay`), profiler phases and a
-    per-task metrics snapshot ride back with the result for the parent
-    to merge.  Module-level so the pool can pickle it.
+    single-writer; see :meth:`EventLog.replay`); profiler phases, a
+    per-task metrics snapshot, the attempt id, and a result-integrity
+    digest ride back with the result for the parent to verify and merge
+    exactly once.  Module-level so the pool can pickle it.
     """
     spec = RunSpec.from_dict(spec_dict)
+    action = apply_worker_fault(faults, spec.label(), attempt)
     registry = get_registry()
     registry.reset()  # isolate this task's delta in a reused worker
     sink = MemorySink()
@@ -179,7 +374,17 @@ def _pool_task(spec_dict: dict, config: MachineConfig,
         profile_phases=profile_phases,
         program_cache=_WORKER_PROGRAMS,
     )
-    return result, sink.records, profiler.snapshot(), registry.snapshot()
+    digest = _result_digest(result)
+    if action == "corrupt":
+        result = _CORRUPT_SENTINEL
+    return {
+        "attempt": attempt,
+        "result": result,
+        "records": sink.records,
+        "phases": profiler.snapshot(),
+        "metrics": registry.snapshot(),
+        "digest": digest,
+    }
 
 
 # -- engine ------------------------------------------------------------------
@@ -204,8 +409,10 @@ def sweep(
     on_checkpoint_for: Optional[Callable[[RunSpec], Optional[Callable]]] = None,
     program_cache: Optional[Dict[ProgramKey, RandomizedProgram]] = None,
     on_outcome: Optional[Callable[[SweepOutcome], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[SweepOutcome]:
-    """Execute ``specs`` (cache-aware, optionally in parallel).
+    """Execute ``specs`` (cache-aware, fault-tolerant, optionally parallel).
 
     Returns one :class:`SweepOutcome` per input spec, in input order;
     duplicate specs share one execution.  ``checkpoint_interval`` is an
@@ -215,13 +422,20 @@ def sweep(
     completion through ``on_outcome`` instead, which fires for every
     outcome in merge order.
 
-    Results are bit-identical between ``workers=0`` and ``workers=N``:
-    execution is deterministic per spec and merging happens in input
-    order.
+    Results are bit-identical between ``workers=0`` and ``workers=N``
+    and under any recoverable fault schedule: execution is
+    deterministic per spec, retries re-run the identical computation,
+    and merging happens in input order.  A spec whose every attempt
+    fails is **quarantined** — its outcome carries a
+    :class:`FailedRun` (``outcome.failure``) instead of a result, and
+    the rest of the sweep completes normally.  Pass
+    ``retry=RetryPolicy(max_attempts=1)`` to fail fast; ``retry=None``
+    selects :data:`DEFAULT_RETRY`.
     """
     config = config or default_config()
     events = events if events is not None else EventLog()
     profiler = profiler or PhaseProfiler(events)
+    retry = retry or DEFAULT_RETRY
     interval_for = _interval_fn(checkpoint_interval)
 
     normalized = [spec.normalized() for spec in specs]
@@ -240,25 +454,11 @@ def sweep(
 
     if todo and workers >= 2:
         _run_pooled(todo, config, workers, cache, events, profiler,
-                    interval_for, profile_phases, outcomes)
+                    interval_for, profile_phases, outcomes, retry, faults)
     else:
-        for spec in todo:
-            on_checkpoint = (
-                on_checkpoint_for(spec) if on_checkpoint_for else None
-            )
-            result = execute_spec(
-                spec,
-                config,
-                events=events,
-                checkpoint_interval=interval_for(spec),
-                on_checkpoint=on_checkpoint,
-                profiler=profiler,
-                profile_phases=profile_phases,
-                program_cache=program_cache,
-            )
-            if cache is not None:
-                cache.put(spec, config, result)
-            outcomes[spec] = SweepOutcome(spec, result)
+        _run_inline(todo, config, cache, events, profiler, interval_for,
+                    profile_phases, on_checkpoint_for, program_cache,
+                    outcomes, retry, faults)
 
     ordered = [outcomes[spec] for spec in normalized]
     if on_outcome is not None:
@@ -270,21 +470,351 @@ def sweep(
     return ordered
 
 
+def _run_inline(todo, config, cache, events, profiler, interval_for,
+                profile_phases, on_checkpoint_for, program_cache,
+                outcomes, retry, faults) -> None:
+    """Sequential execution with the same retry/quarantine contract.
+
+    Inline attempts emit straight into the parent's observability (that
+    is the point of inline mode), so a failed attempt's partial events
+    stay in the log — tagged by their run, they are harmless to offline
+    grouping.  Results and the quarantine behaviour are identical to
+    the pooled path.
+    """
+    registry = get_registry()
+    for spec in todo:
+        on_checkpoint = (
+            on_checkpoint_for(spec) if on_checkpoint_for else None
+        )
+        attempt = 0
+        while True:
+            try:
+                if faults is not None:
+                    apply_inline_fault(faults, spec.label(), attempt)
+                result = execute_spec(
+                    spec,
+                    config,
+                    events=events,
+                    checkpoint_interval=interval_for(spec),
+                    on_checkpoint=on_checkpoint,
+                    profiler=profiler,
+                    profile_phases=profile_phases,
+                    program_cache=program_cache,
+                )
+            except Exception as exc:
+                kind = getattr(exc, "kind", "error")
+                detail = traceback.format_exc()
+                nxt = attempt + 1
+                if nxt >= retry.max_attempts:
+                    failure = FailedRun(spec, nxt, kind, repr(exc), detail)
+                    registry.counter("sweep.quarantined").inc()
+                    events.emit("run_failed", mode=spec.mode, attempts=nxt,
+                                reason=kind, error=repr(exc),
+                                **spec.event_fields())
+                    outcomes[spec] = SweepOutcome(
+                        spec, None, attempts=nxt, failure=failure
+                    )
+                    break
+                registry.counter("sweep.retries").inc()
+                events.emit("run_retry", mode=spec.mode, attempt=nxt,
+                            reason=kind, error=repr(exc),
+                            **spec.event_fields())
+                time.sleep(retry.delay(nxt))
+                attempt = nxt
+                continue
+            _commit_result(cache, spec, config, result, faults, events,
+                           registry)
+            outcomes[spec] = SweepOutcome(spec, result, attempts=attempt + 1)
+            break
+
+
 def _run_pooled(todo, config, workers, cache, events, profiler,
-                interval_for, profile_phases, outcomes) -> None:
+                interval_for, profile_phases, outcomes, retry,
+                faults) -> None:
     """Fan ``todo`` over a process pool; merge results in input order."""
     registry = get_registry()
-    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
-        futures = [
-            pool.submit(_pool_task, spec.as_dict(), config,
-                        interval_for(spec), profile_phases)
-            for spec in todo
+    dispatcher = _PoolDispatcher(todo, config, workers, cache, events,
+                                 registry, interval_for, profile_phases,
+                                 retry, faults)
+    payloads, failures = dispatcher.run()
+
+    # Merge in *input order*, exactly once per spec, from the winning
+    # attempt only — completion order, retries, and duplicate late
+    # results can never reorder or double-count the merged stream.
+    for spec in todo:
+        failure = failures.get(spec)
+        if failure is not None:
+            outcomes[spec] = SweepOutcome(
+                spec, None, attempts=failure.attempts, failure=failure
+            )
+            continue
+        payload = payloads[spec]
+        attempt = payload["attempt"]
+        if attempt:
+            events.replay(payload["records"], attempt=attempt)
+        else:
+            events.replay(payload["records"])
+        profiler.merge_snapshot(payload["phases"])
+        registry.merge_snapshot(payload["metrics"])
+        outcomes[spec] = SweepOutcome(
+            spec, payload["result"], events=payload["records"],
+            attempts=attempt + 1,
+        )
+
+
+class _PoolDispatcher:
+    """The fault-tolerant pooled execution loop.
+
+    Keeps at most ``workers`` attempts in flight in the main pool (so a
+    pool break only ever implicates a known, small set of specs) plus at
+    most one attempt in the single-worker *probe* pool used to isolate
+    crash-involved specs.  Never raises for a failing spec — failures
+    land in ``self.failures`` as :class:`FailedRun`.
+    """
+
+    def __init__(self, todo, config, workers, cache, events, registry,
+                 interval_for, profile_phases, retry, faults):
+        self.todo = todo
+        self.config = config
+        self.nworkers = min(workers, len(todo))
+        self.cache = cache
+        self.events = events
+        self.registry = registry
+        self.interval_for = interval_for
+        self.profile_phases = profile_phases
+        self.retry = retry
+        self.faults = faults
+
+        self.payloads: Dict[RunSpec, dict] = {}
+        self.failures: Dict[RunSpec, FailedRun] = {}
+        #: attempts whose failure has been recorded (guards the retry
+        #: accounting when one attempt fails through two paths, e.g. a
+        #: timeout followed by the abandoned future erroring).
+        self.failed_attempts = set()
+        self.pending = deque((spec, 0) for spec in todo)
+        self.probe_pending = deque()
+        self.delayed: List[Tuple[float, RunSpec, int, bool]] = []
+        #: future -> (spec, attempt, started_at, is_probe)
+        self.inflight: Dict[object, Tuple[RunSpec, int, float, bool]] = {}
+        #: timed-out futures we no longer count on (late results are
+        #: still accepted if the spec is unresolved when they land).
+        self.abandoned: Dict[object, Tuple[RunSpec, int, bool]] = {}
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.probe: Optional[ProcessPoolExecutor] = None
+        #: timeouts charged against the current main pool; when every
+        #: worker is wedged the pool is recycled.
+        self.main_wedged = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self):
+        self.pool = ProcessPoolExecutor(max_workers=self.nworkers)
+        try:
+            while len(self.payloads) + len(self.failures) < len(self.todo):
+                self._promote_delayed()
+                self._submit()
+                self._check_timeouts()
+                self._drain()
+        finally:
+            for pool in (self.pool, self.probe):
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        return self.payloads, self.failures
+
+    def _resolved(self, spec: RunSpec) -> bool:
+        return spec in self.payloads or spec in self.failures
+
+    # -- scheduling --------------------------------------------------------
+
+    def _promote_delayed(self) -> None:
+        now = time.monotonic()
+        keep = []
+        for ready_at, spec, attempt, probe in self.delayed:
+            if self._resolved(spec):
+                continue
+            if ready_at <= now:
+                queue = self.probe_pending if probe else self.pending
+                queue.append((spec, attempt))
+            else:
+                keep.append((ready_at, spec, attempt, probe))
+        self.delayed = keep
+
+    def _submit(self) -> None:
+        while self.pending and self._inflight_count(probe=False) < self.nworkers:
+            spec, attempt = self.pending.popleft()
+            if not self._resolved(spec):
+                self._launch(spec, attempt, probe=False)
+        while self.probe_pending and self._inflight_count(probe=True) == 0:
+            spec, attempt = self.probe_pending.popleft()
+            if not self._resolved(spec):
+                self._launch(spec, attempt, probe=True)
+                break
+
+    def _inflight_count(self, probe: bool) -> int:
+        return sum(1 for (_s, _a, _t, p) in self.inflight.values()
+                   if p == probe)
+
+    def _launch(self, spec: RunSpec, attempt: int, probe: bool) -> None:
+        pool = self._probe_pool() if probe else self.pool
+        try:
+            future = pool.submit(
+                _pool_task, spec.as_dict(), self.config,
+                self.interval_for(spec), self.profile_phases,
+                attempt, self.faults,
+            )
+        except BrokenProcessPool:
+            # The pool died between drains.  The attempt never started,
+            # so requeue it without penalty and recycle the pool.
+            queue = self.probe_pending if probe else self.pending
+            queue.appendleft((spec, attempt))
+            self._handle_break(probe, "submit on broken pool")
+            return
+        self.inflight[future] = (spec, attempt, time.monotonic(), probe)
+
+    def _probe_pool(self) -> ProcessPoolExecutor:
+        if self.probe is None:
+            self.probe = ProcessPoolExecutor(max_workers=1)
+        return self.probe
+
+    # -- failure accounting ------------------------------------------------
+
+    def _fail(self, spec: RunSpec, attempt: int, kind: str, error: str,
+              detail: str = "", probe_next: bool = False) -> None:
+        """Record one failed attempt: schedule a retry or quarantine."""
+        if self._resolved(spec) or (spec, attempt) in self.failed_attempts:
+            return
+        self.failed_attempts.add((spec, attempt))
+        nxt = attempt + 1
+        if nxt >= self.retry.max_attempts:
+            self.failures[spec] = FailedRun(spec, nxt, kind, error, detail)
+            self.registry.counter("sweep.quarantined").inc()
+            self.events.emit("run_failed", mode=spec.mode, attempts=nxt,
+                             reason=kind, error=error, **spec.event_fields())
+        else:
+            ready_at = time.monotonic() + self.retry.delay(nxt)
+            self.delayed.append((ready_at, spec, nxt, probe_next))
+            self.registry.counter("sweep.retries").inc()
+            self.events.emit("run_retry", mode=spec.mode, attempt=nxt,
+                             reason=kind, error=error, **spec.event_fields())
+
+    def _accept(self, spec: RunSpec, attempt: int, payload: dict,
+                probe: bool) -> None:
+        """Accept a completed attempt's payload (first result wins)."""
+        if self._resolved(spec):
+            # A late (abandoned or duplicate) attempt finished after the
+            # spec was resolved; merging it again would double-count.
+            self.registry.counter("sweep.duplicates_ignored").inc()
+            return
+        if payload["digest"] != _result_digest(payload["result"]):
+            self.registry.counter("sweep.corrupt_results").inc()
+            self._fail(spec, attempt, "corrupt",
+                       "result payload failed integrity check",
+                       probe_next=probe)
+            return
+        self.payloads[spec] = payload
+        _commit_result(self.cache, spec, self.config, payload["result"],
+                       self.faults, self.events, self.registry)
+
+    # -- timeouts ----------------------------------------------------------
+
+    def _check_timeouts(self) -> None:
+        timeout = self.retry.timeout
+        if not timeout:
+            return
+        now = time.monotonic()
+        for future, (spec, attempt, started, probe) in list(
+                self.inflight.items()):
+            if now - started <= timeout:
+                continue
+            del self.inflight[future]
+            self.abandoned[future] = (spec, attempt, probe)
+            self.registry.counter("sweep.timeouts").inc()
+            self._fail(spec, attempt, "timeout",
+                       "no result after %.2fs" % timeout, probe_next=probe)
+            if not probe:
+                self.main_wedged += 1
+        if self.main_wedged >= self.nworkers:
+            # Every main worker is occupied by a wedged attempt: recycle
+            # the pool so retries have somewhere to run.
+            self._handle_break(probe=False, reason="all workers wedged")
+
+    # -- completion --------------------------------------------------------
+
+    def _drain(self) -> None:
+        waitables = set(self.inflight) | set(self.abandoned)
+        if not waitables:
+            if self.delayed and not self.pending and not self.probe_pending:
+                now = time.monotonic()
+                next_ready = min(entry[0] for entry in self.delayed)
+                time.sleep(min(_TICK, max(0.0, next_ready - now)))
+            elif not (self.pending or self.probe_pending or self.delayed):
+                if len(self.payloads) + len(self.failures) < len(self.todo):
+                    raise RuntimeError(
+                        "sweep dispatcher stalled with unresolved specs "
+                        "(this is a bug)"
+                    )
+            return
+        done, _not_done = wait(waitables, timeout=_TICK,
+                               return_when=FIRST_COMPLETED)
+        broken = set()
+        for future in done:
+            if future in self.inflight:
+                spec, attempt, _started, probe = self.inflight.pop(future)
+                was_abandoned = False
+            else:
+                spec, attempt, probe = self.abandoned.pop(future)
+                was_abandoned = True
+            try:
+                exc = future.exception()
+            except CancelledError:
+                continue
+            if exc is None:
+                self._accept(spec, attempt, future.result(), probe)
+            elif isinstance(exc, BrokenProcessPool):
+                if not was_abandoned:
+                    self.registry.counter("sweep.requeued").inc()
+                    self._fail(spec, attempt, "crash",
+                               "worker process died: %s" % exc,
+                               probe_next=True)
+                broken.add(probe)
+            elif not was_abandoned:
+                detail = "".join(traceback.format_exception(
+                    type(exc), exc, exc.__traceback__))
+                self._fail(spec, attempt, getattr(exc, "kind", "error"),
+                           repr(exc), detail, probe_next=probe)
+        for probe in broken:
+            self._handle_break(probe, "worker crash")
+
+    # -- pool recovery -----------------------------------------------------
+
+    def _handle_break(self, probe: bool, reason: str) -> None:
+        """Replace a broken pool; re-enqueue only in-flight specs.
+
+        Specs in flight on a broken *main* pool are collateral of an
+        unidentifiable culprit, so each is charged one attempt and
+        retried in the single-worker probe pool where the only process
+        it can crash is its own.  A probe break implicates exactly one
+        spec, so attribution is certain either way.
+        """
+        victims = [
+            (future, spec, attempt)
+            for future, (spec, attempt, _t, p) in self.inflight.items()
+            if p == probe
         ]
-        for spec, future in zip(todo, futures):
-            result, records, phases, metrics = future.result()
-            events.replay(records)
-            profiler.merge_snapshot(phases)
-            registry.merge_snapshot(metrics)
-            if cache is not None:
-                cache.put(spec, config, result)
-            outcomes[spec] = SweepOutcome(spec, result, events=records)
+        for future, spec, attempt in victims:
+            del self.inflight[future]
+            self.registry.counter("sweep.requeued").inc()
+            self._fail(spec, attempt, "crash",
+                       "worker pool broke while in flight",
+                       probe_next=True)
+        old = self.probe if probe else self.pool
+        if probe:
+            self.probe = None  # rebuilt lazily on next probe submit
+        else:
+            self.pool = ProcessPoolExecutor(max_workers=self.nworkers)
+            self.main_wedged = 0
+        self.registry.counter("sweep.pool_rebuilds").inc()
+        self.events.emit("pool_rebuild", pool="probe" if probe else "main",
+                         reason=reason)
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)

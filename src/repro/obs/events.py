@@ -13,6 +13,10 @@ kinds (consumed by ``repro.tools.stats``):
 ``cache_fill_burst`` a streak of consecutive IL1 fetch misses ended —
                      the signature of naive ILR's destroyed locality
 ``run_end``          the run finished (totals)
+``run_retry``        a sweep attempt failed and was rescheduled
+                     (attempt number, failure kind, error)
+``run_failed``       a spec exhausted its attempts and was quarantined
+``pool_rebuild``     a broken/wedged worker pool was replaced
 ``status``           free-form harness diagnostics
 
 Sinks: :class:`NullSink` (drop, ``enabled == False`` so producers can
@@ -46,6 +50,9 @@ EVENT_KINDS = (
     "drc_evict",
     "cache_fill_burst",
     "run_end",
+    "run_retry",
+    "run_failed",
+    "pool_rebuild",
     "status",
 )
 
@@ -197,7 +204,13 @@ def open_log(spec: Optional[str]) -> EventLog:
 
 def read_events(path: str,
                 kinds: Optional[Iterable[str]] = None) -> List[dict]:
-    """Load a JSONL event file, optionally filtered to ``kinds``."""
+    """Load a JSONL event file, optionally filtered to ``kinds``.
+
+    Undecodable lines are skipped rather than raised: a process killed
+    mid-write (the exact scenario the fault-tolerant sweep engine
+    recovers from) leaves a truncated final line, and the captured
+    events before it must stay analyzable.
+    """
     wanted = set(kinds) if kinds is not None else None
     records: List[dict] = []
     with open(path) as fh:
@@ -205,7 +218,10 @@ def read_events(path: str,
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # truncated/corrupt line from a killed writer
             if wanted is None or record.get("kind") in wanted:
                 records.append(record)
     return records

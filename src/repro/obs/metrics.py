@@ -198,6 +198,19 @@ class MetricsRegistry:
 
     # -- bulk operations ---------------------------------------------------
 
+    def counters(self, prefix: Optional[str] = None) -> Dict[str, int]:
+        """Current counter values, optionally filtered by name prefix.
+
+        The harness uses this to summarize one subsystem's counters
+        (e.g. every ``sweep.*`` fault-handling count) without walking a
+        full :meth:`snapshot`.
+        """
+        return {
+            name: counter.value
+            for name, counter in self._counters.items()
+            if prefix is None or name.startswith(prefix)
+        }
+
     def snapshot(self) -> Dict[str, dict]:
         """One JSON-serializable dict of every instrument's state."""
         return {

@@ -17,6 +17,7 @@ are shared with ``python -m repro.harness`` via
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..arch.cpu import CycleCPU
@@ -25,6 +26,7 @@ from ..arch.trace import attach_tracer
 from ..binary import BinaryImage
 from ..emu import ILREmulator
 from ..harness.cli import add_observability_options
+from ..harness.faults import FaultPlan, InjectedFault, apply_inline_fault
 from ..ilr import SecurityFault, make_flow
 from ..ilr.bundle import BundleError, load
 from ..obs import open_log, status
@@ -56,7 +58,19 @@ def main(argv=None) -> int:
                              "(requires --timing)")
     parser.add_argument("--trace-capacity", type=int, default=4096,
                         help="trace ring size (last N instructions kept)")
+    parser.add_argument("--inject-faults", metavar="PLAN", default=None,
+                        help="deterministic fault-injection plan (same "
+                             "grammar as the harness: 'crash@LABEL#0', "
+                             "'raise:0.5,seed=7', ...); faults fire "
+                             "before execution and exit non-zero")
     args = parser.parse_args(argv)
+
+    faults = None
+    if args.inject_faults:
+        try:
+            faults = FaultPlan.from_string(args.inject_faults)
+        except ValueError as err:
+            parser.error(str(err))
 
     if args.trace and not args.timing and args.mode != "emulate":
         parser.error("--trace requires --timing (the tracer instruments "
@@ -67,6 +81,17 @@ def main(argv=None) -> int:
         print("error: mode %r needs an RXRP bundle" % args.mode,
               file=sys.stderr)
         return 1
+
+    if faults is not None:
+        label = "%s/%s" % (
+            os.path.splitext(os.path.basename(args.path))[0], args.mode)
+        try:
+            # Single-run CLI: every fault kind degrades to an inline
+            # error (no pool to crash), so the exit code is observable.
+            apply_inline_fault(faults, label, attempt=0)
+        except InjectedFault as fault:
+            print("INJECTED FAULT: %s" % fault, file=sys.stderr)
+            return 75  # EX_TEMPFAIL: transient by construction
 
     observing = args.events or args.progress
     checkpoint_interval = args.checkpoint_interval if observing else 0

@@ -167,7 +167,7 @@ def ipc_over_time(records: List[dict]) -> Optional[str]:
         rows.append((
             workload, mode, len(ipcs),
             "%.3f" % min(ipcs),
-            "%.3f" % (sum(ipcs) / len(ipcs)),
+            "%.3f" % ratio(sum(ipcs), len(ipcs)),
             "%.3f" % max(ipcs),
             sparkline(ipcs),
         ))
@@ -228,7 +228,7 @@ def compare_modes(records: List[dict], mode_a: str,
         sections.append(
             "%s — %s vs %s (mean %.2fx)\n%s"
             % (workload, mode_a, mode_b,
-               sum(ratios) / len(ratios),
+               ratio(sum(ratios), len(ratios)),
                format_table(
                    ("instructions", "%s ipc" % mode_a, "%s ipc" % mode_b,
                     "ratio"),

@@ -12,6 +12,7 @@ EXAMPLES = [
     "examples/compile_and_protect.py",
     "examples/observe_run.py",
     "examples/parallel_sweep.py",
+    "examples/resumable_sweep.py",
 ]
 
 

@@ -177,3 +177,57 @@ class TestTracerJsonl:
         assert records[-1]["seq"] == tracer.retired
         assert {"seq", "arch_pc", "fetch_pc", "mnemonic", "taken",
                 "target"} <= set(records[0])
+
+
+class TestTruncatedLogs:
+    """A writer killed mid-line (the scenario the fault-tolerant sweep
+    recovers from) must not poison the captured prefix."""
+
+    def _write_truncated(self, path):
+        log = EventLog(FileSink(path))
+        log.run_start("mcf", "vcfr", drc_entries=64)
+        log.emit("checkpoint", workload="mcf", mode="vcfr", drc_entries=64,
+                 instructions=1000, ipc=0.5)
+        log.emit("checkpoint", workload="mcf", mode="vcfr", drc_entries=64,
+                 instructions=2000, ipc=0.7)
+        log.run_end("mcf", "vcfr", instructions=2000, cycles=4000,
+                    ipc=0.6, il1_miss_rate=0.01, drc_miss_rate=0.02,
+                    checkpoints=2, host_seconds=0.1)
+        log.close()
+        # Chop the final record mid-JSON, the way SIGKILL does.
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines[:-1]))
+            fh.write("\n" + lines[-1][: len(lines[-1]) // 2])
+        return path
+
+    def test_read_events_skips_the_partial_line(self, tmp_path):
+        path = self._write_truncated(str(tmp_path / "events.jsonl"))
+        records = read_events(path)
+        assert [r["kind"] for r in records] == [
+            "run_start", "checkpoint", "checkpoint"
+        ]
+
+    def test_stats_cli_survives_a_truncated_log(self, tmp_path, capsys):
+        from repro.tools.stats import main as stats_main
+
+        path = self._write_truncated(str(tmp_path / "events.jsonl"))
+        assert stats_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out
+        # The IPC table is derived through simstats.ratio(): two intact
+        # checkpoints, mean over exactly those two.
+        assert "0.600" in out  # (0.5 + 0.7) / 2
+
+    def test_stats_cli_handles_checkpointless_logs(self, tmp_path, capsys):
+        # Degenerate log (run_start only): every section that divides
+        # must fall back to ratio()'s default instead of raising.
+        path = str(tmp_path / "sparse.jsonl")
+        log = EventLog(FileSink(path))
+        log.run_start("mcf", "baseline")
+        log.close()
+        from repro.tools.stats import main as stats_main
+
+        assert stats_main([path]) == 0
+        assert "run_start" in capsys.readouterr().out

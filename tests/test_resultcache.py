@@ -2,6 +2,9 @@
 
 import json
 import os
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -89,6 +92,78 @@ class TestResultCache:
         spec = RunSpec("mcf", "vcfr", 64, max_instructions=4000)
         ResultCache(str(tmp_path), salt="v1").put(spec, config, sim_result)
         assert ResultCache(str(tmp_path), salt="v2").get(spec, config) is None
+
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        root = str(tmp_path)
+        sub = os.path.join(root, "ab")
+        os.makedirs(sub)
+        stale = os.path.join(sub, ".tmp-deadbeef")
+        with open(stale, "w") as fh:
+            fh.write("half-written entry")
+        past = time.time() - 3600
+        os.utime(stale, (past, past))
+        cache = ResultCache(root)
+        assert cache.stale_tmp_removed == 1
+        assert not os.path.exists(stale)
+        # stats() schema is part of the public contract — unchanged.
+        assert cache.stats() == {"hits": 0, "misses": 0, "writes": 0}
+
+    def test_fresh_tmp_files_survive_the_sweep(self, tmp_path):
+        # A temp file younger than this process may belong to a
+        # concurrent writer mid-put; it must not be collected.
+        root = str(tmp_path)
+        fresh = os.path.join(root, ".tmp-inflight")
+        with open(fresh, "w") as fh:
+            fh.write("concurrent writer")
+        future = time.time() + 3600
+        os.utime(fresh, (future, future))
+        cache = ResultCache(root)
+        assert cache.stale_tmp_removed == 0
+        assert os.path.exists(fresh)
+
+    def test_non_tmp_files_never_touched(self, sim_result, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = default_config()
+        spec = RunSpec("mcf", "vcfr", 64, max_instructions=4000)
+        path = cache.put(spec, config, sim_result)
+        past = time.time() - 3600
+        os.utime(path, (past, past))
+        reopened = ResultCache(str(tmp_path))
+        assert reopened.stale_tmp_removed == 0
+        assert reopened.get(spec, config) is not None
+
+    @pytest.mark.slow
+    def test_writer_killed_mid_put_leaves_recoverable_debris(
+            self, tmp_path):
+        """A real process dying between mkstemp and the atomic rename
+        leaves only a ``.tmp-*`` orphan: no entry is corrupted, and the
+        next open (a later process) sweeps the orphan away."""
+        root = str(tmp_path)
+        script = (
+            "import os, sys, tempfile\n"
+            "from repro.harness.resultcache import ResultCache\n"
+            "cache = ResultCache(sys.argv[1])\n"
+            "fd, tmp = tempfile.mkstemp(dir=cache.root, prefix='.tmp-')\n"
+            "os.write(fd, b'partial result bytes')\n"
+            "os._exit(9)  # killed before os.replace could commit\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        out = subprocess.run([sys.executable, "-c", script, root],
+                             env=env, timeout=120)
+        assert out.returncode == 9
+        debris = [f for f in os.listdir(root) if f.startswith(".tmp-")]
+        assert len(debris) == 1
+        # The orphan is younger than *this* process, so a same-process
+        # reopen keeps it (it could be a live concurrent writer)...
+        assert ResultCache(root).stale_tmp_removed == 0
+        # ...but once it predates the opening process, it is swept.
+        past = time.time() - 3600
+        orphan = os.path.join(root, debris[0])
+        os.utime(orphan, (past, past))
+        cache = ResultCache(root)
+        assert cache.stale_tmp_removed == 1
+        assert not os.path.exists(orphan)
+        assert cache.stats() == {"hits": 0, "misses": 0, "writes": 0}
 
     def test_corrupt_entry_degrades_to_miss(self, sim_result, tmp_path):
         cache = ResultCache(str(tmp_path))
