@@ -1,15 +1,16 @@
 # Developer entry points.  `make verify` is the tier-1 gate: the full
-# test suite (slow robustness tests included), plus the
-# observability-overhead, parallel-sweep, fast-path, and
-# fault-tolerance-overhead budget checks.
+# test suite (slow robustness tests included), the quick deterministic
+# differential-fuzzing tier, plus the observability-overhead,
+# parallel-sweep, fast-path, and fault-tolerance-overhead budget checks.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test test-slow bench-obs bench-sweep bench-hotloop \
-        bench-faults bench
+.PHONY: verify test test-slow fuzz-quick fuzz bench-obs bench-sweep \
+        bench-hotloop bench-faults bench
 
-verify: test test-slow bench-obs bench-sweep bench-hotloop bench-faults
+verify: test test-slow fuzz-quick bench-obs bench-sweep bench-hotloop \
+        bench-faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +19,16 @@ test:
 # default run by the `-m 'not slow'` addopts so tier-1 stays fast).
 test-slow:
 	$(PYTHON) -m pytest -x -q -m slow
+
+# Quick deterministic fuzz tier: 200 seeded programs through the full
+# engine x flow differential matrix (< 60 s, zero divergences expected).
+fuzz-quick:
+	$(PYTHON) -m repro.tools.fuzz --seed 1 --budget 200 --quiet
+
+# Longer fuzzing session with shrinking for local bug hunts.
+fuzz:
+	$(PYTHON) -m repro.tools.fuzz --seed $${SEED:-1} \
+		--budget $${BUDGET:-2000} --shrink
 
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py

@@ -1,0 +1,60 @@
+"""Throughput benchmark: the quick fuzz tier must stay quick.
+
+``make verify`` gates on ``make fuzz-quick`` pushing 200 seeded
+programs through the full engine × flow differential matrix in under a
+minute.  This benchmark measures the sustained rate on a smaller fixed
+batch and asserts a conservative floor well above what the 60-second
+budget requires, so a throughput regression (a slower oracle leg, a
+generator producing bloated programs) fails here before it slows the
+verification gate.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_fuzz_throughput.py
+
+or through pytest: ``pytest benchmarks/bench_fuzz_throughput.py -q``.
+"""
+
+import time
+
+from repro.qa import FuzzSession, OracleConfig
+
+PROGRAMS = 40
+SEED = 1
+#: programs/minute floor.  The `make fuzz-quick` gate needs 200 in 60 s
+#: = 200/min; a healthy host sustains well over 1000/min, so 400/min
+#: trips on a real 3-4x regression, not on host noise.
+MIN_PROGRAMS_PER_MINUTE = 400
+
+
+def measure() -> tuple:
+    session = FuzzSession(SEED, PROGRAMS, oracle_config=OracleConfig())
+    t0 = time.perf_counter()
+    stats = session.run()
+    elapsed = time.perf_counter() - t0
+    return stats, elapsed
+
+
+def test_fuzz_throughput():
+    stats, elapsed = measure()
+    rate = stats.programs / elapsed * 60
+    print(
+        "\nfuzz throughput: %d programs, %d engine runs in %.2fs "
+        "-> %.0f programs/min (floor %d)"
+        % (stats.programs, stats.engine_runs, elapsed, rate,
+           MIN_PROGRAMS_PER_MINUTE)
+    )
+    assert stats.ok, (
+        "fuzz found divergences during the throughput run: %s"
+        % [f.kinds for f in stats.findings]
+    )
+    assert rate >= MIN_PROGRAMS_PER_MINUTE, (
+        "fuzz throughput %.0f programs/min below the %d floor"
+        % (rate, MIN_PROGRAMS_PER_MINUTE)
+    )
+
+
+if __name__ == "__main__":
+    test_fuzz_throughput()
+    print("OK: fuzz throughput above %d programs/min"
+          % MIN_PROGRAMS_PER_MINUTE)

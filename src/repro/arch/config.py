@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 #: change alters cycle counts or statistics for an identical spec; the
 #: result-cache fingerprint includes it, so results produced by an older
 #: timing model can never be served against a newer one.
-TIMING_MODEL_VERSION = 2
+TIMING_MODEL_VERSION = 3
 
 #: MachineConfig fields that tune *host-side* execution strategy only.
 #: They are required (and differentially tested) to have zero effect on

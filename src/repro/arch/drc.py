@@ -84,11 +84,28 @@ class DRC:
         # Per set: list of (addr_tag, kind) in LRU order (index 0 = LRU).
         self._sets = [[] for _ in range(self.num_sets)]
 
-    def _index(self, key: int) -> int:
-        # Multiplicative (Fibonacci) hash index: randomized addresses are
-        # 8-byte slot-aligned and original addresses are dense, so a plain
-        # low-bit index would alias badly for both key populations.
-        hashed = ((key >> 2) * 2654435761) >> 8
+    def _index(self, key: int, kind: int) -> int:
+        # Multiplicative (Fibonacci) hash index over the *informative*
+        # bits of the key.  The two key populations carry different
+        # guaranteed-zero low bits:
+        #
+        # * ``KIND_DERAND`` keys are randomized-space addresses, which
+        #   the layout engine places on 8-byte slot boundaries
+        #   (``repro.ilr.layout.DEFAULT_SLOT_SIZE``): 3 dead low bits;
+        # * ``KIND_RAND`` keys are original-space addresses, which are
+        #   byte-dense (variable-length instructions): 0 dead bits.
+        #
+        # A fixed ``>> 2`` (the historical compromise) wasted one
+        # guaranteed-zero bit of the slot-aligned population *and*
+        # discarded two real bits of the dense one (adjacent original
+        # addresses hashed identically).  Aliasing only costs conflict
+        # misses — the full key is the stored tag, so correctness never
+        # depended on the shift — but it skewed the Fig. 13/14 DRC
+        # miss-rate ablations.  A key less aligned than its population's
+        # shift (custom slot sizes) merely degrades back to extra
+        # conflicts, again never false hits.
+        shift = 3 if kind == KIND_DERAND else 0
+        hashed = ((key >> shift) * 2654435761) >> 8
         mask = self._set_mask
         return hashed & mask if mask >= 0 else hashed % self.num_sets
 
@@ -101,7 +118,7 @@ class DRC:
         else:
             stats.rand_lookups += 1
 
-        ways = self._sets[self._index(key)]
+        ways = self._sets[self._index(key, kind)]
         entry = (key, kind)
         for idx, existing in enumerate(ways):
             if existing == entry:

@@ -51,6 +51,19 @@ class ExecutionError(Exception):
 class ModeAdapter:
     """Mode-specific address-space behaviour.  Base class = no randomization."""
 
+    #: §IV-C randomized-value tag machinery.  ``derand_map`` is the tag
+    #: *producer* set: materializing one of its keys (a current
+    #: randomized address) via ``movi``/``mov ri`` tags the destination
+    #: register.  ``tagmask`` holds the per-register tag bits (bit *i*
+    #: = register *i*): register moves propagate them, loads and
+    #: arithmetic clear them, and stores hand them to ``note_store`` so
+    #: the bitmap marks slots by *provenance*, never by comparing the
+    #: stored value against the tables.  With no randomization both
+    #: stay empty/zero, and every maintenance site in the handlers is
+    #: guarded on them, so baseline execution never writes either.
+    derand_map: dict = {}
+    tagmask: int = 0
+
     def fallthrough(self, inst: Instruction) -> int:
         """Architectural PC of the next sequential instruction."""
         return inst.addr + inst.length
@@ -63,8 +76,15 @@ class ModeAdapter:
         """Filter a 32-bit value loaded from ``addr`` into a register."""
         return value
 
-    def note_store(self, addr: int) -> None:
-        """A 32-bit store hit ``addr`` (clears any stale return-addr mark)."""
+    def note_store(self, addr: int, value: int, tagged: bool = False) -> None:
+        """A 32-bit store of ``value`` hit ``addr``.
+
+        Randomized modes maintain the §IV-C bitmap here: ``tagged``
+        carries the stored register's randomized-tag bit as seen by the
+        store hardware at retirement, so a store of a live randomized
+        code pointer marks the slot and any other store clears a stale
+        mark.
+        """
 
     def note_retaddr_push(self, addr: int, value: int) -> None:
         """A call pushed return address ``value`` into stack slot ``addr``."""
@@ -82,13 +102,20 @@ BASELINE_ADAPTER = ModeAdapter()
 # the functional paths, the block fast path inlines it.
 
 def _op_movi(inst, state, adapter):
-    state.regs.regs[inst.reg] = inst.imm & MASK32
+    value = inst.imm & MASK32
+    state.regs.regs[inst.reg] = value
+    if value in adapter.derand_map:
+        adapter.tagmask |= 1 << inst.reg
+    elif adapter.tagmask:
+        adapter.tagmask &= ~(1 << inst.reg)
     return (CTRL_NONE, 0)
 
 
 def _op_push(inst, state, adapter):
-    slot = state.push(state.regs.regs[inst.reg])
-    adapter.note_store(slot)
+    value = state.regs.regs[inst.reg]
+    slot = state.push(value)
+    adapter.note_store(slot, value,
+                       bool(adapter.tagmask & (1 << inst.reg)))
     state.last_store_addr = slot
     return (CTRL_NONE, 0)
 
@@ -96,6 +123,8 @@ def _op_push(inst, state, adapter):
 def _op_pop(inst, state, adapter):
     value, slot = state.pop()
     state.regs.regs[inst.reg] = adapter.fixup_load(slot, value)
+    if adapter.tagmask:  # loads auto-de-randomize: result is untagged
+        adapter.tagmask &= ~(1 << inst.reg)
     state.last_load_addr = slot
     return (CTRL_NONE, 0)
 
@@ -110,6 +139,8 @@ def _op_halt(inst, state, adapter):
 
 def _op_int(inst, state, adapter):
     state.syscall(inst.imm)
+    if adapter.tagmask:  # syscalls may write EAX (ICOUNT): plain data
+        adapter.tagmask &= ~1
     return (CTRL_NONE, 0)
 
 
@@ -119,6 +150,10 @@ def _op_leave(inst, state, adapter):
     regs[4] = regs[5]
     value, slot = state.pop()
     regs[5] = adapter.fixup_load(slot, value)
+    if adapter.tagmask:
+        t = adapter.tagmask
+        t = (t | 0x10) if t & 0x20 else (t & ~0x10)  # esp inherits ebp
+        adapter.tagmask = t & ~0x20  # popped frame pointer: untagged
     state.last_load_addr = slot
     return (CTRL_NONE, 0)
 
@@ -188,6 +223,8 @@ def _op_shift(inst, state, adapter):
     else:
         result = (to_signed32(value) >> count) & MASK32
     regs[inst.rm] = result
+    if adapter.tagmask:  # arithmetic clears the randomized-value tag
+        adapter.tagmask &= ~(1 << inst.rm)
     state.flags.set_logic(result)
     return (CTRL_NONE, 0)
 
@@ -197,6 +234,8 @@ def _op_lea(inst, state, adapter):
         raise ExecutionError("lea requires the load form")
     regs = state.regs.regs
     regs[inst.reg] = (regs[inst.rm] + inst.disp) & MASK32
+    if adapter.tagmask:
+        adapter.tagmask &= ~(1 << inst.reg)
     return (CTRL_NONE, 0)
 
 
@@ -269,10 +308,28 @@ def _op_alu(inst, state, adapter):
     if write_back:
         if mode == opcodes.MODE_MR:
             mem.write_u32(addr, result)
-            adapter.note_store(addr)
+            # Only a pure store forwards the source register's tag; a
+            # read-modify-write result is arithmetic, hence untagged.
+            adapter.note_store(addr, result,
+                               m == "mov"
+                               and bool(adapter.tagmask & (1 << inst.reg)))
             state.last_store_addr = addr
         else:
             regs[inst.reg] = result
+            if m == "mov" and mode == opcodes.MODE_RR:
+                t = adapter.tagmask
+                if t:
+                    if t & (1 << inst.rm):
+                        adapter.tagmask = t | (1 << inst.reg)
+                    else:
+                        adapter.tagmask = t & ~(1 << inst.reg)
+            elif m == "mov" and mode == opcodes.MODE_RI:
+                if result in adapter.derand_map:
+                    adapter.tagmask |= 1 << inst.reg
+                elif adapter.tagmask:
+                    adapter.tagmask &= ~(1 << inst.reg)
+            elif adapter.tagmask:  # loads and arithmetic: untagged
+                adapter.tagmask &= ~(1 << inst.reg)
 
     return (CTRL_NONE, 0)
 
@@ -342,8 +399,13 @@ def specialize_handler(inst: Instruction):
     RM, MR = opcodes.MODE_RM, opcodes.MODE_MR
 
     if m == "movi":
-        def h(inst, state, adapter, _r=inst.reg, _v=inst.imm & MASK32):
+        def h(inst, state, adapter, _r=inst.reg, _v=inst.imm & MASK32,
+              _bit=1 << inst.reg):
             state.regs.regs[_r] = _v
+            if _v in adapter.derand_map:
+                adapter.tagmask |= _bit
+            elif adapter.tagmask:
+                adapter.tagmask &= ~_bit
             return _NONE0
         return h
 
@@ -371,17 +433,20 @@ def specialize_handler(inst: Instruction):
         return h
 
     if m == "push":
-        def h(inst, state, adapter, _r=inst.reg):
-            slot = state.push(state.regs.regs[_r])
-            adapter.note_store(slot)
+        def h(inst, state, adapter, _r=inst.reg, _bit=1 << inst.reg):
+            value = state.regs.regs[_r]
+            slot = state.push(value)
+            adapter.note_store(slot, value, bool(adapter.tagmask & _bit))
             state.last_store_addr = slot
             return _NONE0
         return h
 
     if m == "pop":
-        def h(inst, state, adapter, _r=inst.reg):
+        def h(inst, state, adapter, _r=inst.reg, _bit=1 << inst.reg):
             value, slot = state.pop()
             state.regs.regs[_r] = adapter.fixup_load(slot, value)
+            if adapter.tagmask:
+                adapter.tagmask &= ~_bit
             state.last_load_addr = slot
             return _NONE0
         return h
@@ -389,71 +454,97 @@ def specialize_handler(inst: Instruction):
     if m in ("shl", "shr", "sar"):
         count = inst.imm & 31
         if m == "shl":
-            def h(inst, state, adapter, _rm=inst.rm, _c=count):
+            def h(inst, state, adapter, _rm=inst.rm, _c=count,
+                  _bit=1 << inst.rm):
                 regs = state.regs.regs
                 result = (regs[_rm] << _c) & MASK32
                 regs[_rm] = result
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_logic(result)
                 return _NONE0
         elif m == "shr":
-            def h(inst, state, adapter, _rm=inst.rm, _c=count):
+            def h(inst, state, adapter, _rm=inst.rm, _c=count,
+                  _bit=1 << inst.rm):
                 regs = state.regs.regs
                 result = (regs[_rm] >> _c) & MASK32
                 regs[_rm] = result
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_logic(result)
                 return _NONE0
         else:
-            def h(inst, state, adapter, _rm=inst.rm, _c=count):
+            def h(inst, state, adapter, _rm=inst.rm, _c=count,
+                  _bit=1 << inst.rm):
                 regs = state.regs.regs
                 result = (to_signed32(regs[_rm]) >> _c) & MASK32
                 regs[_rm] = result
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_logic(result)
                 return _NONE0
         return h
 
     if m == "lea" and mode == opcodes.MODE_RM:
         def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
-              _d=inst.disp):
+              _d=inst.disp, _bit=1 << inst.reg):
             regs = state.regs.regs
             regs[_r] = (regs[_rm] + _d) & MASK32
+            if adapter.tagmask:
+                adapter.tagmask &= ~_bit
             return _NONE0
         return h
 
     if m == "int":
         def h(inst, state, adapter, _imm=inst.imm):
             state.syscall(_imm)
+            if adapter.tagmask:
+                adapter.tagmask &= ~1
             return _NONE0
         return h
 
     if m == "mov":
         if mode == RR:
-            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm):
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
+                  _dbit=1 << inst.reg, _sbit=1 << inst.rm):
                 regs = state.regs.regs
                 regs[_r] = regs[_rm]
+                t = adapter.tagmask
+                if t:  # register moves propagate the tag bit
+                    adapter.tagmask = (t | _dbit) if t & _sbit \
+                        else (t & ~_dbit)
                 return _NONE0
             return h
         if mode == RI:
             def h(inst, state, adapter, _r=inst.reg,
-                  _v=inst.imm & MASK32):
+                  _v=inst.imm & MASK32, _bit=1 << inst.reg):
                 state.regs.regs[_r] = _v
+                if _v in adapter.derand_map:
+                    adapter.tagmask |= _bit
+                elif adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 return _NONE0
             return h
         if mode == RM:
             def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
-                  _d=inst.disp):
+                  _d=inst.disp, _bit=1 << inst.reg):
                 regs = state.regs.regs
                 addr = (regs[_rm] + _d) & MASK32
                 regs[_r] = adapter.fixup_load(addr, state.mem.read_u32(addr))
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.last_load_addr = addr
                 return _NONE0
             return h
         if mode == MR:
             def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
-                  _d=inst.disp):
+                  _d=inst.disp, _bit=1 << inst.reg):
                 regs = state.regs.regs
                 addr = (regs[_rm] + _d) & MASK32
-                state.mem.write_u32(addr, regs[_r])
-                adapter.note_store(addr)
+                value = regs[_r]
+                state.mem.write_u32(addr, value)
+                adapter.note_store(addr, value,
+                                   bool(adapter.tagmask & _bit))
                 state.last_store_addr = addr
                 return _NONE0
             return h
@@ -461,28 +552,33 @@ def specialize_handler(inst: Instruction):
 
     if m == "add":
         if mode == RR:
-            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm):
+            def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
+                  _bit=1 << inst.reg):
                 regs = state.regs.regs
                 a = regs[_r]
                 b = regs[_rm]
                 total = a + b
                 regs[_r] = total & MASK32
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_add(a, b, total)
                 return _NONE0
             return h
         if mode == RI:
             def h(inst, state, adapter, _r=inst.reg,
-                  _b=inst.imm & MASK32):
+                  _b=inst.imm & MASK32, _bit=1 << inst.reg):
                 regs = state.regs.regs
                 a = regs[_r]
                 total = a + _b
                 regs[_r] = total & MASK32
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_add(a, _b, total)
                 return _NONE0
             return h
         if mode == RM:
             def h(inst, state, adapter, _r=inst.reg, _rm=inst.rm,
-                  _d=inst.disp):
+                  _d=inst.disp, _bit=1 << inst.reg):
                 regs = state.regs.regs
                 addr = (regs[_rm] + _d) & MASK32
                 a = regs[_r]
@@ -490,6 +586,8 @@ def specialize_handler(inst: Instruction):
                 state.last_load_addr = addr
                 total = a + b
                 regs[_r] = total & MASK32
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_add(a, b, total)
                 return _NONE0
             return h
@@ -505,7 +603,7 @@ def specialize_handler(inst: Instruction):
                 result = total & MASK32
                 state.flags.set_add(a, b, total)
                 state.mem.write_u32(addr, result)
-                adapter.note_store(addr)
+                adapter.note_store(addr, result)
                 state.last_store_addr = addr
                 return _NONE0
             return h
@@ -520,11 +618,13 @@ def specialize_handler(inst: Instruction):
         is_ri = mode == RI
         if m == "sub":
             def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
-                  _ri=is_ri):
+                  _ri=is_ri, _bit=1 << reg):
                 regs = state.regs.regs
                 a = regs[_r]
                 b = _imm if _ri else regs[_rm]
                 regs[_r] = (a - b) & MASK32
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_sub(a, b)
                 return _NONE0
         elif m == "cmp":
@@ -545,36 +645,44 @@ def specialize_handler(inst: Instruction):
                 return _NONE0
         elif m == "and":
             def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
-                  _ri=is_ri):
+                  _ri=is_ri, _bit=1 << reg):
                 regs = state.regs.regs
                 result = regs[_r] & (_imm if _ri else regs[_rm])
                 regs[_r] = result
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_logic(result)
                 return _NONE0
         elif m == "or":
             def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
-                  _ri=is_ri):
+                  _ri=is_ri, _bit=1 << reg):
                 regs = state.regs.regs
                 result = regs[_r] | (_imm if _ri else regs[_rm])
                 regs[_r] = result
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_logic(result)
                 return _NONE0
         elif m == "xor":
             def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
-                  _ri=is_ri):
+                  _ri=is_ri, _bit=1 << reg):
                 regs = state.regs.regs
                 result = regs[_r] ^ (_imm if _ri else regs[_rm])
                 regs[_r] = result
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_logic(result)
                 return _NONE0
         else:  # imul
             def h(inst, state, adapter, _r=reg, _rm=rm, _imm=imm,
-                  _ri=is_ri):
+                  _ri=is_ri, _bit=1 << reg):
                 regs = state.regs.regs
                 a = regs[_r]
                 b = _imm if _ri else regs[_rm]
                 product = to_signed32(a) * to_signed32(b)
                 regs[_r] = product & MASK32
+                if adapter.tagmask:
+                    adapter.tagmask &= ~_bit
                 state.flags.set_mul(product)
                 return _NONE0
         return h

@@ -28,8 +28,21 @@ def miss_rate(stats: Dict[str, int],
     Works on any ``{"accesses": N, "misses": M}``-shaped dict (the
     :class:`~repro.arch.cache.CacheStats` snapshots stored on
     :class:`SimResult`); alternate key names cover TLB/DRC-style dicts.
+
+    An *empty* dict means "this structure never ran" and yields 0.0
+    (e.g. a default-constructed :class:`SimResult`).  A non-empty dict
+    that lacks either key is a caller bug — a misspelled key used to
+    silently read as a perfect 0.0 miss rate, masking miscounted
+    TLB/DRC-style dicts — and raises ``KeyError`` instead.
     """
-    return ratio(stats.get(misses, 0), stats.get(accesses, 0))
+    if not stats:
+        return 0.0
+    if misses not in stats or accesses not in stats:
+        raise KeyError(
+            "miss_rate: stats dict has keys %s, expected %r and %r"
+            % (sorted(stats), misses, accesses)
+        )
+    return ratio(stats[misses], stats[accesses])
 
 
 @dataclass(frozen=True)
@@ -55,13 +68,22 @@ class Checkpoint:
     host_seconds: float
 
     def as_dict(self) -> dict:
+        """Lossless JSON form: ``from_dict(as_dict())`` is an identity.
+
+        Rates are serialized at full float precision (Python's JSON
+        repr round-trips doubles exactly).  Rounding here used to make
+        a cache-hit :meth:`SimResult.from_dict` differ from the fresh
+        run it was supposed to be bit-identical to — the sweep engine's
+        merged-results contract; display-side rounding belongs to event
+        emission and report formatting, not the serialization.
+        """
         return {
             "instructions": self.instructions,
             "cycles": self.cycles,
-            "ipc": round(self.ipc, 6),
-            "il1_miss_rate": round(self.il1_miss_rate, 6),
-            "drc_miss_rate": round(self.drc_miss_rate, 6),
-            "host_seconds": round(self.host_seconds, 6),
+            "ipc": self.ipc,
+            "il1_miss_rate": self.il1_miss_rate,
+            "drc_miss_rate": self.drc_miss_rate,
+            "host_seconds": self.host_seconds,
         }
 
     @classmethod
@@ -155,13 +177,14 @@ class SimResult:
     # -- serialization -----------------------------------------------------
 
     def as_dict(self) -> dict:
-        """JSON-serializable form (exact for every counter; checkpoint
-        rates carry the same 6-decimal precision as event records).
+        """JSON-serializable form, exact for every field (counters are
+        integers, rates round-trip at full float precision).
 
         Together with :meth:`from_dict` this is the round-trip used by
         the on-disk result cache and the parallel sweep workers, so any
         new field added to :class:`SimResult` must be representable
-        here.
+        here — and ``from_dict(as_dict())`` must stay bit-identical
+        (the qa oracle checks this on every fuzzed run).
         """
         output = None
         if self.output is not None:

@@ -32,6 +32,7 @@ from ..binary import load_image
 from ..ilr.flow import NaiveILRFlow
 from ..ilr.randomizer import RandomizedProgram
 from ..isa.decoder import decode
+from ..isa.syscalls import OutputStream
 from ..obs.events import EventLog
 from .hostcost import HostCostCounters, HostCostParams
 
@@ -53,6 +54,57 @@ class EmulationResult:
         if native_cycles <= 0:
             return 0.0
         return (self.host_instructions / host_ipc) / native_cycles
+
+    # -- observable serialization ------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON form of the *observable* result.
+
+        Emulation results drag the full :class:`MachineState` behind
+        ``run.state``; that graph is neither canonical nor worth
+        persisting.  This view carries exactly what the experiments and
+        the qa oracle consume — architectural outcome plus host-cost
+        accounting — and is the canonical payload for integrity digests
+        (:mod:`repro.harness.sweep`) and round-trip checks.
+        ``from_dict(as_dict())`` reproduces every one of these fields
+        bit-identically (``run.state`` comes back as ``None``).
+        """
+        run = self.run
+        output = {
+            "chars": bytes(run.output.chars).decode("latin-1"),
+            "words": list(run.output.words),
+        }
+        return {
+            "exit_code": run.exit_code,
+            "icount": run.icount,
+            "halted": run.halted,
+            "output": output,
+            "host_instructions": self.host_instructions,
+            "counters": dict(self.counters.by_activity),
+            "checkpoints": [dict(cp) for cp in self.checkpoints],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EmulationResult":
+        run = RunResult(
+            exit_code=data.get("exit_code"),
+            icount=data.get("icount", 0),
+            output=OutputStream(
+                chars=bytearray(data["output"]["chars"], "latin-1"),
+                words=list(data["output"]["words"]),
+            ),
+            state=None,
+            halted=data.get("halted", False),
+        )
+        counters = HostCostCounters(
+            by_activity=dict(data.get("counters", {}))
+        )
+        return cls(
+            run=run,
+            host_instructions=data.get("host_instructions", 0),
+            counters=counters,
+            checkpoints=[dict(cp) for cp in data.get("checkpoints", [])],
+        )
 
 
 class ILREmulator:

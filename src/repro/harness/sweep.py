@@ -287,31 +287,18 @@ class SweepOutcome:
 def _result_digest(result) -> str:
     """Integrity digest of a result payload.
 
-    Canonical JSON over ``as_dict()`` when the result supports it
-    (:class:`~repro.arch.simstats.SimResult`).  Emulation results hold
-    full machine state whose pickle bytes are not canonical (identity
-    sharing inside the object graph does not survive a process-boundary
-    round trip), so they are digested over their *observable* fields —
-    the architectural outcome and host-cost numbers the experiments
-    consume.  Computed in the worker before the payload crosses the
-    process boundary and re-derived by the parent on receipt.
+    Canonical JSON over ``as_dict()`` — :class:`~repro.arch.simstats.
+    SimResult`'s full serialization, :class:`~repro.emu.EmulationResult`'s
+    observable-field view (raw pickle bytes are not canonical: identity
+    sharing inside the state graph does not survive a process-boundary
+    round trip, so emulation results digest their architectural outcome
+    and host-cost numbers instead).  Computed in the worker before the
+    payload crosses the process boundary and re-derived by the parent on
+    receipt.
     """
     as_dict = getattr(result, "as_dict", None)
     if callable(as_dict):
         view = as_dict()
-    elif hasattr(result, "run") and hasattr(result, "host_instructions"):
-        run = result.run
-        view = {
-            "type": type(result).__name__,
-            "exit_code": run.exit_code,
-            "icount": run.icount,
-            "halted": run.halted,
-            "output_chars": repr(bytes(run.output.chars)),
-            "output_words": list(run.output.words),
-            "host_instructions": result.host_instructions,
-            "counters": dict(result.counters.by_activity),
-            "checkpoints": result.checkpoints,
-        }
     else:
         view = {"type": type(result).__name__, "repr": repr(result)}
     payload = json.dumps(view, sort_keys=True, default=repr).encode()

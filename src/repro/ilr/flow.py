@@ -53,6 +53,13 @@ class BaselineFlow:
     randomized = False
     uses_drc = False
 
+    #: No randomization means no randomized-value tags: immediates are
+    #: never rewritten (empty producer map) and no register ever carries
+    #: a tag bit.  The executor's tag maintenance is guarded on these,
+    #: so baseline execution pays nothing for them.
+    derand_map: dict = {}
+    tagmask: int = 0
+
     def __init__(self, entry: int):
         self.entry = entry
         self.record_events = False
@@ -80,7 +87,7 @@ class BaselineFlow:
     def fixup_load(self, addr: int, value: int) -> int:
         return value
 
-    def note_store(self, addr: int) -> None:
+    def note_store(self, addr: int, value: int, tagged: bool = False) -> None:
         pass
 
     def note_retaddr_push(self, addr: int, value: int) -> None:
@@ -97,8 +104,26 @@ class _RandomizedFlowBase:
         self.entry_rand = entry_rand
         self.record_events = False
         self.events: List[Tuple[str, int]] = []
-        #: §IV-C stack bitmap: slots currently holding randomized retaddrs.
+        #: §IV-C bitmap: memory slots currently holding *tagged* randomized
+        #: code pointers (call-pushed return addresses and program-stored
+        #: function pointers alike — the store hardware sees the tag).
         self.marked_slots: Set[int] = set()
+        #: Tag *producer* map: a value is minted as a tagged randomized
+        #: pointer exactly when an instruction materializes a
+        #: rewriter-produced immediate, i.e. a current randomized
+        #: address.  The executor consults this at ``movi``/``mov ri``.
+        self.derand_map = rdr.derand
+        #: §IV-C per-register randomized-tag bits (bit *i* = register
+        #: *i*).  Tags are set when a randomized pointer is materialized,
+        #: propagated by register moves, and cleared by loads (which
+        #: auto-de-randomize) and by any arithmetic — provenance, not
+        #: value comparison, decides what the store hardware marks.
+        #: Deciding by value (``stored value in derand``) has false
+        #: positives: an arithmetic result that collides with a live
+        #: randomized address would get spuriously marked and then
+        #: wrongly translated by the next load, diverging from baseline
+        #: (found by the differential fuzzer).
+        self.tagmask = 0
 
     # -- target resolution (shared security semantics) -------------------------
 
@@ -163,8 +188,25 @@ class _RandomizedFlowBase:
                 return original
         return value
 
-    def note_store(self, addr: int) -> None:
-        self.marked_slots.discard(addr)
+    def note_store(self, addr: int, value: int, tagged: bool = False) -> None:
+        """§IV-C bitmap maintenance at store retirement.
+
+        The hardware sees the stored value's randomized *tag* bit (the
+        executor's per-register ``tagmask``), so any store of a live
+        randomized code pointer — a return address moved by the program,
+        a function pointer written into a table at run time — marks the
+        slot, and a store of plain data clears a stale mark.  Marked
+        slots are exactly what re-randomization must re-translate when
+        the old tables retire
+        (:func:`repro.ilr.rerandomize.apply_rerandomization`): before
+        this tracked only call-pushed return addresses, a code pointer
+        the *program* stored would go stale at the next epoch rotation
+        and fault on its next indirect use.
+        """
+        if tagged:
+            self.marked_slots.add(addr)
+        else:
+            self.marked_slots.discard(addr)
 
     def note_retaddr_push(self, addr: int, value: int) -> None:
         if value in self.rdr.derand:

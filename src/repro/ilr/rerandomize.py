@@ -65,10 +65,11 @@ def apply_rerandomization(cpu, new_program: RandomizedProgram) -> None:
       tables) using the binary's relocation records, without disturbing
       slots the program has since overwritten with plain data;
     * swap the flow's RDR table context to the new epoch's tables;
-    * re-translate live *marked* stack slots (they hold randomized return
-      addresses minted under the old tables, which the new tables cannot
-      de-randomize) — the §IV-C stack bitmap tells the kernel exactly
-      which words to patch;
+    * re-translate live *marked* memory slots (they hold tagged
+      randomized code pointers minted under the old tables — return
+      addresses pushed by calls and function pointers the program
+      stored at run time — which the new tables cannot de-randomize);
+      the §IV-C bitmap tells the kernel exactly which words to patch;
     * flush the DRC — its cached translations belong to the dead tables;
     * invalidate the rest of the decoded block cache — even blocks whose
       bytes did not change bake in per-op ``arch_pc`` / fall-through
@@ -77,9 +78,9 @@ def apply_rerandomization(cpu, new_program: RandomizedProgram) -> None:
     Branch predictors and the BTB/RAS are deliberately left alone: they
     index and predict in *fetch* space, which re-randomization does not
     move under VCFR.  (Data sections are untouched — they hold the live
-    program state.)  The model assumes the kernel rotates at a point
-    where no *register* holds a randomized code pointer; stack-resident
-    ones are covered by the bitmap above.
+    program state.)  Registers holding tagged randomized pointers are
+    re-translated from the saved thread context, so rotation is legal
+    at any instruction boundary.
 
     Raises :class:`ValueError` for non-VCFR flows (naive ILR stores the
     text at randomized addresses, so its rotation is a full image reload,
@@ -114,12 +115,20 @@ def apply_rerandomization(cpu, new_program: RandomizedProgram) -> None:
     ):
         if any(lo <= slot < hi for lo, hi in exec_ranges):
             continue
+        if slot in flow.marked_slots:
+            # The program overwrote this table slot at run time with a
+            # tagged pointer of its own; the bitmap pass below owns it
+            # (re-translating twice could corrupt it when the two
+            # epochs' randomized regions overlap).
+            continue
         value = cpu.mem.read_u32(slot)
         original = old_rdr.derand.get(value)
         if original is not None:
             cpu.mem.write_u32(slot, new_rdr.rand.get(original, original))
-    # Patch live randomized return addresses before retiring the old
-    # tables; an unpatched slot would fault on return next epoch.
+    # Patch live randomized code pointers (§IV-C bitmap: call-pushed
+    # return addresses and program-stored function pointers) before
+    # retiring the old tables; an unpatched slot would fault on its
+    # next indirect use in the new epoch.
     for slot in list(flow.marked_slots):
         value = cpu.mem.read_u32(slot)
         original = old_rdr.derand.get(value)
@@ -134,7 +143,31 @@ def apply_rerandomization(cpu, new_program: RandomizedProgram) -> None:
             flow.marked_slots.discard(slot)
         else:
             cpu.mem.write_u32(slot, replacement)
+    # The register file is part of the thread context the kernel holds
+    # at rotation time: a live tagged pointer in a register (say, a
+    # function-pointer immediate materialized but not yet stored or
+    # consumed) would go just as stale as a marked memory slot, so it
+    # is re-translated the same way.  The per-register tag bits say
+    # exactly which registers hold pointers — translating by value
+    # comparison instead would corrupt an arithmetic result that
+    # happens to collide with a live randomized address.
+    regs = cpu.state.regs.regs
+    tagmask = flow.tagmask
+    for idx in range(len(regs)):
+        if not tagmask & (1 << idx):
+            continue
+        original = old_rdr.derand.get(regs[idx])
+        if original is None:
+            flow.tagmask &= ~(1 << idx)
+            continue
+        replacement = new_rdr.rand.get(original)
+        if replacement is None:
+            regs[idx] = original  # un-randomized in the new layout
+            flow.tagmask &= ~(1 << idx)
+        else:
+            regs[idx] = replacement
     flow.rdr = new_rdr
+    flow.derand_map = new_rdr.derand
     flow.entry_rand = new_program.entry_rand
     cpu.drc.flush()
     cpu.invalidate_blocks()

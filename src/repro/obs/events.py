@@ -54,6 +54,10 @@ EVENT_KINDS = (
     "run_failed",
     "pool_rebuild",
     "status",
+    # repro.qa differential fuzzing (tools/fuzz CLI):
+    "fuzz_program",
+    "fuzz_finding",
+    "fuzz_end",
 )
 
 

@@ -1,0 +1,440 @@
+"""Differential oracle: one program, every engine, every flow.
+
+The repo carries four executors that must agree architecturally — the
+untimed :class:`~repro.arch.functional.FunctionalCPU` reference, the
+software-ILR :class:`~repro.emu.vm.ILREmulator`, and the cycle
+simulator's two loops (reference and block fast path) — each runnable
+under three control-flow models (baseline / naive_ilr / vcfr) plus
+live VCFR re-randomization epochs.  This module runs one program
+through the whole matrix and cross-checks:
+
+* **architectural outcome** — output streams, exit code, and retired
+  instruction count are identical everywhere (the randomization modes
+  are, by the paper's construction, semantics-preserving);
+* **fast-path purity** — ``fastpath=True`` must be *bit-identical* to
+  the reference loop: cycles, every counter, every checkpoint, DRC
+  lookups included;
+* **statistics invariants** — misses never exceed accesses, rates stay
+  in [0, 1], cycles bound instructions, DRC traffic exists exactly in
+  the mode that owns a DRC;
+* **serialization identity** — ``from_dict(json(as_dict()))`` is an
+  identity for every result type the harness persists.
+
+Every violated check becomes a :class:`Divergence`; a clean program
+yields an empty report.  The oracle never raises for a *finding* —
+engine crashes are findings too (kind ``crash:*``) — so a fuzzing
+session can keep going and shrink later.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..arch.config import MachineConfig, default_config
+from ..arch.cpu import CycleCPU
+from ..arch.functional import FunctionalCPU, InstructionLimitExceeded
+from ..arch.simstats import SimResult
+from ..binary import BinaryImage
+from ..emu import ILREmulator
+from ..emu.vm import EmulationResult
+from ..ilr import RandomizerConfig, make_flow, randomize, rerandomize
+from ..ilr.rerandomize import apply_rerandomization
+
+__all__ = [
+    "Divergence",
+    "OracleConfig",
+    "OracleReport",
+    "check_image",
+    "check_source",
+    "stats_invariants",
+]
+
+MODES = ("baseline", "naive_ilr", "vcfr")
+
+
+@dataclass
+class OracleConfig:
+    """Scope and budgets of one oracle pass."""
+
+    #: architectural instruction budget per engine run.  Generated
+    #: programs retire a few hundred instructions; hitting this budget
+    #: is itself a finding (``kind='budget'``).
+    max_instructions: int = 200_000
+    #: DRC entries for the cycle runs — small enough that fuzzed
+    #: programs actually see conflict misses.
+    drc_entries: int = 64
+    #: run the software-ILR emulator leg.
+    check_emulator: bool = True
+    #: run the cycle-simulator matrix (3 modes x 2 loops).
+    check_cycle: bool = True
+    #: run live VCFR re-randomization epochs (fast + reference).
+    check_rerandomize: bool = True
+    #: how many epoch rotations the re-randomization leg performs.
+    rerandomize_epochs: int = 2
+    #: verify as_dict/from_dict identities on the produced results.
+    check_serialization: bool = True
+    #: checkpoint cadence for the cycle runs (a non-divisor of typical
+    #: block lengths, so the fast path hits the clipped-budget case).
+    checkpoint_interval: int = 777
+
+
+@dataclass
+class Divergence:
+    """One violated cross-check."""
+
+    #: machine-readable kind: ``output:<engine>``, ``icount:<engine>``,
+    #: ``exit:<engine>``, ``fastpath:<mode>``, ``invariant:<which>``,
+    #: ``roundtrip:<type>``, ``crash:<engine>``, ``budget:<engine>``,
+    #: ``rerandomize:<what>``.
+    kind: str
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one full oracle pass over one program."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+    #: engine runs performed.
+    runs: int = 0
+    #: baseline retired-instruction count (program size proxy).
+    icount: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def add(self, kind: str, detail: str) -> None:
+        self.divergences.append(Divergence(kind, detail))
+
+
+def _snapshot(exit_code, icount, output) -> tuple:
+    return (bytes(output.chars), tuple(output.words), exit_code, icount)
+
+
+def _describe(snap: tuple) -> str:
+    chars, words, exit_code, icount = snap
+    return "exit=%r icount=%d chars=%r words=%r" % (
+        exit_code, icount, chars[:64], list(words[:16])
+    )
+
+
+def stats_invariants(result: SimResult, mode: str) -> List[str]:
+    """Structural sanity checks every :class:`SimResult` must satisfy.
+
+    Returns human-readable violation strings (empty when clean).
+    """
+    bad: List[str] = []
+
+    def check(cond: bool, message: str) -> None:
+        if not cond:
+            bad.append(message)
+
+    for name in ("il1", "dl1", "l2"):
+        stats = getattr(result, name)
+        if not stats:
+            continue
+        check(stats["misses"] <= stats["accesses"],
+              "%s: misses %d > accesses %d"
+              % (name, stats["misses"], stats["accesses"]))
+        check(all(v >= 0 for v in stats.values()),
+              "%s: negative counter in %r" % (name, stats))
+    check(0 <= result.drc_misses <= result.drc_lookups
+          if result.drc_lookups else result.drc_misses == 0,
+          "drc: misses %d vs lookups %d"
+          % (result.drc_misses, result.drc_lookups))
+    if mode != "vcfr":
+        check(result.drc_lookups == 0,
+              "drc active outside vcfr: %d lookups" % result.drc_lookups)
+    check(result.cycles >= result.instructions,
+          "cycles %d < instructions %d (single-issue in-order)"
+          % (result.cycles, result.instructions))
+    check(result.instructions >= 0, "negative instruction count")
+    for rate_name in ("ipc", "il1_miss_rate", "dl1_miss_rate",
+                      "l2_miss_rate", "drc_miss_rate"):
+        rate = getattr(result, rate_name)
+        check(0.0 <= rate <= 1.0, "%s=%r out of [0,1]" % (rate_name, rate))
+    check(result.cond_mispredicts <= result.cond_branches,
+          "branch mispredicts %d > branches %d"
+          % (result.cond_mispredicts, result.cond_branches))
+    return bad
+
+
+def _roundtrip_identity(result, type_name: str, report: OracleReport) -> None:
+    """``from_dict(json(as_dict()))`` must reproduce ``as_dict`` exactly."""
+    cls = type(result)
+    try:
+        first = result.as_dict()
+        revived = cls.from_dict(json.loads(json.dumps(first)))
+        second = revived.as_dict()
+    except Exception:
+        report.add("roundtrip:%s" % type_name,
+                   "serialization raised:\n" + traceback.format_exc())
+        return
+    if first != second:
+        diffs = _dict_diff(first, second)
+        report.add("roundtrip:%s" % type_name,
+                   "as_dict not a fixed point of from_dict: %s" % diffs)
+
+
+def _dict_diff(a: dict, b: dict, prefix: str = "") -> str:
+    parts = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va == vb:
+            continue
+        if isinstance(va, dict) and isinstance(vb, dict):
+            parts.append(_dict_diff(va, vb, prefix + key + "."))
+        else:
+            parts.append("%s%s: %r != %r" % (prefix, key, va, vb))
+    return "; ".join(p for p in parts if p)[:500]
+
+
+def _comparable(result: SimResult) -> dict:
+    """Full result dict minus host wall-clock (the one legal delta)."""
+    data = result.as_dict()
+    data["checkpoints"] = [
+        {k: v for k, v in cp.items() if k != "host_seconds"}
+        for cp in data["checkpoints"]
+    ]
+    return data
+
+
+_IMAGE_FOR = {
+    "baseline": lambda p: p.original,
+    "naive_ilr": lambda p: p.naive_image,
+    "vcfr": lambda p: p.vcfr_image,
+}
+
+
+def check_image(image: BinaryImage, *, seed: int,
+                config: Optional[OracleConfig] = None) -> OracleReport:
+    """Run ``image`` through the full differential matrix.
+
+    ``seed`` parameterizes the randomizer (and, derived from it, the
+    re-randomization epoch seeds) so a finding is reproducible from
+    ``(source, seed)`` alone.
+    """
+    cfg = config or OracleConfig()
+    report = OracleReport()
+
+    try:
+        program = randomize(image, RandomizerConfig(seed=seed))
+    except Exception:
+        report.add("crash:randomizer", traceback.format_exc())
+        return report
+
+    # ---- leg 1: functional reference, all three modes -------------------
+    reference = None
+    for mode in MODES:
+        snap = _functional_snapshot(program, mode, cfg, report)
+        if snap is None:
+            continue
+        if reference is None:
+            reference = snap
+        elif snap != reference:
+            report.add("output:functional:%s" % mode,
+                       "functional %s diverged from baseline:\n  ref:  %s\n"
+                       "  got:  %s" % (mode, _describe(reference),
+                                       _describe(snap)))
+    if reference is None:
+        return report  # nothing else is comparable
+    report.icount = reference[3]
+
+    # ---- leg 2: software-ILR emulator -----------------------------------
+    if cfg.check_emulator:
+        _check_emulator(program, reference, cfg, report)
+
+    # ---- leg 3: cycle simulator, modes x loops --------------------------
+    if cfg.check_cycle:
+        for mode in MODES:
+            _check_cycle_mode(program, mode, reference, cfg, report)
+
+    # ---- leg 4: live VCFR re-randomization epochs -----------------------
+    if cfg.check_rerandomize:
+        _check_rerandomization(program, reference, cfg, report)
+
+    return report
+
+
+def check_source(source: str, *, seed: int,
+                 config: Optional[OracleConfig] = None) -> OracleReport:
+    """Assemble ``source`` then :func:`check_image` it.
+
+    Assembly failures are reported as ``crash:assembler`` (the
+    generator must only produce valid programs, and the shrinker uses
+    this to reject candidate reductions that broke the program).
+    """
+    from ..isa import assemble
+
+    try:
+        image = assemble(source)
+    except Exception:
+        report = OracleReport()
+        report.add("crash:assembler", traceback.format_exc())
+        return report
+    return check_image(image, seed=seed, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Legs
+# ---------------------------------------------------------------------------
+
+
+def _functional_snapshot(program, mode, cfg, report):
+    label = "functional:%s" % mode
+    image = _IMAGE_FOR[mode](program)
+    try:
+        cpu = FunctionalCPU(image, make_flow(mode, program),
+                            max_instructions=cfg.max_instructions)
+        run = cpu.run()
+    except InstructionLimitExceeded:
+        report.add("budget:%s" % label,
+                   "did not terminate within %d instructions"
+                   % cfg.max_instructions)
+        return None
+    except Exception:
+        report.add("crash:%s" % label, traceback.format_exc())
+        return None
+    report.runs += 1
+    if run.exit_code is None and not run.halted:
+        report.add("budget:%s" % label,
+                   "did not terminate within %d instructions"
+                   % cfg.max_instructions)
+        return None
+    return _snapshot(run.exit_code, run.icount, run.output)
+
+
+def _check_emulator(program, reference, cfg, report):
+    try:
+        emu = ILREmulator(program,
+                          max_instructions=cfg.max_instructions).run()
+    except Exception:
+        report.add("crash:emulate", traceback.format_exc())
+        return
+    report.runs += 1
+    run = emu.run
+    if run.exit_code is None and not run.halted:
+        report.add("budget:emulate", "emulator hit the instruction budget")
+        return
+    snap = _snapshot(run.exit_code, run.icount, run.output)
+    if snap != reference:
+        report.add("output:emulate",
+                   "emulator diverged:\n  ref:  %s\n  got:  %s"
+                   % (_describe(reference), _describe(snap)))
+    if cfg.check_serialization:
+        _roundtrip_identity(emu, "EmulationResult", report)
+
+
+def _cycle_config(cfg: OracleConfig, fastpath: bool) -> MachineConfig:
+    machine = default_config()
+    machine.fastpath = fastpath
+    machine.drc.entries = cfg.drc_entries
+    return machine
+
+
+def _check_cycle_mode(program, mode, reference, cfg, report):
+    image = _IMAGE_FOR[mode](program)
+    results: Dict[bool, SimResult] = {}
+    for fastpath in (False, True):
+        label = "cycle:%s:%s" % (mode, "fast" if fastpath else "ref")
+        try:
+            cpu = CycleCPU(image, make_flow(mode, program),
+                           _cycle_config(cfg, fastpath),
+                           checkpoint_interval=cfg.checkpoint_interval)
+            result = cpu.run(max_instructions=cfg.max_instructions)
+        except Exception:
+            report.add("crash:%s" % label, traceback.format_exc())
+            continue
+        report.runs += 1
+        if not result.finished:
+            report.add("budget:%s" % label, "budget exhausted")
+            continue
+        results[fastpath] = result
+        snap = _snapshot(result.exit_code, result.instructions,
+                         result.output)
+        if snap != reference:
+            report.add("output:%s" % label,
+                       "cycle engine diverged:\n  ref:  %s\n  got:  %s"
+                       % (_describe(reference), _describe(snap)))
+        for violation in stats_invariants(result, mode):
+            report.add("invariant:%s" % label, violation)
+        if cfg.check_serialization:
+            _roundtrip_identity(result, "SimResult", report)
+            for checkpoint in result.checkpoints:
+                _roundtrip_identity(checkpoint, "Checkpoint", report)
+                break  # one per run is plenty
+    if len(results) == 2:
+        fast, ref = _comparable(results[True]), _comparable(results[False])
+        if fast != ref:
+            report.add("fastpath:%s" % mode,
+                       "fast path not bit-identical to reference: %s"
+                       % _dict_diff(ref, fast))
+
+
+def _check_rerandomization(program, reference, cfg, report):
+    """Run VCFR with mid-run epoch rotations, fast and reference loops.
+
+    Both loops rotate at the *same* retired-instruction points onto the
+    *same* epoch programs, so their stats must stay bit-identical; the
+    architectural outcome must still match the functional reference.
+    """
+    icount = reference[3]
+    if icount < 4:
+        return
+    # Rotation points: interior retired-instruction counts; epochs with
+    # seeds derived from the randomizer seed (deterministic replay).
+    slice_len = max(1, icount // (cfg.rerandomize_epochs + 1))
+    epochs: List = []
+
+    def run(fastpath: bool) -> Optional[SimResult]:
+        label = "rerand:%s" % ("fast" if fastpath else "ref")
+        try:
+            cpu = CycleCPU(program.vcfr_image, make_flow("vcfr", program),
+                           _cycle_config(cfg, fastpath))
+            current = program
+            finished = False
+            for epoch in range(cfg.rerandomize_epochs):
+                finished = cpu.run_slice(slice_len)
+                if finished:
+                    break
+                if len(epochs) <= epoch:
+                    epochs.append(rerandomize(
+                        current,
+                        new_seed=(program.config.seed * 7919 + epoch + 1)
+                        % (1 << 30) + 1,
+                    ))
+                current = epochs[epoch]
+                apply_rerandomization(cpu, current)
+            if not finished:
+                finished = cpu.run_slice(cfg.max_instructions)
+            result = cpu._result(finished=finished, warmup=0)
+        except Exception:
+            report.add("crash:%s" % label, traceback.format_exc())
+            return None
+        report.runs += 1
+        if not result.finished:
+            report.add("budget:%s" % label, "budget exhausted")
+            return None
+        snap = _snapshot(result.exit_code, result.instructions,
+                         result.output)
+        if snap != reference:
+            report.add(
+                "rerandomize:output:%s" % label,
+                "post-rotation run diverged:\n  ref:  %s\n  got:  %s"
+                % (_describe(reference), _describe(snap)))
+        return result
+
+    fast = run(True)
+    ref = run(False)
+    if fast is not None and ref is not None:
+        if _comparable(fast) != _comparable(ref):
+            report.add("rerandomize:fastpath",
+                       "rotation broke fast-path identity: %s"
+                       % _dict_diff(_comparable(ref), _comparable(fast)))

@@ -1,0 +1,125 @@
+"""Automatic test-case reduction for failing fuzz programs.
+
+A ddmin-style line reducer: given a failing program's assembly source
+and a predicate ("does this still fail the same way?"), repeatedly try
+removing chunks of lines — halving chunk size down to single lines —
+and keep any reduction that still fails.  Candidates that no longer
+assemble are rejected by the predicate wrapper (the oracle reports
+``crash:assembler`` for them), so the reducer needs no syntactic
+knowledge beyond "a line".
+
+Directives that define the program's shape (``.code`` / ``.data``
+section headers) are pinned and never candidates for removal; labels
+and instructions are fair game — removing a label that is still
+referenced simply fails assembly and is rejected.
+
+The result is the minimal ``.s`` repro the qa workflow checks into
+``tests/test_qa_regressions.py`` alongside the fix for whatever the
+oracle caught.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["shrink_source", "oracle_predicate"]
+
+#: lines never offered for removal.
+_PINNED_PREFIXES = (".code", ".data", ".section")
+
+
+def _pinned(line: str) -> bool:
+    return line.strip().startswith(_PINNED_PREFIXES)
+
+
+def shrink_source(
+    source: str,
+    still_fails: Callable[[str], bool],
+    *,
+    max_attempts: int = 2000,
+) -> str:
+    """Reduce ``source`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must already be True for ``source`` itself (the
+    caller verified the failure); the reducer only ever returns a
+    variant for which ``still_fails`` returned True, so the result is
+    always a genuine repro.  ``max_attempts`` bounds total predicate
+    evaluations — reduction is best-effort within that budget.
+    """
+    lines = source.splitlines()
+    attempts = 0
+
+    def attempt(candidate_lines: List[str]) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        return still_fails("\n".join(candidate_lines) + "\n")
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        removable = [
+            i for i, line in enumerate(lines)
+            if line.strip() and not _pinned(line)
+        ]
+        chunk = max(1, len(removable) // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(removable):
+                victim = set(removable[i:i + chunk])
+                candidate = [
+                    line for j, line in enumerate(lines)
+                    if j not in victim
+                ]
+                if attempt(candidate):
+                    lines = candidate
+                    removable = [
+                        j for j, line in enumerate(lines)
+                        if line.strip() and not _pinned(line)
+                    ]
+                    progress = True
+                    # stay at position i: indices shifted left.
+                else:
+                    i += chunk
+                if attempts >= max_attempts:
+                    break
+            if attempts >= max_attempts:
+                break
+            chunk //= 2
+    return "\n".join(lines) + "\n"
+
+
+def oracle_predicate(
+    *,
+    seed: int,
+    kinds: Optional[Sequence[str]] = None,
+    config=None,
+) -> Callable[[str], bool]:
+    """Build a ``still_fails`` predicate from the differential oracle.
+
+    The candidate fails when the oracle reports any divergence — or,
+    with ``kinds`` given, any divergence whose kind starts with one of
+    those prefixes (pinning the shrink to the original failure mode so
+    reduction cannot wander onto an unrelated bug).  Assembly failures
+    never count as failing: a reduction that broke the program is not a
+    repro.
+    """
+    from .oracle import check_source
+
+    def still_fails(source: str) -> bool:
+        report = check_source(source, seed=seed, config=config)
+        for divergence in report.divergences:
+            if divergence.kind == "crash:assembler":
+                return False
+        if not report.divergences:
+            return False
+        if kinds is None:
+            return True
+        return any(
+            d.kind.startswith(prefix)
+            for d in report.divergences
+            for prefix in kinds
+        )
+
+    return still_fails

@@ -65,7 +65,9 @@ class TestAssociativity:
         colliders = [base]
         probe = base + 8
         while len(colliders) < 3:
-            if direct._index(probe) == direct._index(base):
+            if direct._index(probe, KIND_DERAND) == direct._index(
+                base, KIND_DERAND
+            ):
                 colliders.append(probe)
             probe += 8
         for _round in range(4):
@@ -86,3 +88,71 @@ class TestAssociativity:
         misses = drc.stats.misses
         drc.lookup(0x1000, KIND_DERAND)
         assert drc.stats.misses == misses + 1
+
+
+class TestIndexDistribution:
+    """Regression: the hash index must use every informative key bit.
+
+    The DRC sees two key populations with different alignment — derand
+    keys are 8-byte slot-aligned randomized addresses, rand keys are
+    byte-dense original addresses.  The historical fixed ``>> 2``
+    pre-shift wasted a guaranteed-zero bit of the aligned population and
+    aliased adjacent dense keys; these distribution bounds keep the
+    Fig. 13/14 DRC ablation numbers honest.
+    """
+
+    @staticmethod
+    def _spread(drc, keys, kind):
+        from collections import Counter
+
+        loads = Counter(drc._index(key, kind) for key in keys)
+        return loads
+
+    def test_slot_aligned_derand_keys_spread_uniformly(self):
+        drc, _ = _drc(entries=128, assoc=1)
+        # The real population shape: an 8-byte-slotted randomized region.
+        keys = [0x50000000 + 8 * i for i in range(4096)]
+        loads = self._spread(drc, keys, KIND_DERAND)
+        mean = len(keys) / drc.num_sets
+        assert len(loads) == drc.num_sets  # every set reachable
+        assert max(loads.values()) < 2 * mean
+        assert min(loads.values()) > mean / 2
+
+    def test_dense_rand_keys_do_not_alias_adjacent_addresses(self):
+        from repro.arch.drc import KIND_RAND
+
+        drc, _ = _drc(entries=128, assoc=1)
+        # Byte-dense original addresses (variable-length instructions):
+        # adjacent addresses must not be forced into the same set, which
+        # is exactly what a low-bit pre-shift did.
+        base = 0x400000
+        keys = [base + i for i in range(512)]
+        indices = [drc._index(key, KIND_RAND) for key in keys]
+        distinct_adjacent = sum(
+            1 for a, b in zip(indices, indices[1:]) if a != b
+        )
+        # A shift-by-two hash mapped every aligned group of 4 adjacent
+        # keys to one set (~25% distinct); full-entropy hashing keeps
+        # nearly every adjacent pair apart.
+        assert distinct_adjacent > 0.9 * (len(keys) - 1)
+        loads = self._spread(drc, keys, KIND_RAND)
+        assert max(loads.values()) < 4 * len(keys) / drc.num_sets
+
+    def test_mixed_population_distribution_from_real_program(self):
+        from collections import Counter
+
+        from repro.arch.drc import KIND_RAND
+        from repro.ilr import RandomizerConfig, randomize
+        from repro.workloads import build_image
+
+        program = randomize(build_image("mcf", scale=0.3),
+                            RandomizerConfig(seed=11))
+        drc, _ = _drc(entries=128, assoc=1)
+        loads = Counter()
+        for key in program.rdr.derand:                # randomized space
+            loads[drc._index(key, KIND_DERAND)] += 1
+        for key in program.rdr.rand:                  # original space
+            loads[drc._index(key, KIND_RAND)] += 1
+        population = sum(loads.values())
+        # No set may soak up a gross share of the mixed population.
+        assert max(loads.values()) < max(8, 4 * population / drc.num_sets)

@@ -126,12 +126,34 @@ class TestBitmapFixup:
         assert 0x7FFF0000 in flow.marked_slots
         assert flow.fixup_load(0x7FFF0000, 0x40000020) == 0x400001
 
-    def test_store_clears_mark(self):
+    def test_store_of_plain_data_clears_mark(self):
         rdr = _rdr()
         flow = VCFRFlow(rdr, 0x40000000)
         flow.note_retaddr_push(0x7FFF0000, 0x40000020)
-        flow.note_store(0x7FFF0000)
+        flow.note_store(0x7FFF0000, 1234)
         assert flow.fixup_load(0x7FFF0000, 0x40000020) == 0x40000020
+
+    def test_store_of_tagged_pointer_marks_slot(self):
+        # The §IV-C bitmap hardware sees value tags at store retirement:
+        # a program-stored randomized code pointer is tracked exactly
+        # like a call-pushed return address (re-randomization depends on
+        # this to find it).
+        rdr = _rdr()
+        flow = VCFRFlow(rdr, 0x40000000)
+        flow.note_store(0x8000040, 0x40000020, tagged=True)
+        assert 0x8000040 in flow.marked_slots
+        assert flow.fixup_load(0x8000040, 0x40000020) == 0x400001
+
+    def test_store_of_untagged_value_never_marks(self):
+        # Provenance decides, not value comparison: an arithmetic result
+        # that collides with a live randomized address must NOT mark the
+        # slot (the next load would wrongly translate it, diverging from
+        # baseline — found by the differential fuzzer).
+        rdr = _rdr()
+        flow = VCFRFlow(rdr, 0x40000000)
+        flow.note_store(0x8000040, 0x40000020, tagged=False)
+        assert 0x8000040 not in flow.marked_slots
+        assert flow.fixup_load(0x8000040, 0x40000020) == 0x40000020
 
     def test_unmarked_slot_passthrough(self):
         flow = VCFRFlow(_rdr(), 0x40000000)

@@ -1,0 +1,93 @@
+"""The qa program generator: deterministic, valid, terminating, diverse."""
+
+from repro.arch.functional import FunctionalCPU
+from repro.ilr import make_flow
+from repro.qa import Coverage, GeneratorConfig, ProgramGenerator
+
+
+def _run_baseline(image, budget=200_000):
+    cpu = FunctionalCPU(image, make_flow("baseline", image=image),
+                        max_instructions=budget)
+    return cpu.run()
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = ProgramGenerator(seed=7)
+        b = ProgramGenerator(seed=7)
+        for i in range(5):
+            assert a.generate(i).source == b.generate(i).source
+
+    def test_different_seeds_differ(self):
+        a = ProgramGenerator(seed=7).generate(0)
+        b = ProgramGenerator(seed=8).generate(0)
+        assert a.source != b.source
+
+    def test_stream_depends_on_coverage_history(self):
+        # generate(i) is deterministic given the index *sequence*; the
+        # session replays the same order, so this is still replayable.
+        fresh = ProgramGenerator(seed=7)
+        warmed = ProgramGenerator(seed=7)
+        for i in range(4):
+            warmed.generate(i)
+        assert fresh.generate(4).seed == warmed.generate(4).seed
+
+
+class TestValidity:
+    def test_programs_assemble_and_terminate(self):
+        gen = ProgramGenerator(seed=3)
+        for i in range(20):
+            program = gen.generate(i)
+            run = _run_baseline(program.image())
+            assert run.exit_code is not None or run.halted, (
+                "program %d did not terminate" % i
+            )
+            assert run.icount < 100_000
+
+    def test_programs_produce_output(self):
+        gen = ProgramGenerator(seed=3)
+        with_output = 0
+        for i in range(10):
+            run = _run_baseline(gen.generate(i).image())
+            if run.output.words or run.output.chars:
+                with_output += 1
+        assert with_output >= 8  # EXIT-only programs must be rare
+
+
+class TestCoverage:
+    def test_feature_space_swept(self):
+        gen = ProgramGenerator(seed=5)
+        for i in range(30):
+            gen.generate(i)
+        covered = set(gen.coverage.counts)
+        # The load-bearing randomizer-sensitive idioms must all appear.
+        for feature in ("call", "calli:table", "calli:stored",
+                        "jmpi:table", "jmp8", "idiom:loop",
+                        "idiom:switch", "sys:emit", "sys:putc",
+                        "sys:icount", "leave", "ret"):
+            assert feature in covered, "never generated: %s" % feature
+        assert len(covered) >= 40
+
+    def test_choose_prefers_uncovered(self):
+        import random
+
+        coverage = Coverage()
+        coverage.counts["hot"] = 100
+        rng = random.Random(0)
+        picks = [coverage.choose(rng, ["hot", "cold"]) for _ in range(200)]
+        assert picks.count("cold") > picks.count("hot")
+
+    def test_shared_coverage_across_generators(self):
+        coverage = Coverage()
+        ProgramGenerator(seed=1, coverage=coverage).generate(0)
+        before = coverage.covered()
+        ProgramGenerator(seed=2, coverage=coverage).generate(0)
+        assert coverage.covered() >= before
+
+
+class TestConfig:
+    def test_function_count_respected(self):
+        cfg = GeneratorConfig(min_functions=2, max_functions=2)
+        source = ProgramGenerator(seed=1, config=cfg).generate(0).source
+        assert "fn0:" in source and "fn1:" in source
+        assert "fn2:" not in source

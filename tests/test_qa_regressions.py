@@ -1,0 +1,312 @@
+"""Shrunk minimal repros for bugs surfaced by the differential fuzzer.
+
+Each bug found by ``repro.tools.fuzz`` ships here as a named regression
+test: the minimal hand-distilled trigger, a harness that reproduces the
+original failure mode against a *simulated* pre-fix re-randomization
+(to prove the repro actually exercises the bug), and the fixed-code
+assertion.  The fuzzer-shrunk witness program is also replayed through
+the full oracle.
+
+Bug A — stored-pointer staleness: a program stores a randomized code
+pointer into a data slot at runtime; ``apply_rerandomization`` only
+re-translated reloc-known slots and call-pushed return addresses, so
+the slot kept the dead epoch's address and the later ``calli [slot]``
+raised a SecurityFault.  Fix: the §IV-C bitmap now marks *any* store
+of a tagged value (``flow.note_store`` checks ``value in rdr.derand``).
+
+Bug B — register staleness: a randomized code pointer living in a
+register across the rotation point was never re-translated, so
+``calli reg`` after the epoch switch faulted.  Fix:
+``apply_rerandomization`` re-translates tagged values in the register
+file (the saved thread context).
+
+Bug C — tag false positive: the first fix for bug A marked slots by
+comparing the stored *value* against the derand table, so an arithmetic
+result that happened to collide with a live randomized address got
+spuriously marked and the next load wrongly auto-de-randomized it,
+diverging from baseline.  Fix: §IV-C per-register tag bits
+(``flow.tagmask``) — tags are minted when a rewriter-produced immediate
+is materialized, propagated by register moves, cleared by loads and
+arithmetic, and *provenance* decides what the store hardware marks.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.config import default_config
+from repro.arch.cpu import CycleCPU
+from repro.arch.functional import FunctionalCPU
+from repro.ilr import (
+    RandomizerConfig,
+    SecurityFault,
+    make_flow,
+    randomize,
+    rerandomize,
+)
+from repro.ilr.rerandomize import apply_rerandomization
+from repro.isa.assembler import assemble
+from repro.qa import OracleConfig, ProgramGenerator, check_source
+
+# Minimal trigger for bug A.  The nops pad the stream so the rotation
+# point falls between the store and the indirect call.
+BUG_A_STORED_POINTER = """
+.code 0x400000
+main:
+    movi esi, target
+    movi ebx, slot
+    mov [ebx+0], esi       ; runtime store of a tagged code pointer
+    movi esi, 0
+    nop
+    nop
+    nop
+    nop
+    calli [ebx+0]          ; rotation must have patched the slot
+    movi ebx, 0
+    movi eax, 1
+    int 0x80
+target:
+    ret
+.data 0x8000000
+slot:
+    .space 4
+"""
+
+# Minimal trigger for bug B: the pointer never touches memory — it
+# survives only in ESI across the rotation point.
+BUG_B_STALE_REGISTER = """
+.code 0x400000
+main:
+    movi esi, target       ; tagged pointer lives in a register...
+    nop
+    nop
+    nop
+    nop
+    calli esi              ; ...across the rotation point
+    movi ebx, 0
+    movi eax, 1
+    int 0x80
+target:
+    ret
+.data 0x8000000
+pad:
+    .space 4
+"""
+
+
+def run_with_rotation(source, rotate_at, degrade=None, fastpath=False):
+    """Run ``source`` under VCFR, rotating epochs after ``rotate_at``
+    retired instructions.  ``degrade`` optionally simulates the pre-fix
+    rotation to prove the repro is live."""
+    image = assemble(source)
+    program = randomize(image, RandomizerConfig(seed=5))
+    cfg = replace(default_config(), fastpath=fastpath)
+    cpu = CycleCPU(program.vcfr_image, make_flow("vcfr", program), cfg)
+    cpu.run_slice(rotate_at)
+    new_program = rerandomize(program, new_seed=99)
+    if degrade is not None:
+        degrade(cpu, new_program)
+    else:
+        apply_rerandomization(cpu, new_program)
+    cpu.run_slice(10_000)
+    return cpu
+
+
+def _rotation_without_store_marks(cpu, new_program):
+    """Pre-fix behavior for bug A: data-slot stores left unmarked."""
+    cpu.flow.marked_slots -= {
+        s for s in cpu.flow.marked_slots if s >= 0x7000000
+    }
+    apply_rerandomization(cpu, new_program)
+
+
+def _rotation_without_register_fixup(cpu, new_program):
+    """Pre-fix behavior for bug B: register file left untranslated."""
+    saved = list(cpu.state.regs.regs)
+    apply_rerandomization(cpu, new_program)
+    cpu.state.regs.regs[:] = saved
+
+
+class TestBugAStoredPointer:
+    ROTATE_AT = 6  # after the store, before the calli
+
+    def test_old_behavior_faults(self):
+        with pytest.raises(SecurityFault):
+            run_with_rotation(BUG_A_STORED_POINTER, self.ROTATE_AT,
+                              degrade=_rotation_without_store_marks)
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_fixed_behavior_survives_rotation(self, fastpath):
+        cpu = run_with_rotation(BUG_A_STORED_POINTER, self.ROTATE_AT,
+                                fastpath=fastpath)
+        assert cpu.state.exit_code == 0
+
+    def test_store_marks_the_data_slot(self):
+        # The §IV-C bitmap must pick up the runtime store of the tagged
+        # pointer, not just call-pushed return addresses.
+        image = assemble(BUG_A_STORED_POINTER)
+        program = randomize(image, RandomizerConfig(seed=5))
+        cpu = CycleCPU(program.vcfr_image, make_flow("vcfr", program),
+                       replace(default_config(), fastpath=False))
+        cpu.run_slice(self.ROTATE_AT)
+        slot = 0x8000000
+        assert slot in cpu.flow.marked_slots
+
+    def test_oracle_clean(self):
+        report = check_source(BUG_A_STORED_POINTER, seed=5,
+                              config=OracleConfig())
+        assert report.ok, report.divergences
+
+
+class TestBugBStaleRegister:
+    ROTATE_AT = 3  # pointer is in ESI, not yet consumed
+
+    def test_old_behavior_faults(self):
+        with pytest.raises(SecurityFault):
+            run_with_rotation(BUG_B_STALE_REGISTER, self.ROTATE_AT,
+                              degrade=_rotation_without_register_fixup)
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_fixed_behavior_survives_rotation(self, fastpath):
+        cpu = run_with_rotation(BUG_B_STALE_REGISTER, self.ROTATE_AT,
+                                fastpath=fastpath)
+        assert cpu.state.exit_code == 0
+
+    def test_oracle_clean(self):
+        report = check_source(BUG_B_STALE_REGISTER, seed=5,
+                              config=OracleConfig())
+        assert report.ok, report.divergences
+
+
+#: Bug C template: ``%d + 1000`` is filled in so the add lands exactly
+#: on a live randomized address; the round-trip through memory must
+#: still be invisible in every mode.
+BUG_C_TEMPLATE = """
+.code 0x400000
+main:
+    movi ecx, %d
+    add ecx, 1000          ; arithmetic result collides with a live
+                           ; randomized address -- still plain data
+    movi ebx, slot
+    mov [ebx+0], ecx       ; untagged store: must NOT mark the slot
+    mov edx, [ebx+0]       ; load back: must NOT be translated
+    movi eax, 5
+    mov ebx, edx
+    int 0x80
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+helper:
+    ret
+.data 0x8000000
+slot:
+    .space 4
+"""
+
+
+class TestBugCArithmeticCollision:
+    def _build(self):
+        probe = assemble(BUG_C_TEMPLATE % 0)
+        layout = randomize(probe, RandomizerConfig(seed=5))
+        collide = layout.rdr.rand[probe.symbols.resolve("helper")]
+        image = assemble(BUG_C_TEMPLATE % (collide - 1000))
+        program = randomize(image, RandomizerConfig(seed=5))
+        assert collide in program.rdr.derand  # the collision is live
+        return image, program, collide
+
+    def _words(self, image, program, run_image, mode):
+        cpu = FunctionalCPU(run_image, make_flow(mode, program, image=image),
+                            max_instructions=10_000)
+        return list(cpu.run().output.words)
+
+    def test_collision_value_survives_memory_roundtrip(self):
+        image, program, collide = self._build()
+        baseline = self._words(image, program, image, "baseline")
+        naive = self._words(image, program, program.naive_image, "naive_ilr")
+        vcfr = self._words(image, program, program.vcfr_image, "vcfr")
+        assert baseline == naive == vcfr == [collide]
+
+    def test_old_behavior_would_translate(self):
+        # Prove the repro is live: if the slot *were* marked (the old
+        # value-comparison behavior), the load would translate the
+        # collision value and the EMITted word would diverge.
+        image, program, collide = self._build()
+        flow = make_flow("vcfr", program)
+        flow.note_store(0x8000000, collide, tagged=True)
+        assert flow.fixup_load(0x8000000, collide) != collide
+
+    def test_oracle_clean(self):
+        image, program, collide = self._build()
+        report = check_source(BUG_C_TEMPLATE % (collide - 1000), seed=5,
+                              config=OracleConfig())
+        assert report.ok, report.divergences
+
+
+class TestRegisterTagTracking:
+    """§IV-C per-register tag bits: minted, propagated, cleared."""
+
+    SOURCE = """
+    .code 0x400000
+    main:
+        movi esi, helper       ; rewritten immediate: mints a tag
+        mov edi, esi           ; register move propagates it
+        add esi, 0             ; arithmetic clears it
+        movi ebx, 0
+        movi eax, 1
+        int 0x80
+    helper:
+        ret
+    .data 0x8000000
+    pad:
+        .space 4
+    """
+
+    def _run(self, upto):
+        image = assemble(self.SOURCE)
+        program = randomize(image, RandomizerConfig(seed=5))
+        cpu = CycleCPU(program.vcfr_image, make_flow("vcfr", program),
+                       replace(default_config(), fastpath=False))
+        cpu.run_slice(upto)
+        return cpu.flow.tagmask
+
+    def test_movi_of_randomized_immediate_mints_tag(self):
+        assert self._run(1) & (1 << 6)  # esi
+
+    def test_register_move_propagates_tag(self):
+        mask = self._run(2)
+        assert mask & (1 << 6) and mask & (1 << 7)  # esi and edi
+
+    def test_arithmetic_clears_tag(self):
+        mask = self._run(3)
+        assert not mask & (1 << 6)  # esi untagged after add
+        assert mask & (1 << 7)      # edi copy still tagged
+
+    def test_baseline_flow_never_tags(self):
+        image = assemble(self.SOURCE)
+        cpu = CycleCPU(image, make_flow("baseline", image=image),
+                       replace(default_config(), fastpath=False))
+        cpu.run_slice(3)
+        assert cpu.flow.tagmask == 0
+
+
+class TestFuzzerWitnesses:
+    """The corpus programs that originally surfaced the bugs stay clean.
+
+    The generator is coverage-guided, so reproducing program N of a
+    session requires regenerating programs 0..N in stream order with
+    the session's seed — exactly what the fuzz session does.
+    """
+
+    def _oracle_seed(self, index, session_seed=1):
+        return (session_seed * 1_000_003 + index) % (1 << 30) + 1
+
+    @pytest.mark.parametrize("index", [11, 22])
+    def test_witness_program_clean(self, index):
+        gen = ProgramGenerator(seed=1)
+        program = None
+        for i in range(index + 1):
+            program = gen.generate(i)
+        report = check_source(program.source,
+                              seed=self._oracle_seed(index),
+                              config=OracleConfig())
+        assert report.ok, report.divergences

@@ -53,3 +53,53 @@ class TestDerivedMetrics:
         without = _result()
         assert "drc" in with_drc.summary()
         assert "drc" not in without.summary()
+
+
+class TestStrictMissRate:
+    """miss_rate fails loudly on malformed key sets.
+
+    A misspelled key used to silently read as a perfect 0.0 miss rate;
+    only the *empty* dict (structure never ran) is a legal zero.
+    """
+
+    def test_empty_dict_is_zero(self):
+        from repro.arch.simstats import miss_rate
+
+        assert miss_rate({}) == 0.0
+
+    def test_missing_misses_key_raises(self):
+        import pytest
+
+        from repro.arch.simstats import miss_rate
+
+        with pytest.raises(KeyError):
+            miss_rate({"accesses": 100})
+
+    def test_missing_accesses_key_raises(self):
+        import pytest
+
+        from repro.arch.simstats import miss_rate
+
+        with pytest.raises(KeyError):
+            miss_rate({"misses": 3})
+
+    def test_misspelled_key_raises(self):
+        import pytest
+
+        from repro.arch.simstats import miss_rate
+
+        with pytest.raises(KeyError):
+            miss_rate({"acesses": 100, "misses": 3})
+
+    def test_alternate_key_names(self):
+        from repro.arch.simstats import miss_rate
+
+        tlb = {"walks": 5, "refs": 100}
+        assert miss_rate(tlb, misses="walks", accesses="refs") == 0.05
+
+    def test_result_property_propagates_strictness(self):
+        import pytest
+
+        res = _result(il1={"accesses": 100, "miss": 7})
+        with pytest.raises(KeyError):
+            res.il1_miss_rate

@@ -122,7 +122,7 @@ class TestDRC:
         # Find a second key landing on the same index.
         key_b = next(
             k for k in range(0x40000008, 0x40100000, 8)
-            if drc._index(k) == drc._index(key_a)
+            if drc._index(k, KIND_DERAND) == drc._index(key_a, KIND_DERAND)
         )
         drc.lookup(key_a, KIND_DERAND)
         drc.lookup(key_b, KIND_DERAND)
