@@ -1,16 +1,17 @@
 # Developer entry points.  `make verify` is the tier-1 gate: the full
 # test suite (slow robustness tests included), the quick deterministic
 # differential-fuzzing tier, plus the observability-overhead,
-# parallel-sweep, fast-path, and fault-tolerance-overhead budget checks.
+# span-tracing-overhead, parallel-sweep, fast-path, and
+# fault-tolerance-overhead budget checks.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test test-slow fuzz-quick fuzz bench-obs bench-sweep \
-        bench-hotloop bench-faults bench
+.PHONY: verify test test-slow fuzz-quick fuzz bench-obs bench-trace \
+        bench-sweep bench-hotloop bench-faults bench backfill-store
 
-verify: test test-slow fuzz-quick bench-obs bench-sweep bench-hotloop \
-        bench-faults
+verify: test test-slow fuzz-quick bench-obs bench-trace bench-sweep \
+        bench-hotloop bench-faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +33,14 @@ fuzz:
 
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
+
+bench-trace:
+	$(PYTHON) benchmarks/bench_trace_overhead.py
+
+# Smoke the run-store backfill path end to end (sweep -> cache/events
+# -> fresh store) via the runnable example.
+backfill-store:
+	$(PYTHON) examples/store_demo.py
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_parallel_speedup.py

@@ -12,6 +12,9 @@ Options:
   --checkpoint-interval N instructions between checkpoints (0 = auto)
   --workers N             parallel sweep worker processes
   --cache-dir DIR         persistent on-disk result cache
+  --store PATH            SQLite run store (query with repro.tools.stats)
+  --trace-out PATH        Chrome trace_event JSON of the sweep's spans
+  --dashboard             live sweep status block on stderr
   --retry-attempts N      max executions per spec before quarantine
   --spec-timeout S        soft per-attempt timeout (seconds)
   --inject-faults PLAN    deterministic fault injection (testing)
@@ -37,7 +40,9 @@ import time
 
 from ..obs import open_log, status
 from ..obs.metrics import get_registry
+from ..obs.trace import Tracer
 from .ablations import ALL_ABLATIONS
+from .dashboard import Dashboard
 from .cli import (
     add_fault_options,
     add_observability_options,
@@ -67,6 +72,13 @@ def main(argv=None) -> int:
                         help='write results as JSON to PATH ("-" = stdout)')
     parser.add_argument("--profile-phases", action="store_true",
                         help="attribute host time to CPU pipeline phases")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the sweep's span tree as Chrome "
+                             "trace_event JSON (open in chrome://tracing "
+                             "or Perfetto)")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="live sweep status block on stderr: specs in "
+                             "flight, retries, cache hit rate, rolling IPC")
     add_observability_options(parser)
     add_sweep_options(parser)
     add_fault_options(parser)
@@ -90,7 +102,13 @@ def main(argv=None) -> int:
     json_to_stdout = args.json == "-"
     emit_report = status if json_to_stdout else print
 
+    tracer = Tracer() if args.trace_out else None
+    dashboard = None
+
     with open_log(args.events) as events:
+        if args.dashboard:
+            dashboard = Dashboard()
+            dashboard.attach(events)
         runner = Runner(
             scale=args.scale,
             seed=args.seed,
@@ -103,6 +121,8 @@ def main(argv=None) -> int:
             cache_dir=args.cache_dir,
             retry=retry,
             faults=faults,
+            tracer=tracer,
+            store_path=args.store,
         )
         events.status("harness start", experiments=list(wanted),
                       scale=args.scale,
@@ -146,6 +166,8 @@ def main(argv=None) -> int:
                 print()
             all_ok &= result.passed
         events.status("harness end", passed=bool(all_ok))
+        if dashboard is not None:
+            dashboard.finish()
 
         if runner.cache is not None:
             stats = runner.cache.stats()
@@ -175,6 +197,14 @@ def main(argv=None) -> int:
             else:
                 write_json(results, args.json)
                 status("wrote %s" % args.json)
+        if args.trace_out:
+            count = tracer.to_chrome(args.trace_out)
+            status("wrote %s (%d spans)" % (args.trace_out, count))
+        if runner.store is not None:
+            counts = runner.store.counts()
+            runner.store.close()
+            status("(store %s: %d runs, %d findings)"
+                   % (args.store, counts["runs"], counts["findings"]))
         if args.events:
             status("wrote %s" % args.events)
     return 0 if all_ok else 1

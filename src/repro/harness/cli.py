@@ -40,7 +40,7 @@ def add_observability_options(
 
 
 def add_sweep_options(parser: argparse.ArgumentParser) -> None:
-    """``--workers`` / ``--cache-dir``."""
+    """``--workers`` / ``--cache-dir`` / ``--store``."""
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes for the simulation sweep "
                              "(0/1 = sequential)")
@@ -49,6 +49,11 @@ def add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "here are loaded instead of re-run; results "
                              "commit as they finish, so a killed sweep "
                              "resumes from its completed work")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="SQLite run store: every completed run is "
+                             "indexed (spec, config digest, key stats, "
+                             "span rollups) for 'python -m "
+                             "repro.tools.stats best/compare/history/sql'")
 
 
 def add_fault_options(parser: argparse.ArgumentParser) -> None:

@@ -39,6 +39,8 @@ from ..ilr import RandomizedProgram
 from ..obs import status
 from ..obs.events import EventLog
 from ..obs.profile import PhaseProfiler
+from ..obs.store import RunStore
+from ..obs.trace import Tracer
 from .faults import FaultPlan
 from .resultcache import ResultCache
 from .spec import RunSpec
@@ -91,6 +93,13 @@ class Runner:
     retry: Optional[RetryPolicy] = None
     #: deterministic fault-injection plan (None = no injected faults).
     faults: Optional[FaultPlan] = None
+    #: span tracer threaded through every sweep (None = tracing off).
+    tracer: Optional[Tracer] = None
+    #: SQLite run store recording completed runs (built from
+    #: ``store_path`` unless injected; None = no store).
+    store: Optional[RunStore] = None
+    #: path for the run store (None = no store).
+    store_path: Optional[str] = None
 
     _programs: Dict[ProgramKey, RandomizedProgram] = field(
         default_factory=dict
@@ -105,6 +114,8 @@ class Runner:
             self.events = EventLog()
         if self.cache is None and self.cache_dir:
             self.cache = ResultCache(self.cache_dir)
+        if self.store is None and self.store_path:
+            self.store = RunStore(self.store_path)
         #: host wall-time attribution across harness stages (and, with
         #: ``profile_phases``, the CPU pipeline phases under ``sim.*``).
         self.profiler = PhaseProfiler(self.events)
@@ -204,6 +215,8 @@ class Runner:
             on_outcome=self._note_outcome if self.progress else None,
             retry=self.retry,
             faults=self.faults,
+            tracer=self.tracer,
+            store=self.store,
         )
         for outcome in outcomes:
             if outcome.ok:

@@ -84,10 +84,12 @@ from ..ilr import RandomizedProgram, RandomizerConfig, make_flow, randomize
 from ..obs.events import EventLog, MemorySink
 from ..obs.metrics import get_registry
 from ..obs.profile import PhaseProfiler
+from ..obs.store import RunStore
+from ..obs.trace import NULL_TRACER, Tracer, rollup_spans, span_id_for_key
 from ..workloads import build_image
 from .faults import FaultPlan, apply_inline_fault, apply_worker_fault
 from .resultcache import ResultCache
-from .spec import RunSpec
+from .spec import RunSpec, config_fingerprint
 
 __all__ = [
     "sweep",
@@ -117,24 +119,56 @@ def program_key(spec: RunSpec) -> ProgramKey:
     return (spec.workload, spec.seed, spec.scale)
 
 
+def _spec_key(spec: RunSpec) -> str:
+    """Content key of a normalized spec — the span key of its trace
+    node, and identical to :meth:`RunStore.spec_key` so store rows and
+    trace spans cross-reference.  Computed the same way in workers and
+    the parent, which is what makes worker-captured spans land on the
+    exact ids a sequential sweep would have derived."""
+    return RunStore.spec_key(spec)
+
+
+def _sweep_key(specs: Sequence[RunSpec]) -> str:
+    """Content key of a whole sweep: the ordered spec-key list."""
+    digest = hashlib.sha256(
+        "|".join(_spec_key(spec) for spec in specs).encode()
+    ).hexdigest()[:16]
+    return "sweep:" + digest
+
+
 def build_program(
     spec: RunSpec,
     profiler: Optional[PhaseProfiler] = None,
     program_cache: Optional[Dict[ProgramKey, RandomizedProgram]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RandomizedProgram:
     """Build + randomize the workload a spec names (memoized).
 
     Deterministic in ``(workload, seed, scale)``, which is what makes
     worker-side rebuilds safe: a program built in a pool worker is
     byte-identical to one built in the parent.
+
+    The ``build``/``randomize`` spans are emitted on *every* call —
+    memo hits included (near-zero duration) — because memo residency is
+    execution-placement-dependent (the parent memoizes across specs;
+    each pool worker has its own memo) and the span *tree* must be
+    identical regardless of where a spec ran.  The profiler keeps its
+    original miss-only semantics: phase totals measure work done.
     """
+    tracer = tracer or NULL_TRACER
     key = program_key(spec)
     if program_cache is not None and key in program_cache:
+        with tracer.span("build"):
+            pass
+        with tracer.span("randomize"):
+            pass
         return program_cache[key]
     profiler = profiler or PhaseProfiler()
-    with profiler.phase("build", workload=spec.workload):
+    with tracer.span("build"), \
+            profiler.phase("build", workload=spec.workload):
         image = build_image(spec.workload, scale=spec.scale)
-    with profiler.phase("randomize", workload=spec.workload):
+    with tracer.span("randomize"), \
+            profiler.phase("randomize", workload=spec.workload):
         program = randomize(image, RandomizerConfig(seed=spec.seed))
     if program_cache is not None:
         program_cache[key] = program
@@ -151,6 +185,7 @@ def execute_spec(
     profiler: Optional[PhaseProfiler] = None,
     profile_phases: bool = False,
     program_cache: Optional[Dict[ProgramKey, RandomizedProgram]] = None,
+    tracer: Optional[Tracer] = None,
 ):
     """Execute one spec from scratch (no caches consulted).
 
@@ -163,10 +198,12 @@ def execute_spec(
     config = config or default_config()
     events = events if events is not None else EventLog()
     profiler = profiler or PhaseProfiler(events)
-    program = build_program(spec, profiler, program_cache)
+    tracer = tracer or NULL_TRACER
+    program = build_program(spec, profiler, program_cache, tracer)
 
     if spec.mode == "emulate":
-        with profiler.phase("emulate", workload=spec.workload):
+        with tracer.span("emulate"), \
+                profiler.phase("emulate", workload=spec.workload):
             return ILREmulator(
                 program,
                 max_instructions=spec.max_instructions,
@@ -191,7 +228,9 @@ def execute_spec(
         on_checkpoint=on_checkpoint,
         event_fields=spec.event_fields(),
     )
-    with profiler.phase("simulate", workload=spec.workload, mode=spec.mode):
+    with tracer.span("simulate"), \
+            profiler.phase("simulate", workload=spec.workload,
+                           mode=spec.mode):
         if profile_phases:
             return cpu.run_profiled(
                 spec.max_instructions,
@@ -336,14 +375,16 @@ _WORKER_PROGRAMS: Dict[ProgramKey, RandomizedProgram] = {}
 
 def _pool_task(spec_dict: dict, config: MachineConfig,
                checkpoint_interval: int, profile_phases: bool,
-               attempt: int = 0, faults: Optional[FaultPlan] = None):
+               attempt: int = 0, faults: Optional[FaultPlan] = None,
+               trace: bool = False):
     """Execute one spec attempt in a pool worker.
 
     Events are buffered in a :class:`MemorySink` (file sinks are
     single-writer; see :meth:`EventLog.replay`); profiler phases, a
-    per-task metrics snapshot, the attempt id, and a result-integrity
-    digest ride back with the result for the parent to verify and merge
-    exactly once.  Module-level so the pool can pickle it.
+    per-task metrics snapshot, exported trace spans (when the parent is
+    tracing), the attempt id, and a result-integrity digest ride back
+    with the result for the parent to verify and merge exactly once.
+    Module-level so the pool can pickle it.
     """
     spec = RunSpec.from_dict(spec_dict)
     action = apply_worker_fault(faults, spec.label(), attempt)
@@ -352,15 +393,22 @@ def _pool_task(spec_dict: dict, config: MachineConfig,
     sink = MemorySink()
     log = EventLog(sink)
     profiler = PhaseProfiler(log)
-    result = execute_spec(
-        spec,
-        config,
-        events=log,
-        checkpoint_interval=checkpoint_interval,
-        profiler=profiler,
-        profile_phases=profile_phases,
-        program_cache=_WORKER_PROGRAMS,
-    )
+    # The worker roots its capture at the attempt span, keyed exactly as
+    # the sequential path keys it, so the parent's adopt() grafts it
+    # onto the same ids an inline sweep would have derived.
+    tracer = Tracer(enabled=trace)
+    with tracer.span("attempt", span_key=_spec_key(spec) + "#%d" % attempt,
+                     attempt=attempt):
+        result = execute_spec(
+            spec,
+            config,
+            events=log,
+            checkpoint_interval=checkpoint_interval,
+            profiler=profiler,
+            profile_phases=profile_phases,
+            program_cache=_WORKER_PROGRAMS,
+            tracer=tracer,
+        )
     digest = _result_digest(result)
     if action == "corrupt":
         result = _CORRUPT_SENTINEL
@@ -370,6 +418,7 @@ def _pool_task(spec_dict: dict, config: MachineConfig,
         "records": sink.records,
         "phases": profiler.snapshot(),
         "metrics": registry.snapshot(),
+        "spans": tracer.export(),
         "digest": digest,
     }
 
@@ -398,6 +447,8 @@ def sweep(
     on_outcome: Optional[Callable[[SweepOutcome], None]] = None,
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    tracer: Optional[Tracer] = None,
+    store: Optional[RunStore] = None,
 ) -> List[SweepOutcome]:
     """Execute ``specs`` (cache-aware, fault-tolerant, optionally parallel).
 
@@ -418,34 +469,57 @@ def sweep(
     the rest of the sweep completes normally.  Pass
     ``retry=RetryPolicy(max_attempts=1)`` to fail fast; ``retry=None``
     selects :data:`DEFAULT_RETRY`.
+
+    With a ``tracer``, the sweep records a ``sweep → spec → attempt →
+    phase`` span tree whose structure (names, ids, parents) is
+    identical between sequential and pooled execution — workers capture
+    their attempt subtree pickle-safely and the parent adopts it on
+    merge.  With a ``store``, every completed run (and quarantined
+    spec) is committed to the SQLite run store as it finishes, via the
+    same commit-as-you-go discipline as the result cache.
     """
     config = config or default_config()
     events = events if events is not None else EventLog()
     profiler = profiler or PhaseProfiler(events)
     retry = retry or DEFAULT_RETRY
+    tracer = tracer or NULL_TRACER
     interval_for = _interval_fn(checkpoint_interval)
+    config_digest = config_fingerprint(config) if store is not None else ""
 
     normalized = [spec.normalized() for spec in specs]
-    outcomes: Dict[RunSpec, SweepOutcome] = {}
-    todo: List[RunSpec] = []
-    for spec in normalized:
-        if spec in outcomes or spec in todo:
-            continue
-        cached = cache.get(spec, config) if cache is not None else None
-        if cached is not None:
-            events.status("run cached", mode=spec.mode,
-                          **spec.event_fields())
-            outcomes[spec] = SweepOutcome(spec, cached, cached=True)
-        else:
-            todo.append(spec)
+    with tracer.span("sweep", span_key=_sweep_key(normalized),
+                     specs=len(normalized)):
+        outcomes: Dict[RunSpec, SweepOutcome] = {}
+        todo: List[RunSpec] = []
+        for spec in normalized:
+            if spec in outcomes or spec in todo:
+                continue
+            cached = cache.get(spec, config) if cache is not None else None
+            if cached is not None:
+                events.status("run cached", mode=spec.mode,
+                              **spec.event_fields())
+                with tracer.span("spec", span_key=_spec_key(spec),
+                                 label=spec.label()):
+                    pass
+                events.emit("spec_done", mode=spec.mode, cached=True,
+                            attempts=0, **spec.event_fields())
+                if store is not None:
+                    store.record_run(spec, cached,
+                                     config_digest=config_digest,
+                                     cached=True, attempts=0)
+                outcomes[spec] = SweepOutcome(spec, cached, cached=True)
+            else:
+                todo.append(spec)
 
-    if todo and workers >= 2:
-        _run_pooled(todo, config, workers, cache, events, profiler,
-                    interval_for, profile_phases, outcomes, retry, faults)
-    else:
-        _run_inline(todo, config, cache, events, profiler, interval_for,
-                    profile_phases, on_checkpoint_for, program_cache,
-                    outcomes, retry, faults)
+        if todo and workers >= 2:
+            _run_pooled(todo, config, workers, cache, events, profiler,
+                        interval_for, profile_phases, outcomes, retry,
+                        faults, tracer, store, config_digest)
+        else:
+            _run_inline(todo, config, cache, events, profiler, interval_for,
+                        profile_phases, on_checkpoint_for, program_cache,
+                        outcomes, retry, faults, tracer, store,
+                        config_digest)
 
     ordered = [outcomes[spec] for spec in normalized]
     if on_outcome is not None:
@@ -459,7 +533,8 @@ def sweep(
 
 def _run_inline(todo, config, cache, events, profiler, interval_for,
                 profile_phases, on_checkpoint_for, program_cache,
-                outcomes, retry, faults) -> None:
+                outcomes, retry, faults, tracer=None, store=None,
+                config_digest="") -> None:
     """Sequential execution with the same retry/quarantine contract.
 
     Inline attempts emit straight into the parent's observability (that
@@ -469,66 +544,110 @@ def _run_inline(todo, config, cache, events, profiler, interval_for,
     the pooled path.
     """
     registry = get_registry()
+    tracer = tracer or NULL_TRACER
     for spec in todo:
         on_checkpoint = (
             on_checkpoint_for(spec) if on_checkpoint_for else None
         )
-        attempt = 0
-        while True:
-            try:
-                if faults is not None:
-                    apply_inline_fault(faults, spec.label(), attempt)
-                result = execute_spec(
-                    spec,
-                    config,
-                    events=events,
-                    checkpoint_interval=interval_for(spec),
-                    on_checkpoint=on_checkpoint,
-                    profiler=profiler,
-                    profile_phases=profile_phases,
-                    program_cache=program_cache,
-                )
-            except Exception as exc:
-                kind = getattr(exc, "kind", "error")
-                detail = traceback.format_exc()
-                nxt = attempt + 1
-                if nxt >= retry.max_attempts:
-                    failure = FailedRun(spec, nxt, kind, repr(exc), detail)
-                    registry.counter("sweep.quarantined").inc()
-                    events.emit("run_failed", mode=spec.mode, attempts=nxt,
+        key = _spec_key(spec)
+        started = time.perf_counter()
+        with tracer.span("spec", span_key=key, label=spec.label()):
+            attempt = 0
+            result = failure = None
+            while True:
+                events.emit("spec_dispatch", mode=spec.mode,
+                            attempt=attempt, **spec.event_fields())
+                try:
+                    # Injected at-dispatch faults fail *before* the
+                    # attempt span opens, matching the pooled path
+                    # (a worker that dies leaves no attempt subtree).
+                    if faults is not None:
+                        apply_inline_fault(faults, spec.label(), attempt)
+                    with tracer.span("attempt",
+                                     span_key=key + "#%d" % attempt,
+                                     attempt=attempt):
+                        result = execute_spec(
+                            spec,
+                            config,
+                            events=events,
+                            checkpoint_interval=interval_for(spec),
+                            on_checkpoint=on_checkpoint,
+                            profiler=profiler,
+                            profile_phases=profile_phases,
+                            program_cache=program_cache,
+                            tracer=tracer,
+                        )
+                except Exception as exc:
+                    kind = getattr(exc, "kind", "error")
+                    detail = traceback.format_exc()
+                    nxt = attempt + 1
+                    if nxt >= retry.max_attempts:
+                        failure = FailedRun(spec, nxt, kind, repr(exc),
+                                            detail)
+                        registry.counter("sweep.quarantined").inc()
+                        events.emit("run_failed", mode=spec.mode,
+                                    attempts=nxt, reason=kind,
+                                    error=repr(exc), **spec.event_fields())
+                        outcomes[spec] = SweepOutcome(
+                            spec, None, attempts=nxt, failure=failure
+                        )
+                        break
+                    registry.counter("sweep.retries").inc()
+                    events.emit("run_retry", mode=spec.mode, attempt=nxt,
                                 reason=kind, error=repr(exc),
                                 **spec.event_fields())
-                    outcomes[spec] = SweepOutcome(
-                        spec, None, attempts=nxt, failure=failure
-                    )
-                    break
-                registry.counter("sweep.retries").inc()
-                events.emit("run_retry", mode=spec.mode, attempt=nxt,
-                            reason=kind, error=repr(exc),
-                            **spec.event_fields())
-                time.sleep(retry.delay(nxt))
-                attempt = nxt
-                continue
-            _commit_result(cache, spec, config, result, faults, events,
-                           registry)
-            outcomes[spec] = SweepOutcome(spec, result, attempts=attempt + 1)
-            break
+                    delay = retry.delay(nxt)
+                    time.sleep(delay)
+                    tracer.add_span("retry-wait", delay,
+                                    span_key=key + "#wait%d" % nxt,
+                                    attempt=nxt)
+                    attempt = nxt
+                    continue
+                _commit_result(cache, spec, config, result, faults, events,
+                               registry)
+                outcomes[spec] = SweepOutcome(spec, result,
+                                              attempts=attempt + 1)
+                break
+        host_seconds = time.perf_counter() - started
+        if failure is not None:
+            if store is not None:
+                store.record_failure(spec, failure.error,
+                                     config_digest=config_digest,
+                                     attempts=failure.attempts)
+            continue
+        events.emit("spec_done", mode=spec.mode, cached=False,
+                    attempts=attempt + 1, **spec.event_fields())
+        if store is not None:
+            # Roll up the *winning attempt's* subtree (not the whole
+            # spec span), matching what a pooled worker ships back.
+            rollup = None
+            if tracer.enabled:
+                rollup = rollup_spans(tracer.subtree(
+                    span_id_for_key(key + "#%d" % attempt)))
+            store.record_run(spec, result, config_digest=config_digest,
+                             attempts=attempt + 1,
+                             host_seconds=host_seconds, spans=rollup)
 
 
 def _run_pooled(todo, config, workers, cache, events, profiler,
                 interval_for, profile_phases, outcomes, retry,
-                faults) -> None:
+                faults, tracer=None, store=None, config_digest="") -> None:
     """Fan ``todo`` over a process pool; merge results in input order."""
     registry = get_registry()
+    tracer = tracer or NULL_TRACER
     dispatcher = _PoolDispatcher(todo, config, workers, cache, events,
                                  registry, interval_for, profile_phases,
-                                 retry, faults)
+                                 retry, faults, tracer, store,
+                                 config_digest)
     payloads, failures = dispatcher.run()
 
     # Merge in *input order*, exactly once per spec, from the winning
     # attempt only — completion order, retries, and duplicate late
     # results can never reorder or double-count the merged stream.
     for spec in todo:
+        key = _spec_key(spec)
+        with tracer.span("spec", span_key=key, label=spec.label()):
+            pass
         failure = failures.get(spec)
         if failure is not None:
             outcomes[spec] = SweepOutcome(
@@ -543,6 +662,11 @@ def _run_pooled(todo, config, workers, cache, events, profiler,
             events.replay(payload["records"])
         profiler.merge_snapshot(payload["phases"])
         registry.merge_snapshot(payload["metrics"])
+        # Graft the worker-captured attempt subtree under the spec span
+        # it belongs to; the worker derived the same content ids the
+        # sequential path would, so the merged tree is identical.
+        tracer.adopt(payload.get("spans", ()),
+                     parent_id=span_id_for_key(key))
         outcomes[spec] = SweepOutcome(
             spec, payload["result"], events=payload["records"],
             attempts=attempt + 1,
@@ -560,7 +684,8 @@ class _PoolDispatcher:
     """
 
     def __init__(self, todo, config, workers, cache, events, registry,
-                 interval_for, profile_phases, retry, faults):
+                 interval_for, profile_phases, retry, faults,
+                 tracer=None, store=None, config_digest=""):
         self.todo = todo
         self.config = config
         self.nworkers = min(workers, len(todo))
@@ -571,6 +696,10 @@ class _PoolDispatcher:
         self.profile_phases = profile_phases
         self.retry = retry
         self.faults = faults
+        self.tracer = tracer or NULL_TRACER
+        self.store = store
+        self.config_digest = config_digest
+        self._spec_keys: Dict[RunSpec, str] = {}
 
         self.payloads: Dict[RunSpec, dict] = {}
         self.failures: Dict[RunSpec, FailedRun] = {}
@@ -641,13 +770,19 @@ class _PoolDispatcher:
         return sum(1 for (_s, _a, _t, p) in self.inflight.values()
                    if p == probe)
 
+    def _key(self, spec: RunSpec) -> str:
+        key = self._spec_keys.get(spec)
+        if key is None:
+            key = self._spec_keys[spec] = _spec_key(spec)
+        return key
+
     def _launch(self, spec: RunSpec, attempt: int, probe: bool) -> None:
         pool = self._probe_pool() if probe else self.pool
         try:
             future = pool.submit(
                 _pool_task, spec.as_dict(), self.config,
                 self.interval_for(spec), self.profile_phases,
-                attempt, self.faults,
+                attempt, self.faults, self.tracer.enabled,
             )
         except BrokenProcessPool:
             # The pool died between drains.  The attempt never started,
@@ -657,6 +792,8 @@ class _PoolDispatcher:
             self._handle_break(probe, "submit on broken pool")
             return
         self.inflight[future] = (spec, attempt, time.monotonic(), probe)
+        self.events.emit("spec_dispatch", mode=spec.mode, attempt=attempt,
+                         probe=probe, **spec.event_fields())
 
     def _probe_pool(self) -> ProcessPoolExecutor:
         if self.probe is None:
@@ -677,12 +814,25 @@ class _PoolDispatcher:
             self.registry.counter("sweep.quarantined").inc()
             self.events.emit("run_failed", mode=spec.mode, attempts=nxt,
                              reason=kind, error=error, **spec.event_fields())
+            if self.store is not None:
+                self.store.record_failure(spec, error,
+                                          config_digest=self.config_digest,
+                                          attempts=nxt)
         else:
-            ready_at = time.monotonic() + self.retry.delay(nxt)
+            delay = self.retry.delay(nxt)
+            ready_at = time.monotonic() + delay
             self.delayed.append((ready_at, spec, nxt, probe_next))
             self.registry.counter("sweep.retries").inc()
             self.events.emit("run_retry", mode=spec.mode, attempt=nxt,
                              reason=kind, error=error, **spec.event_fields())
+            # The spec span does not exist yet (it is materialized at
+            # merge time), but its id is content-derived, so the wait
+            # span can name its parent in advance — landing exactly
+            # where the sequential path records it.
+            self.tracer.add_span("retry-wait", delay,
+                                 parent_id=span_id_for_key(self._key(spec)),
+                                 span_key=self._key(spec) + "#wait%d" % nxt,
+                                 attempt=nxt)
 
     def _accept(self, spec: RunSpec, attempt: int, payload: dict,
                 probe: bool) -> None:
@@ -701,6 +851,19 @@ class _PoolDispatcher:
         self.payloads[spec] = payload
         _commit_result(self.cache, spec, self.config, payload["result"],
                        self.faults, self.events, self.registry)
+        self.events.emit("spec_done", mode=spec.mode, cached=False,
+                         attempts=attempt + 1, **spec.event_fields())
+        if self.store is not None:
+            # Committed as results complete — not at merge time — so a
+            # killed sweep's store matches its cache.
+            spans = payload.get("spans") or None
+            rollup = rollup_spans(spans) if spans else None
+            host = sum(entry["seconds"]
+                       for entry in payload["phases"].values())
+            self.store.record_run(
+                spec, payload["result"], config_digest=self.config_digest,
+                attempts=attempt + 1, host_seconds=host, spans=rollup,
+            )
 
     # -- timeouts ----------------------------------------------------------
 

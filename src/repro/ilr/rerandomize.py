@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs.trace import NULL_TRACER
 from .randomizer import RandomizedProgram, RandomizerConfig, randomize
 
 
@@ -47,8 +48,14 @@ def rerandomize(
     return randomize(program.original, config)
 
 
-def apply_rerandomization(cpu, new_program: RandomizedProgram) -> None:
+def apply_rerandomization(cpu, new_program: RandomizedProgram,
+                          tracer=None) -> None:
     """Rotate a *live* VCFR CPU onto a freshly re-randomized program.
+
+    With a :class:`~repro.obs.trace.Tracer`, the whole rotation is
+    wrapped in a ``rerandomize-epoch`` span (tagged with the new
+    epoch's seed) — rotation latency is the paper's headline
+    re-randomization cost, so it is a first-class trace observable.
 
     VCFR is the only mode where an in-place epoch rotation is cheap: the
     fetch space is the original layout (UPC), so instructions stay where
@@ -86,6 +93,12 @@ def apply_rerandomization(cpu, new_program: RandomizedProgram) -> None:
     text at randomized addresses, so its rotation is a full image reload,
     not an in-place table swap).
     """
+    tracer = tracer or NULL_TRACER
+    with tracer.span("rerandomize-epoch", seed=new_program.config.seed):
+        _rotate_live_cpu(cpu, new_program)
+
+
+def _rotate_live_cpu(cpu, new_program: RandomizedProgram) -> None:
     flow = cpu.flow
     old_rdr = getattr(flow, "rdr", None)
     if old_rdr is None or not getattr(flow, "uses_drc", False):

@@ -1,6 +1,6 @@
 """Simulator-wide observability layer.
 
-Three independent instruments, designed to be threaded through every
+Five independent instruments, designed to be threaded through every
 subsystem without coupling them to each other:
 
 * :mod:`repro.obs.metrics` — an always-on metrics registry (counters,
@@ -9,13 +9,21 @@ subsystem without coupling them to each other:
   registry is the cross-run aggregation point they sync into.
 * :mod:`repro.obs.events` — a structured event log emitting typed JSONL
   records (``run_start``, ``phase``, ``checkpoint``, ``drc_evict``,
-  ``cache_fill_burst``, ``run_end``) through a pluggable sink (null /
-  in-memory / file), replacing ad-hoc prints.
+  ``spec_dispatch``, ``spec_done``, ``run_end``, ...) through a
+  pluggable sink (null / in-memory / file), replacing ad-hoc prints;
+  :func:`~repro.obs.events.follow_events` tails a growing log live.
 * :mod:`repro.obs.profile` — context-manager phase timers attributing
   host wall-time to simulator phases and harness stages.
+* :mod:`repro.obs.trace` — hierarchical span tracing (``sweep → spec →
+  attempt → phase``) with deterministic content-derived span ids,
+  pickle-safe cross-process capture, and Chrome ``trace_event`` export.
+* :mod:`repro.obs.store` — a SQLite run store indexing every completed
+  run (spec fingerprint, config digest, key stats, span rollups) plus
+  fuzz findings, with backfill from cache directories and JSONL logs.
 
-``repro.tools.stats`` consumes the JSONL output and renders metric
-tables, per-phase host-time breakdowns, and A-vs-B mode comparisons.
+``repro.tools.stats`` consumes both surfaces: JSONL logs for one-sweep
+analysis, the run store for cross-history queries (``best`` /
+``compare`` / ``history`` / raw SQL).
 """
 
 from __future__ import annotations
@@ -27,12 +35,15 @@ from .events import (
     FileSink,
     MemorySink,
     NullSink,
+    follow_events,
     make_sink,
     open_log,
     read_events,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .profile import PhaseProfiler
+from .store import RunStore
+from .trace import NULL_TRACER, Span, TickClock, Tracer, rollup_spans
 
 __all__ = [
     "Counter",
@@ -47,7 +58,14 @@ __all__ = [
     "make_sink",
     "open_log",
     "read_events",
+    "follow_events",
     "PhaseProfiler",
+    "Span",
+    "Tracer",
+    "TickClock",
+    "NULL_TRACER",
+    "rollup_spans",
+    "RunStore",
     "status",
 ]
 

@@ -13,6 +13,10 @@ kinds (consumed by ``repro.tools.stats``):
 ``cache_fill_burst`` a streak of consecutive IL1 fetch misses ended —
                      the signature of naive ILR's destroyed locality
 ``run_end``          the run finished (totals)
+``spec_dispatch``    the sweep engine started (or scheduled) one
+                     attempt of a spec — the dashboard's "running" edge
+``spec_done``        a spec completed (result committed; ``cached``
+                     marks cache hits) — the dashboard's "done" edge
 ``run_retry``        a sweep attempt failed and was rescheduled
                      (attempt number, failure kind, error)
 ``run_failed``       a spec exhausted its attempts and was quarantined
@@ -27,8 +31,9 @@ skip building expensive fields), :class:`MemorySink` (list of dicts),
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 __all__ = [
     "EventLog",
@@ -38,6 +43,7 @@ __all__ = [
     "make_sink",
     "open_log",
     "read_events",
+    "follow_events",
     "EVENT_KINDS",
 ]
 
@@ -50,6 +56,8 @@ EVENT_KINDS = (
     "drc_evict",
     "cache_fill_burst",
     "run_end",
+    "spec_dispatch",
+    "spec_done",
     "run_retry",
     "run_failed",
     "pool_rebuild",
@@ -206,26 +214,96 @@ def open_log(spec: Optional[str]) -> EventLog:
     return EventLog(make_sink(spec))
 
 
-def read_events(path: str,
-                kinds: Optional[Iterable[str]] = None) -> List[dict]:
-    """Load a JSONL event file, optionally filtered to ``kinds``.
-
-    Undecodable lines are skipped rather than raised: a process killed
-    mid-write (the exact scenario the fault-tolerant sweep engine
-    recovers from) leaves a truncated final line, and the captured
-    events before it must stay analyzable.
-    """
+def _wanted_kinds(kinds: Optional[Iterable[str]],
+                  kind: Optional[str]) -> Optional[set]:
+    """Normalize the two kind-filter spellings into one set (or None)."""
     wanted = set(kinds) if kinds is not None else None
+    if kind is not None:
+        wanted = (wanted or set()) | {kind}
+    return wanted
+
+
+def _parse_line(line: str) -> Optional[dict]:
+    """One JSONL line -> record, or None for blank/corrupt lines.
+
+    Blank lines and undecodable (truncated) lines are *skipped*, never
+    raised: a process killed mid-write — the exact scenario the
+    fault-tolerant sweep engine recovers from — leaves a partial final
+    line, and the captured events before it must stay analyzable.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None  # truncated/corrupt line from a killed writer
+    return record if isinstance(record, dict) else None
+
+
+def read_events(path: str,
+                kinds: Optional[Iterable[str]] = None,
+                since: Optional[int] = None,
+                kind: Optional[str] = None) -> List[dict]:
+    """Load a JSONL event file, optionally filtered.
+
+    ``kinds`` keeps only those record kinds (``kind`` is single-kind
+    sugar for the common case); ``since`` keeps records whose ``seq``
+    is strictly greater — pass the last ``seq`` already consumed to
+    poll a growing log incrementally without re-reading history.
+    """
+    wanted = _wanted_kinds(kinds, kind)
     records: List[dict] = []
     with open(path) as fh:
         for line in fh:
-            line = line.strip()
-            if not line:
+            record = _parse_line(line)
+            if record is None:
                 continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # truncated/corrupt line from a killed writer
-            if wanted is None or record.get("kind") in wanted:
-                records.append(record)
+            if wanted is not None and record.get("kind") not in wanted:
+                continue
+            if since is not None and record.get("seq", 0) <= since:
+                continue
+            records.append(record)
     return records
+
+
+def follow_events(path: str,
+                  kinds: Optional[Iterable[str]] = None,
+                  kind: Optional[str] = None,
+                  poll_interval: float = 0.2,
+                  stop=None,
+                  from_start: bool = True) -> Iterator[dict]:
+    """``tail -f`` a JSONL event log: yield records as they are written.
+
+    The live half of :func:`read_events`, built for the sweep dashboard
+    and ``stats tail``: a partially written final line (the writer is
+    mid-``write``) is *buffered*, not dropped — it is yielded once its
+    newline arrives, so a follower never loses or mangles a record that
+    a later :func:`read_events` would have seen.
+
+    ``stop`` is an optional zero-argument callable polled whenever the
+    file is exhausted; returning True ends the generator (otherwise it
+    follows forever, like ``tail -f``).  ``from_start=False`` seeks to
+    the current end first and yields only new records.
+    """
+    wanted = _wanted_kinds(kinds, kind)
+    buffer = ""
+    with open(path) as fh:
+        if not from_start:
+            fh.seek(0, os.SEEK_END)
+        while True:
+            chunk = fh.read()
+            if chunk:
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    record = _parse_line(line)
+                    if record is None:
+                        continue
+                    if wanted is not None and record.get("kind") not in wanted:
+                        continue
+                    yield record
+            else:
+                if stop is not None and stop():
+                    return
+                time.sleep(poll_interval)

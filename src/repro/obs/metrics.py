@@ -245,12 +245,37 @@ class MetricsRegistry:
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, snap in snapshot.get("histograms", {}).items():
-            hist = self.histogram(name, bounds=tuple(snap["bounds"]))
-            if hist.bounds != tuple(snap["bounds"]):
-                # Pre-existing instrument with different buckets: replay
-                # through the mean so totals still aggregate.
-                for _ in range(snap["count"]):
-                    hist.observe(snap["mean"])
+            bounds = tuple(sorted(snap["bounds"]))
+            hist = self.histogram(name, bounds=bounds)
+            if hist.bounds != bounds and hist.count == 0:
+                # Pre-existing but *empty* instrument with different
+                # buckets (e.g. it was created with DEFAULT_BUCKETS
+                # before any snapshot arrived): adopt the snapshot's
+                # bounds exactly so the merge round-trips bucket-for-
+                # bucket.  Replaying through the mean here used to
+                # silently misbin every observation.
+                hist.bounds = bounds
+                hist.counts = [0] * (len(bounds) + 1)
+            if hist.bounds != bounds:
+                # Populated instrument with genuinely different buckets:
+                # conservatively rebin each incoming bucket at its upper
+                # edge (overflow stays overflow).  Bucket placement is
+                # approximate by necessity; total/count stay exact.
+                for idx, count in enumerate(snap["counts"]):
+                    if not count:
+                        continue
+                    if idx >= len(bounds):
+                        target = len(hist.bounds)  # overflow -> overflow
+                    else:
+                        edge = bounds[idx]
+                        for target, bound in enumerate(hist.bounds):
+                            if edge <= bound:
+                                break
+                        else:
+                            target = len(hist.bounds)
+                    hist.counts[target] += count
+                hist.total += snap["total"]
+                hist.count += snap["count"]
                 continue
             for idx, count in enumerate(snap["counts"]):
                 hist.counts[idx] += count

@@ -54,6 +54,9 @@ def main(argv=None) -> int:
                         help="skip the software-ILR emulator leg")
     parser.add_argument("--events", metavar="PATH", default=None,
                         help="write a JSONL event log")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="record findings in a SQLite run store "
+                             "(query with 'repro.tools.stats sql')")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the progress line")
     args = parser.parse_args(argv)
@@ -83,6 +86,16 @@ def main(argv=None) -> int:
         )
         stats = session.run()
     elapsed = time.perf_counter() - t0
+
+    if args.store and stats.findings:
+        from ..obs.store import RunStore
+
+        with RunStore(args.store) as store:
+            for finding in stats.findings:
+                store.record_finding(finding.as_dict(),
+                                     session_seed=args.seed)
+        print("fuzz: recorded %d finding(s) in %s"
+              % (len(stats.findings), args.store), file=sys.stderr)
 
     rate = stats.programs / elapsed * 60 if elapsed > 0 else 0.0
     print(

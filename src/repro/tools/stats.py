@@ -1,7 +1,9 @@
-"""``python -m repro.tools.stats`` — analyze captured JSONL event logs.
+"""``python -m repro.tools.stats`` — analyze event logs and run stores.
 
-Loads one or more event files written by ``--events`` (harness or
-``repro.tools.run``) and renders:
+Two front ends share this entry point:
+
+**JSONL analysis** (``stats events.jsonl [...]``) loads event files
+written by ``--events`` (harness or ``repro.tools.run``) and renders:
 
 * an event-kind summary,
 * a per-run table (from ``run_end`` records),
@@ -13,6 +15,18 @@ Loads one or more event files written by ``--events`` (harness or
 
 Multiple files are merged; records keep a ``file`` tag so two captured
 runs (say, two branches of the simulator) can be diffed in one view.
+
+**Run-store queries** (``stats <command> runs.sqlite ...``) answer
+questions from the SQLite index written by ``--store``, without reading
+any JSONL:
+
+* ``best --metric ipc [--mode vcfr]`` — best run per workload,
+* ``compare vcfr@64 baseline`` — latest A-vs-B per workload,
+* ``history --workload mcf`` — recent runs including failures,
+* ``sql "SELECT ..."`` — raw SQL passthrough,
+* ``backfill --cache-dir DIR --events LOG`` — index pre-store artifacts,
+* ``tail events.jsonl`` — follow a live event log (``--dashboard`` for
+  the rolling status block).
 """
 
 from __future__ import annotations
@@ -23,7 +37,8 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from ..arch.simstats import ratio
-from ..obs.events import read_events
+from ..obs.events import follow_events, read_events
+from ..obs.store import STORE_METRICS, RunStore
 
 #: Eight-level bar glyphs for inline IPC-over-time sparklines.
 _SPARK = "▁▂▃▄▅▆▇█"
@@ -240,10 +255,188 @@ def compare_modes(records: List[dict], mode_a: str,
     return "\n\n".join(sections)
 
 
+# -- run-store subcommands --------------------------------------------------
+
+#: First-positional tokens routed to :func:`store_main` instead of the
+#: JSONL analyzer (an event file named ``best`` would shadow the
+#: subcommand; rename the file).
+STORE_COMMANDS = ("best", "compare", "history", "sql", "backfill", "tail")
+
+
+def _store_best(store: RunStore, args) -> int:
+    rows = store.best(args.metric, mode=args.mode, workload=args.workload)
+    if not rows:
+        print("no ok runs with %s recorded" % args.metric, file=sys.stderr)
+        return 1
+    print(format_table(
+        ("workload", "best", args.metric, "attempts", "source"),
+        [(r["workload"], r["label"], "%.4f" % r["value"], r["attempts"],
+          r["source"]) for r in rows],
+    ))
+    return 0
+
+
+def _store_compare(store: RunStore, args) -> int:
+    rows = store.compare(args.mode_a, args.mode_b, metric=args.metric)
+    if not rows:
+        print("no workload has runs for both %r and %r"
+              % (args.mode_a, args.mode_b), file=sys.stderr)
+        return 1
+    print(format_table(
+        ("workload", "%s %s" % (args.mode_a, args.metric),
+         "%s %s" % (args.mode_b, args.metric), "ratio"),
+        [(r["workload"], "%.4f" % r["a"], "%.4f" % r["b"],
+          "%.2fx" % r["ratio"]) for r in rows],
+    ))
+    return 0
+
+
+def _store_history(store: RunStore, args) -> int:
+    rows = store.history(workload=args.workload, mode=args.mode,
+                         limit=args.limit)
+    if not rows:
+        print("no runs recorded", file=sys.stderr)
+        return 1
+    print(format_table(
+        ("workload", "mode", "status", "ipc", "attempts", "source",
+         "detail"),
+        [(r["workload"], r["label"], r["status"],
+          "%.4f" % r["ipc"] if r["ipc"] is not None else "-",
+          r["attempts"], r["source"],
+          "cached" if r["cached"] else (r["error"] or ""))
+         for r in rows],
+    ))
+    return 0
+
+
+def _store_sql(store: RunStore, args) -> int:
+    try:
+        columns, rows = store.query(args.query)
+    except Exception as err:  # sqlite3 errors vary by statement
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+    if columns:
+        print(format_table(columns, rows))
+    return 0
+
+
+def _store_backfill(store: RunStore, args) -> int:
+    if not args.cache_dir and not args.events:
+        print("error: nothing to backfill (pass --cache-dir and/or "
+              "--events)", file=sys.stderr)
+        return 1
+    if args.cache_dir:
+        stats = store.backfill_cache(args.cache_dir)
+        print("cache %s: %d runs ingested, %d entries skipped"
+              % (args.cache_dir, stats["ingested"], stats["skipped"]))
+    for path in args.events or ():
+        stats = store.backfill_events(path)
+        print("events %s: %d runs, %d findings ingested"
+              % (path, stats["ingested"], stats["findings"]))
+    counts = store.counts()
+    print("store now holds %d runs, %d findings"
+          % (counts["runs"], counts["findings"]))
+    return 0
+
+
+def _tail(args) -> int:
+    """Follow a live JSONL event log (satellite of ``--dashboard``)."""
+    try:
+        if args.dashboard:
+            from ..harness.dashboard import Dashboard
+
+            dashboard = Dashboard(stream=sys.stdout, interval=0.0)
+            dashboard.feed(follow_events(args.file, kind=args.kind))
+        else:
+            for record in follow_events(args.file, kind=args.kind):
+                fields = "  ".join(
+                    "%s=%s" % (k, record[k]) for k in sorted(record)
+                    if k not in ("kind", "t", "seq")
+                )
+                print("%-14s %s" % (record.get("kind", "?"), fields))
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        # Reader went away (e.g. piped into head); not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def store_main(argv) -> int:
+    """Entry point for the run-store subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.stats",
+        description="Query the SQLite run store written with --store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("best", help="best run per workload by a metric")
+    p.add_argument("store", help="run store path (SQLite)")
+    p.add_argument("--metric", default="ipc", choices=STORE_METRICS)
+    p.add_argument("--mode", default=None,
+                   help="restrict to one mode (e.g. vcfr or vcfr@64)")
+    p.add_argument("--workload", default=None)
+    p.set_defaults(func=_store_best)
+
+    p = sub.add_parser("compare",
+                       help="latest A-vs-B per workload on a metric")
+    p.add_argument("store", help="run store path (SQLite)")
+    p.add_argument("mode_a", help="mode label (baseline, vcfr, vcfr@64)")
+    p.add_argument("mode_b")
+    p.add_argument("--metric", default="ipc", choices=STORE_METRICS)
+    p.set_defaults(func=_store_compare)
+
+    p = sub.add_parser("history", help="recent runs, newest first")
+    p.add_argument("store", help="run store path (SQLite)")
+    p.add_argument("--workload", default=None)
+    p.add_argument("--mode", default=None)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_store_history)
+
+    p = sub.add_parser("sql", help="raw SQL against the store")
+    p.add_argument("store", help="run store path (SQLite)")
+    p.add_argument("query", help='e.g. "SELECT workload, ipc FROM runs"')
+    p.set_defaults(func=_store_sql)
+
+    p = sub.add_parser("backfill",
+                       help="index pre-store cache dirs / event logs")
+    p.add_argument("store", help="run store path (created if missing)")
+    p.add_argument("--cache-dir", default=None,
+                   help="ResultCache directory to ingest")
+    p.add_argument("--events", action="append", default=None,
+                   metavar="PATH", help="JSONL event log(s) to ingest")
+    p.set_defaults(func=_store_backfill)
+
+    p = sub.add_parser("tail", help="follow a live JSONL event log")
+    p.add_argument("file", help="JSONL event log being written")
+    p.add_argument("--kind", default=None,
+                   help="only records of this event kind")
+    p.add_argument("--dashboard", action="store_true",
+                   help="render the rolling sweep dashboard instead of "
+                        "raw records")
+    p.set_defaults(func=_tail)
+
+    args = parser.parse_args(argv)
+    if args.command == "tail":
+        return _tail(args)
+    try:
+        with RunStore(args.store) as store:
+            return args.func(store, args)
+    except (OSError, RuntimeError, ValueError) as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+
+
 # -- CLI --------------------------------------------------------------------
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in STORE_COMMANDS:
+        return store_main(argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.stats",
         description="Analyze JSONL event logs captured with --events.",

@@ -12,6 +12,7 @@ from repro.obs.events import (
     MemorySink,
     NullSink,
     make_sink,
+    follow_events,
     open_log,
     read_events,
 )
@@ -231,3 +232,88 @@ class TestTruncatedLogs:
 
         assert stats_main([path]) == 0
         assert "run_start" in capsys.readouterr().out
+
+
+class TestReadFilters:
+    def _log(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open_log(path) as log:
+            log.emit("a", n=0)
+            log.emit("b", n=1)
+            log.emit("a", n=2)
+        return path
+
+    def test_kind_singular_filter(self, tmp_path):
+        path = self._log(tmp_path)
+        records = read_events(path, kind="b")
+        assert [r["n"] for r in records] == [1]
+
+    def test_since_resumes_after_a_seq(self, tmp_path):
+        path = self._log(tmp_path)
+        records = read_events(path, since=0)
+        assert [r["seq"] for r in records] == [1, 2]
+        assert read_events(path, since=2) == []
+
+    def test_since_and_kind_compose(self, tmp_path):
+        path = self._log(tmp_path)
+        records = read_events(path, kind="a", since=0)
+        assert [r["n"] for r in records] == [2]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"kind": "a", "seq": 0}\n')
+            fh.write("\n")
+            fh.write("   \n")
+            fh.write('{"kind": "b", "seq": 1}\n')
+        assert [r["kind"] for r in read_events(path)] == ["a", "b"]
+
+
+class TestFollowEvents:
+    def test_follow_yields_existing_then_stops(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open_log(path) as log:
+            log.emit("a")
+            log.emit("b")
+        records = list(follow_events(path, poll_interval=0,
+                                     stop=lambda: True))
+        assert [r["kind"] for r in records] == ["a", "b"]
+
+    def test_follow_sees_appended_records(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"kind": "a", "seq": 0}\n')
+            fh.flush()
+            seen = []
+            stream = follow_events(path, poll_interval=0,
+                                   stop=lambda: len(seen) >= 2)
+            seen.append(next(stream))
+            fh.write('{"kind": "b", "seq": 1}\n')
+            fh.flush()
+            seen.append(next(stream))
+        assert [r["kind"] for r in seen] == ["a", "b"]
+
+    def test_follow_buffers_partial_lines(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"kind": "a", "se')  # torn mid-record
+            fh.flush()
+            done = []
+            stream = follow_events(path, poll_interval=0,
+                                   stop=lambda: bool(done))
+            fh.write('q": 0}\n')
+            fh.flush()
+            record = next(stream)
+            done.append(True)
+        assert record == {"kind": "a", "seq": 0}
+        assert list(stream) == []
+
+    def test_follow_kind_filter(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open_log(path) as log:
+            log.emit("a")
+            log.emit("b")
+            log.emit("a")
+        records = list(follow_events(path, kind="a", poll_interval=0,
+                                     stop=lambda: True))
+        assert len(records) == 2

@@ -139,3 +139,66 @@ class TestDisabledRegistry:
             lambda: null_counter.inc(), number=n, repeat=3
         ))
         assert t_null < 20 * max(t_noop, 1e-6)
+
+
+class TestMergeSnapshotBounds:
+    """Histogram bounds must round-trip through a worker snapshot."""
+
+    def _worker_snapshot(self, bounds, values):
+        worker = MetricsRegistry()
+        hist = worker.histogram("sweep.lat", bounds=bounds)
+        for value in values:
+            hist.observe(value)
+        return worker.snapshot()
+
+    def test_merge_into_fresh_registry_round_trips(self):
+        bounds = (0.1, 0.5, 2.0)
+        snap = self._worker_snapshot(bounds, [0.05, 0.4, 1.0, 99.0])
+        parent = MetricsRegistry()
+        parent.merge_snapshot(snap)
+        merged = parent.histogram("sweep.lat")
+        assert merged.bounds == bounds
+        assert merged.counts == [1, 1, 1, 1]
+        assert merged.count == 4
+        assert merged.total == 0.05 + 0.4 + 1.0 + 99.0
+
+    def test_merge_adopts_bounds_on_empty_default_instrument(self):
+        # Regression: the parent often touches the instrument (creating
+        # it with DEFAULT_BUCKETS) before any worker snapshot arrives.
+        # Merging then misbinned every bucket via the default bounds.
+        bounds = (10.0, 20.0)
+        snap = self._worker_snapshot(bounds, [5.0, 15.0, 50.0])
+        parent = MetricsRegistry()
+        pre = parent.histogram("sweep.lat")  # DEFAULT_BUCKETS, empty
+        assert pre.bounds == DEFAULT_BUCKETS
+        parent.merge_snapshot(snap)
+        assert pre.bounds == bounds
+        assert pre.counts == [1, 1, 1]
+        assert pre.count == 3
+
+    def test_merge_twice_equals_observing_twice(self):
+        bounds = (1.0, 2.0)
+        snap = self._worker_snapshot(bounds, [0.5, 1.5])
+        parent = MetricsRegistry()
+        parent.merge_snapshot(snap)
+        parent.merge_snapshot(snap)
+        merged = parent.histogram("sweep.lat")
+        assert merged.counts == [2, 2, 0]
+        assert merged.count == 4
+        assert merged.total == 2 * (0.5 + 1.5)
+
+    def test_merge_into_populated_mismatched_bounds_keeps_totals(self):
+        parent = MetricsRegistry()
+        local = parent.histogram("sweep.lat", bounds=(1.0, 10.0))
+        local.observe(0.5)
+        snap = self._worker_snapshot((2.0, 20.0), [1.5, 15.0, 100.0])
+        parent.merge_snapshot(snap)
+        # Totals are exact even though bucket placement is approximate.
+        assert local.count == 4
+        assert local.total == 0.5 + 1.5 + 15.0 + 100.0
+        assert sum(local.counts) == 4
+        # Conservative upper-edge rebin: the 1.5 obs (bucket edge 2.0)
+        # lands in the <=10.0 bucket; the 15.0 obs carries its worker
+        # bucket's edge (20.0), which exceeds every local bound, so it
+        # joins the true overflow in the overflow bucket.
+        assert local.counts == [1, 1, 2]
