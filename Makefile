@@ -1,17 +1,18 @@
 # Developer entry points.  `make verify` is the tier-1 gate: the full
 # test suite (slow robustness tests included), the quick deterministic
 # differential-fuzzing tier, plus the observability-overhead,
-# span-tracing-overhead, parallel-sweep, fast-path, and
-# fault-tolerance-overhead budget checks.
+# span-tracing-overhead, parallel-sweep, streaming-scheduler,
+# fast-path, and fault-tolerance-overhead budget checks.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: verify test test-slow fuzz-quick fuzz bench-obs bench-trace \
-        bench-sweep bench-hotloop bench-faults bench backfill-store
+        bench-sweep bench-scheduler bench-hotloop bench-faults bench \
+        backfill-store
 
 verify: test test-slow fuzz-quick bench-obs bench-trace bench-sweep \
-        bench-hotloop bench-faults
+        bench-scheduler bench-hotloop bench-faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +45,9 @@ backfill-store:
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_parallel_speedup.py
+
+bench-scheduler:
+	$(PYTHON) benchmarks/bench_scheduler_overhead.py
 
 bench-hotloop:
 	$(PYTHON) benchmarks/bench_hot_loop.py

@@ -1,0 +1,147 @@
+"""Gate benchmark: streaming intake must be free on batch workloads.
+
+ISSUE 7 replaced the one-shot pooled fan-out with the streaming
+:class:`~repro.harness.scheduler.AsyncScheduler`.  Batch callers (the
+``sweep()`` shim, ``prefetch``) now hand their whole spec list to the
+same engine that also serves million-spec generators, so the streaming
+machinery — bounded intake window, input-order emission parking,
+async bridging on the pooled path — must cost ~nothing when the
+source is just a 200-spec batch.  This gate runs the same 200 specs
+two ways:
+
+1. **batch** — the list-in/list-out ``sweep()`` shim, i.e. exactly
+   what every pre-ISSUE-7 caller gets;
+2. **streamed** — the same specs fed one by one from a generator
+   through :meth:`AsyncScheduler.stream`;
+
+and asserts the streamed pass stays within 5% of the batch pass (plus
+results bit-identical, as everywhere else).  Timing is median-of-3
+with order-alternated pairs, and the gate takes the most favorable of
+three robust estimators (min-vs-min, median-vs-median, median of
+per-pair ratios) — the same anti-flake scheme as
+``bench_fault_overhead``: a real constant-per-spec regression lifts
+all three estimators together, host noise rarely does.
+
+Run directly (the ``Makefile verify`` target does)::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_overhead.py
+
+or through pytest: ``pytest benchmarks/bench_scheduler_overhead.py -q``.
+``BENCH_SCHED_BUDGET`` (instructions per run, default 1500),
+``BENCH_SCHED_SPECS`` (spec count, default 200), and
+``BENCH_SCHED_WORKERS`` (default 0: the pooled path's process pools
+add their own wall-clock noise on small hosts; set 2+ to gate the
+async-pooled bridge instead) trade fidelity against gate runtime.
+"""
+
+import dataclasses
+import json
+import os
+import statistics
+import time
+
+from repro.arch.config import default_config
+from repro.harness.scheduler import AsyncScheduler
+from repro.harness.spec import RunSpec
+from repro.harness.sweep import sweep
+
+BUDGET = int(os.environ.get("BENCH_SCHED_BUDGET", "1500"))
+SPEC_COUNT = int(os.environ.get("BENCH_SCHED_SPECS", "200"))
+WORKERS = int(os.environ.get("BENCH_SCHED_WORKERS", "0"))
+REPEATS = 3
+OVERHEAD_LIMIT = 0.05
+
+#: Seed-varied specs over a few workloads: 200 distinct cache keys and
+#: programs, each cheap enough that per-spec engine bookkeeping is a
+#: measurable fraction of the pass.
+_BASES = [
+    RunSpec("mcf", "baseline", max_instructions=BUDGET),
+    RunSpec("mcf", "vcfr", drc_entries=64, max_instructions=BUDGET),
+    RunSpec("bzip2", "baseline", max_instructions=BUDGET),
+    RunSpec("bzip2", "vcfr", drc_entries=128, max_instructions=BUDGET),
+]
+SPECS = [
+    dataclasses.replace(_BASES[i % len(_BASES)],
+                        seed=1 + i // len(_BASES)).normalized()
+    for i in range(SPEC_COUNT)
+]
+
+
+def _batch_pass(config, program_cache):
+    """The legacy batch surface: one sweep() call over the full list."""
+    start = time.perf_counter()
+    outcomes = sweep(SPECS, config, workers=WORKERS,
+                     program_cache=program_cache)
+    elapsed = time.perf_counter() - start
+    return elapsed, [json.dumps(o.result.as_dict(), sort_keys=True)
+                     for o in outcomes]
+
+
+def _stream_pass(config, program_cache):
+    """The streaming surface: the same specs fed from a generator."""
+    scheduler = AsyncScheduler(config, workers=WORKERS,
+                               program_cache=program_cache)
+    start = time.perf_counter()
+    outcomes = list(scheduler.stream(spec for spec in SPECS))
+    elapsed = time.perf_counter() - start
+    assert scheduler.high_water <= scheduler.window
+    return elapsed, [json.dumps(o.result.as_dict(), sort_keys=True)
+                     for o in outcomes]
+
+
+def test_streaming_overhead_is_negligible():
+    config = default_config()
+    # One shared program cache: both paths then pay the randomization
+    # cost once, and the measured passes compare pure engine overhead.
+    program_cache = {}
+    _batch_pass(config, program_cache)
+    _stream_pass(config, program_cache)
+
+    ratios, batch_times, stream_times = [], [], []
+    reference = None
+    for iteration in range(REPEATS):
+        if iteration % 2 == 0:
+            batch_s, batch_results = _batch_pass(config, program_cache)
+            stream_s, stream_results = _stream_pass(config, program_cache)
+        else:
+            stream_s, stream_results = _stream_pass(config, program_cache)
+            batch_s, batch_results = _batch_pass(config, program_cache)
+        batch_times.append(batch_s)
+        stream_times.append(stream_s)
+        ratios.append(stream_s / batch_s)
+        reference = reference or batch_results
+        assert batch_results == reference
+        assert stream_results == reference, (
+            "streaming scheduler changed simulation results"
+        )
+
+    estimators = {
+        "min": min(stream_times) / min(batch_times),
+        "median": (statistics.median(stream_times)
+                   / statistics.median(batch_times)),
+        "paired": statistics.median(ratios),
+    }
+    name = min(estimators, key=estimators.get)
+    overhead = estimators[name] - 1.0
+    print(
+        "\nstreaming-intake overhead: %d specs @ %d instr, %d workers | "
+        "batch median %.3fs, streamed median %.3fs | overhead %+.2f%% "
+        "via %s (min %+.2f%%, median %+.2f%%, paired %+.2f%%; limit "
+        "%.0f%%)"
+        % (SPEC_COUNT, BUDGET, WORKERS,
+           statistics.median(batch_times), statistics.median(stream_times),
+           100 * overhead, name,
+           100 * (estimators["min"] - 1),
+           100 * (estimators["median"] - 1),
+           100 * (estimators["paired"] - 1),
+           100 * OVERHEAD_LIMIT)
+    )
+    assert overhead < OVERHEAD_LIMIT, (
+        "streaming intake overhead %.2f%% exceeds %.0f%% budget"
+        % (100 * overhead, 100 * OVERHEAD_LIMIT)
+    )
+
+
+if __name__ == "__main__":
+    test_streaming_overhead_is_negligible()
+    print("OK: streaming scheduler is free on batch sweeps")

@@ -2,16 +2,23 @@
 
 Usage::
 
-    from repro.harness import Runner, run_all, format_report
-    runner = Runner()                  # paper machine parameters
-    results = run_all(runner)          # every table and figure
+    from repro.harness import ExperimentSession, run_all, format_report
+    session = ExperimentSession()      # paper machine parameters
+    results = run_all(session)         # every table and figure
     print(format_report(results))
 
-Scale it out with a worker pool and a persistent result cache::
+Scale it out with a worker pool and a persistent (sharded) result
+cache, or stream an arbitrarily large spec generator in bounded
+memory::
 
-    runner = Runner(workers=4, cache_dir=".repro-cache")
-    results = run_all(runner)          # parallel sweep; warm reruns
+    session = ExperimentSession(workers=4, cache_dir=".repro-cache")
+    results = run_all(session)         # parallel sweep; warm reruns
                                        # perform zero simulations
+    for outcome in session.stream(grid()):   # generator-fed streaming
+        ...
+
+(The legacy ``Runner`` dataclass remains as an exact deprecated shim
+over ``ExperimentSession``.)
 
 or from the command line::
 
@@ -31,7 +38,10 @@ from .faults import FaultPlan, InjectedFault
 from .report import format_report, format_result, format_table
 from .resultcache import ResultCache
 from .runner import Runner
+from .scheduler import AsyncScheduler
+from .session import ExperimentSession
 from .spec import RunSpec, config_fingerprint
+from .workqueue import WorkQueue
 from .sweep import (
     FailedRun,
     FailedRunError,
@@ -42,6 +52,9 @@ from .sweep import (
 )
 
 __all__ = [
+    "ExperimentSession",
+    "AsyncScheduler",
+    "WorkQueue",
     "Runner",
     "RunSpec",
     "ResultCache",

@@ -11,7 +11,9 @@ Options:
   --profile-phases        attribute host time to CPU pipeline phases
   --checkpoint-interval N instructions between checkpoints (0 = auto)
   --workers N             parallel sweep worker processes
+  --backlog N             streaming-scheduler intake window beyond workers
   --cache-dir DIR         persistent on-disk result cache
+  --queue                 multi-process claim protocol over --cache-dir
   --store PATH            SQLite run store (query with repro.tools.stats)
   --trace-out PATH        Chrome trace_event JSON of the sweep's spans
   --dashboard             live sweep status block on stderr
@@ -51,7 +53,7 @@ from .cli import (
 )
 from .experiments import ALL_EXPERIMENTS, suite_specs
 from .report import format_result, results_to_dict, write_json
-from .runner import Runner
+from .session import ExperimentSession
 from .sweep import FailedRunError
 
 
@@ -72,18 +74,14 @@ def main(argv=None) -> int:
                         help='write results as JSON to PATH ("-" = stdout)')
     parser.add_argument("--profile-phases", action="store_true",
                         help="attribute host time to CPU pipeline phases")
-    parser.add_argument("--trace-out", metavar="PATH", default=None,
-                        help="write the sweep's span tree as Chrome "
-                             "trace_event JSON (open in chrome://tracing "
-                             "or Perfetto)")
-    parser.add_argument("--dashboard", action="store_true",
-                        help="live sweep status block on stderr: specs in "
-                             "flight, retries, cache hit rate, rolling IPC")
     add_observability_options(parser)
     add_sweep_options(parser)
     add_fault_options(parser)
     args = parser.parse_args(argv)
     retry, faults = fault_config_from_args(args)
+    if args.queue and not args.cache_dir:
+        parser.error("--queue needs --cache-dir (the queue's claim files "
+                     "live in the shared cache directory)")
 
     registry = dict(ALL_EXPERIMENTS)
     registry.update(ALL_ABLATIONS)
@@ -109,7 +107,7 @@ def main(argv=None) -> int:
         if args.dashboard:
             dashboard = Dashboard()
             dashboard.attach(events)
-        runner = Runner(
+        runner = ExperimentSession(
             scale=args.scale,
             seed=args.seed,
             max_instructions=args.max_instructions,
@@ -118,11 +116,13 @@ def main(argv=None) -> int:
             checkpoint_interval=args.checkpoint_interval,
             profile_phases=args.profile_phases,
             workers=args.workers,
+            backlog=args.backlog,
             cache_dir=args.cache_dir,
             retry=retry,
             faults=faults,
             tracer=tracer,
             store_path=args.store,
+            queue=True if args.queue else None,
         )
         events.status("harness start", experiments=list(wanted),
                       scale=args.scale,
@@ -174,6 +174,11 @@ def main(argv=None) -> int:
             status("(cache %s: %d hits, %d misses, %d writes)"
                    % (runner.cache.root, stats["hits"], stats["misses"],
                       stats["writes"]))
+        if runner.queue is not None:
+            qstats = runner.queue.stats()
+            status("(queue %s: %d claimed, %d yielded, %d takeovers)"
+                   % (runner.queue.owner, qstats["claimed"],
+                      qstats["yielded"], qstats["takeovers"]))
         fault_counters = {
             name: value
             for name, value in get_registry().counters("sweep.").items()

@@ -1,8 +1,11 @@
 """Shared CLI option builders for the harness and tool entry points.
 
-``python -m repro.harness`` and ``python -m repro.tools.run`` expose the
-same observability and sweep knobs; defining the flags here (once) keeps
-names, defaults, and help text from drifting between the two parsers.
+``python -m repro.harness``, ``python -m repro.tools.run``, and
+``python -m repro.tools.fuzz`` expose the same observability knobs —
+``--events`` / ``--progress`` / ``--checkpoint-interval`` / ``--store``
+/ ``--trace-out`` / ``--dashboard`` — and the harness and run tool
+share the sweep and fault flags too.  Defining the flags here (once)
+keeps names, defaults, and help text from drifting between parsers.
 """
 
 from __future__ import annotations
@@ -22,7 +25,9 @@ def add_observability_options(
     *,
     default_checkpoint_interval: int = 0,
 ) -> None:
-    """``--events`` / ``--progress`` / ``--checkpoint-interval``."""
+    """The full observability flag set, identical across every CLI:
+    ``--events`` / ``--progress`` / ``--checkpoint-interval`` /
+    ``--store`` / ``--trace-out`` / ``--dashboard``."""
     parser.add_argument("--events", metavar="PATH", default=None,
                         help="write a JSONL structured event log to PATH")
     parser.add_argument("--progress", action="store_true",
@@ -37,23 +42,38 @@ def add_observability_options(
     parser.add_argument("--checkpoint-interval", type=int,
                         default=default_checkpoint_interval,
                         help=interval_help)
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="SQLite run store: every completed run (and "
+                             "fuzz finding) is indexed for 'python -m "
+                             "repro.tools.stats best/compare/history/sql'")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the span tree as Chrome trace_event "
+                             "JSON (open in chrome://tracing or Perfetto)")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="live status block on stderr fed by the "
+                             "event stream: work in flight, retries, "
+                             "cache hit rate, findings, rolling IPC")
 
 
 def add_sweep_options(parser: argparse.ArgumentParser) -> None:
-    """``--workers`` / ``--cache-dir`` / ``--store``."""
+    """``--workers`` / ``--backlog`` / ``--cache-dir`` / ``--queue``."""
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes for the simulation sweep "
                              "(0/1 = sequential)")
+    parser.add_argument("--backlog", type=int, default=None, metavar="N",
+                        help="extra specs the streaming scheduler keeps "
+                             "materialized beyond the worker count "
+                             "(default 32); bounds sweep memory")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="persistent result cache: simulations hit "
                              "here are loaded instead of re-run; results "
                              "commit as they finish, so a killed sweep "
                              "resumes from its completed work")
-    parser.add_argument("--store", metavar="PATH", default=None,
-                        help="SQLite run store: every completed run is "
-                             "indexed (spec, config digest, key stats, "
-                             "span rollups) for 'python -m "
-                             "repro.tools.stats best/compare/history/sql'")
+    parser.add_argument("--queue", action="store_true",
+                        help="coordinate with other processes draining "
+                             "the same sweep: claim specs through the "
+                             "shared cache directory (requires "
+                             "--cache-dir); results merge by digest")
 
 
 def add_fault_options(parser: argparse.ArgumentParser) -> None:

@@ -9,7 +9,10 @@ sparkline from ``checkpoint`` events.
 The dashboard is a pure *consumer* of the event vocabulary in
 :mod:`repro.obs.events` — it learns everything from ``spec_dispatch``,
 ``spec_done``, ``run_retry``, ``run_failed``, ``pool_rebuild``, and
-``checkpoint`` records.  :meth:`Dashboard.attach` tees an
+``checkpoint`` records.  It also understands the fuzzing vocabulary
+(``fuzz_program`` counts as a completed unit of work, ``fuzz_finding``
+as a failure), so ``python -m repro.tools.fuzz --dashboard`` renders
+the same status block over a fuzzing session.  :meth:`Dashboard.attach` tees an
 :class:`~repro.obs.events.EventLog`'s sink, so the same records that go
 to the JSONL file (or nowhere) also drive the display; :meth:`feed`
 accepts records from :func:`~repro.obs.events.follow_events`, so the
@@ -96,6 +99,7 @@ class Dashboard:
         self.done = 0
         self.cached = 0
         self.failed = 0
+        self.findings = 0
         self.retries = 0
         self.pool_rebuilds = 0
         self.ipc = deque(maxlen=ipc_window)
@@ -143,6 +147,12 @@ class Dashboard:
             self.pool_rebuilds += 1
         elif kind == "checkpoint" and "ipc" in record:
             self.ipc.append(record["ipc"])
+        elif kind == "fuzz_program":
+            self.done += 1
+            if not record.get("ok", True):
+                self.failed += 1
+        elif kind == "fuzz_finding":
+            self.findings += 1
         else:
             return
         self.maybe_render()
@@ -159,6 +169,8 @@ class Dashboard:
             parts.append("cache %d (%.0f%%)" % (self.cached, rate))
         if self.failed:
             parts.append("failed %d" % self.failed)
+        if self.findings:
+            parts.append("findings %d" % self.findings)
         if self.retries:
             parts.append("retries %d" % self.retries)
         if self.pool_rebuilds:

@@ -1,13 +1,23 @@
-"""RunSpec-keyed workload execution for the experiment harness.
+"""RunSpec-keyed workload execution: the legacy ``Runner`` face.
 
-Experiments share randomized programs and simulation results through one
-:class:`Runner`.  Every run is identified by a frozen
-:class:`~repro.harness.spec.RunSpec` — the same currency used by the
-parallel sweep engine (:mod:`repro.harness.sweep`), the persistent
-result cache (:mod:`repro.harness.resultcache`), CLI flags, and event
-records — so the full per-paper suite performs each distinct simulation
-exactly once per process, and (with ``cache_dir``) once *ever* per
-machine model and code version.
+.. deprecated:: ISSUE 7
+    :class:`Runner` is the historical entry point, kept as an exact
+    shim: it subclasses :class:`~repro.harness.session.
+    ExperimentSession` (the unified front end of the experiment
+    service) and adds nothing but the original dataclass constructor
+    and the pre-RunSpec ``sim()``/``program()`` shims.  New code should
+    construct an ``ExperimentSession`` directly — it exposes the same
+    ``spec``/``run``/``prefetch``/``emulate`` surface plus the
+    streaming ``stream()``/``sweep()`` entry points, intake ``backlog``
+    control, and multi-host ``queue`` draining.
+
+Every run is identified by a frozen :class:`~repro.harness.spec.
+RunSpec` — the same currency used by the streaming scheduler
+(:mod:`repro.harness.scheduler`), the persistent result cache
+(:mod:`repro.harness.resultcache`), CLI flags, and event records — so
+the full per-paper suite performs each distinct simulation exactly once
+per process, and (with ``cache_dir``) once *ever* per machine model and
+code version.
 
 Typical use::
 
@@ -21,48 +31,38 @@ The runner is also the harness's observability anchor: every stage
 progress checkpoints into the shared
 :class:`~repro.obs.events.EventLog`, and ``progress=True`` turns those
 checkpoints into live heartbeat lines on stderr.
-
-The pre-RunSpec entry points ``Runner.sim(name, mode, drc_entries)`` and
-``Runner.program(name)`` remain as thin deprecated shims.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Optional
 
-from ..arch.config import MachineConfig, default_config
-from ..arch.simstats import Checkpoint, SimResult
+from ..arch.config import MachineConfig
+from ..arch.simstats import SimResult
 from ..emu import EmulationResult
 from ..ilr import RandomizedProgram
-from ..obs import status
 from ..obs.events import EventLog
-from ..obs.profile import PhaseProfiler
 from ..obs.store import RunStore
 from ..obs.trace import Tracer
 from .faults import FaultPlan
 from .resultcache import ResultCache
+from .session import EMULATE_BUDGET_FACTOR, ExperimentSession
 from .spec import RunSpec
-from .sweep import (
-    FailedRun,
-    FailedRunError,
-    ProgramKey,
-    RetryPolicy,
-    SweepOutcome,
-    build_program,
-    sweep,
-)
+from .sweep import FailedRun, ProgramKey, RetryPolicy
 
-#: Emulation interprets ~an order of magnitude more guest instructions
-#: than a cycle simulation retires in the same reporting window, so
-#: emulate specs scale the budget (and checkpoint cadence) by this.
-EMULATE_BUDGET_FACTOR = 10
+__all__ = ["Runner", "EMULATE_BUDGET_FACTOR"]
 
 
 @dataclass
-class Runner:
-    """Shared execution context for all experiments."""
+class Runner(ExperimentSession):
+    """Shared execution context for all experiments (legacy shim).
+
+    Exactly an :class:`~repro.harness.session.ExperimentSession` with
+    the historical dataclass constructor; see the module docstring for
+    the migration note.
+    """
 
     scale: float = 1.0
     seed: int = 42
@@ -110,155 +110,10 @@ class Runner:
     failures: Dict[RunSpec, FailedRun] = field(default_factory=dict)
 
     def __post_init__(self):
-        if self.events is None:
-            self.events = EventLog()
-        if self.cache is None and self.cache_dir:
-            self.cache = ResultCache(self.cache_dir)
-        if self.store is None and self.store_path:
-            self.store = RunStore(self.store_path)
-        #: host wall-time attribution across harness stages (and, with
-        #: ``profile_phases``, the CPU pipeline phases under ``sim.*``).
-        self.profiler = PhaseProfiler(self.events)
-
-    def base_config(self) -> MachineConfig:
-        return self.config or default_config()
-
-    def effective_checkpoint_interval(self) -> int:
-        """Resolve the checkpointing cadence for cycle simulations."""
-        if self.checkpoint_interval:
-            return self.checkpoint_interval
-        if self.events.enabled or self.progress:
-            return max(250, self.max_instructions // 100)
-        return 0
-
-    def _interval_for(self, spec: RunSpec) -> int:
-        interval = self.effective_checkpoint_interval()
-        if spec.mode == "emulate":
-            interval *= EMULATE_BUDGET_FACTOR
-        return interval
-
-    # -- specs -------------------------------------------------------------
-
-    def spec(self, workload: str, mode: str = "baseline",
-             drc_entries: int = 0) -> RunSpec:
-        """A normalized :class:`RunSpec` inheriting this runner's
-        seed/scale/budget defaults."""
-        budget = self.max_instructions
-        warmup = self.warmup_instructions
-        if mode == "emulate":
-            budget *= EMULATE_BUDGET_FACTOR
-            warmup = 0
-        return RunSpec(
-            workload=workload,
-            mode=mode,
-            drc_entries=drc_entries,
-            seed=self.seed,
-            scale=self.scale,
-            max_instructions=budget,
-            warmup_instructions=warmup,
-        ).normalized()
-
-    # -- programs ----------------------------------------------------------
-
-    def program_for(self, spec: RunSpec) -> RandomizedProgram:
-        """Randomized program for ``spec``'s workload (memoized)."""
-        return build_program(spec.normalized(), self.profiler,
-                             self._programs)
-
-    # -- execution ---------------------------------------------------------
-
-    def _memo_for(self, spec: RunSpec) -> Dict[RunSpec, object]:
-        return self._sims if spec.is_simulation else self._emulations
-
-    def run(self, spec: RunSpec):
-        """Result for ``spec`` — memo, then disk cache, then execute.
-
-        Returns a :class:`~repro.arch.simstats.SimResult` for simulator
-        modes, an :class:`~repro.emu.EmulationResult` for ``emulate``.
-        Raises :class:`~repro.harness.sweep.FailedRunError` when the
-        spec was quarantined (every attempt failed, including a fresh
-        round of attempts made by this call).
-        """
-        spec = spec.normalized()
-        memo = self._memo_for(spec)
-        if spec not in memo:
-            self.prefetch([spec])
-        if spec not in memo and spec in self.failures:
-            raise FailedRunError(self.failures[spec])
-        return memo[spec]
-
-    def prefetch(self, specs: Iterable[RunSpec]) -> List[SweepOutcome]:
-        """Materialize many specs at once (cache-aware; parallel when
-        ``workers >= 2``), populating the in-memory memo.
-
-        This is the fan-out point: ``run_all`` calls it with the whole
-        suite's spec list so independent simulations saturate the worker
-        pool instead of running serially inside each experiment.
-        """
-        wanted = [
-            spec for spec in dict.fromkeys(s.normalized() for s in specs)
-            if spec not in self._memo_for(spec)
-        ]
-        if not wanted:
-            return []
-        outcomes = sweep(
-            wanted,
-            self.base_config(),
-            workers=self.workers,
-            cache=self.cache,
-            events=self.events,
-            profiler=self.profiler,
-            checkpoint_interval=self._interval_for,
-            profile_phases=self.profile_phases,
-            on_checkpoint_for=self._heartbeat,
-            program_cache=self._programs,
-            on_outcome=self._note_outcome if self.progress else None,
-            retry=self.retry,
-            faults=self.faults,
-            tracer=self.tracer,
-            store=self.store,
-        )
-        for outcome in outcomes:
-            if outcome.ok:
-                self._memo_for(outcome.spec)[outcome.spec] = outcome.result
-                self.failures.pop(outcome.spec, None)
-            else:
-                # Quarantined, never memoized: a later run() retries it
-                # and raises FailedRunError if it keeps failing.
-                self.failures[outcome.spec] = outcome.failure
-        return outcomes
-
-    def _note_outcome(self, outcome: SweepOutcome) -> None:
-        if not outcome.ok:
-            status("[%s] FAILED after %d attempt(s): %s" % (
-                outcome.spec.label(), outcome.attempts,
-                outcome.failure.error,
-            ))
-            return
-        status("[%s] %s" % (
-            outcome.spec.label(), "cached" if outcome.cached else "done",
-        ))
-
-    def _heartbeat(self, spec: RunSpec):
-        """Per-checkpoint stderr progress line (``progress=True`` only)."""
-        if not self.progress:
-            return None
-        label = spec.label()
-
-        def _on_checkpoint(checkpoint: Checkpoint) -> None:
-            status(
-                "[%s] %7d instr  ipc %.3f  il1 %.4f  drc %.4f"
-                % (label, checkpoint.instructions, checkpoint.ipc,
-                   checkpoint.il1_miss_rate, checkpoint.drc_miss_rate)
-            )
-
-        return _on_checkpoint
-
-    # -- software-ILR emulation --------------------------------------------
-
-    def emulate(self, name: str) -> EmulationResult:
-        """Run the software-ILR emulator on workload ``name``."""
-        return self.run(self.spec(name, "emulate"))
+        # The dataclass __init__ assigned the fields; resolve them into
+        # live session state (cache/store/queue/profiler) exactly as
+        # ExperimentSession.__init__ would.
+        self._finish_init()
 
     # -- deprecated pre-RunSpec API ----------------------------------------
 
@@ -269,8 +124,9 @@ class Runner:
         so pre-RunSpec callers keep working during migration.
         """
         warnings.warn(
-            "Runner.sim(name, mode, drc_entries) is deprecated; use "
-            "Runner.run(runner.spec(name, mode, drc_entries))",
+            "Runner.sim(name, mode, drc_entries) is deprecated and will "
+            "be removed in the release after the ExperimentSession API; "
+            "use Runner.run(runner.spec(name, mode, drc_entries))",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -279,7 +135,8 @@ class Runner:
     def program(self, name: str) -> RandomizedProgram:
         """Deprecated: use ``program_for(runner.spec(name))``."""
         warnings.warn(
-            "Runner.program(name) is deprecated; use "
+            "Runner.program(name) is deprecated and will be removed in "
+            "the release after the ExperimentSession API; use "
             "Runner.program_for(runner.spec(name))",
             DeprecationWarning,
             stacklevel=2,

@@ -1,15 +1,24 @@
-"""Fault-tolerant parallel sweep engine: fan RunSpecs over workers + cache.
+"""Sweep vocabulary + the legacy batch ``sweep()`` shim.
 
 The harness's experiment suite is sweep-shaped — many independent
 (workload, mode, DRC-size) simulations whose results are only combined
-at reporting time.  :func:`sweep` executes a list of
-:class:`~repro.harness.spec.RunSpec`\\ s:
+at reporting time.  This module holds the execution *vocabulary* shared
+by every engine: :func:`execute_spec` (the single definition of "run
+this spec"), :func:`build_program`, :func:`_pool_task` (the pool-worker
+entry point), :class:`RetryPolicy`, :class:`SweepOutcome`,
+:class:`FailedRun`, and the result-integrity/cache-commit helpers.
+
+Since ISSUE 7 the engine itself lives in
+:class:`repro.harness.scheduler.AsyncScheduler` — a streaming,
+bounded-memory asyncio scheduler fronted by
+:class:`repro.harness.session.ExperimentSession`.  :func:`sweep` below
+is kept as a thin, exact batch adapter over it:
 
 1. deduplicating normalized specs,
 2. serving anything already in the on-disk
    :class:`~repro.harness.resultcache.ResultCache`,
-3. fanning the rest over a ``concurrent.futures.ProcessPoolExecutor``
-   (``workers >= 2``) or running them inline (``workers <= 1``), and
+3. fanning the rest over a process pool (``workers >= 2``) or running
+   them inline (``workers <= 1``), and
 4. merging worker observability back into the parent: buffered event
    records are replayed into the parent's
    :class:`~repro.obs.events.EventLog` (file sinks stay single-writer),
@@ -68,12 +77,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
-import traceback
-from collections import deque
-from concurrent.futures import CancelledError, FIRST_COMPLETED
-from concurrent.futures import ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -85,9 +88,9 @@ from ..obs.events import EventLog, MemorySink
 from ..obs.metrics import get_registry
 from ..obs.profile import PhaseProfiler
 from ..obs.store import RunStore
-from ..obs.trace import NULL_TRACER, Tracer, rollup_spans, span_id_for_key
+from ..obs.trace import NULL_TRACER, Tracer
 from ..workloads import build_image
-from .faults import FaultPlan, apply_inline_fault, apply_worker_fault
+from .faults import FaultPlan, apply_worker_fault
 from .resultcache import ResultCache
 from .spec import RunSpec, config_fingerprint
 
@@ -105,11 +108,6 @@ __all__ = [
 #: Key of one randomized program build: workload identity + everything
 #: the randomizer consumes.
 ProgramKey = Tuple[str, int, float]
-
-#: Poll granularity of the pooled dispatcher (seconds).  Bounds how
-#: stale timeout checks and retry promotions can be; completions are
-#: still reaped the moment they happen inside a tick.
-_TICK = 0.05
 
 #: What a ``corrupt`` fault leaves where the result should be.
 _CORRUPT_SENTINEL = "\x00corrupt-result\x00"
@@ -452,13 +450,23 @@ def sweep(
 ) -> List[SweepOutcome]:
     """Execute ``specs`` (cache-aware, fault-tolerant, optionally parallel).
 
+    .. deprecated:: ISSUE 7
+        ``sweep()`` is the legacy batch entry point, kept as a thin
+        adapter over the streaming engine.  New code should construct
+        an :class:`~repro.harness.session.ExperimentSession` and use
+        :meth:`~repro.harness.session.ExperimentSession.stream` /
+        :meth:`~repro.harness.session.ExperimentSession.sweep`, which
+        add generator sources, bounded-memory intake, and multi-host
+        queue draining.  No runtime warning is emitted (the shim is
+        exact), but no new capability will be added here.
+
     Returns one :class:`SweepOutcome` per input spec, in input order;
     duplicate specs share one execution.  ``checkpoint_interval`` is an
     int or a ``spec -> int`` callable.  ``on_checkpoint_for`` supplies
     per-spec heartbeat callbacks and only applies to inline execution
     (callbacks cannot cross the process boundary); pooled sweeps report
-    completion through ``on_outcome`` instead, which fires for every
-    outcome in merge order.
+    completion through ``on_outcome`` instead, which fires once per
+    unique spec in input order.
 
     Results are bit-identical between ``workers=0`` and ``workers=N``
     and under any recoverable fault schedule: execution is
@@ -478,49 +486,31 @@ def sweep(
     spec) is committed to the SQLite run store as it finishes, via the
     same commit-as-you-go discipline as the result cache.
     """
-    config = config or default_config()
-    events = events if events is not None else EventLog()
-    profiler = profiler or PhaseProfiler(events)
-    retry = retry or DEFAULT_RETRY
-    tracer = tracer or NULL_TRACER
-    interval_for = _interval_fn(checkpoint_interval)
-    config_digest = config_fingerprint(config) if store is not None else ""
+    from .scheduler import AsyncScheduler  # local import: avoids a cycle
 
     normalized = [spec.normalized() for spec in specs]
-    with tracer.span("sweep", span_key=_sweep_key(normalized),
-                     specs=len(normalized)):
-        outcomes: Dict[RunSpec, SweepOutcome] = {}
-        todo: List[RunSpec] = []
-        for spec in normalized:
-            if spec in outcomes or spec in todo:
-                continue
-            cached = cache.get(spec, config) if cache is not None else None
-            if cached is not None:
-                events.status("run cached", mode=spec.mode,
-                              **spec.event_fields())
-                with tracer.span("spec", span_key=_spec_key(spec),
-                                 label=spec.label()):
-                    pass
-                events.emit("spec_done", mode=spec.mode, cached=True,
-                            attempts=0, **spec.event_fields())
-                if store is not None:
-                    store.record_run(spec, cached,
-                                     config_digest=config_digest,
-                                     cached=True, attempts=0)
-                outcomes[spec] = SweepOutcome(spec, cached, cached=True)
-            else:
-                todo.append(spec)
-
-        if todo and workers >= 2:
-            _run_pooled(todo, config, workers, cache, events, profiler,
-                        interval_for, profile_phases, outcomes, retry,
-                        faults, tracer, store, config_digest)
-        else:
-            _run_inline(todo, config, cache, events, profiler, interval_for,
-                        profile_phases, on_checkpoint_for, program_cache,
-                        outcomes, retry, faults, tracer, store,
-                        config_digest)
-
+    unique = list(dict.fromkeys(normalized))
+    scheduler = AsyncScheduler(
+        config,
+        workers=workers,
+        cache=cache,
+        events=events,
+        profiler=profiler,
+        checkpoint_interval=checkpoint_interval,
+        profile_phases=profile_phases,
+        on_checkpoint_for=on_checkpoint_for,
+        program_cache=program_cache,
+        retry=retry,
+        faults=faults,
+        tracer=tracer,
+        store=store,
+    )
+    outcomes: Dict[RunSpec, SweepOutcome] = {
+        outcome.spec: outcome
+        for outcome in scheduler.stream(unique,
+                                        sweep_key=_sweep_key(normalized),
+                                        total=len(normalized))
+    }
     ordered = [outcomes[spec] for spec in normalized]
     if on_outcome is not None:
         seen = set()
@@ -529,442 +519,3 @@ def sweep(
                 seen.add(outcome.spec)
                 on_outcome(outcome)
     return ordered
-
-
-def _run_inline(todo, config, cache, events, profiler, interval_for,
-                profile_phases, on_checkpoint_for, program_cache,
-                outcomes, retry, faults, tracer=None, store=None,
-                config_digest="") -> None:
-    """Sequential execution with the same retry/quarantine contract.
-
-    Inline attempts emit straight into the parent's observability (that
-    is the point of inline mode), so a failed attempt's partial events
-    stay in the log — tagged by their run, they are harmless to offline
-    grouping.  Results and the quarantine behaviour are identical to
-    the pooled path.
-    """
-    registry = get_registry()
-    tracer = tracer or NULL_TRACER
-    for spec in todo:
-        on_checkpoint = (
-            on_checkpoint_for(spec) if on_checkpoint_for else None
-        )
-        key = _spec_key(spec)
-        started = time.perf_counter()
-        with tracer.span("spec", span_key=key, label=spec.label()):
-            attempt = 0
-            result = failure = None
-            while True:
-                events.emit("spec_dispatch", mode=spec.mode,
-                            attempt=attempt, **spec.event_fields())
-                try:
-                    # Injected at-dispatch faults fail *before* the
-                    # attempt span opens, matching the pooled path
-                    # (a worker that dies leaves no attempt subtree).
-                    if faults is not None:
-                        apply_inline_fault(faults, spec.label(), attempt)
-                    with tracer.span("attempt",
-                                     span_key=key + "#%d" % attempt,
-                                     attempt=attempt):
-                        result = execute_spec(
-                            spec,
-                            config,
-                            events=events,
-                            checkpoint_interval=interval_for(spec),
-                            on_checkpoint=on_checkpoint,
-                            profiler=profiler,
-                            profile_phases=profile_phases,
-                            program_cache=program_cache,
-                            tracer=tracer,
-                        )
-                except Exception as exc:
-                    kind = getattr(exc, "kind", "error")
-                    detail = traceback.format_exc()
-                    nxt = attempt + 1
-                    if nxt >= retry.max_attempts:
-                        failure = FailedRun(spec, nxt, kind, repr(exc),
-                                            detail)
-                        registry.counter("sweep.quarantined").inc()
-                        events.emit("run_failed", mode=spec.mode,
-                                    attempts=nxt, reason=kind,
-                                    error=repr(exc), **spec.event_fields())
-                        outcomes[spec] = SweepOutcome(
-                            spec, None, attempts=nxt, failure=failure
-                        )
-                        break
-                    registry.counter("sweep.retries").inc()
-                    events.emit("run_retry", mode=spec.mode, attempt=nxt,
-                                reason=kind, error=repr(exc),
-                                **spec.event_fields())
-                    delay = retry.delay(nxt)
-                    time.sleep(delay)
-                    tracer.add_span("retry-wait", delay,
-                                    span_key=key + "#wait%d" % nxt,
-                                    attempt=nxt)
-                    attempt = nxt
-                    continue
-                _commit_result(cache, spec, config, result, faults, events,
-                               registry)
-                outcomes[spec] = SweepOutcome(spec, result,
-                                              attempts=attempt + 1)
-                break
-        host_seconds = time.perf_counter() - started
-        if failure is not None:
-            if store is not None:
-                store.record_failure(spec, failure.error,
-                                     config_digest=config_digest,
-                                     attempts=failure.attempts)
-            continue
-        events.emit("spec_done", mode=spec.mode, cached=False,
-                    attempts=attempt + 1, **spec.event_fields())
-        if store is not None:
-            # Roll up the *winning attempt's* subtree (not the whole
-            # spec span), matching what a pooled worker ships back.
-            rollup = None
-            if tracer.enabled:
-                rollup = rollup_spans(tracer.subtree(
-                    span_id_for_key(key + "#%d" % attempt)))
-            store.record_run(spec, result, config_digest=config_digest,
-                             attempts=attempt + 1,
-                             host_seconds=host_seconds, spans=rollup)
-
-
-def _run_pooled(todo, config, workers, cache, events, profiler,
-                interval_for, profile_phases, outcomes, retry,
-                faults, tracer=None, store=None, config_digest="") -> None:
-    """Fan ``todo`` over a process pool; merge results in input order."""
-    registry = get_registry()
-    tracer = tracer or NULL_TRACER
-    dispatcher = _PoolDispatcher(todo, config, workers, cache, events,
-                                 registry, interval_for, profile_phases,
-                                 retry, faults, tracer, store,
-                                 config_digest)
-    payloads, failures = dispatcher.run()
-
-    # Merge in *input order*, exactly once per spec, from the winning
-    # attempt only — completion order, retries, and duplicate late
-    # results can never reorder or double-count the merged stream.
-    for spec in todo:
-        key = _spec_key(spec)
-        with tracer.span("spec", span_key=key, label=spec.label()):
-            pass
-        failure = failures.get(spec)
-        if failure is not None:
-            outcomes[spec] = SweepOutcome(
-                spec, None, attempts=failure.attempts, failure=failure
-            )
-            continue
-        payload = payloads[spec]
-        attempt = payload["attempt"]
-        if attempt:
-            events.replay(payload["records"], attempt=attempt)
-        else:
-            events.replay(payload["records"])
-        profiler.merge_snapshot(payload["phases"])
-        registry.merge_snapshot(payload["metrics"])
-        # Graft the worker-captured attempt subtree under the spec span
-        # it belongs to; the worker derived the same content ids the
-        # sequential path would, so the merged tree is identical.
-        tracer.adopt(payload.get("spans", ()),
-                     parent_id=span_id_for_key(key))
-        outcomes[spec] = SweepOutcome(
-            spec, payload["result"], events=payload["records"],
-            attempts=attempt + 1,
-        )
-
-
-class _PoolDispatcher:
-    """The fault-tolerant pooled execution loop.
-
-    Keeps at most ``workers`` attempts in flight in the main pool (so a
-    pool break only ever implicates a known, small set of specs) plus at
-    most one attempt in the single-worker *probe* pool used to isolate
-    crash-involved specs.  Never raises for a failing spec — failures
-    land in ``self.failures`` as :class:`FailedRun`.
-    """
-
-    def __init__(self, todo, config, workers, cache, events, registry,
-                 interval_for, profile_phases, retry, faults,
-                 tracer=None, store=None, config_digest=""):
-        self.todo = todo
-        self.config = config
-        self.nworkers = min(workers, len(todo))
-        self.cache = cache
-        self.events = events
-        self.registry = registry
-        self.interval_for = interval_for
-        self.profile_phases = profile_phases
-        self.retry = retry
-        self.faults = faults
-        self.tracer = tracer or NULL_TRACER
-        self.store = store
-        self.config_digest = config_digest
-        self._spec_keys: Dict[RunSpec, str] = {}
-
-        self.payloads: Dict[RunSpec, dict] = {}
-        self.failures: Dict[RunSpec, FailedRun] = {}
-        #: attempts whose failure has been recorded (guards the retry
-        #: accounting when one attempt fails through two paths, e.g. a
-        #: timeout followed by the abandoned future erroring).
-        self.failed_attempts = set()
-        self.pending = deque((spec, 0) for spec in todo)
-        self.probe_pending = deque()
-        self.delayed: List[Tuple[float, RunSpec, int, bool]] = []
-        #: future -> (spec, attempt, started_at, is_probe)
-        self.inflight: Dict[object, Tuple[RunSpec, int, float, bool]] = {}
-        #: timed-out futures we no longer count on (late results are
-        #: still accepted if the spec is unresolved when they land).
-        self.abandoned: Dict[object, Tuple[RunSpec, int, bool]] = {}
-        self.pool: Optional[ProcessPoolExecutor] = None
-        self.probe: Optional[ProcessPoolExecutor] = None
-        #: timeouts charged against the current main pool; when every
-        #: worker is wedged the pool is recycled.
-        self.main_wedged = 0
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def run(self):
-        self.pool = ProcessPoolExecutor(max_workers=self.nworkers)
-        try:
-            while len(self.payloads) + len(self.failures) < len(self.todo):
-                self._promote_delayed()
-                self._submit()
-                self._check_timeouts()
-                self._drain()
-        finally:
-            for pool in (self.pool, self.probe):
-                if pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
-        return self.payloads, self.failures
-
-    def _resolved(self, spec: RunSpec) -> bool:
-        return spec in self.payloads or spec in self.failures
-
-    # -- scheduling --------------------------------------------------------
-
-    def _promote_delayed(self) -> None:
-        now = time.monotonic()
-        keep = []
-        for ready_at, spec, attempt, probe in self.delayed:
-            if self._resolved(spec):
-                continue
-            if ready_at <= now:
-                queue = self.probe_pending if probe else self.pending
-                queue.append((spec, attempt))
-            else:
-                keep.append((ready_at, spec, attempt, probe))
-        self.delayed = keep
-
-    def _submit(self) -> None:
-        while self.pending and self._inflight_count(probe=False) < self.nworkers:
-            spec, attempt = self.pending.popleft()
-            if not self._resolved(spec):
-                self._launch(spec, attempt, probe=False)
-        while self.probe_pending and self._inflight_count(probe=True) == 0:
-            spec, attempt = self.probe_pending.popleft()
-            if not self._resolved(spec):
-                self._launch(spec, attempt, probe=True)
-                break
-
-    def _inflight_count(self, probe: bool) -> int:
-        return sum(1 for (_s, _a, _t, p) in self.inflight.values()
-                   if p == probe)
-
-    def _key(self, spec: RunSpec) -> str:
-        key = self._spec_keys.get(spec)
-        if key is None:
-            key = self._spec_keys[spec] = _spec_key(spec)
-        return key
-
-    def _launch(self, spec: RunSpec, attempt: int, probe: bool) -> None:
-        pool = self._probe_pool() if probe else self.pool
-        try:
-            future = pool.submit(
-                _pool_task, spec.as_dict(), self.config,
-                self.interval_for(spec), self.profile_phases,
-                attempt, self.faults, self.tracer.enabled,
-            )
-        except BrokenProcessPool:
-            # The pool died between drains.  The attempt never started,
-            # so requeue it without penalty and recycle the pool.
-            queue = self.probe_pending if probe else self.pending
-            queue.appendleft((spec, attempt))
-            self._handle_break(probe, "submit on broken pool")
-            return
-        self.inflight[future] = (spec, attempt, time.monotonic(), probe)
-        self.events.emit("spec_dispatch", mode=spec.mode, attempt=attempt,
-                         probe=probe, **spec.event_fields())
-
-    def _probe_pool(self) -> ProcessPoolExecutor:
-        if self.probe is None:
-            self.probe = ProcessPoolExecutor(max_workers=1)
-        return self.probe
-
-    # -- failure accounting ------------------------------------------------
-
-    def _fail(self, spec: RunSpec, attempt: int, kind: str, error: str,
-              detail: str = "", probe_next: bool = False) -> None:
-        """Record one failed attempt: schedule a retry or quarantine."""
-        if self._resolved(spec) or (spec, attempt) in self.failed_attempts:
-            return
-        self.failed_attempts.add((spec, attempt))
-        nxt = attempt + 1
-        if nxt >= self.retry.max_attempts:
-            self.failures[spec] = FailedRun(spec, nxt, kind, error, detail)
-            self.registry.counter("sweep.quarantined").inc()
-            self.events.emit("run_failed", mode=spec.mode, attempts=nxt,
-                             reason=kind, error=error, **spec.event_fields())
-            if self.store is not None:
-                self.store.record_failure(spec, error,
-                                          config_digest=self.config_digest,
-                                          attempts=nxt)
-        else:
-            delay = self.retry.delay(nxt)
-            ready_at = time.monotonic() + delay
-            self.delayed.append((ready_at, spec, nxt, probe_next))
-            self.registry.counter("sweep.retries").inc()
-            self.events.emit("run_retry", mode=spec.mode, attempt=nxt,
-                             reason=kind, error=error, **spec.event_fields())
-            # The spec span does not exist yet (it is materialized at
-            # merge time), but its id is content-derived, so the wait
-            # span can name its parent in advance — landing exactly
-            # where the sequential path records it.
-            self.tracer.add_span("retry-wait", delay,
-                                 parent_id=span_id_for_key(self._key(spec)),
-                                 span_key=self._key(spec) + "#wait%d" % nxt,
-                                 attempt=nxt)
-
-    def _accept(self, spec: RunSpec, attempt: int, payload: dict,
-                probe: bool) -> None:
-        """Accept a completed attempt's payload (first result wins)."""
-        if self._resolved(spec):
-            # A late (abandoned or duplicate) attempt finished after the
-            # spec was resolved; merging it again would double-count.
-            self.registry.counter("sweep.duplicates_ignored").inc()
-            return
-        if payload["digest"] != _result_digest(payload["result"]):
-            self.registry.counter("sweep.corrupt_results").inc()
-            self._fail(spec, attempt, "corrupt",
-                       "result payload failed integrity check",
-                       probe_next=probe)
-            return
-        self.payloads[spec] = payload
-        _commit_result(self.cache, spec, self.config, payload["result"],
-                       self.faults, self.events, self.registry)
-        self.events.emit("spec_done", mode=spec.mode, cached=False,
-                         attempts=attempt + 1, **spec.event_fields())
-        if self.store is not None:
-            # Committed as results complete — not at merge time — so a
-            # killed sweep's store matches its cache.
-            spans = payload.get("spans") or None
-            rollup = rollup_spans(spans) if spans else None
-            host = sum(entry["seconds"]
-                       for entry in payload["phases"].values())
-            self.store.record_run(
-                spec, payload["result"], config_digest=self.config_digest,
-                attempts=attempt + 1, host_seconds=host, spans=rollup,
-            )
-
-    # -- timeouts ----------------------------------------------------------
-
-    def _check_timeouts(self) -> None:
-        timeout = self.retry.timeout
-        if not timeout:
-            return
-        now = time.monotonic()
-        for future, (spec, attempt, started, probe) in list(
-                self.inflight.items()):
-            if now - started <= timeout:
-                continue
-            del self.inflight[future]
-            self.abandoned[future] = (spec, attempt, probe)
-            self.registry.counter("sweep.timeouts").inc()
-            self._fail(spec, attempt, "timeout",
-                       "no result after %.2fs" % timeout, probe_next=probe)
-            if not probe:
-                self.main_wedged += 1
-        if self.main_wedged >= self.nworkers:
-            # Every main worker is occupied by a wedged attempt: recycle
-            # the pool so retries have somewhere to run.
-            self._handle_break(probe=False, reason="all workers wedged")
-
-    # -- completion --------------------------------------------------------
-
-    def _drain(self) -> None:
-        waitables = set(self.inflight) | set(self.abandoned)
-        if not waitables:
-            if self.delayed and not self.pending and not self.probe_pending:
-                now = time.monotonic()
-                next_ready = min(entry[0] for entry in self.delayed)
-                time.sleep(min(_TICK, max(0.0, next_ready - now)))
-            elif not (self.pending or self.probe_pending or self.delayed):
-                if len(self.payloads) + len(self.failures) < len(self.todo):
-                    raise RuntimeError(
-                        "sweep dispatcher stalled with unresolved specs "
-                        "(this is a bug)"
-                    )
-            return
-        done, _not_done = wait(waitables, timeout=_TICK,
-                               return_when=FIRST_COMPLETED)
-        broken = set()
-        for future in done:
-            if future in self.inflight:
-                spec, attempt, _started, probe = self.inflight.pop(future)
-                was_abandoned = False
-            else:
-                spec, attempt, probe = self.abandoned.pop(future)
-                was_abandoned = True
-            try:
-                exc = future.exception()
-            except CancelledError:
-                continue
-            if exc is None:
-                self._accept(spec, attempt, future.result(), probe)
-            elif isinstance(exc, BrokenProcessPool):
-                if not was_abandoned:
-                    self.registry.counter("sweep.requeued").inc()
-                    self._fail(spec, attempt, "crash",
-                               "worker process died: %s" % exc,
-                               probe_next=True)
-                broken.add(probe)
-            elif not was_abandoned:
-                detail = "".join(traceback.format_exception(
-                    type(exc), exc, exc.__traceback__))
-                self._fail(spec, attempt, getattr(exc, "kind", "error"),
-                           repr(exc), detail, probe_next=probe)
-        for probe in broken:
-            self._handle_break(probe, "worker crash")
-
-    # -- pool recovery -----------------------------------------------------
-
-    def _handle_break(self, probe: bool, reason: str) -> None:
-        """Replace a broken pool; re-enqueue only in-flight specs.
-
-        Specs in flight on a broken *main* pool are collateral of an
-        unidentifiable culprit, so each is charged one attempt and
-        retried in the single-worker probe pool where the only process
-        it can crash is its own.  A probe break implicates exactly one
-        spec, so attribution is certain either way.
-        """
-        victims = [
-            (future, spec, attempt)
-            for future, (spec, attempt, _t, p) in self.inflight.items()
-            if p == probe
-        ]
-        for future, spec, attempt in victims:
-            del self.inflight[future]
-            self.registry.counter("sweep.requeued").inc()
-            self._fail(spec, attempt, "crash",
-                       "worker pool broke while in flight",
-                       probe_next=True)
-        old = self.probe if probe else self.pool
-        if probe:
-            self.probe = None  # rebuilt lazily on next probe submit
-        else:
-            self.pool = ProcessPoolExecutor(max_workers=self.nworkers)
-            self.main_wedged = 0
-        self.registry.counter("sweep.pool_rebuilds").inc()
-        self.events.emit("pool_rebuild", pool="probe" if probe else "main",
-                         reason=reason)
-        if old is not None:
-            old.shutdown(wait=False, cancel_futures=True)

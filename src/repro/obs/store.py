@@ -434,13 +434,23 @@ class RunStore:
     def backfill_cache(self, root: str) -> Dict[str, int]:
         """Ingest a :class:`ResultCache` directory's JSON entries.
 
-        Each ``<digest>.json`` holds ``{"spec": ..., "result": ...}``;
-        the file mtime becomes ``created_at``, making re-runs idempotent
-        (the uniqueness constraint ignores exact duplicates).  Pickle
-        entries (emulation results) store no spec and are skipped.
+        Works on every cache layout by walking the whole tree and
+        recognizing entry files by shape rather than location: the flat
+        ``root/<digest>.json``, the two-level ``root/ab/<digest>.json``,
+        and the sharded ``root/ab/<digest>/result.json`` all hold the
+        same ``{"spec": ..., "config": ..., "result": ...}`` document.
+        The walk order is sorted, so ingestion is deterministic across
+        filesystems; the entry's own ``config`` fingerprint (when
+        present — older entries predate it) becomes the row's
+        ``config_digest``; the file mtime becomes ``created_at``, making
+        re-runs idempotent (the uniqueness constraint ignores exact
+        duplicates).  Pickle entries (emulation results) store no spec
+        and are skipped, as are work-queue ``claim`` files and orphaned
+        ``.tmp-*`` writes.
         """
         ingested = skipped = 0
-        for dirpath, _dirnames, filenames in os.walk(root):
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
             for name in sorted(filenames):
                 path = os.path.join(dirpath, name)
                 if not name.endswith(".json") or name.startswith(".tmp-"):
@@ -457,6 +467,7 @@ class RunStore:
                 run_id = self.record_run(
                     spec, result, source="backfill-cache",
                     cached=True, created_at=os.stat(path).st_mtime,
+                    config_digest=entry.get("config", ""),
                 )
                 if run_id >= 0:
                     ingested += 1

@@ -13,6 +13,13 @@ ddmin-shrunk first (``--shrink``), and mirrored to a JSONL event log
 (``--events``) as ``fuzz_program``/``fuzz_finding``/``fuzz_end``
 records for ``python -m repro.tools.stats``.
 
+Observability flags are the shared set from :mod:`repro.harness.cli`
+(identical to ``python -m repro.harness`` and ``repro.tools.run``):
+``--store`` records findings in the SQLite run store, ``--dashboard``
+renders a live status block (programs done, findings) from the event
+stream, and ``--trace-out`` writes the session's span tree as Chrome
+trace_event JSON.
+
 ``make fuzz-quick`` runs the deterministic quick tier (seed 1, 200
 programs) that ``make verify`` gates on.
 """
@@ -23,7 +30,10 @@ import argparse
 import sys
 import time
 
+from ..harness.cli import add_observability_options
+from ..harness.dashboard import Dashboard
 from ..obs import open_log, status
+from ..obs.trace import NULL_TRACER, Tracer
 from ..qa import FuzzSession, GeneratorConfig, OracleConfig
 
 
@@ -52,11 +62,7 @@ def main(argv=None) -> int:
                         help="skip the live re-randomization leg")
     parser.add_argument("--no-emulator", action="store_true",
                         help="skip the software-ILR emulator leg")
-    parser.add_argument("--events", metavar="PATH", default=None,
-                        help="write a JSONL event log")
-    parser.add_argument("--store", metavar="PATH", default=None,
-                        help="record findings in a SQLite run store "
-                             "(query with 'repro.tools.stats sql')")
+    add_observability_options(parser)
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the progress line")
     args = parser.parse_args(argv)
@@ -72,8 +78,13 @@ def main(argv=None) -> int:
         if not args.quiet:
             status(line)
 
+    tracer = Tracer() if args.trace_out else NULL_TRACER
+    dashboard = None
     t0 = time.perf_counter()
     with open_log(args.events) as events:
+        if args.dashboard:
+            dashboard = Dashboard(total=args.budget)
+            dashboard.attach(events)
         session = FuzzSession(
             args.seed, args.budget,
             generator_config=GeneratorConfig(),
@@ -84,8 +95,14 @@ def main(argv=None) -> int:
             max_findings=args.max_findings,
             progress=progress,
         )
-        stats = session.run()
+        with tracer.span("fuzz", seed=args.seed, budget=args.budget):
+            stats = session.run()
+        if dashboard is not None:
+            dashboard.finish()
     elapsed = time.perf_counter() - t0
+    if args.trace_out:
+        count = tracer.to_chrome(args.trace_out)
+        status("wrote %s (%d spans)" % (args.trace_out, count))
 
     if args.store and stats.findings:
         from ..obs.store import RunStore

@@ -5,13 +5,17 @@ Modes: ``baseline`` (plain .rxbf or a bundle's original image),
 ``--timing`` switches from the functional runner to the cycle simulator
 and prints IPC/cache/DRC statistics.
 
-Observability: ``--events PATH`` captures a JSONL event log
+Observability: the full shared flag set from :mod:`repro.harness.cli`
+(identical to ``python -m repro.harness`` and ``python -m
+repro.tools.fuzz``): ``--events PATH`` captures a JSONL event log
 (checkpoints every ``--checkpoint-interval`` instructions),
 ``--progress`` prints a heartbeat per checkpoint under ``--timing``,
-and ``--trace PATH`` dumps the bounded instruction trace ring as
-JSONL — all consumable by ``python -m repro.tools.stats``.  The flags
-are shared with ``python -m repro.harness`` via
-:mod:`repro.harness.cli`.
+``--store PATH`` indexes the completed run in the SQLite run store,
+``--trace-out PATH`` writes the run's span tree as Chrome trace_event
+JSON, and ``--dashboard`` renders a live status block (rolling IPC)
+from the event stream.  ``--trace PATH`` additionally dumps the
+bounded *instruction* trace ring as JSONL — all consumable by
+``python -m repro.tools.stats``.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 from ..arch.cpu import CycleCPU
 from ..arch.functional import run_image
@@ -26,10 +31,12 @@ from ..arch.trace import attach_tracer
 from ..binary import BinaryImage
 from ..emu import ILREmulator
 from ..harness.cli import add_observability_options
+from ..harness.dashboard import Dashboard
 from ..harness.faults import FaultPlan, InjectedFault, apply_inline_fault
 from ..ilr import SecurityFault, make_flow
 from ..ilr.bundle import BundleError, load
 from ..obs import open_log, status
+from ..obs.trace import NULL_TRACER, Tracer, rollup_spans
 
 
 def _load_any(path: str):
@@ -93,28 +100,60 @@ def main(argv=None) -> int:
             print("INJECTED FAULT: %s" % fault, file=sys.stderr)
             return 75  # EX_TEMPFAIL: transient by construction
 
-    observing = args.events or args.progress
+    observing = args.events or args.progress or args.dashboard
     checkpoint_interval = args.checkpoint_interval if observing else 0
+
+    workload = os.path.splitext(os.path.basename(args.path))[0]
+    span_tracer = Tracer() if args.trace_out else NULL_TRACER
+    dashboard = None
 
     def heartbeat(checkpoint) -> None:
         status("[%s] %8d instr  ipc %.3f  il1 %.4f  drc %.4f"
                % (args.mode, checkpoint.instructions, checkpoint.ipc,
                   checkpoint.il1_miss_rate, checkpoint.drc_miss_rate))
 
+    def finish(result, host_seconds, *, drc_entries=0, config_digest=""):
+        """Shared observability epilogue for every execution leg."""
+        if dashboard is not None:
+            dashboard.finish()
+        if args.trace_out:
+            count = span_tracer.to_chrome(args.trace_out)
+            status("wrote %s (%d spans)" % (args.trace_out, count))
+        if args.store:
+            from ..obs.store import RunStore
+
+            spec = {"workload": workload, "mode": args.mode,
+                    "drc_entries": drc_entries}
+            spans = (rollup_spans(span_tracer.export())
+                     if span_tracer.enabled else None)
+            with RunStore(args.store) as store:
+                store.record_run(spec, result, source="tool-run",
+                                 config_digest=config_digest,
+                                 host_seconds=host_seconds, spans=spans)
+            status("recorded run in %s" % args.store)
+
     try:
         with open_log(args.events) as events:
+            if args.dashboard:
+                dashboard = Dashboard(total=1)
+                dashboard.attach(events)
             if args.mode == "emulate":
-                result = ILREmulator(
-                    program,
-                    max_instructions=args.max_instructions,
-                    events=events,
-                    checkpoint_interval=checkpoint_interval,
-                ).run()
+                start = time.perf_counter()
+                with span_tracer.span("run", workload=workload,
+                                      mode=args.mode):
+                    with span_tracer.span("emulate"):
+                        result = ILREmulator(
+                            program,
+                            max_instructions=args.max_instructions,
+                            events=events,
+                            checkpoint_interval=checkpoint_interval,
+                        ).run()
                 run = result.run
                 print("emulated %d instructions (%d host instructions, %.0f/guest)"
                       % (run.icount, result.host_instructions,
                          result.host_instructions / max(1, run.icount)))
                 _print_outcome(run.exit_code, run.output)
+                finish(result, time.perf_counter() - start)
                 return run.exit_code or 0
 
             target = image if program is None else {
@@ -125,6 +164,8 @@ def main(argv=None) -> int:
             flow = make_flow(args.mode, program=program, image=target)
 
             if args.timing:
+                from ..harness.spec import config_fingerprint
+
                 cpu = CycleCPU(
                     target, flow,
                     events=events,
@@ -134,18 +175,29 @@ def main(argv=None) -> int:
                 tracer = None
                 if args.trace:
                     tracer = attach_tracer(cpu, capacity=args.trace_capacity)
-                result = cpu.run(max_instructions=args.max_instructions)
+                start = time.perf_counter()
+                with span_tracer.span("run", workload=workload,
+                                      mode=args.mode):
+                    with span_tracer.span("simulate"):
+                        result = cpu.run(max_instructions=args.max_instructions)
                 if tracer is not None:
                     written = tracer.to_jsonl(args.trace)
                     status("wrote %s (%d of %d retired instructions)"
                            % (args.trace, written, tracer.retired))
                 print(result.summary())
                 _print_outcome(result.exit_code, result.output)
+                finish(result, time.perf_counter() - start,
+                       drc_entries=cpu.config.drc.entries,
+                       config_digest=config_fingerprint(cpu.config))
                 return result.exit_code or 0
 
-            run = run_image(target, flow, args.max_instructions)
+            start = time.perf_counter()
+            with span_tracer.span("run", workload=workload, mode=args.mode):
+                with span_tracer.span("execute"):
+                    run = run_image(target, flow, args.max_instructions)
             print("retired %d instructions" % run.icount)
             _print_outcome(run.exit_code, run.output)
+            finish(run, time.perf_counter() - start)
             return run.exit_code or 0
     except SecurityFault as fault:
         print("SECURITY FAULT: %s" % fault, file=sys.stderr)

@@ -8,6 +8,7 @@ import pytest
 
 EXAMPLES = [
     "examples/quickstart.py",
+    "examples/experiment_session.py",
     "examples/rop_attack_demo.py",
     "examples/compile_and_protect.py",
     "examples/observe_run.py",

@@ -1,8 +1,14 @@
-"""Harness tests: runner caching, report formatting, cheap experiments."""
+"""Harness tests: session caching, report formatting, cheap experiments."""
 
 import pytest
 
-from repro.harness import Runner, format_report, format_result, format_table
+from repro.harness import (
+    ExperimentSession,
+    Runner,
+    format_report,
+    format_result,
+    format_table,
+)
 from repro.harness.experiments import ExperimentResult, fig9, fig11, table2
 from repro.harness import paper
 
@@ -10,33 +16,54 @@ from repro.harness import paper
 @pytest.fixture(scope="module")
 def runner():
     # Small budget: these tests exercise plumbing, not steady-state stats.
-    return Runner(max_instructions=20_000)
+    return ExperimentSession(max_instructions=20_000)
 
 
-class TestRunnerCaching:
+class TestSessionCaching:
     def test_program_cached(self, runner):
-        assert runner.program("mcf") is runner.program("mcf")
+        spec = runner.spec("mcf")
+        assert runner.program_for(spec) is runner.program_for(spec)
 
     def test_sim_cached_per_mode_and_drc(self, runner):
-        a = runner.sim("mcf", "baseline")
-        b = runner.sim("mcf", "baseline")
+        a = runner.run(runner.spec("mcf", "baseline"))
+        b = runner.run(runner.spec("mcf", "baseline"))
         assert a is b
-        v64 = runner.sim("mcf", "vcfr", drc_entries=64)
-        v128 = runner.sim("mcf", "vcfr", drc_entries=128)
+        v64 = runner.run(runner.spec("mcf", "vcfr", drc_entries=64))
+        v128 = runner.run(runner.spec("mcf", "vcfr", drc_entries=128))
         assert v64 is not v128
 
     def test_non_vcfr_ignores_drc_size(self, runner):
-        a = runner.sim("mcf", "baseline", drc_entries=64)
-        b = runner.sim("mcf", "baseline", drc_entries=512)
+        a = runner.run(runner.spec("mcf", "baseline", drc_entries=64))
+        b = runner.run(runner.spec("mcf", "baseline", drc_entries=512))
         assert a is b
 
     def test_emulation_cached(self, runner):
         assert runner.emulate("mcf") is runner.emulate("mcf")
 
     def test_modes_agree_architecturally(self, runner):
-        base = runner.sim("mcf", "baseline")
-        vcfr = runner.sim("mcf", "vcfr")
+        base = runner.run(runner.spec("mcf", "baseline"))
+        vcfr = runner.run(runner.spec("mcf", "vcfr"))
         assert base.instructions == vcfr.instructions
+
+
+class TestLegacyRunnerShim:
+    """Runner keeps the pre-session surface alive, with warnings."""
+
+    def test_sim_warns_and_matches_run(self):
+        legacy = Runner(max_instructions=20_000)
+        with pytest.warns(DeprecationWarning, match="Runner.sim"):
+            via_shim = legacy.sim("mcf", "vcfr", drc_entries=64)
+        direct = legacy.run(legacy.spec("mcf", "vcfr", drc_entries=64))
+        assert via_shim is direct
+
+    def test_program_warns_and_matches_program_for(self):
+        legacy = Runner(max_instructions=20_000)
+        with pytest.warns(DeprecationWarning, match="Runner.program"):
+            via_shim = legacy.program("mcf")
+        assert via_shim is legacy.program_for(legacy.spec("mcf"))
+
+    def test_runner_is_a_session(self):
+        assert issubclass(Runner, ExperimentSession)
 
 
 class TestReportFormatting:

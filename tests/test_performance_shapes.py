@@ -9,68 +9,72 @@ import pytest
 
 from repro.arch.config import default_config
 from repro.arch.cpu import simulate
-from repro.harness import Runner
+from repro.harness import ExperimentSession
 from repro.ilr import make_flow
 
 BUDGET = 120_000
 
 
+def sim(runner, app, mode, drc_entries=128):
+    return runner.run(runner.spec(app, mode, drc_entries))
+
+
 @pytest.fixture(scope="module")
 def runner():
-    return Runner(max_instructions=BUDGET)
+    return ExperimentSession(max_instructions=BUDGET)
 
 
 class TestHeadlineShapes:
     @pytest.mark.parametrize("app", ["h264ref", "gcc"])
     def test_mode_ordering_on_big_code_apps(self, runner, app):
         """baseline >= vcfr > naive, with a real gap to naive."""
-        base = runner.sim(app, "baseline")
-        naive = runner.sim(app, "naive_ilr")
-        vcfr = runner.sim(app, "vcfr")
+        base = sim(runner, app, "baseline")
+        naive = sim(runner, app, "naive_ilr")
+        vcfr = sim(runner, app, "vcfr")
         assert base.ipc >= vcfr.ipc > naive.ipc
         assert vcfr.ipc / naive.ipc > 2.0  # the Fig. 12 winners
 
     @pytest.mark.parametrize("app", ["lbm", "soplex"])
     def test_small_code_apps_barely_affected(self, runner, app):
-        base = runner.sim(app, "baseline")
-        naive = runner.sim(app, "naive_ilr")
-        vcfr = runner.sim(app, "vcfr")
+        base = sim(runner, app, "baseline")
+        naive = sim(runner, app, "naive_ilr")
+        vcfr = sim(runner, app, "vcfr")
         assert naive.ipc > 0.9 * base.ipc
         assert vcfr.ipc > 0.98 * base.ipc
 
     def test_naive_inflates_il1_misses(self, runner):
-        base = runner.sim("h264ref", "baseline")
-        naive = runner.sim("h264ref", "naive_ilr")
+        base = sim(runner, "h264ref", "baseline")
+        naive = sim(runner, "h264ref", "naive_ilr")
         assert naive.il1_miss_rate > 50 * base.il1_miss_rate
 
     def test_vcfr_preserves_il1_behaviour(self, runner):
-        base = runner.sim("h264ref", "baseline")
-        vcfr = runner.sim("h264ref", "vcfr")
+        base = sim(runner, "h264ref", "baseline")
+        vcfr = sim(runner, "h264ref", "vcfr")
         assert vcfr.il1_miss_rate < 2 * base.il1_miss_rate + 0.001
 
     def test_drc_size_monotonicity(self, runner):
         rates = [
-            runner.sim("xalan", "vcfr", drc_entries=entries).drc_miss_rate
+            sim(runner, "xalan", "vcfr", drc_entries=entries).drc_miss_rate
             for entries in (64, 128, 512)
         ]
         assert rates[0] >= rates[1] >= rates[2]
         ipcs = [
-            runner.sim("xalan", "vcfr", drc_entries=entries).ipc
+            sim(runner, "xalan", "vcfr", drc_entries=entries).ipc
             for entries in (64, 128, 512)
         ]
         assert ipcs[0] <= ipcs[1] <= ipcs[2]
 
     def test_prefetcher_wasted_under_naive(self, runner):
-        base = runner.sim("gcc", "baseline")
-        naive = runner.sim("gcc", "naive_ilr")
+        base = sim(runner, "gcc", "baseline")
+        naive = sim(runner, "gcc", "naive_ilr")
         assert naive.il1_prefetch_waste_rate > 0.5
         assert base.il1_prefetch_waste_rate < 0.5
 
     def test_power_overhead_small(self, runner):
-        vcfr = runner.sim("xalan", "vcfr")
+        vcfr = sim(runner, "xalan", "vcfr")
         assert 0.0 < vcfr.drc_power_overhead_percent < 2.0
 
     def test_emulator_orders_of_magnitude_slower(self, runner):
-        base = runner.sim("python", "baseline")
+        base = sim(runner, "python", "baseline")
         emulated = runner.emulate("python")
         assert emulated.slowdown_vs(base.cycles) > 100

@@ -177,3 +177,107 @@ class TestResultCache:
         # ... and a rewrite repairs it.
         cache.put(spec, config, sim_result)
         assert cache.get(spec, config) is not None
+
+
+class TestShardedLayout:
+    """ISSUE 7: per-entry directories plus legacy-layout read-through."""
+
+    def _put(self, tmp_path, sim_result):
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec("mcf", "vcfr", 64, max_instructions=4000)
+        config = default_config()
+        path = cache.put(spec, config, sim_result)
+        return cache, spec, config, path
+
+    def test_entries_are_sharded_by_digest_prefix(self, sim_result,
+                                                  tmp_path):
+        cache, spec, config, path = self._put(tmp_path, sim_result)
+        digest = cache.key(spec, config)
+        assert path == os.path.join(
+            str(tmp_path), digest[:2], digest, "result.json")
+        assert cache.entry_dir(spec, config) == os.path.dirname(path)
+
+    def test_flat_legacy_entry_reads_through(self, sim_result, tmp_path):
+        cache, spec, config, path = self._put(tmp_path, sim_result)
+        digest = cache.key(spec, config)
+        flat = os.path.join(str(tmp_path), digest + ".json")
+        os.replace(path, flat)
+        os.rmdir(os.path.dirname(path))
+        loaded = cache.get(spec, config)
+        assert loaded is not None
+        assert loaded.as_dict() == sim_result.as_dict()
+
+    def test_two_level_legacy_entry_reads_through(self, sim_result,
+                                                  tmp_path):
+        cache, spec, config, path = self._put(tmp_path, sim_result)
+        digest = cache.key(spec, config)
+        two_level = os.path.join(str(tmp_path), digest[:2],
+                                 digest + ".json")
+        os.replace(path, two_level)
+        os.rmdir(os.path.dirname(path))
+        assert cache.get(spec, config) is not None
+
+    def test_migrate_moves_legacy_entries_in_place(self, sim_result,
+                                                   tmp_path):
+        cache, spec, config, path = self._put(tmp_path, sim_result)
+        digest = cache.key(spec, config)
+        flat = os.path.join(str(tmp_path), digest + ".json")
+        os.replace(path, flat)
+        os.rmdir(os.path.dirname(path))
+        assert cache.migrate() == {"migrated": 1, "skipped": 0}
+        assert not os.path.exists(flat)
+        assert os.path.exists(path)
+        assert cache.get(spec, config) is not None
+        # Idempotent: nothing legacy left to move.
+        assert cache.migrate() == {"migrated": 0, "skipped": 0}
+
+    def test_migrate_prefers_existing_sharded_entry(self, sim_result,
+                                                    tmp_path):
+        cache, spec, config, path = self._put(tmp_path, sim_result)
+        digest = cache.key(spec, config)
+        flat = os.path.join(str(tmp_path), digest + ".json")
+        with open(path) as fh:
+            blob = fh.read()
+        with open(flat, "w") as fh:
+            fh.write(blob)
+        assert cache.migrate() == {"migrated": 0, "skipped": 1}
+        assert not os.path.exists(flat)  # stale copy discarded
+        assert cache.get(spec, config) is not None
+
+    def test_peek_is_side_effect_free(self, sim_result, tmp_path):
+        cache, spec, config, path = self._put(tmp_path, sim_result)
+        before = cache.stats()
+        assert cache.peek(spec, config) is not None
+        missing = RunSpec("gcc", "baseline", max_instructions=4000)
+        assert cache.peek(missing, config) is None
+        assert cache.stats() == before
+        # Unlike get(), peek never drops a corrupt entry.
+        with open(path, "w") as fh:
+            fh.write("{ truncated")
+        assert cache.peek(spec, config) is None
+        assert os.path.exists(path)
+
+    def test_backfill_recovers_config_digest_on_every_layout(
+            self, sim_result, tmp_path):
+        from repro.harness.spec import config_fingerprint
+        from repro.obs.store import RunStore
+
+        config = default_config()
+        cache = ResultCache(str(tmp_path / "cache"))
+        sharded = RunSpec("mcf", "vcfr", 64, max_instructions=4000)
+        flat = RunSpec("mcf", "vcfr", 128, max_instructions=4000)
+        path = cache.put(sharded, config, sim_result)
+        flat_path = cache.put(flat, config, sim_result)
+        legacy = os.path.join(
+            cache.root, cache.key(flat, config) + ".json")
+        os.replace(flat_path, legacy)
+        os.rmdir(os.path.dirname(flat_path))
+
+        with RunStore(str(tmp_path / "runs.db")) as store:
+            counts = store.backfill_cache(cache.root)
+            assert counts == {"ingested": 2, "skipped": 0}
+            _cols, rows = store.query(
+                "SELECT drc_entries, config_digest FROM runs "
+                "ORDER BY drc_entries")
+        assert rows == [(64, config_fingerprint(config)),
+                        (128, config_fingerprint(config))]
