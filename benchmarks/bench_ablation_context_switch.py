@@ -3,7 +3,7 @@
 The RDR tables are part of the process context; switches flush the DRC.
 Measures how VCFR IPC degrades as scheduling quanta shrink."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.ablations import context_switching
@@ -12,4 +12,4 @@ from repro.harness.ablations import context_switching
 def test_context_switching(runner, benchmark, show):
     result = run_once(benchmark, context_switching, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -4,7 +4,7 @@ Compares direct-mapped vs 4-way vs fully-associative 128-entry DRCs on
 the translation-heavy workloads and checks the paper's claim that the
 direct-mapped design is performance-adequate."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.ablations import drc_associativity
@@ -13,4 +13,4 @@ from repro.harness.ablations import drc_associativity
 def test_drc_associativity(runner, benchmark, show):
     result = run_once(benchmark, drc_associativity, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

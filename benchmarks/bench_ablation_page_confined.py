@@ -3,7 +3,7 @@
 Confining the permutation within pages trades entropy for a large
 reduction in naive-ILR iTLB misses, as the paper suggests."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.ablations import page_confined_layout
@@ -12,4 +12,4 @@ from repro.harness.ablations import page_confined_layout
 def test_page_confined_layout(runner, benchmark, show):
     result = run_once(benchmark, page_confined_layout, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

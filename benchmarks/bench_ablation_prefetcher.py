@@ -1,7 +1,7 @@
 """Ablation — IL1 next-line prefetcher on/off per execution mode
 (Table I's 'instruction prefetch' row, measured)."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.ablations import prefetcher
@@ -10,4 +10,4 @@ from repro.harness.ablations import prefetcher
 def test_prefetcher(runner, benchmark, show):
     result = run_once(benchmark, prefetcher, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -2,7 +2,7 @@
 §IV-C architectural).  Measures randomized-return coverage, residual
 failover surface and the IPC cost of each policy."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.ablations import retaddr_policy
@@ -11,4 +11,4 @@ from repro.harness.ablations import retaddr_policy
 def test_retaddr_policy(runner, benchmark, show):
     result = run_once(benchmark, retaddr_policy, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -3,7 +3,7 @@
 The paper's core claim, quantified: under VCFR entropy is free (IPC is
 spread-insensitive) while naive ILR pays for every extra bit."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.ablations import spread_factor
@@ -12,4 +12,4 @@ from repro.harness.ablations import spread_factor
 def test_spread_factor(runner, benchmark, show):
     result = run_once(benchmark, spread_factor, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

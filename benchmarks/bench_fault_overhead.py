@@ -42,6 +42,7 @@ from repro.arch.config import default_config
 from repro.harness.resultcache import ResultCache
 from repro.harness.spec import RunSpec
 from repro.harness.sweep import execute_spec, sweep
+from repro.tools.benchgate import gate
 
 #: Per-spec instruction budget.  Sized so one pass runs long enough
 #: that the engine's constant-per-spec machinery (retry bookkeeping,
@@ -136,10 +137,8 @@ def test_no_fault_overhead_is_negligible():
                100 * (estimators["paired"] - 1),
                100 * OVERHEAD_LIMIT)
         )
-        assert overhead < OVERHEAD_LIMIT, (
-            "no-fault sweep overhead %.2f%% exceeds %.0f%% budget"
-            % (100 * overhead, 100 * OVERHEAD_LIMIT)
-        )
+        gate("fault_overhead", "sweep_overhead", round(overhead, 4),
+             OVERHEAD_LIMIT, op="<")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

@@ -3,7 +3,7 @@
 Regenerates the per-application slowdown series (paper: hundreds of
 times) from the deterministic host-cost emulator and the cycle simulator."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig2
@@ -12,4 +12,4 @@ from repro.harness.experiments import fig2
 def test_fig2(runner, benchmark, show):
     result = run_once(benchmark, fig2, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -3,7 +3,7 @@
 Regenerates the IL1 miss-rate inflation, prefetch-waste increase and L2
 pressure increase series (paper: x9.4 avg IL1, one ~558x outlier)."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig3
@@ -12,4 +12,4 @@ from repro.harness.experiments import fig3
 def test_fig3(runner, benchmark, show):
     result = run_once(benchmark, fig3, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -3,7 +3,7 @@
 Regenerates the per-application normalized-IPC series (paper: average
 drops to 0.61-0.66 of baseline)."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig4
@@ -12,4 +12,4 @@ from repro.harness.experiments import fig4
 def test_fig4(runner, benchmark, show):
     result = run_once(benchmark, fig4, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -1,6 +1,6 @@
 """Fig. 9 — functions with and without ret instructions."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig9
@@ -9,4 +9,4 @@ from repro.harness.experiments import fig9
 def test_fig9(runner, benchmark, show):
     result = run_once(benchmark, fig9, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -3,7 +3,7 @@
 Regenerates the per-application removal series with the ROPgadget-style
 scanner (paper: ~98% average; no payload can be assembled afterwards)."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig11
@@ -12,4 +12,4 @@ from repro.harness.experiments import fig11
 def test_fig11(runner, benchmark, show):
     result = run_once(benchmark, fig11, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

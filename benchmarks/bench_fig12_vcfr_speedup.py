@@ -2,7 +2,7 @@
 
 Paper: average 1.63x; namd/h264ref/mcf/xalan exceed 2x."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig12
@@ -11,4 +11,4 @@ from repro.harness.experiments import fig12
 def test_fig12(runner, benchmark, show):
     result = run_once(benchmark, fig12, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -2,7 +2,7 @@
 
 Paper: 98.9% of baseline at 512 entries, 97.9% at 64."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig13
@@ -11,4 +11,4 @@ from repro.harness.experiments import fig13
 def test_fig13(runner, benchmark, show):
     result = run_once(benchmark, fig13, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

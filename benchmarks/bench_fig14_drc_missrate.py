@@ -2,7 +2,7 @@
 
 Paper: 4.5% average at 512 entries, 20.6% at 64."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig14
@@ -11,4 +11,4 @@ from repro.harness.experiments import fig14
 def test_fig14(runner, benchmark, show):
     result = run_once(benchmark, fig14, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

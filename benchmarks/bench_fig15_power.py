@@ -1,6 +1,6 @@
 """Fig. 15 — DRC dynamic power overhead (paper: 0.18% of CPU dynamic power)."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import fig15
@@ -9,4 +9,4 @@ from repro.harness.experiments import fig15
 def test_fig15(runner, benchmark, show):
     result = run_once(benchmark, fig15, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

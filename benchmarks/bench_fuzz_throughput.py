@@ -18,6 +18,7 @@ or through pytest: ``pytest benchmarks/bench_fuzz_throughput.py -q``.
 import time
 
 from repro.qa import FuzzSession, OracleConfig
+from repro.tools.benchgate import gate
 
 PROGRAMS = 40
 SEED = 1
@@ -44,14 +45,10 @@ def test_fuzz_throughput():
         % (stats.programs, stats.engine_runs, elapsed, rate,
            MIN_PROGRAMS_PER_MINUTE)
     )
-    assert stats.ok, (
-        "fuzz found divergences during the throughput run: %s"
-        % [f.kinds for f in stats.findings]
-    )
-    assert rate >= MIN_PROGRAMS_PER_MINUTE, (
-        "fuzz throughput %.0f programs/min below the %d floor"
-        % (rate, MIN_PROGRAMS_PER_MINUTE)
-    )
+    gate("fuzz_throughput", "divergences", len(stats.findings), 0,
+         op="==")
+    gate("fuzz_throughput", "programs_per_minute", round(rate, 1),
+         MIN_PROGRAMS_PER_MINUTE)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ import time
 from repro.arch.cpu import CycleCPU
 from repro.ilr import RandomizerConfig, make_flow, randomize
 from repro.obs.metrics import get_registry
+from repro.tools.benchgate import gate
 from repro.workloads import build_image
 
 MAX_INSTRUCTIONS = 50_000
@@ -75,10 +76,8 @@ def test_always_on_metrics_overhead_under_5_percent():
         "\nobs overhead: plain %.4fs, instrumented %.4fs -> %+.2f%%"
         % (plain, instrumented, 100 * overhead)
     )
-    assert overhead < OVERHEAD_LIMIT, (
-        "always-on metrics path costs %.1f%% (> %.0f%% budget)"
-        % (100 * overhead, 100 * OVERHEAD_LIMIT)
-    )
+    gate("obs_overhead", "metrics_overhead", round(overhead, 4),
+         OVERHEAD_LIMIT, op="<")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ import time
 
 from repro.harness import Runner, suite_specs
 from repro.harness.spec import RunSpec
+from repro.tools.benchgate import gate
 
 WORKERS = 4
 BUDGET = int(os.environ.get("BENCH_SWEEP_BUDGET", "20000"))
@@ -94,28 +95,21 @@ def test_parallel_sweep_speedup_and_warm_cache():
             "warm rerun still performed cycle simulations"
         )
         assert warm_runner.cache.stats()["hits"] == len(specs)
-        assert warm_s < WARM_FRACTION_LIMIT * seq_s, (
-            "warm rerun took %.2fs (>= %.0f%% of the %.2fs cold run)"
-            % (warm_s, 100 * WARM_FRACTION_LIMIT, seq_s)
-        )
+        gate("parallel_speedup", "warm_fraction",
+             round(warm_s / seq_s, 4), WARM_FRACTION_LIMIT, op="<")
 
         # Speedup, scaled to what the host can physically provide.
         if cores >= 4:
-            assert speedup >= SPEEDUP_4CORE, (
-                "%d workers on %d cores: %.2fx < required %.1fx"
-                % (WORKERS, cores, speedup, SPEEDUP_4CORE)
-            )
+            gate("parallel_speedup", "speedup_4core",
+                 round(speedup, 2), SPEEDUP_4CORE)
         elif cores >= 2:
-            assert speedup >= SPEEDUP_2CORE, (
-                "%d workers on %d cores: %.2fx < required %.1fx"
-                % (WORKERS, cores, speedup, SPEEDUP_2CORE)
-            )
+            gate("parallel_speedup", "speedup_2core",
+                 round(speedup, 2), SPEEDUP_2CORE)
         else:
             # One core: parallel cannot win; just bound the overhead.
-            assert par_s <= SINGLE_CORE_SLOWDOWN_LIMIT * seq_s, (
-                "pool overhead on 1 core: %.2fs vs %.2fs sequential"
-                % (par_s, seq_s)
-            )
+            gate("parallel_speedup", "single_core_slowdown",
+                 round(par_s / seq_s, 4), SINGLE_CORE_SLOWDOWN_LIMIT,
+                 op="<=")
             print("single-core host: %.1fx threshold not applicable, "
                   "overhead bound %.2fx enforced instead"
                   % (SPEEDUP_4CORE, SINGLE_CORE_SLOWDOWN_LIMIT))

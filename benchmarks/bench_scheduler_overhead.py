@@ -44,6 +44,7 @@ from repro.arch.config import default_config
 from repro.harness.scheduler import AsyncScheduler
 from repro.harness.spec import RunSpec
 from repro.harness.sweep import sweep
+from repro.tools.benchgate import gate
 
 BUDGET = int(os.environ.get("BENCH_SCHED_BUDGET", "1500"))
 SPEC_COUNT = int(os.environ.get("BENCH_SCHED_SPECS", "200"))
@@ -136,10 +137,8 @@ def test_streaming_overhead_is_negligible():
            100 * (estimators["paired"] - 1),
            100 * OVERHEAD_LIMIT)
     )
-    assert overhead < OVERHEAD_LIMIT, (
-        "streaming intake overhead %.2f%% exceeds %.0f%% budget"
-        % (100 * overhead, 100 * OVERHEAD_LIMIT)
-    )
+    gate("scheduler_overhead", "streaming_overhead", round(overhead, 4),
+         OVERHEAD_LIMIT, op="<")
 
 
 if __name__ == "__main__":

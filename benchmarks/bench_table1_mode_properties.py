@@ -4,7 +4,7 @@ Regenerates the paper's Table I from measured simulator behaviour and
 asserts the four qualitative properties.
 """
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import table1
@@ -13,4 +13,4 @@ from repro.harness.experiments import table1
 def test_table1_mode_properties(runner, benchmark, show):
     result = run_once(benchmark, table1, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

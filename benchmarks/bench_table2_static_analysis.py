@@ -3,7 +3,7 @@
 Regenerates the direct/indirect transfer and call counts and checks the
 shape facts (gcc most direct transfers; xalan most indirect calls)."""
 
-from conftest import run_once
+from conftest import gate_result, run_once
 
 from repro.harness import format_result
 from repro.harness.experiments import table2
@@ -12,4 +12,4 @@ from repro.harness.experiments import table2
 def test_table2(runner, benchmark, show):
     result = run_once(benchmark, table2, runner)
     show(format_result(result))
-    assert result.passed, [d for d, ok in result.checks if not ok]
+    gate_result(result)

@@ -21,6 +21,7 @@ import time
 
 from repro.harness import RunSpec, sweep
 from repro.obs.trace import Tracer
+from repro.tools.benchgate import gate
 
 MAX_INSTRUCTIONS = 30_000
 REPETITIONS = 5
@@ -66,10 +67,8 @@ def test_span_tracing_overhead_under_5_percent():
         "\ntrace overhead: plain %.4fs, traced %.4fs -> %+.2f%%"
         % (plain, traced, 100 * overhead)
     )
-    assert overhead < OVERHEAD_LIMIT, (
-        "span tracing costs %.1f%% (> %.0f%% budget)"
-        % (100 * overhead, 100 * OVERHEAD_LIMIT)
-    )
+    gate("span_trace_overhead", "tracing_overhead", round(overhead, 4),
+         OVERHEAD_LIMIT, op="<")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ pytest session regardless of how many figures consume it.
 import pytest
 
 from repro.harness import Runner
+from repro.tools.benchgate import emit_experiment
 
 #: Per-run instruction budget.  300k instructions gives steady-state cache
 #: and DRC behaviour for every workload while keeping the full suite
@@ -49,3 +50,12 @@ def run_once(benchmark, fn, *args):
     figure for no measurement benefit.
     """
     return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def gate_result(result):
+    """Emit ``BENCH_<exp_id>.json`` for an experiment, then gate on it.
+
+    The report is written before the assert so failing checks still
+    land on disk for the perf-trajectory diff."""
+    emit_experiment(result)
+    assert result.passed, [d for d, ok in result.checks if not ok]

@@ -92,19 +92,40 @@ class Block:
     ``interior`` ops are guaranteed non-control (always ``CTRL_NONE``);
     ``term`` is the single terminal op (control transfer, halt, cap hit
     or decode-ahead boundary).  ``lo``/``hi`` bound every fetch byte the
-    block's instructions occupy (used by range invalidation; for the
-    naive-ILR scattered fetch space this is a conservative envelope).
+    block's instructions occupy.  ``spans`` is None when the block is
+    fetch-contiguous (the ``[lo, hi)`` envelope is then exact); for a
+    scattered fetch space (naive ILR) it holds the per-instruction
+    ``(start, end)`` byte ranges so range invalidation can be exact
+    about the gaps between instructions.
     """
 
-    __slots__ = ("leader", "interior", "term", "n", "lo", "hi")
+    __slots__ = ("leader", "interior", "term", "n", "lo", "hi", "spans")
 
-    def __init__(self, leader, interior, term, n, lo, hi):
+    def __init__(self, leader, interior, term, n, lo, hi, spans=None):
         self.leader = leader
         self.interior = interior
         self.term = term
         self.n = n
         self.lo = lo
         self.hi = hi
+        self.spans = spans
+
+
+def block_overlaps(block: Block, start: int, end: int) -> bool:
+    """Exact test for ``block`` occupying any byte of ``[start, end)``.
+
+    The envelope check is a prefilter; scattered blocks are then
+    checked span-by-span so a write that lands purely in a gap between
+    instructions does not invalidate them.  Shared with the trace tier
+    (:mod:`repro.arch.tracecache`), so both tiers always agree on what
+    a code write invalidated.
+    """
+    if not (block.lo < end and block.hi > start):
+        return False
+    spans = block.spans
+    if spans is None:
+        return True
+    return any(lo < end and hi > start for lo, hi in spans)
 
 
 class BlockCache:
@@ -113,6 +134,7 @@ class BlockCache:
     __slots__ = (
         "capacity", "max_insts", "blocks", "decoded",
         "_decoded_capacity", "builds", "flushes", "invalidations",
+        "execs",
     )
 
     def __init__(self, capacity: int = 4096, max_insts: int = 32):
@@ -128,6 +150,9 @@ class BlockCache:
         self.builds = 0
         self.flushes = 0
         self.invalidations = 0
+        #: blocks executed to completion by the fast loop (folded in
+        #: bulk at loop exit; ``execs - builds`` approximates hits).
+        self.execs = 0
 
     def __len__(self) -> int:
         return len(self.blocks)
@@ -162,6 +187,8 @@ class BlockCache:
             self.flushes += 1
 
         ops = []
+        spans = []
+        contiguous = True
         lo = leader
         hi = leader
         fetch_pc: Optional[int] = leader
@@ -216,6 +243,9 @@ class BlockCache:
                 inst.reads_memory or inst.writes_memory,
                 inst.mnemonic == "int",
             ))
+            if spans and fetch_pc != spans[-1][1]:
+                contiguous = False
+            spans.append((fetch_pc, fetch_pc + length))
             if fetch_pc < lo:
                 lo = fetch_pc
             if fetch_pc + length > hi:
@@ -224,7 +254,10 @@ class BlockCache:
                 break
             fetch_pc = seq
 
-        block = Block(leader, tuple(ops[:-1]), ops[-1], len(ops), lo, hi)
+        block = Block(
+            leader, tuple(ops[:-1]), ops[-1], len(ops), lo, hi,
+            None if contiguous else tuple(spans),
+        )
         blocks[leader] = block
         self.builds += 1
         return block
@@ -241,13 +274,18 @@ class BlockCache:
 
     def invalidate_range(self, start: int, size: int) -> None:
         """Drop blocks and decoded instructions overlapping
-        ``[start, start + size)`` in fetch space (code rewrite)."""
+        ``[start, start + size)`` in fetch space (code rewrite).
+
+        Overlap is exact per instruction (:func:`block_overlaps`): a
+        write straddling a block's boundary instruction drops the
+        block, while a write landing purely in a gap between a
+        scattered block's instructions leaves it cached."""
         if size <= 0:
             return
         end = start + size
         blocks = self.blocks
         stale = [pc for pc, b in blocks.items()
-                 if b.lo < end and b.hi > start]
+                 if block_overlaps(b, start, end)]
         for pc in stale:
             del blocks[pc]
         decoded = self.decoded
@@ -268,4 +306,6 @@ class BlockCache:
             "builds": self.builds,
             "flushes": self.flushes,
             "invalidations": self.invalidations,
+            "execs": self.execs,
+            "hits": max(0, self.execs - self.builds),
         }

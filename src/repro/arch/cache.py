@@ -41,6 +41,12 @@ class CacheStats:
         #: in paper Fig. 3 terms, when read on an L1).
         self.demand_reads_to_next = 0
 
+    def reset(self) -> None:
+        """Zero every counter in place (object identity is preserved so
+        compiled trace code may close over this instance)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
@@ -173,5 +179,10 @@ class Cache:
         ways.append([line, dirty, prefetched, touched])
 
     def flush(self) -> None:
-        """Drop all lines (writebacks are not modelled on flush)."""
-        self._sets = [[] for _ in range(self.num_sets)]
+        """Drop all lines (writebacks are not modelled on flush).
+
+        Clears each set in place: the ``_sets`` list and its per-set way
+        lists keep their identity, so compiled trace code
+        (:mod:`repro.arch.tracecache`) may close over them."""
+        for ways in self._sets:
+            ways.clear()

@@ -25,6 +25,8 @@ TIMING_MODEL_VERSION = 3
 #: valid for the fast path and vice versa.
 HOST_TUNING_FIELDS: Tuple[str, ...] = (
     "fastpath", "block_cache_capacity", "block_max_insts",
+    "tracepath", "trace_hot_threshold", "trace_max_blocks",
+    "trace_max_insts", "trace_cache_capacity",
 )
 
 
@@ -115,6 +117,21 @@ class MachineConfig:
     block_cache_capacity: int = 4096
     #: maximum instructions pre-decoded into one block (host-side).
     block_max_insts: int = 32
+    #: run the superblock trace tier on top of the block fast path: hot
+    #: blocks are linked across predicted branches into traces and each
+    #: trace is compiled to a specialized Python function (host-side
+    #: knob; cycle/stat-exact by contract, like ``fastpath``).
+    tracepath: bool = True
+    #: block executions before a leader is hot enough to anchor a trace
+    #: recording (host-side).
+    trace_hot_threshold: int = 16
+    #: maximum blocks linked into one trace (host-side).
+    trace_max_blocks: int = 16
+    #: maximum instructions across one trace (host-side).
+    trace_max_insts: int = 256
+    #: bounded capacity of the compiled-trace cache, in traces
+    #: (host-side; flush-on-overflow like the block cache).
+    trace_cache_capacity: int = 512
 
     def with_drc_entries(self, entries: int) -> "MachineConfig":
         """A copy of this config with a different DRC size (Fig. 13/14 sweeps)."""

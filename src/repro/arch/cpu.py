@@ -48,6 +48,7 @@ from .power import EnergyParams, compute_energy
 from .simstats import Checkpoint, SimResult, ratio
 from .state import ExitProgram, MachineState
 from .tlb import TLB
+from .tracecache import TraceCache
 
 #: Kernel-space placement of the RDR tables and the §IV-C stack bitmap.
 #: These pages are registered invisible in the TLBs; only DRC refills
@@ -161,6 +162,16 @@ class CycleCPU:
         self._blockcache = BlockCache(
             cfg.block_cache_capacity, cfg.block_max_insts
         )
+        #: superblock trace tier (host-side, rides on the fast path);
+        #: constructed last so it can close over the fully-built CPU.
+        self._tracecache = (
+            TraceCache(self) if (cfg.fastpath and cfg.tracepath) else None
+        )
+        #: counter writeback cell shared with generated trace functions
+        #: (cycle, icount, last_page, last_line).
+        self._trace_out = [0, 0, 0, 0]
+        #: previously-synced tier telemetry (see _sync_metrics).
+        self._tier_synced: Dict[str, int] = {}
 
     # -- DRC refill path -----------------------------------------------------
 
@@ -199,22 +210,31 @@ class CycleCPU:
         randomization-table swap (re-randomization epoch), since blocks
         freeze per-run ``arch_pc_of``/``sequential`` results.  With a
         range, only blocks overlapping ``[start, start + size)`` in
-        fetch space go.
+        fetch space go.  Compiled traces bake in the same precomputed
+        facts (plus folded table lookups), so they are flushed under
+        exactly the same rules.
         """
         if start is None:
             self._blockcache.invalidate_all()
+            if self._tracecache is not None:
+                self._tracecache.invalidate_all()
         else:
             self._blockcache.invalidate_range(start, size)
+            if self._tracecache is not None:
+                self._tracecache.invalidate_range(start, size)
 
     def rewrite_code(self, addr: int, data: bytes) -> None:
-        """Patch simulated memory and invalidate affected blocks.
+        """Patch simulated memory and invalidate affected blocks and
+        traces.
 
         All code-rewriting flows must go through this (or call
-        :meth:`invalidate_blocks` themselves): the block cache assumes
-        text is immutable between explicit invalidations.
+        :meth:`invalidate_blocks` themselves): the block and trace
+        caches assume text is immutable between explicit invalidations.
         """
         self.mem.write_block(addr, bytes(data))
         self._blockcache.invalidate_range(addr, len(data))
+        if self._tracecache is not None:
+            self._tracecache.invalidate_range(addr, len(data))
 
     def _fetch_stall(self, fetch_pc: int, length: int) -> int:
         """Instruction-side stall: IL1 (with prefetch) + iTLB."""
@@ -393,6 +413,7 @@ class CycleCPU:
             finished=result.finished,
             checkpoints=len(result.checkpoints),
             host_seconds=round(time.perf_counter() - self._run_t0, 6),
+            tiers=self.tier_stats() if self.events.enabled else None,
             **self.event_fields,
         )
         return result
@@ -559,6 +580,14 @@ class CycleCPU:
         events mid-block).  A block that does not fit in the remaining
         budget is delegated whole to the reference loop, which stops at
         exactly the boundary — so checkpoint windows clip identically.
+
+        On top of the block tier sits the superblock trace tier
+        (:mod:`repro.arch.tracecache`): the loop head dispatches hot
+        fetch PCs to compiled traces, and the per-block epilogue feeds
+        the trace profiler/recorder.  Traces are only entered when they
+        fit the remaining budget whole and return control at guard
+        side-exits, so the block path (and through it the reference
+        loop) remains the single source of truth for every boundary.
         """
         if self._finished:
             return True
@@ -588,15 +617,46 @@ class CycleCPU:
         drc_stall = self._drc_stall
         branch_stall = self._branch_stall
         tracer = self.tracer
+        tracecache = self._tracecache
+        if tracecache is not None:
+            trace_get = tracecache.traces.get
+            on_block = tracecache.on_block
+            out = self._trace_out
+        else:
+            trace_get = None
+            on_block = None
+            out = None
 
         fetch_pc = self._resume_fetch_pc
         cycle = self.cycle
         last_page = self._last_fetch_page
         last_line = self._last_fetch_line
         icount = state.icount
+        bexec = 0
         tail = False
         try:
             while icount < budget:
+                if trace_get is not None:
+                    trace = trace_get(fetch_pc)
+                    if trace is not None and icount + trace.n <= budget:
+                        trace.entries += 1
+                        try:
+                            status, fetch_pc = trace.fn(
+                                cycle, icount, budget, last_page,
+                                last_line, tracer, out,
+                            )
+                        finally:
+                            # The generated function settles counters
+                            # through ``out`` in its own finally, so
+                            # faults propagate with them written back.
+                            cycle = out[0]
+                            icount = out[1]
+                            last_page = out[2]
+                            last_line = out[3]
+                        if status:
+                            self._finished = True
+                            break
+                        continue
                 block = blocks.get(fetch_pc)
                 if block is None:
                     block = build(fetch_pc, mem, flow, page_shift,
@@ -746,6 +806,9 @@ class CycleCPU:
                                   target)
 
                 cycle += 1 + stall
+                bexec += 1
+                if on_block is not None:
+                    on_block(block, next_fetch_pc)
                 fetch_pc = next_fetch_pc
         finally:
             # Exceptions (security faults, decode errors, visibility
@@ -759,6 +822,7 @@ class CycleCPU:
             self.cycle = cycle
             self._last_fetch_page = last_page
             self._last_fetch_line = last_line
+            blockcache.execs += bexec
         self._resume_fetch_pc = fetch_pc
         if tail:
             return self._execute_loop_ref(budget)
@@ -917,16 +981,18 @@ class CycleCPU:
     def _reset_stats(self) -> None:
         """Zero all counters (cache/predictor contents are preserved)."""
         from .branch import BranchStats
-        from .cache import CacheStats
         from .dram import DRAMStats
         from .drc import DRCStats
         from .tlb import TLBStats
 
         self._warmup_icount = self.state.icount
         self._warmup_cycle = self.cycle
-        self.il1.stats = CacheStats()
-        self.dl1.stats = CacheStats()
-        self.l2.stats = CacheStats()
+        # Cache stats reset in place: compiled trace code closes over
+        # the il1/dl1 CacheStats objects, so rebinding them would strand
+        # those counters (see repro.arch.tracecache).
+        self.il1.stats.reset()
+        self.dl1.stats.reset()
+        self.l2.stats.reset()
         self.dram.stats = DRAMStats()
         self.itlb.stats = TLBStats()
         self.dtlb.stats = TLBStats()
@@ -979,12 +1045,39 @@ class CycleCPU:
         self._sync_metrics(result)
         return result
 
+    def tier_stats(self) -> Dict[str, Dict[str, int]]:
+        """Host-side execution-tier telemetry: block-cache and (when
+        the trace tier is on) trace-cache counters.  These are host
+        strategy observables — never part of simulated statistics."""
+        stats = {"blocks": self._blockcache.stats()}
+        if self._tracecache is not None:
+            stats["traces"] = self._tracecache.stats()
+        return stats
+
+    #: tier_stats keys that are point-in-time sizes (synced as gauges);
+    #: everything else is monotonic and synced as counter deltas.
+    _TIER_GAUGES = frozenset(("blocks", "decoded", "traces",
+                              "live_entries"))
+
+    def _sync_tier_metrics(self, registry) -> None:
+        for tier, tier_stats in self.tier_stats().items():
+            for key, value in tier_stats.items():
+                name = "sim.tier.%s.%s" % (tier, key)
+                if key in self._TIER_GAUGES:
+                    registry.gauge(name).set(value)
+                    continue
+                delta = value - self._tier_synced.get(name, 0)
+                self._tier_synced[name] = value
+                if delta > 0:
+                    registry.counter(name).inc(delta)
+
     def _sync_metrics(self, result: SimResult) -> None:
         """Fold the finished run into the process-global metrics
         registry (end-of-run only, so the hot loop never touches it)."""
         registry = get_registry()
         if not registry.enabled:
             return
+        self._sync_tier_metrics(registry)
         mode = result.mode
         registry.counter("sim.runs").inc()
         registry.counter("sim.instructions").inc(result.instructions)

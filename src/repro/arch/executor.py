@@ -690,6 +690,449 @@ def specialize_handler(inst: Instruction):
     return handler_for(inst)
 
 
+# -- compile-time source templates (superblock trace tier) --------------------
+#
+# The trace tier (:mod:`repro.arch.tracecache`) compiles hot block
+# sequences into one specialized Python function via source generation +
+# ``exec``.  The templates below emit, for one decoded instruction, the
+# straight-line source implementing exactly the matching handler body
+# above — same side effects, same observable intermediate state on a
+# fault, same flag algebra — with the instruction's fields baked in as
+# literals.  Keeping the templates next to the handlers is what keeps
+# them honest: any semantics change must touch both, and the
+# differential suites (tests/test_fastpath_equivalence.py, repro.qa)
+# compare the tiers instruction-by-instruction.
+#
+# Generated-scope name contract (bound by the trace compiler):
+#
+# ``st`` (MachineState), ``regs`` (register list), ``flags``, ``rd``/
+# ``wr`` (mem.read_u32/write_u32), ``syscall``, ``flow``, ``events``,
+# ``fixup`` (flow.fixup_load), ``note_store``, ``note_push``
+# (note_retaddr_push), ``call_ret`` (call_retaddr), ``i{n}`` (this op's
+# Instruction).  Templates may define locals ``a``, ``b_``, ``r_``,
+# ``t_``, ``v``, ``ov``, ``addr``, ``sp``, ``tgt``, ``ret_``.
+
+_M32 = "4294967295"
+_SIGN = "2147483648"
+
+
+def _src_flags_logic(result: str):
+    """Inline ``Flags.set_logic`` (CF=OF=0)."""
+    return [
+        "flags.zf = %s == 0" % result,
+        "flags.sf = (%s & %s) != 0" % (result, _SIGN),
+        "flags.cf = False",
+        "flags.of = False",
+    ]
+
+
+def _src_flags_add(a: str, b: str, total: str, result: str):
+    """Inline ``Flags.set_add``."""
+    return [
+        "flags.zf = %s == 0" % result,
+        "flags.sf = (%s & %s) != 0" % (result, _SIGN),
+        "flags.cf = %s > %s" % (total, _M32),
+        "flags.of = ((~(%s ^ %s)) & (%s ^ %s) & %s) != 0"
+        % (a, b, a, result, _SIGN),
+    ]
+
+
+def _src_flags_sub(a: str, b: str, result: str):
+    """Inline ``Flags.set_sub`` (``result`` holds ``(a - b) & MASK32``)."""
+    return [
+        "flags.zf = %s == 0" % result,
+        "flags.sf = (%s & %s) != 0" % (result, _SIGN),
+        "flags.cf = %s > %s" % (b, a),
+        "flags.of = ((%s ^ %s) & (%s ^ %s) & %s) != 0"
+        % (a, b, a, result, _SIGN),
+    ]
+
+
+def _src_tag_clear(bit: int):
+    """Inline the handlers' ``if tagmask: tagmask &= ~bit`` maintenance."""
+    return [
+        "if flow.tagmask:",
+        "    flow.tagmask &= %d" % ~bit,
+    ]
+
+
+def _src_tag_imm(value: int, bit: int, derand_map):
+    """Tag maintenance for materializing immediate ``value``.
+
+    The ``value in derand_map`` membership is folded at compile time:
+    the producer map only ever changes on a re-randomization epoch,
+    which flushes every compiled trace (the same contract that lets the
+    block cache freeze per-op ``arch_pc``).
+    """
+    if value in derand_map:
+        return ["flow.tagmask |= %d" % bit]
+    return _src_tag_clear(bit)
+
+
+#: Condition-code expressions, mirroring ``Flags.evaluate``.
+_CC_SRC = {
+    opcodes.CC_Z: "flags.zf",
+    opcodes.CC_NZ: "not flags.zf",
+    opcodes.CC_L: "flags.sf != flags.of",
+    opcodes.CC_GE: "flags.sf == flags.of",
+    opcodes.CC_LE: "flags.zf or flags.sf != flags.of",
+    opcodes.CC_G: "not flags.zf and flags.sf == flags.of",
+    opcodes.CC_B: "flags.cf",
+    opcodes.CC_AE: "not flags.cf",
+}
+
+
+def _load_src(randomized: bool, dest: str, addr: str):
+    """A fixed-up 32-bit load into ``dest`` (baseline fixup is identity)."""
+    if randomized:
+        return "%s = fixup(%s, rd(%s))" % (dest, addr, addr)
+    return "%s = rd(%s)" % (dest, addr)
+
+
+def inline_exec_src(inst: Instruction, n: int, randomized: bool,
+                    derand_map=None):
+    """Execute-stage source for a CTRL_NONE instruction.
+
+    Returns ``{"lines", "loads", "stores", "can_event"}`` — ``loads``/
+    ``stores`` name locals holding data addresses (in the order the fast
+    loop probes them), ``can_event`` says whether the op can append flow
+    events (loads through ``fixup``) — or None when the shape has no
+    template (caller falls back to the bound handler).  ``int`` is not
+    handled here: its ExitProgram unwind is control flow the trace
+    compiler owns.
+    """
+    m = inst.mnemonic
+    mode = inst.mode
+    derand_map = derand_map if derand_map is not None else {}
+    RR, RI = opcodes.MODE_RR, opcodes.MODE_RI
+    RM, MR = opcodes.MODE_RM, opcodes.MODE_MR
+
+    def out(lines, loads=(), stores=()):
+        return {
+            "lines": lines,
+            "loads": list(loads),
+            "stores": list(stores),
+            "can_event": randomized and bool(loads),
+        }
+
+    if m == "nop":
+        return out([])
+
+    if m == "movi" or (m == "mov" and mode == RI):
+        value = inst.imm & MASK32
+        lines = ["regs[%d] = %d" % (inst.reg, value)]
+        if randomized:
+            lines += _src_tag_imm(value, 1 << inst.reg, derand_map)
+        return out(lines)
+
+    if m == "mov":
+        if mode == RR:
+            lines = ["regs[%d] = regs[%d]" % (inst.reg, inst.rm)]
+            if randomized:
+                lines += [
+                    "t_ = flow.tagmask",
+                    "if t_:",
+                    "    flow.tagmask = (t_ | %d) if t_ & %d else (t_ & %d)"
+                    % (1 << inst.reg, 1 << inst.rm, ~(1 << inst.reg)),
+                ]
+            return out(lines)
+        if mode == RM:
+            lines = [
+                "addr = (regs[%d] + %d) & %s" % (inst.rm, inst.disp, _M32),
+                _load_src(randomized, "regs[%d]" % inst.reg, "addr"),
+            ]
+            if randomized:
+                lines += _src_tag_clear(1 << inst.reg)
+            lines.append("st.last_load_addr = addr")
+            return out(lines, loads=["addr"])
+        if mode == MR:
+            lines = [
+                "addr = (regs[%d] + %d) & %s" % (inst.rm, inst.disp, _M32),
+                "v = regs[%d]" % inst.reg,
+                "wr(addr, v)",
+            ]
+            if randomized:
+                lines.append(
+                    "note_store(addr, v, flow.tagmask & %d != 0)"
+                    % (1 << inst.reg)
+                )
+            lines.append("st.last_store_addr = addr")
+            return out(lines, stores=["addr"])
+        return None
+
+    if m == "add":
+        if mode == RR or mode == RI:
+            b = "regs[%d]" % inst.rm if mode == RR else str(inst.imm & MASK32)
+            lines = [
+                "a = regs[%d]" % inst.reg,
+                "t_ = a + %s" % b,
+                "r_ = t_ & %s" % _M32,
+                "regs[%d] = r_" % inst.reg,
+            ]
+            if randomized:
+                lines += _src_tag_clear(1 << inst.reg)
+            lines += _src_flags_add("a", b, "t_", "r_")
+            return out(lines)
+        if mode == RM:
+            lines = [
+                "addr = (regs[%d] + %d) & %s" % (inst.rm, inst.disp, _M32),
+                "a = regs[%d]" % inst.reg,
+                _load_src(randomized, "b_", "addr"),
+                "st.last_load_addr = addr",
+                "t_ = a + b_",
+                "r_ = t_ & %s" % _M32,
+                "regs[%d] = r_" % inst.reg,
+            ]
+            if randomized:
+                lines += _src_tag_clear(1 << inst.reg)
+            lines += _src_flags_add("a", "b_", "t_", "r_")
+            return out(lines, loads=["addr"])
+        if mode == MR:
+            lines = [
+                "addr = (regs[%d] + %d) & %s" % (inst.rm, inst.disp, _M32),
+                "b_ = regs[%d]" % inst.reg,
+                _load_src(randomized, "a", "addr"),
+                "st.last_load_addr = addr",
+                "t_ = a + b_",
+                "r_ = t_ & %s" % _M32,
+            ]
+            lines += _src_flags_add("a", "b_", "t_", "r_")
+            lines.append("wr(addr, r_)")
+            if randomized:
+                lines.append("note_store(addr, r_)")
+            lines.append("st.last_store_addr = addr")
+            return out(lines, loads=["addr"], stores=["addr"])
+        return None
+
+    if m in ("sub", "cmp", "test", "and", "or", "xor", "imul"):
+        if mode != RR and mode != RI:
+            return None  # rare load/store forms: generic handler ladder
+        b = "regs[%d]" % inst.rm if mode == RR else str(inst.imm & MASK32)
+        bit = 1 << inst.reg
+        if m == "sub":
+            lines = [
+                "a = regs[%d]" % inst.reg,
+                "r_ = (a - %s) & %s" % (b, _M32),
+                "regs[%d] = r_" % inst.reg,
+            ]
+            if randomized:
+                lines += _src_tag_clear(bit)
+            lines += _src_flags_sub("a", b, "r_")
+            return out(lines)
+        if m == "cmp":
+            lines = [
+                "a = regs[%d]" % inst.reg,
+                "r_ = (a - %s) & %s" % (b, _M32),
+            ]
+            lines += _src_flags_sub("a", b, "r_")
+            return out(lines)
+        if m == "test":
+            lines = ["r_ = regs[%d] & %s" % (inst.reg, b)]
+            lines += _src_flags_logic("r_")
+            return out(lines)
+        if m in ("and", "or", "xor"):
+            op_ch = {"and": "&", "or": "|", "xor": "^"}[m]
+            lines = [
+                "r_ = regs[%d] %s %s" % (inst.reg, op_ch, b),
+                "regs[%d] = r_" % inst.reg,
+            ]
+            if randomized:
+                lines += _src_tag_clear(bit)
+            lines += _src_flags_logic("r_")
+            return out(lines)
+        # imul RR/RI: exact signed product for the CF/OF overflow rule.
+        lines = [
+            "a = regs[%d]" % inst.reg,
+            "a = a - 4294967296 if a & %s else a" % _SIGN,
+            "b_ = %s" % b,
+            "b_ = b_ - 4294967296 if b_ & %s else b_" % _SIGN,
+            "t_ = a * b_",
+            "r_ = t_ & %s" % _M32,
+            "regs[%d] = r_" % inst.reg,
+        ]
+        if randomized:
+            lines += _src_tag_clear(bit)
+        lines += [
+            "v = r_ - 4294967296 if r_ & %s else r_" % _SIGN,
+            "ov = v != t_",
+            "flags.zf = r_ == 0",
+            "flags.sf = (r_ & %s) != 0" % _SIGN,
+            "flags.cf = ov",
+            "flags.of = ov",
+        ]
+        return out(lines)
+
+    if m in ("shl", "shr", "sar"):
+        count = inst.imm & 31
+        bit = 1 << inst.rm
+        if m == "shl":
+            lines = ["r_ = (regs[%d] << %d) & %s" % (inst.rm, count, _M32)]
+        elif m == "shr":
+            lines = ["r_ = regs[%d] >> %d" % (inst.rm, count)]
+        else:
+            lines = [
+                "v = regs[%d]" % inst.rm,
+                "v = v - 4294967296 if v & %s else v" % _SIGN,
+                "r_ = (v >> %d) & %s" % (count, _M32),
+            ]
+        lines.append("regs[%d] = r_" % inst.rm)
+        if randomized:
+            lines += _src_tag_clear(bit)
+        lines += _src_flags_logic("r_")
+        return out(lines)
+
+    if m == "lea" and mode == RM:
+        lines = [
+            "regs[%d] = (regs[%d] + %d) & %s"
+            % (inst.reg, inst.rm, inst.disp, _M32)
+        ]
+        if randomized:
+            lines += _src_tag_clear(1 << inst.reg)
+        return out(lines)
+
+    if m == "push":
+        lines = [
+            "v = regs[%d]" % inst.reg,
+            "sp = (regs[4] - 4) & %s" % _M32,
+            "regs[4] = sp",
+            "wr(sp, v)",
+        ]
+        if randomized:
+            lines.append(
+                "note_store(sp, v, flow.tagmask & %d != 0)" % (1 << inst.reg)
+            )
+        lines.append("st.last_store_addr = sp")
+        return out(lines, stores=["sp"])
+
+    if m == "pop":
+        lines = [
+            "sp = regs[4]",
+            "v = rd(sp)",
+            "regs[4] = (sp + 4) & %s" % _M32,
+        ]
+        if randomized:
+            lines.append("regs[%d] = fixup(sp, v)" % inst.reg)
+            lines += _src_tag_clear(1 << inst.reg)
+        else:
+            lines.append("regs[%d] = v" % inst.reg)
+        lines.append("st.last_load_addr = sp")
+        return out(lines, loads=["sp"])
+
+    if m == "leave":
+        lines = [
+            "regs[4] = regs[5]",
+            "sp = regs[4]",
+            "v = rd(sp)",
+            "regs[4] = (sp + 4) & %s" % _M32,
+        ]
+        if randomized:
+            lines += [
+                "regs[5] = fixup(sp, v)",
+                "t_ = flow.tagmask",
+                "if t_:",
+                "    flow.tagmask = ((t_ | 16) if t_ & 32 else (t_ & -17))"
+                " & -33",
+            ]
+        else:
+            lines.append("regs[5] = v")
+        lines.append("st.last_load_addr = sp")
+        return out(lines, loads=["sp"])
+
+    return None
+
+
+def inline_term_src(inst: Instruction, n: int, randomized: bool,
+                    retaddr=None):
+    """Control-flow source plan for a block-terminal instruction.
+
+    Returns a dict with ``kind`` ('jcc'/'jump'/'call'/'ret'/'calli'/
+    'jmpi'), side-effect ``lines`` (run before the data-stall probes),
+    ``loads``/``stores``, the branch-unit kind number ``ctrl``, and
+    either a static ``target`` or the name of the ``target_var`` local —
+    or None when the mnemonic has no plan (never the case for blocks the
+    trace recorder accepted).  ``retaddr`` carries a compile-time-folded
+    return-address value for call/calli when the flow records no events
+    (baseline, naive ILR); with events recording the generated code must
+    call ``call_ret`` at run time so the DRC sees the 'rand' lookup.
+    """
+    m = inst.mnemonic
+
+    if inst.cc is not None:
+        return {
+            "kind": "jcc", "ctrl": CTRL_JUMP, "cond": _CC_SRC[inst.cc],
+            "lines": [], "loads": [], "stores": [], "target": inst.target,
+            "target_var": None,
+        }
+    if m in ("jmp", "jmp8"):
+        return {
+            "kind": "jump", "ctrl": CTRL_JUMP, "cond": None, "lines": [],
+            "loads": [], "stores": [], "target": inst.target,
+            "target_var": None,
+        }
+
+    def push_ret():
+        if retaddr is None:
+            lines = ["ret_ = call_ret(i%d)" % n]
+            ret = "ret_"
+        else:
+            lines = []
+            ret = str(retaddr)
+        lines += [
+            "sp = (regs[4] - 4) & %s" % _M32,
+            "regs[4] = sp",
+            "wr(sp, %s)" % ret,
+        ]
+        if randomized:
+            lines.append("note_push(sp, %s)" % ret)
+        lines += [
+            "st.last_store_addr = sp",
+            "st.last_retaddr = %s" % ret,
+        ]
+        return lines
+
+    if m == "call":
+        return {
+            "kind": "call", "ctrl": CTRL_CALL, "cond": None,
+            "lines": push_ret(), "loads": [], "stores": ["sp"],
+            "target": inst.target, "target_var": None,
+        }
+    if m == "ret":
+        # The popped value is a control target: NOT run through fixup.
+        lines = [
+            "sp = regs[4]",
+            "tgt = rd(sp)",
+            "regs[4] = (sp + 4) & %s" % _M32,
+            "st.last_load_addr = sp",
+        ]
+        return {
+            "kind": "ret", "ctrl": CTRL_RET, "cond": None, "lines": lines,
+            "loads": ["sp"], "stores": [], "target": None,
+            "target_var": "tgt",
+        }
+    if m in ("calli", "jmpi"):
+        if inst.mode == opcodes.MODE_RR:
+            lines = ["tgt = regs[%d]" % inst.rm]
+            loads = []
+        else:
+            lines = [
+                "addr = (regs[%d] + %d) & %s" % (inst.rm, inst.disp, _M32),
+                "tgt = rd(addr)",
+                "st.last_load_addr = addr",
+            ]
+            loads = ["addr"]
+        if m == "calli":
+            return {
+                "kind": "calli", "ctrl": CTRL_CALL, "cond": None,
+                "lines": lines + push_ret(), "loads": loads,
+                "stores": ["sp"], "target": None, "target_var": "tgt",
+            }
+        return {
+            "kind": "jmpi", "ctrl": CTRL_JUMP, "cond": None, "lines": lines,
+            "loads": loads, "stores": [], "target": None, "target_var": "tgt",
+        }
+    return None
+
+
 def execute(inst: Instruction, state: MachineState, adapter: ModeAdapter):
     """Execute one instruction; returns ``(kind, target)``.
 

@@ -1,0 +1,904 @@
+"""Superblock trace tier: hot block sequences compiled to Python.
+
+The block fast path (:mod:`repro.arch.blockcache`) removed per-
+instruction decode and translation, but still pays, on every retired
+instruction, the op-tuple unpack, the dynamic page/line compares, the
+handler indirection, and per-block dict dispatch.  This module removes
+those for steady-state code with the standard Python-JIT idiom: it
+profiles block-to-block edges in ``_execute_loop_fast``, links hot
+blocks across their observed (predicted) branch directions into
+*superblocks*, and compiles each one into a specialized Python function
+via source generation + ``exec``.
+
+The generated function is straight-line code with the instruction
+fields baked in as literals (templates live next to the handlers in
+:mod:`repro.arch.executor`): no tuple unpack, no dispatch, flag algebra
+and stack traffic inlined, fetch-page/line checks elided wherever the
+previous instruction in the trace pins their value, and the flow traits
+(baseline vs. randomized, DRC event recording on/off) specialized out
+at compile time.  A *guard* at every intra-trace branch whose outcome
+is dynamic (conditional direction, indirect/return target) compares the
+actual next fetch PC against the recorded one and side-exits to the
+block path on mismatch — after charging the instruction's full cycle
+cost, so a bailout is correctness-neutral.  Direct transfers need no
+guard: between explicit invalidations, ``flow.transfer`` of a constant
+target is a pure function of the randomization tables.
+
+Correctness contract
+--------------------
+
+* Cycle- and statistics-exact against the reference interpreter, by the
+  same differential contract as the block tier
+  (tests/test_fastpath_equivalence.py, the ``repro.qa`` oracle, and a
+  hypothesis property suite drive all tiers and compare bit-for-bit).
+* Every baked-in value is a pure function of the program image and the
+  flow's randomization tables.  Both are static between explicit
+  invalidations: :meth:`CycleCPU.rewrite_code` and
+  :meth:`CycleCPU.invalidate_blocks` flush traces exactly like blocks
+  (re-randomization epochs go through ``invalidate_blocks()``), and any
+  invalidation also aborts an in-progress recording.
+* A trace is only entered when it fits the remaining instruction
+  budget whole (looping traces re-check per iteration), so checkpoint
+  and slice boundaries clip identically to the block path.
+* Block-cache *capacity* flushes do not touch traces: a compiled trace
+  holds strong references to its member :class:`Block` objects, whose
+  precomputed fields stay valid until an explicit invalidation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .blockcache import block_overlaps
+from .executor import inline_exec_src, inline_term_src
+from .state import ExitProgram
+
+#: Hotness-counter table bound: profiling state, not simulation state.
+_COUNTS_CAP = 65536
+
+#: Mnemonics with an :func:`inline_term_src` control plan.
+_CONTROL_MNEMONICS = frozenset(
+    ("jmp", "jmp8", "call", "calli", "jmpi", "ret")
+)
+
+
+class TraceCompileError(Exception):
+    """A recorded trace cannot be compiled (the anchor is blacklisted
+    and execution stays on the block path — never a correctness event)."""
+
+
+class Trace:
+    """One compiled superblock.
+
+    ``fn(cycle, icount, budget, last_page, last_line, tracer, out)``
+    returns ``(status, next_fetch_pc)`` — status 1 means the program
+    finished.  Counter writeback happens through ``out`` (a 4-slot
+    list: cycle, icount, last_page, last_line) in a ``finally``, so
+    faults propagate with counters settled, exactly like the block
+    loop's own ``finally``.
+    """
+
+    __slots__ = ("anchor", "fn", "n", "nblocks", "looping", "entries",
+                 "blocks", "lo", "hi")
+
+    def __init__(self, anchor, fn, n, nblocks, looping, blocks, lo, hi):
+        self.anchor = anchor
+        self.fn = fn
+        self.n = n
+        self.nblocks = nblocks
+        self.looping = looping
+        self.entries = 0
+        self.blocks = blocks
+        self.lo = lo
+        self.hi = hi
+
+
+class _Writer:
+    """Tiny indented-source accumulator."""
+
+    __slots__ = ("lines", "indent")
+
+    def __init__(self, indent: int = 0):
+        self.lines: List[str] = []
+        self.indent = indent
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def extend(self, lines, extra: int = 0) -> None:
+        pad = "    " * (self.indent + extra)
+        for text in lines:
+            self.lines.append(pad + text)
+
+
+class TraceCache:
+    """Bounded cache of compiled superblocks, plus the edge profiler
+    and trace recorder that feed it.
+
+    Constructed against a live :class:`~repro.arch.cpu.CycleCPU`; every
+    closed-over binding (state, flow, cache access methods, latencies,
+    the burst/event traits) is fixed for that CPU's lifetime, which is
+    what makes compile-time trait specialization sound.
+    """
+
+    __slots__ = (
+        "hot_threshold", "max_blocks", "max_insts", "capacity",
+        "traces", "builds", "flushes", "invalidations", "aborts",
+        "compile_failures", "_bail", "_counts", "_failed",
+        "_entries_retired", "_rec", "_rec_insts", "_rec_expect",
+        "_flow", "_consts_base", "_il1_latency", "_dl1_latency",
+        "_load_use", "_prefetch", "_burst", "_record_events",
+        "_randomized", "_il1_mask", "_il1_shift", "_dl1_mask",
+        "_dl1_shift",
+    )
+
+    def __init__(self, cpu):
+        cfg = cpu.config
+        self.hot_threshold = max(1, cfg.trace_hot_threshold)
+        self.max_blocks = max(1, cfg.trace_max_blocks)
+        self.max_insts = max(1, cfg.trace_max_insts)
+        self.capacity = max(1, cfg.trace_cache_capacity)
+        #: anchor fetch PC -> :class:`Trace` (the fast loop indexes this
+        #: dict directly).
+        self.traces: Dict[int, Trace] = {}
+        self.builds = 0
+        self.flushes = 0
+        self.invalidations = 0
+        #: recordings dropped (tail interruption, unexpected successor).
+        self.aborts = 0
+        self.compile_failures = 0
+        #: shared guard side-exit counter cell (closed over by every
+        #: generated function).
+        self._bail = [0]
+        self._counts: Dict[int, int] = {}
+        self._failed = set()
+        self._entries_retired = 0
+        self._rec: Optional[List[Tuple[object, int]]] = None
+        self._rec_insts = 0
+        self._rec_expect = 0
+
+        flow = cpu.flow
+        state = cpu.state
+        self._flow = flow
+        self._il1_latency = cfg.il1.latency
+        self._dl1_latency = cfg.dl1.latency
+        self._load_use = cfg.load_use_stall
+        self._prefetch = cfg.prefetch_il1
+        self._burst = cpu._burst_track
+        self._record_events = bool(getattr(flow, "record_events", False))
+        self._randomized = bool(getattr(flow, "randomized", False))
+        # MRU-hit inlining folds the set index into generated source;
+        # only sound for power-of-two set counts (mask >= 0).  A flush
+        # clears the captured ``_sets`` lists in place (see
+        # ``Cache.flush``), so the closures never go stale.
+        self._il1_mask = cpu.il1._set_mask
+        self._il1_shift = cpu.il1.line_shift
+        self._dl1_mask = cpu.dl1._set_mask
+        self._dl1_shift = cpu.dl1.line_shift
+        # Order must match the unpack in _HEADER below.
+        self._consts_base = (
+            state, state.regs.regs, state.flags, cpu.mem.read_u32,
+            cpu.mem.write_u32, state.syscall, flow, flow.events,
+            flow.fixup_load, flow.note_store, flow.note_retaddr_push,
+            flow.call_retaddr, flow.transfer, flow.sequential,
+            cpu.itlb.access, cpu.il1.access, cpu.il1.prefetch,
+            cpu.dtlb.access, cpu.dl1.access, cpu._branch_stall,
+            cpu._drc_stall, cpu._note_fetch_fill,
+            cpu.il1._sets, cpu.il1.stats, cpu.dl1._sets, cpu.dl1.stats,
+            cpu.branch.conditional, cpu.branch.direct,
+            cpu.branch.indirect, cpu.branch.ret,
+            self._bail, ExitProgram,
+        )
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def bailouts(self) -> int:
+        """Total guard side-exits across all compiled traces."""
+        return self._bail[0]
+
+    # -- edge profiling / recording ---------------------------------------
+
+    def on_block(self, block, next_fetch_pc: int) -> None:
+        """Fast-loop hook: ``block`` just retired and control continues
+        at ``next_fetch_pc``.  Drives hotness counting and, once a
+        leader is hot, records the observed block sequence until it
+        closes (back-edge to the anchor, revisit of a member, or the
+        length caps) and compiles it."""
+        rec = self._rec
+        if rec is not None:
+            if block.leader != self._rec_expect:
+                # The path between recorder steps ran through the
+                # reference loop (budget tail) or took an unexpected
+                # edge; the recording is not a real superblock.
+                self.aborts += 1
+                self._rec = None
+                return
+            rec.append((block, next_fetch_pc))
+            self._rec_insts += block.n
+            self._advance_recording(next_fetch_pc)
+            return
+        counts = self._counts
+        leader = block.leader
+        c = counts.get(leader, 0) + 1
+        if c < self.hot_threshold:
+            counts[leader] = c
+            return
+        counts[leader] = 0
+        if leader in self.traces or leader in self._failed:
+            return
+        if len(counts) > _COUNTS_CAP:
+            counts.clear()
+        self._rec = [(block, next_fetch_pc)]
+        self._rec_insts = block.n
+        self._advance_recording(next_fetch_pc)
+
+    def _advance_recording(self, next_fetch_pc: int) -> None:
+        rec = self._rec
+        if next_fetch_pc == rec[0][0].leader:
+            self._compile(rec, looping=True)
+            self._rec = None
+            return
+        if (len(rec) >= self.max_blocks
+                or self._rec_insts >= self.max_insts):
+            self._compile(rec, looping=False)
+            self._rec = None
+            return
+        for member, _ in rec:
+            if member.leader == next_fetch_pc:
+                # Inner cycle that does not pass through the anchor:
+                # close here; the revisited leader can anchor its own
+                # trace.
+                self._compile(rec, looping=False)
+                self._rec = None
+                return
+        self._rec_expect = next_fetch_pc
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self, rec, looping: bool) -> None:
+        anchor = rec[0][0].leader
+        self.builds += 1
+        try:
+            trace = self._generate(rec, looping)
+        except Exception:
+            # Never fatal: the anchor is blacklisted and the block path
+            # keeps executing it.  Differential suites assert zero
+            # compile failures on the supported instruction set.
+            self.compile_failures += 1
+            self._failed.add(anchor)
+            return
+        if len(self.traces) >= self.capacity:
+            self._entries_retired += sum(
+                t.entries for t in self.traces.values()
+            )
+            self.traces.clear()
+            self.flushes += 1
+        self.traces[anchor] = trace
+
+    def _generate(self, rec, looping: bool) -> Trace:
+        anchor = rec[0][0].leader
+        gen = _TraceGen(self, rec, looping)
+        src, consts = gen.build()
+        namespace: Dict[str, object] = {"__builtins__": {}}
+        exec(compile(src, "<trace:0x%x>" % anchor, "exec"), namespace)
+        fn = namespace["__make"](consts)
+        blocks = tuple(b for b, _ in rec)
+        return Trace(
+            anchor, fn, sum(b.n for b in blocks), len(blocks), looping,
+            blocks, min(b.lo for b in blocks), max(b.hi for b in blocks),
+        )
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, fetch_pc: int) -> Optional[Trace]:
+        return self.traces.get(fetch_pc)
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Drop everything: table swap / re-randomization epoch.  The
+        blacklist goes too — a new epoch's tables may compile fine."""
+        if self.traces:
+            self.invalidations += 1
+            self._entries_retired += sum(
+                t.entries for t in self.traces.values()
+            )
+        self.traces.clear()
+        self._failed.clear()
+        self._counts.clear()
+        if self._rec is not None:
+            self.aborts += 1
+            self._rec = None
+
+    def invalidate_range(self, start: int, size: int) -> None:
+        """Drop traces with a member block overlapping
+        ``[start, start + size)`` in fetch space (code rewrite).  Member
+        overlap uses the same exact per-instruction spans as
+        :meth:`BlockCache.invalidate_range`, so the two tiers always
+        agree on what a write invalidated."""
+        if size <= 0:
+            return
+        end = start + size
+        stale = [
+            pc for pc, trace in self.traces.items()
+            if trace.lo < end and trace.hi > start
+            and any(block_overlaps(b, start, end) for b in trace.blocks)
+        ]
+        for pc in stale:
+            self._entries_retired += self.traces[pc].entries
+            del self.traces[pc]
+        if stale:
+            self.invalidations += 1
+        # Conservatively retry blacklisted anchors after any rewrite.
+        self._failed.clear()
+        if self._rec is not None:
+            self.aborts += 1
+            self._rec = None
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Host-side counters (not part of simulated statistics)."""
+        live = sum(t.entries for t in self.traces.values())
+        return {
+            "traces": len(self.traces),
+            "builds": self.builds,
+            "flushes": self.flushes,
+            "invalidations": self.invalidations,
+            "aborts": self.aborts,
+            "compile_failures": self.compile_failures,
+            "bailouts": self._bail[0],
+            "entries": self._entries_retired + live,
+            "live_entries": live,
+        }
+
+
+# -- source generation -----------------------------------------------------
+
+_HEADER = """\
+def __make(C):
+    (st, regs, flags, rd, wr, syscall, flow, events, fixup, note_store,
+     note_push, call_ret, transfer, sequential, itlb, il1, il1p, dtlb,
+     dl1, bstall, drc, nfill, il1s, il1st, dl1s, dl1st,
+     bcond, bdir, bind, bret, bail, X, I, H) = C
+"""
+
+
+class _TraceGen:
+    """Generates the ``__make``/``__trace`` source for one recording."""
+
+    def __init__(self, cache: TraceCache, rec, looping: bool):
+        self.cache = cache
+        self.rec = rec
+        self.looping = looping
+        self.anchor = rec[0][0].leader
+        self.flow = cache._flow
+        self.randomized = cache._randomized
+        self.record_events = cache._record_events
+        self.burst = cache._burst
+        self.prefetch = cache._prefetch
+        self.il1_latency = cache._il1_latency
+        self.dl1_latency = cache._dl1_latency
+        self.load_use = cache._load_use
+        #: inline the cache MRU-hit path only when the set index is a
+        #: foldable mask (power-of-two set count).
+        self.il1_mask = cache._il1_mask
+        self.il1_shift = cache._il1_shift
+        self.il1_inline = cache._il1_mask >= 0
+        self.dl1_mask = cache._dl1_mask
+        self.dl1_shift = cache._dl1_shift
+        self.dl1_inline = cache._dl1_mask >= 0
+        #: transfer/call_retaddr of a constant are foldable exactly when
+        #: calling them at compile time is side-effect-free.
+        self.fold_transfer = not cache._record_events
+        self.identity_transfer = not self.randomized
+        self.insts: List[object] = []
+        self.handlers: Dict[int, object] = {}
+        #: statically-tracked fetch page/line ([page, line], None=unknown).
+        self.know: List[Optional[int]] = [None, None]
+
+    # -- folding helpers ---------------------------------------------------
+
+    def _fold(self, fn, *args):
+        """Call a pure-between-flushes flow method at compile time,
+        keeping the event list exactly as it was.  Returns None when the
+        call raises (the generated code must then make the call at run
+        time so the fault surfaces at the right instruction)."""
+        ev = self.flow.events
+        mark = len(ev)
+        try:
+            return fn(*args)
+        except Exception:
+            return None
+        finally:
+            del ev[mark:]
+
+    def _fold_events(self, fn, *args):
+        """Like :meth:`_fold` but captures the DRC events the call
+        appended: ``(value, events_delta)``.  Event emission is a pure
+        function of the call's (constant) arguments and the RDR tables,
+        both static between flushes, so the delta can be replayed as
+        literal appends in the generated code.  ``(None, None)`` when
+        the call raises."""
+        ev = self.flow.events
+        mark = len(ev)
+        try:
+            value = fn(*args)
+        except Exception:
+            del ev[mark:]
+            return None, None
+        delta = tuple(ev[mark:])
+        del ev[mark:]
+        return value, delta
+
+    def _static_nfp(self, target: int):
+        """``(setup_lines, expr, value)`` producing the post-transfer
+        fetch PC for a compile-time-constant architectural target.
+        ``value`` is the folded result, or None when only run-time
+        evaluation is exact (the transfer faults at compile time)."""
+        if self.identity_transfer:
+            return [], str(target), target
+        if self.fold_transfer:
+            value = self._fold(self.flow.transfer, target)
+            if value is not None:
+                return [], str(value), value
+        else:
+            # Event-recording flow: fold the value and replay the DRC
+            # events the transfer queues as literal appends, in place.
+            value, delta = self._fold_events(self.flow.transfer, target)
+            if value is not None:
+                setup = ["events.append(%r)" % (e,) for e in delta]
+                return setup, str(value), value
+        return ["nfp = transfer(%d)" % target], "nfp", None
+
+    # -- emission ----------------------------------------------------------
+
+    def build(self):
+        n_total = sum(b.n for b, _ in self.rec)
+        body = _Writer(indent=2)
+        body.line("try:")
+        inner = _Writer(indent=3)
+        if self.looping:
+            inner.line("while 1:")
+            inner.indent = 4
+            inner.line("if icount + %d > budget:" % n_total)
+            inner.line("    return (0, %d)" % self.anchor)
+
+        seq_index = 0
+        last = len(self.rec) - 1
+        for bi, (block, expected) in enumerate(self.rec):
+            self.know = ([None, None] if (self.looping and bi == 0)
+                         else self.know)
+            ops = list(block.interior) + [block.term]
+            for op in ops[:-1]:
+                self._emit_interior(inner, op, seq_index)
+                seq_index += 1
+            self._emit_terminal(
+                inner, ops[-1], seq_index, expected, final=(bi == last)
+            )
+            seq_index += 1
+
+        src_lines = [_HEADER]
+        for n in range(len(self.insts)):
+            src_lines.append("    i%d = I[%d]" % (n, n))
+        for n in sorted(self.handlers):
+            src_lines.append("    h%d = H[%d]" % (n, n))
+        src_lines.append(
+            "    def __trace(cycle, icount, budget, last_page, "
+            "last_line, tracer, out):"
+        )
+        src_lines.extend(body.lines)
+        src_lines.extend(inner.lines)
+        src_lines.append("        finally:")
+        src_lines.append("            out[0] = cycle")
+        src_lines.append("            out[1] = icount")
+        src_lines.append("            out[2] = last_page")
+        src_lines.append("            out[3] = last_line")
+        src_lines.append("    return __trace")
+        src = "\n".join(src_lines) + "\n"
+        consts = self.cache._consts_base + (
+            tuple(self.insts), dict(self.handlers),
+        )
+        return src, consts
+
+    def _register(self, op, n: int, with_handler: bool = False) -> None:
+        assert len(self.insts) == n
+        self.insts.append(op[1])
+        if with_handler:
+            self.handlers[n] = op[0]
+
+    # per-op fetch-side lines -----------------------------------------
+
+    def _fetch_lines(self, op):
+        """Page/line check lines with static elision via ``know``."""
+        (_h, _inst, fpc, _arch, _extra, page, line, pf1, cross, addr2,
+         line2, pf2, _seq, _touch, _is_int) = op
+        lines: List[str] = []
+        know = self.know
+        if know[0] != page:
+            if know[0] is None:
+                lines.append("if %d != last_page:" % page)
+                lines.append("    last_page = %d" % page)
+                lines.append("    stall += itlb(%d)" % fpc)
+            else:
+                lines.append("last_page = %d" % page)
+                lines.append("stall += itlb(%d)" % fpc)
+        know[0] = page
+
+        def il1_body(pad, fill_addr, new_line, pf):
+            # The MRU-hit case of ``Cache.access`` only bumps stats and
+            # returns the base latency (zero marginal stall), so it is
+            # inlined here; anything else (non-MRU hit, miss) falls back
+            # to the real method, which does its own accounting.
+            out = [pad + "last_line = %d" % new_line]
+            if self.il1_inline:
+                out += [
+                    pad + "w_ = il1s[%d]" % (new_line & self.il1_mask),
+                    pad + "e_ = w_[-1] if w_ else None",
+                    pad + "if e_ is not None and e_[0] == %d:" % new_line,
+                    pad + "    il1st.accesses += 1",
+                    pad + "    if e_[2] and not e_[3]:",
+                    pad + "        il1st.prefetch_used += 1",
+                    pad + "    e_[3] = True",
+                ]
+                if self.burst:
+                    out.append(pad + "    nfill(False, %d)" % fpc)
+                out += [
+                    pad + "else:",
+                    pad + "    lat = il1(%d, False)" % fill_addr,
+                    pad + "    stall += lat - %d" % self.il1_latency,
+                ]
+                if self.burst:
+                    out.append(pad + "    nfill(lat > %d, %d)"
+                               % (self.il1_latency, fpc))
+            else:
+                out += [
+                    pad + "lat = il1(%d, False)" % fill_addr,
+                    pad + "stall += lat - %d" % self.il1_latency,
+                ]
+                if self.burst:
+                    out.append(pad + "nfill(lat > %d, %d)"
+                               % (self.il1_latency, fpc))
+            if self.prefetch:
+                if self.il1_inline:
+                    # ``Cache.prefetch`` on a hit only bumps
+                    # prefetch_hits (no LRU reorder); scan the ways
+                    # inline, fall back to the method on a real fill.
+                    pline = pf >> self.il1_shift
+                    out += [
+                        pad + "pw_ = il1s[%d]" % (pline & self.il1_mask),
+                        pad + "for pe_ in pw_:",
+                        pad + "    if pe_[0] == %d:" % pline,
+                        pad + "        il1st.prefetch_hits += 1",
+                        pad + "        break",
+                        pad + "else:",
+                        pad + "    il1p(%d)" % pf,
+                    ]
+                else:
+                    out.append(pad + "il1p(%d)" % pf)
+            return out
+
+        if know[1] != line:
+            if know[1] is None:
+                lines.append("if %d != last_line:" % line)
+                lines += il1_body("    ", fpc, line, pf1)
+            else:
+                lines += il1_body("", fpc, line, pf1)
+        know[1] = line
+        if cross:
+            # line2 != line by construction and line is now pinned, so
+            # the second-line probe is statically unconditional.
+            lines += il1_body("", addr2, line2, pf2)
+            know[1] = line2
+        return lines
+
+    def _stall_lines(self, loads, stores):
+        lines = []
+        load_const = self.load_use - self.dl1_latency
+        if not self.dl1_inline:
+            for var in loads:
+                expr = "stall += dtlb(%s) + dl1(%s, False)" % (var, var)
+                if load_const:
+                    expr += " + (%d)" % load_const
+                lines.append(expr)
+            for var in stores:
+                expr = "stall += dtlb(%s) + dl1(%s, True)" % (var, var)
+                if self.dl1_latency:
+                    expr += " - %d" % self.dl1_latency
+                lines.append(expr)
+            return lines
+        # dtlb stays a call (it carries the page-visibility fault check)
+        # and must run before the DL1 probe, exactly as in the reference
+        # ``_data_stall``; the DL1 MRU-hit case is inlined like IL1's.
+        for var, is_write in ([(v, False) for v in loads]
+                              + [(v, True) for v in stores]):
+            lines.append("stall += dtlb(%s)" % var)
+            lines.append("ln_ = %s >> %d" % (var, self.dl1_shift))
+            lines.append("dw_ = dl1s[ln_ & %d]" % self.dl1_mask)
+            lines.append("de_ = dw_[-1] if dw_ else None")
+            lines.append("if de_ is not None and de_[0] == ln_:")
+            lines.append("    dl1st.accesses += 1")
+            lines.append("    if de_[2] and not de_[3]:")
+            lines.append("        dl1st.prefetch_used += 1")
+            lines.append("    de_[3] = True")
+            if is_write:
+                lines.append("    de_[1] = True")
+                lines.append("else:")
+                expr = "    stall += dl1(%s, True)" % var
+                if self.dl1_latency:
+                    expr += " - %d" % self.dl1_latency
+                lines.append(expr)
+            else:
+                if self.load_use:
+                    lines.append("    stall += %d" % self.load_use)
+                lines.append("else:")
+                expr = "    stall += dl1(%s, False)" % var
+                if load_const:
+                    expr += " + (%d)" % load_const
+                lines.append(expr)
+        return lines
+
+    def _tracer_lines(self, n, arch, fpc, taken="False", target="0"):
+        return [
+            "if tracer is not None:",
+            "    tracer.record(i%d, %d, %d, %s, %s)"
+            % (n, arch, fpc, taken, target),
+        ]
+
+    def _exec_plan(self, op, n):
+        """Inline execute-stage plan for a CTRL_NONE op; falls back to a
+        generic specialized-handler call when no template exists."""
+        inst = op[1]
+        touch = op[13]
+        plan = inline_exec_src(
+            inst, n, self.randomized,
+            getattr(self.flow, "derand_map", None),
+        )
+        if plan is not None:
+            lines = []
+            if touch:
+                lines.append("st.last_load_addr = None")
+                lines.append("st.last_store_addr = None")
+            lines += plan["lines"]
+            lines += self._stall_lines(plan["loads"], plan["stores"])
+            drain = self.record_events and plan["can_event"]
+            return lines, drain, bool(plan["loads"] or plan["stores"])
+        # Generic fallback: exact mirror of the fast loop's handler call.
+        self.handlers[n] = op[0]
+        lines = []
+        if touch:
+            lines.append("st.last_load_addr = None")
+            lines.append("st.last_store_addr = None")
+        lines.append("h%d(i%d, st, flow)" % (n, n))
+        if touch:
+            load_const = self.load_use - self.dl1_latency
+            load_expr = "stall += dtlb(addr) + dl1(addr, False)"
+            if load_const:
+                load_expr += " + (%d)" % load_const
+            store_expr = "stall += dtlb(addr) + dl1(addr, True)"
+            if self.dl1_latency:
+                store_expr += " - %d" % self.dl1_latency
+            lines += [
+                "addr = st.last_load_addr",
+                "if addr is not None:",
+                "    " + load_expr,
+                "addr = st.last_store_addr",
+                "if addr is not None:",
+                "    " + store_expr,
+            ]
+        return lines, self.record_events, touch
+
+    def _emit_interior(self, w, op, n, continue_to=None):
+        """One CTRL_NONE instruction (interior, or a cap-split terminal
+        when ``continue_to`` carries its asserted fall-through)."""
+        (_handler, inst, fpc, arch, extra, _page, _line, _pf1, _cross,
+         _addr2, _line2, _pf2, _seq, _touch, is_int) = op
+        self._register(op, n)
+
+        fetch = self._fetch_lines(op)
+        if is_int:
+            self._emit_int(w, op, n, fetch)
+            return
+        exec_lines, drain, exec_stall = self._exec_plan(op, n)
+        uses_stall = bool(fetch) or exec_stall or extra > 0
+
+        w.line("st.pc = %d" % arch)
+        if uses_stall:
+            w.line("stall = %d" % extra)
+        w.extend(fetch)
+        w.line("icount += 1")
+        if self.burst:
+            w.line("st.icount = icount")
+        w.extend(exec_lines)
+        if drain:
+            w.line("if events:")
+            w.line("    drc(False, 0)")
+        w.extend(self._tracer_lines(n, arch, fpc))
+        w.line("cycle += 1 + stall" if uses_stall else "cycle += 1")
+
+    def _emit_int(self, w, op, n, fetch):
+        """``int``: the only op whose handler can raise ExitProgram.
+        On exit the pending fetch stall is discarded (reference loop
+        charges a bare ``cycle += 1``), so the except arm returns
+        immediately with status 1."""
+        (_handler, inst, fpc, arch, extra, *_rest) = op
+        uses_stall = bool(fetch) or extra > 0
+        w.line("st.pc = %d" % arch)
+        if uses_stall:
+            w.line("stall = %d" % extra)
+        w.extend(fetch)
+        w.line("icount += 1")
+        w.line("st.icount = icount")
+        w.line("try:")
+        w.line("    syscall(%d)" % inst.imm)
+        w.line("except X:")
+        w.line("    cycle += 1")
+        w.line("    return (1, %d)" % fpc)
+        if self.randomized:
+            w.line("if flow.tagmask:")
+            w.line("    flow.tagmask &= -2")
+        if self.record_events:
+            w.line("if events:")
+            w.line("    drc(False, 0)")
+        w.extend(self._tracer_lines(n, arch, fpc))
+        w.line("cycle += 1 + stall" if uses_stall else "cycle += 1")
+
+    # terminals --------------------------------------------------------
+
+    def _branch_call(self, inst, n, ctrl, nfp_expr, target_expr):
+        """Predictor query with the ``_branch_stall`` mnemonic dispatch
+        resolved at compile time (same arguments, same return)."""
+        pc = inst.addr
+        m = inst.mnemonic
+        if m == "call":
+            return ("pen, ok = bdir(%d, %s, True, st.last_retaddr)"
+                    % (pc, nfp_expr))
+        if m == "jmp" or m == "jmp8":
+            return "pen, ok = bdir(%d, %s, False)" % (pc, nfp_expr)
+        if m == "calli":
+            return ("pen, ok = bind(%d, %s, True, st.last_retaddr)"
+                    % (pc, nfp_expr))
+        if m == "jmpi":
+            return "pen, ok = bind(%d, %s, False)" % (pc, nfp_expr)
+        if m == "ret":
+            return "pen, ok = bret(%d, %s)" % (pc, target_expr)
+        return ("pen, ok = bstall(i%d, %d, %s, %s)"
+                % (n, ctrl, nfp_expr, target_expr))
+
+    def _emit_terminal(self, w, op, n, expected, final):
+        (handler, inst, fpc, arch, extra, _page, _line, _pf1, _cross,
+         _addr2, _line2, _pf2, seq, touch, is_int) = op
+        mnemonic = inst.mnemonic
+        is_control = inst.cc is not None or mnemonic in _CONTROL_MNEMONICS
+        if not is_control:
+            # Cap-split / decode-boundary terminal: identical to an
+            # interior op except the fall-through continues the trace.
+            # The reference path's branch query is statically (0, True)
+            # and the DRC drain is covered by the interior drain rule.
+            seq_val = seq if seq is not None else \
+                self._fold(self.flow.sequential, inst)
+            if seq_val is None or seq_val != expected:
+                raise TraceCompileError(
+                    "non-constant fall-through at 0x%x" % fpc
+                )
+            self._emit_interior(w, op, n, continue_to=expected)
+            if final and not self.looping:
+                w.line("return (0, %d)" % expected)
+            elif self.looping and final and expected != self.anchor:
+                raise TraceCompileError("loop closure mismatch")
+            return
+
+        retaddr = None
+        ret_events = ()
+        if mnemonic in ("call", "calli"):
+            if self.record_events:
+                retaddr, delta = self._fold_events(
+                    self.flow.call_retaddr, inst
+                )
+                ret_events = delta or ()
+            else:
+                retaddr = self._fold(self.flow.call_retaddr, inst)
+        plan = inline_term_src(inst, n, self.randomized, retaddr)
+        if plan is None:
+            raise TraceCompileError("no terminal plan for %s" % mnemonic)
+        self._register(op, n)
+
+        fetch = self._fetch_lines(op)
+        w.line("st.pc = %d" % arch)
+        w.line("stall = %d" % extra)
+        w.extend(fetch)
+        w.line("icount += 1")
+        if self.burst:
+            w.line("st.icount = icount")
+        if touch:
+            w.line("st.last_load_addr = None")
+            w.line("st.last_store_addr = None")
+
+        drain = self.record_events
+        kind = plan["kind"]
+        if kind == "jcc":
+            self._emit_jcc(w, op, plan, n, expected, final)
+            return
+
+        # Replay the folded retaddr's DRC events where ``call_retaddr``
+        # would have queued them (before the push; consumed by the
+        # end-of-instruction drain in list order).
+        for event in ret_events:
+            w.line("events.append(%r)" % (event,))
+        w.extend(plan["lines"])
+        w.extend(self._stall_lines(plan["loads"], plan["stores"]))
+
+        if plan["target"] is not None:
+            # Direct transfer: deterministic between flushes, no guard.
+            setup, nfp_expr, nfp_val = self._static_nfp(plan["target"])
+            w.extend(setup)
+            if nfp_val is not None and nfp_val != expected:
+                raise TraceCompileError("static edge mismatch")
+            guard = False
+            target_expr = str(plan["target"])
+        else:
+            if self.identity_transfer:
+                nfp_expr = "tgt"
+            else:
+                w.line("nfp = transfer(tgt)")
+                nfp_expr = "nfp"
+            guard = True
+            target_expr = plan["target_var"]
+
+        w.line(self._branch_call(inst, n, plan["ctrl"], nfp_expr,
+                                 target_expr))
+        w.line("stall += pen")
+        if drain:
+            w.line("if events:")
+            w.line("    stall += drc(not ok, pen)")
+        w.extend(self._tracer_lines(n, arch, fpc, "True", target_expr))
+        w.line("cycle += 1 + stall")
+        self._emit_continue(w, expected, final, guard, nfp_expr)
+
+    def _emit_jcc(self, w, op, plan, n, expected, final):
+        (_handler, inst, fpc, arch, _extra, _page, _line, _pf1, _cross,
+         _addr2, _line2, _pf2, seq, _touch, _is_int) = op
+        taken_setup, taken_expr, _ = self._static_nfp(plan["target"])
+        seq_val = seq if seq is not None else \
+            self._fold(self.flow.sequential, inst)
+        if seq_val is not None:
+            seq_setup, seq_expr = [], str(seq_val)
+        else:
+            seq_setup, seq_expr = ["nfp = sequential(i%d)" % n], "nfp"
+
+        w.line("if %s:" % plan["cond"])
+        w.extend(taken_setup, extra=1)
+        w.line("    kk = 1")
+        w.line("    tt = %d" % plan["target"])
+        w.line("    nfp = %s" % taken_expr)
+        w.line("else:")
+        w.extend(seq_setup, extra=1)
+        w.line("    kk = 0")
+        w.line("    tt = 0")
+        w.line("    nfp = %s" % seq_expr)
+        w.line("pen, ok = bcond(%d, kk == 1, nfp if kk == 1 else 0)"
+               % inst.addr)
+        w.line("stall += pen")
+        if self.record_events:
+            w.line("if events:")
+            w.line("    stall += drc(not ok, pen)")
+        w.extend(self._tracer_lines(n, arch, fpc, "kk != 0", "tt"))
+        w.line("cycle += 1 + stall")
+        self._emit_continue(w, expected, final, True, "nfp")
+
+    def _emit_continue(self, w, expected, final, guard, nfp_expr):
+        """Trace continuation after an op's cycle retire: guard the
+        recorded edge, close the loop, or return to the dispatcher."""
+        if final and not self.looping:
+            # Linear exit: no guard needed, the dispatcher resumes at
+            # whatever the actual target was.
+            w.line("return (0, %s)" % nfp_expr)
+            return
+        target = self.anchor if (final and self.looping) else expected
+        if not guard:
+            return
+        w.line("if %s != %d:" % (nfp_expr, target))
+        w.line("    bail[0] += 1")
+        w.line("    return (0, %s)" % nfp_expr)

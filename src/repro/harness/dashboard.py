@@ -102,6 +102,10 @@ class Dashboard:
         self.findings = 0
         self.retries = 0
         self.pool_rebuilds = 0
+        #: execution-tier totals from ``run_end`` tier telemetry.
+        self.block_execs = 0
+        self.trace_entries = 0
+        self.trace_bailouts = 0
         self.ipc = deque(maxlen=ipc_window)
         self._last_render = None
         self._last_lines = 0
@@ -147,6 +151,13 @@ class Dashboard:
             self.pool_rebuilds += 1
         elif kind == "checkpoint" and "ipc" in record:
             self.ipc.append(record["ipc"])
+        elif kind == "run_end" and record.get("tiers"):
+            tiers = record["tiers"]
+            blocks = tiers.get("blocks") or {}
+            traces = tiers.get("traces") or {}
+            self.block_execs += blocks.get("execs", 0)
+            self.trace_entries += traces.get("entries", 0)
+            self.trace_bailouts += traces.get("bailouts", 0)
         elif kind == "fuzz_program":
             self.done += 1
             if not record.get("ok", True):
@@ -175,6 +186,13 @@ class Dashboard:
             parts.append("retries %d" % self.retries)
         if self.pool_rebuilds:
             parts.append("pool rebuilds %d" % self.pool_rebuilds)
+        if self.block_execs or self.trace_entries:
+            tier = "tiers blk %d" % self.block_execs
+            if self.trace_entries:
+                tier += " trc %d" % self.trace_entries
+            if self.trace_bailouts:
+                tier += " bail %d" % self.trace_bailouts
+            parts.append(tier)
         if self.ipc:
             parts.append("ipc %s %.3f" % (_sparkline(self.ipc),
                                           self.ipc[-1]))

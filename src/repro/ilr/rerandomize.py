@@ -13,7 +13,7 @@ same original binary under a new seed; :class:`RerandomizationSchedule`
 models an epoch-based deployment and quantifies how stale a leaked table
 becomes; :func:`apply_rerandomization` rotates a *live* VCFR CPU onto a
 new epoch (table swap + stack-slot patching + DRC flush + decoded-block
-invalidation).
+and compiled-trace invalidation).
 """
 
 from __future__ import annotations
@@ -80,7 +80,11 @@ def apply_rerandomization(cpu, new_program: RandomizedProgram,
     * flush the DRC — its cached translations belong to the dead tables;
     * invalidate the rest of the decoded block cache — even blocks whose
       bytes did not change bake in per-op ``arch_pc`` / fall-through
-      metadata computed from the old tables.
+      metadata computed from the old tables.  This also flushes every
+      compiled superblock trace (:mod:`repro.arch.tracecache`): traces
+      additionally freeze DRC work-queue event literals and transfer
+      targets resolved under the old tables, so none may survive the
+      epoch.
 
     Branch predictors and the BTB/RAS are deliberately left alone: they
     index and predict in *fetch* space, which re-randomization does not

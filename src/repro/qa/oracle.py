@@ -1,19 +1,20 @@
 """Differential oracle: one program, every engine, every flow.
 
-The repo carries four executors that must agree architecturally — the
+The repo carries five executors that must agree architecturally — the
 untimed :class:`~repro.arch.functional.FunctionalCPU` reference, the
 software-ILR :class:`~repro.emu.vm.ILREmulator`, and the cycle
-simulator's two loops (reference and block fast path) — each runnable
-under three control-flow models (baseline / naive_ilr / vcfr) plus
-live VCFR re-randomization epochs.  This module runs one program
-through the whole matrix and cross-checks:
+simulator's three tiers (reference loop, block fast path, and the
+compiled superblock trace tier on top of it) — each runnable under
+three control-flow models (baseline / naive_ilr / vcfr) plus live
+VCFR re-randomization epochs.  This module runs one program through
+the whole matrix and cross-checks:
 
 * **architectural outcome** — output streams, exit code, and retired
   instruction count are identical everywhere (the randomization modes
   are, by the paper's construction, semantics-preserving);
-* **fast-path purity** — ``fastpath=True`` must be *bit-identical* to
-  the reference loop: cycles, every counter, every checkpoint, DRC
-  lookups included;
+* **fast-path purity** — ``fastpath=True`` (blocks only, and blocks
+  with compiled traces) must be *bit-identical* to the reference loop:
+  cycles, every counter, every checkpoint, DRC lookups included;
 * **statistics invariants** — misses never exceed accesses, rates stay
   in [0, 1], cycles bound instructions, DRC traffic exists exactly in
   the mode that owns a DRC;
@@ -68,8 +69,15 @@ class OracleConfig:
     drc_entries: int = 64
     #: run the software-ILR emulator leg.
     check_emulator: bool = True
-    #: run the cycle-simulator matrix (3 modes x 2 loops).
+    #: run the cycle-simulator matrix (3 modes x 3 tiers).
     check_cycle: bool = True
+    #: include the compiled-trace tier in the cycle matrix.
+    check_traces: bool = True
+    #: hotness threshold for the trace-tier legs.  Generated programs
+    #: retire only a few hundred instructions, so the production
+    #: default (16) would rarely compile anything; 2 makes loops trace
+    #: almost immediately and still exercises the block tier first.
+    trace_hot_threshold: int = 2
     #: run live VCFR re-randomization epochs (fast + reference).
     check_rerandomize: bool = True
     #: how many epoch rotations the re-randomization leg performs.
@@ -86,9 +94,9 @@ class Divergence:
     """One violated cross-check."""
 
     #: machine-readable kind: ``output:<engine>``, ``icount:<engine>``,
-    #: ``exit:<engine>``, ``fastpath:<mode>``, ``invariant:<which>``,
-    #: ``roundtrip:<type>``, ``crash:<engine>``, ``budget:<engine>``,
-    #: ``rerandomize:<what>``.
+    #: ``exit:<engine>``, ``fastpath:<mode>``, ``tracepath:<mode>``,
+    #: ``invariant:<which>``, ``roundtrip:<type>``, ``crash:<engine>``,
+    #: ``budget:<engine>``, ``rerandomize:<what>``.
     kind: str
     detail: str
 
@@ -332,21 +340,35 @@ def _check_emulator(program, reference, cfg, report):
         _roundtrip_identity(emu, "EmulationResult", report)
 
 
-def _cycle_config(cfg: OracleConfig, fastpath: bool) -> MachineConfig:
+#: (tier name, fastpath, tracepath) — the cycle simulator's execution
+#: tiers, cross-checked pairwise against the reference loop.
+_TIERS = (("ref", False, False),
+          ("blocks", True, False),
+          ("traces", True, True))
+
+
+def _cycle_config(cfg: OracleConfig, fastpath: bool,
+                  tracepath: bool = False) -> MachineConfig:
     machine = default_config()
     machine.fastpath = fastpath
+    machine.tracepath = tracepath
+    machine.trace_hot_threshold = cfg.trace_hot_threshold
     machine.drc.entries = cfg.drc_entries
     return machine
 
 
+def _tiers(cfg: OracleConfig):
+    return [t for t in _TIERS if cfg.check_traces or not t[2]]
+
+
 def _check_cycle_mode(program, mode, reference, cfg, report):
     image = _IMAGE_FOR[mode](program)
-    results: Dict[bool, SimResult] = {}
-    for fastpath in (False, True):
-        label = "cycle:%s:%s" % (mode, "fast" if fastpath else "ref")
+    results: Dict[str, SimResult] = {}
+    for tier, fastpath, tracepath in _tiers(cfg):
+        label = "cycle:%s:%s" % (mode, tier)
         try:
             cpu = CycleCPU(image, make_flow(mode, program),
-                           _cycle_config(cfg, fastpath),
+                           _cycle_config(cfg, fastpath, tracepath),
                            checkpoint_interval=cfg.checkpoint_interval)
             result = cpu.run(max_instructions=cfg.max_instructions)
         except Exception:
@@ -356,7 +378,7 @@ def _check_cycle_mode(program, mode, reference, cfg, report):
         if not result.finished:
             report.add("budget:%s" % label, "budget exhausted")
             continue
-        results[fastpath] = result
+        results[tier] = result
         snap = _snapshot(result.exit_code, result.instructions,
                          result.output)
         if snap != reference:
@@ -370,20 +392,27 @@ def _check_cycle_mode(program, mode, reference, cfg, report):
             for checkpoint in result.checkpoints:
                 _roundtrip_identity(checkpoint, "Checkpoint", report)
                 break  # one per run is plenty
-    if len(results) == 2:
-        fast, ref = _comparable(results[True]), _comparable(results[False])
-        if fast != ref:
-            report.add("fastpath:%s" % mode,
-                       "fast path not bit-identical to reference: %s"
-                       % _dict_diff(ref, fast))
+    if "ref" in results:
+        ref = _comparable(results["ref"])
+        for tier, kind in (("blocks", "fastpath"), ("traces", "tracepath")):
+            if tier not in results:
+                continue
+            fast = _comparable(results[tier])
+            if fast != ref:
+                report.add("%s:%s" % (kind, mode),
+                           "%s tier not bit-identical to reference: %s"
+                           % (tier, _dict_diff(ref, fast)))
 
 
 def _check_rerandomization(program, reference, cfg, report):
-    """Run VCFR with mid-run epoch rotations, fast and reference loops.
+    """Run VCFR with mid-run epoch rotations across all three tiers.
 
-    Both loops rotate at the *same* retired-instruction points onto the
-    *same* epoch programs, so their stats must stay bit-identical; the
-    architectural outcome must still match the functional reference.
+    Every tier rotates at the *same* retired-instruction points onto
+    the *same* epoch programs, so their stats must stay bit-identical;
+    the architectural outcome must still match the functional
+    reference.  The trace tier is the interesting leg here: rotation
+    must flush compiled traces (stale derand constants) and the next
+    hot loop must recompile against the new tables.
     """
     icount = reference[3]
     if icount < 4:
@@ -393,11 +422,12 @@ def _check_rerandomization(program, reference, cfg, report):
     slice_len = max(1, icount // (cfg.rerandomize_epochs + 1))
     epochs: List = []
 
-    def run(fastpath: bool) -> Optional[SimResult]:
-        label = "rerand:%s" % ("fast" if fastpath else "ref")
+    def run(tier: str, fastpath: bool, tracepath: bool) \
+            -> Optional[SimResult]:
+        label = "rerand:%s" % tier
         try:
             cpu = CycleCPU(program.vcfr_image, make_flow("vcfr", program),
-                           _cycle_config(cfg, fastpath))
+                           _cycle_config(cfg, fastpath, tracepath))
             current = program
             finished = False
             for epoch in range(cfg.rerandomize_epochs):
@@ -431,10 +461,15 @@ def _check_rerandomization(program, reference, cfg, report):
                 % (_describe(reference), _describe(snap)))
         return result
 
-    fast = run(True)
-    ref = run(False)
-    if fast is not None and ref is not None:
-        if _comparable(fast) != _comparable(ref):
-            report.add("rerandomize:fastpath",
-                       "rotation broke fast-path identity: %s"
-                       % _dict_diff(_comparable(ref), _comparable(fast)))
+    results = {tier: run(tier, fastpath, tracepath)
+               for tier, fastpath, tracepath in _tiers(cfg)}
+    ref = results.get("ref")
+    if ref is None:
+        return
+    for tier, kind in (("blocks", "fastpath"), ("traces", "tracepath")):
+        fast = results.get(tier)
+        if fast is not None and _comparable(fast) != _comparable(ref):
+            report.add("rerandomize:%s" % kind,
+                       "rotation broke %s-tier identity: %s"
+                       % (tier, _dict_diff(_comparable(ref),
+                                           _comparable(fast))))

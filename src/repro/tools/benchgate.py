@@ -1,0 +1,106 @@
+"""Machine-readable benchmark-gate reports.
+
+Every performance/quality gate in ``benchmarks/bench_*.py`` funnels
+through this module so each pytest gate leaves a ``BENCH_<name>.json``
+artifact next to its pass/fail — the perf trajectory across PRs is
+then diffable instead of living only in CI logs.
+
+Report shape (one file per bench, rewritten as its gates record)::
+
+    {
+      "bench": "hot_loop",
+      "pass": true,
+      "gates": [
+        {"metric": "baseline_speedup", "value": 3.61,
+         "threshold": 3.0, "op": ">=", "pass": true},
+        ...
+      ]
+    }
+
+Gates record *before* asserting, so a failing run still leaves a
+report with ``"pass": false`` for the trajectory.  The output
+directory is ``$BENCH_REPORT_DIR`` when set, else the current working
+directory (the repo root under ``make verify``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+__all__ = ["gate", "record", "emit_experiment", "report_path"]
+
+_OPS = {
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    ">": lambda value, threshold: value > threshold,
+    "<": lambda value, threshold: value < threshold,
+    "==": lambda value, threshold: value == threshold,
+}
+
+#: bench name -> accumulated gate records for this process.
+_registry: Dict[str, List[dict]] = {}
+
+
+def report_path(bench: str) -> str:
+    """Filesystem path of ``bench``'s report."""
+    out_dir = os.environ.get("BENCH_REPORT_DIR") or os.getcwd()
+    return os.path.join(out_dir, "BENCH_%s.json" % bench)
+
+
+def _flush(bench: str) -> None:
+    gates = _registry[bench]
+    payload = {
+        "bench": bench,
+        "pass": all(g["pass"] for g in gates),
+        "gates": gates,
+    }
+    path = report_path(bench)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def record(bench: str, metric: str, value, threshold, op: str = ">=",
+           **extra) -> bool:
+    """Record one gate outcome into ``BENCH_<bench>.json``.
+
+    Returns whether the gate passed; never raises on failure (use
+    :func:`gate` for asserting callers)."""
+    ok = bool(_OPS[op](value, threshold))
+    entry = {"metric": metric, "value": value, "threshold": threshold,
+             "op": op, "pass": ok}
+    if extra:
+        entry.update(extra)
+    _registry.setdefault(bench, []).append(entry)
+    _flush(bench)
+    return ok
+
+
+def gate(bench: str, metric: str, value, threshold, op: str = ">=",
+         **extra) -> None:
+    """Record one gate and assert it passed.
+
+    The report is written before the assert, so a red gate still
+    leaves its value on disk."""
+    ok = record(bench, metric, value, threshold, op=op, **extra)
+    assert ok, "%s: %s = %r not %s %r" % (bench, metric, value, op,
+                                          threshold)
+
+
+def emit_experiment(result, bench: Optional[str] = None) -> None:
+    """Record every check of a harness ``ExperimentResult`` as a gate.
+
+    Experiment checks are boolean facts rather than thresholded
+    metrics, so each becomes ``value == True``.  Does not assert —
+    callers keep their own ``assert result.passed`` semantics (see
+    ``benchmarks/conftest.py:gate_result``)."""
+    name = bench or result.exp_id
+    gates = _registry.setdefault(name, [])
+    for description, ok in result.checks:
+        gates.append({"metric": description, "value": bool(ok),
+                      "threshold": True, "op": "==", "pass": bool(ok)})
+    _flush(name)

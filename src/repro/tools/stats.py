@@ -140,6 +140,31 @@ def runs_table(records: List[dict]) -> Optional[str]:
     )
 
 
+def tier_table(records: List[dict]) -> Optional[str]:
+    """Execution-tier telemetry summed across ``run_end`` records.
+
+    The cycle CPU attaches host-side block/trace cache counters to each
+    run's ``run_end`` event (``tiers``); aggregated they show how the
+    sweep's instructions were actually executed — reference loop only
+    (no table), decoded blocks, or compiled traces — and how healthy
+    the trace tier was (bailouts, aborts, compile failures)."""
+    totals: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+    runs = 0
+    for record in records:
+        tiers = record.get("tiers")
+        if record.get("kind") != "run_end" or not tiers:
+            continue
+        runs += 1
+        for tier, counters in tiers.items():
+            for key, value in counters.items():
+                totals[(tier, key)] = totals.get((tier, key), 0) + int(value)
+    if not totals:
+        return None
+    rows = [(tier, key, total) for (tier, key), total in totals.items()]
+    rows.append(("(all)", "runs reporting", runs))
+    return format_table(("tier", "counter", "total"), rows)
+
+
 def phase_breakdown(records: List[dict]) -> Optional[str]:
     seconds: Dict[str, float] = {}
     calls: Dict[str, int] = {}
@@ -449,7 +474,7 @@ def main(argv=None) -> int:
                         help="A-vs-B IPC-over-time comparison "
                              "(e.g. --compare vcfr naive_ilr)")
     parser.add_argument("--section", action="append", default=None,
-                        choices=("kinds", "runs", "phases", "ipc"),
+                        choices=("kinds", "runs", "tiers", "phases", "ipc"),
                         help="only render the named section(s)")
     args = parser.parse_args(argv)
 
@@ -476,6 +501,7 @@ def main(argv=None) -> int:
 
     section("kinds", "events", kind_summary(records))
     section("runs", "runs", runs_table(records))
+    section("tiers", "execution tiers", tier_table(records))
     section("phases", "host-time by phase", phase_breakdown(records))
     section("ipc", "IPC over time", ipc_over_time(records))
     if args.compare:

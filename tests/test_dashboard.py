@@ -96,6 +96,25 @@ class TestRendering:
         assert "ipc" in head and "0.625" in head
         assert spec_line.strip() == "> bzip2/vcfr@64  (attempt 1)"
 
+    def test_tier_telemetry_accumulates_from_run_end(self):
+        dashboard, _ = make_dashboard()
+        dashboard.observe({
+            "kind": "run_end", "instructions": 1000,
+            "tiers": {"blocks": {"execs": 40, "hits": 39},
+                      "traces": {"entries": 25, "bailouts": 2}},
+        })
+        dashboard.observe({
+            "kind": "run_end", "instructions": 1000,
+            "tiers": {"blocks": {"execs": 10}},
+        })
+        block = dashboard.render()
+        assert "tiers blk 50 trc 25 bail 2" in block
+
+    def test_run_end_without_tiers_is_ignored(self):
+        dashboard, _ = make_dashboard()
+        dashboard.observe({"kind": "run_end", "instructions": 1000})
+        assert "tiers" not in dashboard.render()
+
     def test_throttle_respects_interval(self):
         clock = FakeClock()
         dashboard, stream = make_dashboard(interval=1.0, clock=clock)

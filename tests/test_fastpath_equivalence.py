@@ -47,9 +47,10 @@ def _image_for(mode, program):
     }[mode]
 
 
-def _cpu(mode, program, fastpath, checkpoint_interval=0):
+def _cpu(mode, program, fastpath, checkpoint_interval=0, tracepath=True):
     cfg = default_config()
     cfg.fastpath = fastpath
+    cfg.tracepath = tracepath
     return CycleCPU(
         _image_for(mode, program),
         make_flow(mode, program),
@@ -86,6 +87,23 @@ class TestResultEquivalence:
             result_ref.to_dict()
         )
         assert result_fast.checkpoints, "cadence should have fired"
+
+    @pytest.mark.parametrize("mode", ["baseline", "naive_ilr", "vcfr"])
+    def test_blocks_only_tier_bit_identical(self, mode):
+        """The middle tier alone: fastpath on, trace compilation off.
+
+        Trace-tier tests live in ``test_tracecache.py``; this pins the
+        block path's own equivalence now that the default configuration
+        layers traces on top of it."""
+        program = _program("gcc")
+        fast = _cpu(mode, program, True, tracepath=False)
+        ref = _cpu(mode, program, False)
+        result_fast = fast.run(max_instructions=BUDGET)
+        result_ref = ref.run(max_instructions=BUDGET)
+        assert fast._tracecache is None
+        assert _comparable(result_fast.to_dict()) == _comparable(
+            result_ref.to_dict()
+        )
 
     @pytest.mark.parametrize("mode", ["baseline", "naive_ilr", "vcfr"])
     def test_warmup_equivalent(self, mode):

@@ -1,0 +1,383 @@
+"""Trace-tier tests: compiled superblocks vs the block and reference tiers.
+
+The trace cache (``MachineConfig.tracepath=True``, the top execution
+tier) compiles hot block chains into generated Python functions.  Like
+the block fast path beneath it, it is contractually a pure host-side
+optimization: cycle counts, every simulated statistic, checkpoints and
+outputs must be bit-identical to the reference loop.  These tests pin
+that contract on the paths where generated code is easiest to get
+wrong — guard side-exits on mispredicted intra-trace branches,
+self-modifying code landing mid-trace, re-randomization epochs rotating
+tables out from under compiled traces — plus the exact
+invalidation-window accounting both caches share and the exclusion of
+trace knobs from result-cache fingerprints.
+"""
+
+from __future__ import annotations
+
+import copy
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import default_config
+from repro.arch.cpu import CycleCPU
+from repro.harness.spec import config_fingerprint
+from repro.ilr import RandomizerConfig, make_flow, randomize, rerandomize
+from repro.ilr.rerandomize import apply_rerandomization
+from repro.isa import assemble
+from repro.workloads import build_image
+from repro.workloads.builder import ProgramBuilder
+
+from tests.test_equivalence_property import generate_program
+
+SEED = 7
+
+
+def _config(fastpath=True, tracepath=True, hot=2):
+    cfg = default_config()
+    cfg.fastpath = fastpath
+    cfg.tracepath = tracepath
+    cfg.trace_hot_threshold = hot
+    return cfg
+
+
+def _comparable(result_dict):
+    """Result dict minus host-side wall-clock (the one legal difference)."""
+    out = copy.deepcopy(result_dict)
+    for checkpoint in out["checkpoints"]:
+        checkpoint.pop("host_seconds", None)
+    return out
+
+
+def _counting_loop(iterations=4_000):
+    b = ProgramBuilder("hotloop")
+    b.label("main")
+    b.emit("movi ecx, 0")
+    b.label("looptop")
+    b.emits("movi eax, 41", "add ecx, 1",
+            "cmp ecx, %d" % iterations, "jl looptop")
+    b.emit_word("ecx")
+    b.exit(0)
+    return b.image()
+
+
+def _program(name):
+    image = build_image(name, scale=1.0)
+    return randomize(image, RandomizerConfig(seed=SEED))
+
+
+def _image_for(mode, program):
+    return {
+        "baseline": program.original,
+        "naive_ilr": program.naive_image,
+        "vcfr": program.vcfr_image,
+    }[mode]
+
+
+def _mode_cpu(mode, program, cfg):
+    return CycleCPU(_image_for(mode, program), make_flow(mode, program), cfg)
+
+
+class TestTraceTier:
+    def test_hot_loop_compiles_a_trace_and_matches_reference(self):
+        image = _counting_loop()
+
+        def run(cfg):
+            cpu = CycleCPU(image, make_flow("baseline", image=image), cfg)
+            result = cpu.run(max_instructions=100_000)
+            return cpu, result
+
+        cpu, result = run(_config())
+        _ref_cpu, ref = run(_config(fastpath=False))
+
+        stats = cpu.tier_stats()["traces"]
+        assert stats["builds"] >= 1
+        assert stats["traces"] >= 1
+        assert stats["compile_failures"] == 0
+        assert stats["entries"] > 0, "the loop must actually run traced"
+        assert _comparable(result.to_dict()) == _comparable(ref.to_dict())
+
+    @pytest.mark.parametrize("mode", ["baseline", "naive_ilr", "vcfr"])
+    def test_workload_traces_match_reference(self, mode):
+        """Real workload, aggressive tracing: every counter identical."""
+        program = _program("gcc")
+        fast = _mode_cpu(mode, program, _config(hot=1))
+        ref = _mode_cpu(mode, program, _config(fastpath=False))
+        result_fast = fast.run(max_instructions=80_000)
+        result_ref = ref.run(max_instructions=80_000)
+        assert fast.tier_stats()["traces"]["entries"] > 0
+        assert _comparable(result_fast.to_dict()) == _comparable(
+            result_ref.to_dict()
+        )
+
+
+class TestGuardBailout:
+    def test_mispredicted_intra_trace_branch_bails_and_stays_exact(self):
+        """A conditional inside the trace flips direction mid-run.
+
+        The trace is recorded while ``ecx < 2000`` (branch taken); every
+        later iteration mispredicts against the compiled direction and
+        must side-exit through the guard, landing back on the block path
+        with architectural and timing state intact.
+        """
+        b = ProgramBuilder("flipbranch")
+        b.label("main")
+        b.emits("movi ecx, 0", "movi edx, 0")
+        b.label("looptop")
+        b.emits("cmp ecx, 2000", "jl skiptail", "add edx, 1")
+        b.label("skiptail")
+        b.emits("add ecx, 1", "cmp ecx, 4000", "jl looptop")
+        b.emit_word("edx")
+        b.exit(0)
+        image = b.image()
+
+        def run(cfg):
+            cpu = CycleCPU(image, make_flow("baseline", image=image), cfg)
+            result = cpu.run(max_instructions=200_000)
+            return cpu, result
+
+        cpu, result = run(_config())
+        _ref_cpu, ref = run(_config(fastpath=False))
+
+        assert cpu.tier_stats()["traces"]["bailouts"] > 0
+        assert list(result.output.words) == [2000]
+        assert _comparable(result.to_dict()) == _comparable(ref.to_dict())
+
+    def test_self_modifying_code_mid_trace(self):
+        """Patching an instruction a compiled trace covers must drop the
+        trace (and its blocks) before the next entry — the generated
+        code bakes the old immediate into its source."""
+        b = ProgramBuilder("smctrace")
+        b.label("main")
+        b.emit("movi ecx, 0")
+        b.label("looptop")
+        b.label("patchme")
+        b.emit("movi eax, 41")
+        b.emits("add ecx, 1", "cmp ecx, 4000", "jl looptop")
+        b.emit_word("eax")
+        b.exit(0)
+        image = b.image()
+        patch_addr = image.symbols.resolve("patchme")
+
+        def run(cfg):
+            cpu = CycleCPU(image, make_flow("baseline", image=image), cfg)
+            cpu.run_slice(2_000)  # loop is hot: decoded, traced, running
+            traced_before = len(cpu._tracecache) if cpu._tracecache else 0
+            cpu.rewrite_code(patch_addr + 1, struct.pack("<I", 99))
+            cpu.run_slice(1_000_000)
+            result = cpu._result(finished=cpu._finished, warmup=0)
+            return cpu, traced_before, result
+
+        cpu, traced_before, result = run(_config())
+        _ref_cpu, _tb, ref = run(_config(fastpath=False))
+
+        assert traced_before > 0, "the loop must be traced before the patch"
+        assert cpu.tier_stats()["traces"]["invalidations"] >= 1
+        assert list(result.output.words) == [99]
+        assert _comparable(result.to_dict()) == _comparable(ref.to_dict())
+
+    def test_epoch_rotation_mid_trace(self):
+        """Re-randomization swaps RDR tables and rewrites text: every
+        compiled trace froze per-epoch ``sequential``/transfer results
+        and must flush, and the continued run must stay bit-identical."""
+        program = _program("gcc")
+        fresh = rerandomize(program, new_seed=99)
+
+        def run(cfg):
+            cpu = _mode_cpu("vcfr", program, cfg)
+            cpu.run_slice(40_000)
+            traced_before = len(cpu._tracecache) if cpu._tracecache else 0
+            apply_rerandomization(cpu, fresh)
+            traced_after = len(cpu._tracecache) if cpu._tracecache else 0
+            cpu.run_slice(120_000)
+            result = cpu._result(finished=cpu._finished, warmup=0)
+            return cpu, traced_before, traced_after, result
+
+        cpu, before, after, result = run(_config(hot=1))
+        _ref, _b, _a, ref = run(_config(fastpath=False))
+
+        assert before > 0, "traces must exist before the rotation"
+        assert after == 0, "rotation must flush every compiled trace"
+        assert cpu.tier_stats()["traces"]["invalidations"] >= 1
+        assert _comparable(result.to_dict()) == _comparable(ref.to_dict())
+
+
+class TestInvalidationWindows:
+    """Exact per-instruction invalidation accounting, both cache tiers.
+
+    Regression: a store overlapping only the *last* instruction of a
+    cached block (or straddling the block boundary) must drop the
+    block, while a store landing in a layout gap *between* a scattered
+    block's instructions must not."""
+
+    def _hot_cpu(self, mode, hot=1):
+        program = _program("gcc")
+        cpu = _mode_cpu(mode, program, _config(hot=hot))
+        cpu.run_slice(40_000)
+        return cpu
+
+    def test_store_overlapping_last_instruction_drops_block(self):
+        cpu = self._hot_cpu("vcfr")
+        blocks = dict(cpu._blockcache.blocks)
+        assert blocks
+        victim = next(iter(blocks.values()))
+        # Straddling write: starts on the final byte of the block's last
+        # instruction and runs past the block boundary.
+        cpu.invalidate_blocks(victim.hi - 1, 4)
+        assert victim.leader not in cpu._blockcache.blocks
+
+    def test_store_just_past_block_boundary_is_ignored(self):
+        cpu = self._hot_cpu("vcfr")
+        blocks = dict(cpu._blockcache.blocks)
+        assert blocks
+        # Pick a contiguous victim: for scattered blocks ``hi`` is only
+        # the hull's end, and an adjacent write could legally hit a
+        # different member instruction.
+        victim = next(
+            (b for b in blocks.values() if b.spans is None), None)
+        if victim is None:
+            pytest.skip("no contiguous block decoded")
+        cpu.invalidate_blocks(victim.hi, 4)
+        assert victim.leader in cpu._blockcache.blocks
+
+    @staticmethod
+    def _gap_of(spans):
+        """A (start, size) window strictly between two member spans."""
+        ordered = sorted(spans)
+        for (_, prev_hi), (next_lo, _) in zip(ordered, ordered[1:]):
+            if next_lo > prev_hi:
+                return prev_hi, next_lo - prev_hi
+        return None
+
+    def test_store_in_gap_of_scattered_block_survives(self):
+        """Naive ILR scatters a block's instructions across fetch space;
+        a write inside the hull but between instructions is not a code
+        write for that block."""
+        cpu = self._hot_cpu("naive_ilr")
+        scattered = [
+            b for b in cpu._blockcache.blocks.values()
+            if b.spans is not None and self._gap_of(b.spans)
+        ]
+        assert scattered, "naive ILR must produce non-contiguous blocks"
+        victim = scattered[0]
+        start, size = self._gap_of(victim.spans)
+        before = len(cpu._blockcache)
+        cpu.invalidate_blocks(start, size)
+        assert victim.leader in cpu._blockcache.blocks
+        # Sanity: the window may still hit *other* blocks' instructions,
+        # but never more than existed.
+        assert len(cpu._blockcache) <= before
+
+    def test_traces_inherit_window_semantics(self):
+        """The trace tier reuses the block spans for overlap checks: a
+        gap write keeps the trace, a last-byte write drops it."""
+        cpu = self._hot_cpu("naive_ilr")
+        cache = cpu._tracecache
+        assert cache is not None and len(cache) > 0
+
+        def covered(trace):
+            spans = []
+            for block in trace.blocks:
+                if block.spans is None:
+                    spans.append((block.lo, block.hi))
+                else:
+                    spans.extend(block.spans)
+            return spans
+
+        # A trace whose member instructions leave a hole inside the
+        # [lo, hi) hull: writes into the hole must not invalidate it.
+        for anchor, trace in list(cache.traces.items()):
+            gap = self._gap_of(covered(trace))
+            if gap is None:
+                continue
+            start, size = gap
+            cache.invalidate_range(start, size)
+            assert cache.get(anchor) is trace, (
+                "gap write must not drop the trace")
+            break
+        else:
+            pytest.skip("no trace with an interior layout gap")
+
+        anchor, trace = next(iter(cache.traces.items()))
+        cache.invalidate_range(trace.hi - 1, 1)
+        assert cache.get(anchor) is None, (
+            "write into the last member instruction must drop the trace")
+
+
+class TestTierTelemetry:
+    def test_run_end_carries_tier_stats_and_stats_cli_renders_them(self):
+        """Events + ``repro.tools.stats``: a run with events enabled
+        attaches tier counters to ``run_end``, and the stats CLI's
+        ``tiers`` section aggregates them across runs."""
+        from repro.obs.events import EventLog, MemorySink
+        from repro.tools.stats import tier_table
+
+
+        image = _counting_loop()
+        sink = MemorySink()
+        cpu = CycleCPU(image, make_flow("baseline", image=image), _config(),
+                       events=EventLog(sink=sink))
+        cpu.run(max_instructions=100_000)
+
+        run_ends = [r for r in sink.records if r.get("kind") == "run_end"]
+        assert run_ends and run_ends[0].get("tiers")
+        tiers = run_ends[0]["tiers"]
+        assert tiers["blocks"]["execs"] > 0
+        assert tiers["traces"]["entries"] > 0
+
+        table = tier_table(sink.records * 2)  # two "runs" aggregate
+        assert table is not None
+        assert "traces" in table and "entries" in table
+        assert str(2 * tiers["traces"]["entries"]) in table
+
+    def test_tier_table_absent_without_tier_records(self):
+        from repro.tools.stats import tier_table
+        assert tier_table([{"kind": "run_end", "instructions": 5}]) is None
+
+
+class TestFingerprintExclusion:
+    def test_trace_knobs_do_not_change_result_fingerprints(self):
+        """Every trace knob is host tuning: cached results computed with
+        any tier configuration must be served to any other."""
+        reference = config_fingerprint(default_config())
+        for knob, value in (
+            ("fastpath", False),
+            ("tracepath", False),
+            ("trace_hot_threshold", 1),
+            ("trace_max_blocks", 2),
+            ("trace_max_insts", 16),
+            ("trace_cache_capacity", 3),
+            ("block_cache_capacity", 64),
+            ("block_max_insts", 4),
+        ):
+            cfg = default_config()
+            setattr(cfg, knob, value)
+            assert config_fingerprint(cfg) == reference, knob
+
+    def test_timing_fields_still_change_fingerprints(self):
+        cfg = default_config()
+        cfg.il1.latency += 1
+        assert config_fingerprint(cfg) != config_fingerprint(
+            default_config())
+
+
+@given(st.integers(min_value=0, max_value=10 ** 9))
+@settings(max_examples=10, deadline=None)
+def test_trace_tier_matches_reference_on_random_programs(seed):
+    """Property: on arbitrary (terminating) block graphs the trace tier
+    retires the same instruction count with identical statistics as the
+    reference loop — loops, calls, indirect dispatch and all."""
+    image = assemble(generate_program(seed))
+    program = randomize(image, RandomizerConfig(seed=seed ^ 0x5EED))
+    for mode in ("baseline", "vcfr"):
+        fast = _mode_cpu(mode, program, _config(hot=1))
+        ref = _mode_cpu(mode, program, _config(fastpath=False))
+        result_fast = fast.run(max_instructions=150_000)
+        result_ref = ref.run(max_instructions=150_000)
+        assert result_fast.instructions == result_ref.instructions
+        assert _comparable(result_fast.to_dict()) == _comparable(
+            result_ref.to_dict()
+        )
