@@ -8,11 +8,12 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: verify test test-slow fuzz-quick fuzz bench-obs bench-trace \
-        bench-sweep bench-scheduler bench-hotloop bench-faults bench \
-        backfill-store
+        bench-sweep bench-scheduler bench-hotloop bench-faults \
+        bench-race benchgate-compare bench backfill-store
 
 verify: test test-slow fuzz-quick bench-obs bench-trace bench-sweep \
-        bench-scheduler bench-hotloop bench-faults
+        bench-scheduler bench-hotloop bench-faults bench-race \
+        benchgate-compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +55,14 @@ bench-hotloop:
 
 bench-faults:
 	$(PYTHON) benchmarks/bench_fault_overhead.py
+
+bench-race:
+	$(PYTHON) benchmarks/bench_race_overhead.py
+
+# Trend check: fail verify when a freshly written BENCH_*.json metric
+# regressed vs the version committed at HEAD (direction per gate op).
+benchgate-compare:
+	$(PYTHON) -m repro.tools.benchgate --compare
 
 # Full per-figure benchmark suite (slow; regenerates paper tables).
 bench:

@@ -72,13 +72,27 @@ class TimeSharedCPU:
         config: Optional[MachineConfig] = None,
         quantum_instructions: int = 5_000,
         switch_cycles: int = 200,
+        on_quantum=None,
+        self_switch: bool = True,
     ):
+        """``on_quantum(name, cpu, executed, finished)`` is invoked after
+        every scheduling quantum, at an instruction boundary — the hook
+        the rotation service and adversary race on (rotating the tenant
+        or mutating its flow there is legal).  ``self_switch`` keeps the
+        historical behaviour of charging a full context switch even when
+        a single tenant has the core to itself (the adversarial
+        DRC-cold-start study); pass ``False`` to model a lone tenant
+        that simply keeps running.  With more than one live tenant every
+        quantum still switches regardless.
+        """
         self.cpus = [
             (name, CycleCPU(image, flow, config))
             for name, image, flow in programs
         ]
         self.quantum = quantum_instructions
         self.switch_stats = SwitchStats(switch_cycles_each=switch_cycles)
+        self.on_quantum = on_quantum
+        self.self_switch = self_switch
 
     def run(self, max_instructions_per_process: int = 200_000) -> TimeSharedResult:
         """Run all processes to completion (or budget), round-robin."""
@@ -90,13 +104,16 @@ class TimeSharedCPU:
             for name, cpu in self.cpus:
                 if not live[name]:
                     continue
-                self._on_switch_in(cpu)
+                if self.self_switch or len(self.cpus) > 1:
+                    self._on_switch_in(cpu)
                 slice_size = min(self.quantum, budget[name])
                 before = cpu.state.icount
                 finished = cpu.run_slice(slice_size)
                 executed = cpu.state.icount - before
                 budget[name] -= executed
                 quanta[name] += 1
+                if self.on_quantum is not None:
+                    self.on_quantum(name, cpu, executed, finished)
                 if finished or budget[name] <= 0 or executed == 0:
                     live[name] = False
 

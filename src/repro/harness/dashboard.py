@@ -102,6 +102,9 @@ class Dashboard:
         self.findings = 0
         self.retries = 0
         self.pool_rebuilds = 0
+        #: rotation-service race telemetry.
+        self.race_points = 0
+        self.rotations = 0
         #: execution-tier totals from ``run_end`` tier telemetry.
         self.block_execs = 0
         self.trace_entries = 0
@@ -164,6 +167,11 @@ class Dashboard:
                 self.failed += 1
         elif kind == "fuzz_finding":
             self.findings += 1
+        elif kind == "race_point":
+            self.done += 1
+            self.race_points += 1
+        elif kind == "rotation":
+            self.rotations += 1
         else:
             return
         self.maybe_render()
@@ -186,6 +194,11 @@ class Dashboard:
             parts.append("retries %d" % self.retries)
         if self.pool_rebuilds:
             parts.append("pool rebuilds %d" % self.pool_rebuilds)
+        if self.race_points or self.rotations:
+            race = "races %d" % self.race_points
+            if self.rotations:
+                race += " rot %d" % self.rotations
+            parts.append(race)
         if self.block_execs or self.trace_entries:
             tier = "tiers blk %d" % self.block_execs
             if self.trace_entries:

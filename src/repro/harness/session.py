@@ -364,6 +364,24 @@ class ExperimentSession:
         """Run the software-ILR emulator on workload ``name``."""
         return self.run(self.spec(name, "emulate"))
 
+    # -- rotation-service races ---------------------------------------------
+
+    def race_sweep(self, specs):
+        """Run rotation-vs-adversary race points under session policy.
+
+        Uses the session's worker count for pooled execution and its
+        event log / run store for recording; results are bit-identical
+        either way (see :func:`repro.security.race.sweep_race`).
+        """
+        from ..security.race import sweep_race
+
+        return sweep_race(
+            specs,
+            workers=self.workers,
+            events=self.events,
+            store=self.store,
+        )
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:

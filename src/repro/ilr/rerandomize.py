@@ -211,6 +211,8 @@ class Epoch:
     seed: int
     program: RandomizedProgram
     #: usefulness of the PREVIOUS epoch's leaked table against this epoch.
+    #: Epoch 0 records 1.0 by definition: no rotation has retired any
+    #: table yet, so a table leaked "now" is fully accurate.
     stale_table_overlap: float
 
 
@@ -251,7 +253,17 @@ class RerandomizationSchedule:
         return epoch
 
     def max_stale_overlap(self) -> float:
-        """Worst-case usefulness of any leaked table one epoch later."""
+        """Worst-case usefulness of a leaked table across the schedule.
+
+        The answer is anchored to epoch 0's recorded meaning (see
+        :class:`Epoch`): a schedule that never rotated offers **no**
+        staleness protection, so with a single epoch this returns that
+        epoch's recorded ``stale_table_overlap`` — 1.0, a leaked table
+        is fully current.  Once rotations exist, epoch 0's placeholder
+        is excluded and the result is the worst *post-rotation*
+        overlap: the most any leaked table still got right after the
+        next rotation retired it.
+        """
         if len(self.epochs) < 2:
-            return 0.0
+            return self.epochs[0].stale_table_overlap
         return max(e.stale_table_overlap for e in self.epochs[1:])

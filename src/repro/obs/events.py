@@ -66,6 +66,11 @@ EVENT_KINDS = (
     "fuzz_program",
     "fuzz_finding",
     "fuzz_end",
+    # repro.security rotation-service races (tools/race CLI):
+    "race_start",
+    "rotation",
+    "race_point",
+    "race_end",
 )
 
 

@@ -119,6 +119,40 @@ CREATE TABLE IF NOT EXISTS findings (
     created_at    REAL NOT NULL,
     UNIQUE (session_seed, program_index, source)
 );
+CREATE TABLE IF NOT EXISTS race_points (
+    id                  INTEGER PRIMARY KEY,
+    workload            TEXT NOT NULL,
+    seed                INTEGER NOT NULL,
+    tenants             INTEGER NOT NULL,
+    policy              TEXT NOT NULL,
+    disclosure_rate     REAL NOT NULL,
+    probe_rate          REAL NOT NULL,
+    adversary_enabled   INTEGER NOT NULL,
+    window_instructions INTEGER NOT NULL,
+    max_instructions    INTEGER NOT NULL,
+    instructions        INTEGER,
+    cycles              INTEGER,
+    ipc                 REAL,
+    rotations           INTEGER,
+    rotation_cycles     INTEGER,
+    drc_flushes         INTEGER,
+    block_invalidations INTEGER,
+    trace_invalidations INTEGER,
+    max_stale_overlap   REAL,
+    mappings_leaked     INTEGER,
+    probe_crashes       INTEGER,
+    payload_possible    INTEGER,
+    exposed_windows     INTEGER,
+    exposed_instructions INTEGER,
+    exposure_fraction   REAL,
+    max_exposure_streak INTEGER,
+    first_goal_icount   INTEGER,
+    source              TEXT NOT NULL DEFAULT 'race',
+    created_at          REAL NOT NULL,
+    UNIQUE (workload, seed, tenants, policy, disclosure_rate, probe_rate,
+            adversary_enabled, window_instructions, max_instructions, source)
+);
+CREATE INDEX IF NOT EXISTS idx_race_policy ON race_points (policy);
 """
 
 
@@ -237,6 +271,78 @@ class RunStore:
              source, created_at if created_at is not None else time.time()),
         )
         self._conn.commit()
+
+    def record_race_point(self, point: dict, *, source: str = "race",
+                          created_at: Optional[float] = None) -> None:
+        """Index one rotation-vs-adversary race point
+        (:meth:`repro.security.race.RaceResult.as_dict` shape).
+
+        Idempotent per full spec echo + source: re-running the same
+        deterministic sweep does not duplicate rows.
+        """
+        self._conn.execute(
+            "INSERT OR IGNORE INTO race_points (workload, seed, tenants, "
+            "policy, disclosure_rate, probe_rate, adversary_enabled, "
+            "window_instructions, max_instructions, instructions, cycles, "
+            "ipc, rotations, rotation_cycles, drc_flushes, "
+            "block_invalidations, trace_invalidations, max_stale_overlap, "
+            "mappings_leaked, probe_crashes, payload_possible, "
+            "exposed_windows, exposed_instructions, exposure_fraction, "
+            "max_exposure_streak, first_goal_icount, source, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+            "?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                point.get("workload", "?"),
+                point.get("seed", 0),
+                point.get("tenants", 1),
+                point.get("policy", "?"),
+                point.get("disclosure_rate", 0.0),
+                point.get("probe_rate", 0.0),
+                1 if point.get("adversary_enabled") else 0,
+                point.get("window_instructions", 0),
+                point.get("max_instructions", 0),
+                point.get("instructions"),
+                point.get("cycles"),
+                point.get("ipc"),
+                point.get("rotations"),
+                point.get("rotation_cycles"),
+                point.get("drc_flushes"),
+                point.get("block_invalidations"),
+                point.get("trace_invalidations"),
+                point.get("max_stale_overlap"),
+                point.get("mappings_leaked"),
+                point.get("probe_crashes"),
+                1 if point.get("payload_possible") else 0,
+                point.get("exposed_windows"),
+                point.get("exposed_instructions"),
+                point.get("exposure_fraction"),
+                point.get("max_exposure_streak"),
+                point.get("first_goal_icount"),
+                source,
+                created_at if created_at is not None else time.time(),
+            ),
+        )
+        self._conn.commit()
+
+    def race_points(self, *, policy: Optional[str] = None) -> List[dict]:
+        """All indexed race points, oldest first."""
+        where = ""
+        params: tuple = ()
+        if policy is not None:
+            where = " WHERE policy = ?"
+            params = (policy,)
+        rows = self._conn.execute(
+            "SELECT workload, policy, disclosure_rate, probe_rate, tenants, "
+            "rotations, rotation_cycles, exposure_fraction, "
+            "max_exposure_streak, first_goal_icount, ipc, created_at "
+            "FROM race_points%s ORDER BY created_at ASC, id ASC" % where,
+            params,
+        ).fetchall()
+        keys = ("workload", "policy", "disclosure_rate", "probe_rate",
+                "tenants", "rotations", "rotation_cycles",
+                "exposure_fraction", "max_exposure_streak",
+                "first_goal_icount", "ipc", "created_at")
+        return [dict(zip(keys, row)) for row in rows]
 
     def _insert_run(self, fields: dict, stats: dict, *, status: str,
                     source: str, attempts: int, cached: bool,

@@ -48,6 +48,7 @@ __all__ = [
     "Divergence",
     "OracleConfig",
     "OracleReport",
+    "check_attack",
     "check_image",
     "check_source",
     "stats_invariants",
@@ -268,6 +269,105 @@ def check_image(image: BinaryImage, *, seed: int,
     if cfg.check_rerandomize:
         _check_rerandomization(program, reference, cfg, report)
 
+    return report
+
+
+def check_attack(*, seed: int,
+                 config: Optional[OracleConfig] = None) -> OracleReport:
+    """Differential leg for the *attacker's* view of the machine.
+
+    Crafts the stack-smash exploit against the vulnerable service
+    (:mod:`repro.security.attack`), randomized with ``seed``, and
+    delivers the identical injected image through every engine — the
+    functional reference and the cycle simulator's tiers (reference
+    loop / blocks / compiled traces) — under every mode.  The attack
+    outcome is architectural, so:
+
+    * per mode, every engine must report the same
+      :meth:`~repro.security.attack.AttackOutcome.key` — including the
+      faulting target address when the transfer is blocked
+      (``attack:<mode>:<tier>`` divergences otherwise);
+    * the baseline must be EXPLOITED and both randomized modes BLOCKED
+      (``attack:expected:<mode>``) — the paper's Table-1 result;
+    * a benign request against VCFR must still complete
+      (``attack:benign``) — the defense cannot break the service.
+    """
+    from ..binary import BinaryImage
+    from ..security.attack import (
+        SERVICE_OK,
+        build_vulnerable_image,
+        craft_exploit_input,
+        deliver,
+        inject_input,
+    )
+    from ..security.gadgets import scan_gadgets
+    from ..security.payload import compile_shell_payload
+
+    cfg = config or OracleConfig()
+    report = OracleReport()
+
+    try:
+        image = build_vulnerable_image()
+        program = randomize(image, RandomizerConfig(seed=seed))
+        payload = compile_shell_payload(scan_gadgets(program.original))
+        exploit = craft_exploit_input(payload)
+    except Exception:
+        report.add("crash:attack:setup", traceback.format_exc())
+        return report
+
+    engines = [("functional", "functional", None)]
+    for tier, fastpath, tracepath in _tiers(cfg):
+        engines.append(("cycle:%s" % tier, "cycle",
+                        _cycle_config(cfg, fastpath, tracepath)))
+
+    expected_exploited = {"baseline": True, "naive_ilr": False,
+                          "vcfr": False}
+    for mode in MODES:
+        reference = None
+        for label, engine, machine in engines:
+            injected = BinaryImage.from_bytes(
+                _IMAGE_FOR[mode](program).to_bytes())
+            inject_input(injected, exploit)
+            try:
+                outcome = deliver(
+                    injected, mode,
+                    program=None if mode == "baseline" else program,
+                    max_instructions=cfg.max_instructions,
+                    engine=engine, machine=machine)
+            except Exception:
+                report.add("crash:attack:%s:%s" % (mode, label),
+                           traceback.format_exc())
+                continue
+            report.runs += 1
+            if reference is None:
+                reference = outcome
+                if outcome.shell_spawned != expected_exploited[mode]:
+                    report.add("attack:expected:%s" % mode,
+                               "wrong verdict: %s" % outcome.describe())
+                if mode != "baseline" and not outcome.blocked:
+                    report.add("attack:expected:%s" % mode,
+                               "randomized mode not blocked: %s"
+                               % outcome.describe())
+            elif outcome.key() != reference.key():
+                report.add(
+                    "attack:%s:%s" % (mode, label),
+                    "engine disagrees on the attack outcome:\n"
+                    "  ref:  %r\n  got:  %r"
+                    % (reference.key(), outcome.key()))
+
+    # Benign request: the defense must not break legitimate service.
+    try:
+        benign = BinaryImage.from_bytes(program.vcfr_image.to_bytes())
+        inject_input(benign, [0x11111111, 0x22222222])
+        outcome = deliver(benign, "vcfr", program=program,
+                          max_instructions=cfg.max_instructions)
+        report.runs += 1
+        if not outcome.service_completed or outcome.blocked:
+            report.add("attack:benign",
+                       "benign request failed under vcfr: %s"
+                       % outcome.describe())
+    except Exception:
+        report.add("crash:attack:benign", traceback.format_exc())
     return report
 
 

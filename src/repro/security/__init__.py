@@ -31,6 +31,15 @@ from .payload import (
     classify_roles,
     compile_shell_payload,
 )
+from .adversary import AdversaryReport, AdversarySpec, JITROPAdversary
+from .rotation import RotationPolicy, RotationService, RotationStats
+from .race import (
+    SERVICE_WORKLOAD,
+    RaceResult,
+    RaceSpec,
+    run_race,
+    sweep_race,
+)
 
 __all__ = [
     "Gadget",
@@ -60,4 +69,15 @@ __all__ = [
     "ProbeReport",
     "simulate_probing",
     "probes_to_defeat",
+    "AdversarySpec",
+    "AdversaryReport",
+    "JITROPAdversary",
+    "RotationPolicy",
+    "RotationService",
+    "RotationStats",
+    "RaceSpec",
+    "RaceResult",
+    "run_race",
+    "sweep_race",
+    "SERVICE_WORKLOAD",
 ]

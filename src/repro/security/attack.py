@@ -138,19 +138,51 @@ class AttackOutcome:
             self.mode, "completed" if self.service_completed else "crashed",
         )
 
+    def key(self) -> tuple:
+        """The architectural outcome, engine-independent: what happened
+        and (for blocked runs) *which address* tripped the tag check.
+        Two engines executing the same injected image must produce
+        equal keys."""
+        return (
+            self.mode,
+            self.shell_spawned,
+            self.blocked,
+            self.service_completed,
+            self.fault.target if self.fault is not None else None,
+        )
+
 
 def deliver(image: BinaryImage, mode: str, program=None,
-            max_instructions: int = 1_000_000) -> AttackOutcome:
-    """Run the (already injected) image under ``mode`` and observe."""
+            max_instructions: int = 1_000_000,
+            engine: str = "functional", machine=None) -> AttackOutcome:
+    """Run the (already injected) image under ``mode`` and observe.
+
+    ``engine`` selects the executor: ``"functional"`` (the untimed
+    reference, the default) or ``"cycle"`` (the cycle simulator;
+    ``machine`` optionally supplies a
+    :class:`~repro.arch.config.MachineConfig`, e.g. with the block or
+    trace tier enabled).  The attack *outcome* is architectural, so
+    every engine and tier must agree on it — the cross-check
+    :func:`repro.qa.oracle.check_attack` enforces.
+    """
     flow = make_flow(mode, program=program, image=image if mode == "baseline" else None)
     try:
-        result = run_image(image, flow, max_instructions)
+        if engine == "cycle":
+            from ..arch.cpu import CycleCPU
+
+            result = CycleCPU(image, flow, machine).run(
+                max_instructions=max_instructions)
+            words = result.output.words
+        elif engine == "functional":
+            run = run_image(image, flow, max_instructions)
+            words = run.output.words
+        else:
+            raise ValueError("unknown attack engine %r" % (engine,))
     except SecurityFault as fault:
         return AttackOutcome(mode, False, True, False, fault)
     except Exception:
         # Wild control flow that crashed without tripping the tag check.
         return AttackOutcome(mode, False, False, False)
-    words = result.output.words
     return AttackOutcome(
         mode,
         shell_spawned=SHELL_MAGIC in words,

@@ -32,17 +32,40 @@ class EntropyReport:
     #: fraction of instructions whose original address remains enterable.
     residual_entry_fraction: float
 
+    @property
+    def effective_hit_probability(self) -> float:
+        """Probability a uniform guess enters code *without faulting*.
+
+        ``resolve`` accepts live randomized slots **and** unrandomized
+        failover entries, so the attacker's effective surface in
+        failover mode is both populations; when the residual entries sit
+        inside the guessed region this matches what
+        :func:`~repro.security.probing.simulate_probing` observes
+        empirically, and otherwise it is a conservative upper bound
+        (the attacker already knows those original addresses and need
+        not guess them).  ``guess_hit_probability`` stays the pure
+        randomized-slot figure.
+        """
+        if self.region_slots <= 0:
+            return 0.0
+        accepted = self.live_slots + self.unrandomized_entries
+        return min(1.0, accepted / self.region_slots)
+
     def expected_guesses_for_gadget(self, needed: int = 3) -> float:
         """Expected uniform guesses to locate ``needed`` distinct gadgets.
 
         A remote attacker probing blind (each wrong guess faults — and in
         practice crashes/flags the service) needs on the order of
         ``needed / p`` probes; with instruction-granular randomization over
-        a large region this is astronomically detectable.
+        a large region this is astronomically detectable.  ``p`` is the
+        *effective* hit probability: residual failover entries widen the
+        accepted surface, so ignoring them would overstate the attacker's
+        required effort exactly when the defense is weakest.
         """
-        if self.guess_hit_probability <= 0:
+        p = self.effective_hit_probability
+        if p <= 0:
             return math.inf
-        return needed / self.guess_hit_probability
+        return needed / p
 
 
 def analyze_entropy(program: RandomizedProgram) -> EntropyReport:

@@ -9,7 +9,9 @@ Under VCFR every wrong guess faults (randomized tag / strict entry), so
 
 * each probe that misses a live randomized slot crashes the service
   (detectable, and — combined with re-randomization on restart —
-  knowledge-resetting);
+  knowledge-resetting), *except* when it lands on an unrandomized
+  failover entry whose original address lies inside the randomized
+  region — the residual surface the entropy report tracks;
 * the expected number of probes to find even a single live instruction is
   ``region_slots / live_slots``; a usable *gadget* is rarer still.
 
@@ -31,13 +33,31 @@ from ..ilr.randomizer import RandomizedProgram
 
 @dataclass
 class ProbeReport:
-    """Outcome of a blind-probing campaign."""
+    """Outcome of a blind-probing campaign.
+
+    ``resolve`` accepts exactly two kinds of guess: a live randomized
+    slot (the guess is in the de-randomization table) and an
+    unrandomized *failover* entry whose original address happens to lie
+    inside the guessed region.  The two are different attacker
+    outcomes — a failover hit re-enters known original-space code and
+    is precisely the residual surface ``EntropyReport.
+    unrandomized_entries`` counts — so they are reported separately
+    instead of being conflated into one "hit" bucket.
+    """
 
     probes: int
     crashes: int
     live_hits: int          # probes that landed on a live randomized slot
+    failover_hits: int      # probes accepted via an unrandomized failover entry
     first_live_probe: Optional[int]  # 1-based index of the first live hit
+    #: expected probes per *accepted* guess (live slots + in-region
+    #: failover entries — everything ``resolve`` lets through).
     expected_probes_per_hit: float
+
+    @property
+    def hits(self) -> int:
+        """All probes that resolved without a fault."""
+        return self.live_hits + self.failover_hits
 
     @property
     def crash_rate(self) -> float:
@@ -52,17 +72,23 @@ def simulate_probing(
     """Fire ``probes`` uniform guesses into the randomized region.
 
     Each guess is resolved exactly the way a control transfer would be;
-    a :class:`SecurityFault` is a service crash, a live slot is a "hit"
-    (the attacker found *an* instruction — still not necessarily a useful
-    gadget).
+    a :class:`SecurityFault` is a service crash.  A guess that resolves
+    is classified by *how* it resolved: a live randomized slot
+    (``live_hits`` — the attacker found *an* instruction, still not
+    necessarily a useful gadget) or an unrandomized failover entry
+    whose original address fell inside the randomized region
+    (``failover_hits`` — the attacker re-entered code at a known
+    original address).
     """
     rng = random.Random(seed)
     layout = program.layout
     flow = VCFRFlow(program.rdr, program.entry_rand)
+    derand = program.rdr.derand
     num_slots = layout.region_size // layout.slot_size
 
     crashes = 0
     live_hits = 0
+    failover_hits = 0
     first_live: Optional[int] = None
     for probe_index in range(1, probes + 1):
         guess = layout.region_base + rng.randrange(num_slots) * layout.slot_size
@@ -71,17 +97,46 @@ def simulate_probing(
         except SecurityFault:
             crashes += 1
             continue
-        live_hits += 1
-        if first_live is None:
-            first_live = probe_index
+        if guess in derand:
+            live_hits += 1
+            if first_live is None:
+                first_live = probe_index
+        else:
+            failover_hits += 1
 
-    live = layout.num_instructions
+    accepted = layout.num_instructions + _failover_slots_in_region(program)
     return ProbeReport(
         probes=probes,
         crashes=crashes,
         live_hits=live_hits,
+        failover_hits=failover_hits,
         first_live_probe=first_live,
-        expected_probes_per_hit=(num_slots / live) if live else float("inf"),
+        expected_probes_per_hit=(
+            (num_slots / accepted) if accepted else float("inf")
+        ),
+    )
+
+
+def _failover_slots_in_region(program: RandomizedProgram) -> int:
+    """Failover redirect entries a slot-aligned in-region probe can land on.
+
+    Probes only guess slot-aligned addresses inside the randomized
+    region, so a failover entry contributes to the accepted set exactly
+    when its original address is both in-region and slot-aligned.  An
+    address that doubles as a live randomized slot is already counted
+    by ``num_instructions`` (``resolve`` checks the de-randomization
+    table first), so it is excluded here.
+    """
+    layout = program.layout
+    derand = program.rdr.derand
+    lo = layout.region_base
+    hi = layout.region_base + layout.region_size
+    return sum(
+        1
+        for addr in program.rdr.unrandomized_entries()
+        if lo <= addr < hi
+        and (addr - lo) % layout.slot_size == 0
+        and addr not in derand
     )
 
 

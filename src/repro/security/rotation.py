@@ -1,0 +1,202 @@
+"""Re-randomization as a deployed *service* (paper §V-C, §VIII).
+
+The paper argues that periodic re-randomization bounds how long a leaked
+table stays useful but never runs the service; MARDU-style deployments
+make rotation a kernel service with a measurable cost.  This module
+closes that gap: a :class:`RotationService` owns a
+:class:`~repro.ilr.rerandomize.RerandomizationSchedule` per tenant and
+drives :func:`~repro.ilr.rerandomize.apply_rerandomization` on *policy*:
+
+* ``periodic`` — every N retired instructions (wall-clock proxy);
+* ``on_probe`` — when the tenant's crash telemetry reports blind-probe
+  faults (the detectable signal :mod:`repro.security.probing` models);
+* ``on_syscall`` — every N observable syscall effects (kernel-boundary
+  rotation, the cheapest point to swap tables in a real deployment);
+* ``none`` — the static-randomization baseline the curves compare
+  against.
+
+Every rotation charges the tenant a fixed kernel cost in simulated
+cycles and is accounted against the simulator structures it flushes
+(DRC, decoded blocks, compiled traces) — the "rotation cost" axis of
+the gadget-window experiment family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ilr.rerandomize import (
+    Epoch,
+    RerandomizationSchedule,
+    apply_rerandomization,
+)
+from ..ilr.randomizer import RandomizedProgram
+from ..obs.trace import NULL_TRACER
+
+__all__ = [
+    "RotationPolicy",
+    "RotationStats",
+    "RotationService",
+]
+
+#: Valid :attr:`RotationPolicy.kind` values.
+POLICY_KINDS = ("none", "periodic", "on_probe", "on_syscall")
+
+
+@dataclass(frozen=True)
+class RotationPolicy:
+    """When the service rotates, and what each rotation costs."""
+
+    kind: str = "periodic"
+    #: ``periodic``: rotate after this many retired instructions.
+    period_instructions: int = 20_000
+    #: ``on_probe``: rotate once this many crash signals accumulate.
+    probe_threshold: int = 1
+    #: ``on_syscall``: rotate after this many observable syscall effects.
+    syscall_period: int = 8
+    #: fixed kernel cost charged to the tenant per rotation (table
+    #: regeneration + text rewrite + bitmap patching, in cycles).
+    rotation_cycles: int = 5_000
+
+    def __post_init__(self):
+        if self.kind not in POLICY_KINDS:
+            raise ValueError("unknown rotation policy %r" % (self.kind,))
+
+    def label(self) -> str:
+        if self.kind == "periodic":
+            return "periodic@%d" % self.period_instructions
+        if self.kind == "on_probe":
+            return "on_probe@%d" % self.probe_threshold
+        if self.kind == "on_syscall":
+            return "on_syscall@%d" % self.syscall_period
+        return self.kind
+
+
+@dataclass
+class RotationStats:
+    """Service-side cost accounting, summed over a tenant's rotations."""
+
+    rotations: int = 0
+    rotation_cycles: int = 0
+    drc_flushes: int = 0
+    block_invalidations: int = 0
+    trace_invalidations: int = 0
+    #: worst usefulness of any leaked table one rotation later.
+    max_stale_overlap: float = 0.0
+
+
+@dataclass
+class _Tenant:
+    cpu: object
+    schedule: RerandomizationSchedule
+    base_seed: int
+    last_rotation_icount: int = 0
+    syscalls_at_rotation: int = 0
+    probe_crashes: int = 0
+    stats: RotationStats = field(default_factory=RotationStats)
+
+
+def _syscall_effects(cpu) -> int:
+    """Observable kernel-boundary activity: the output stream only ever
+    grows at syscalls, so its length is a deterministic syscall proxy
+    (the machine keeps no explicit syscall counter)."""
+    out = cpu.state.out
+    return len(out.words) + len(out.chars)
+
+
+class RotationService:
+    """Drives epoch rotations for one or many tenants on policy."""
+
+    def __init__(self, policy: RotationPolicy, events=None, tracer=None):
+        self.policy = policy
+        self.events = events
+        self.tracer = tracer or NULL_TRACER
+        self._tenants: Dict[str, _Tenant] = {}
+
+    def register(self, name: str, cpu, program: RandomizedProgram) -> None:
+        """Adopt a live VCFR tenant; its schedule starts at epoch 0."""
+        self._tenants[name] = _Tenant(
+            cpu=cpu,
+            schedule=RerandomizationSchedule(program),
+            base_seed=program.config.seed,
+            last_rotation_icount=cpu.state.icount,
+            syscalls_at_rotation=_syscall_effects(cpu),
+        )
+
+    def current_program(self, name: str) -> RandomizedProgram:
+        return self._tenants[name].schedule.current
+
+    def stats(self, name: str) -> RotationStats:
+        return self._tenants[name].stats
+
+    def note_probe_crashes(self, name: str, crashes: int) -> None:
+        """Feed crash telemetry (failed blind probes) into the policy."""
+        if crashes > 0:
+            self._tenants[name].probe_crashes += crashes
+
+    # -- policy evaluation -------------------------------------------------------
+
+    def due(self, name: str) -> bool:
+        tenant = self._tenants[name]
+        policy = self.policy
+        if policy.kind == "none":
+            return False
+        if policy.kind == "periodic":
+            executed = tenant.cpu.state.icount - tenant.last_rotation_icount
+            return executed >= policy.period_instructions
+        if policy.kind == "on_probe":
+            return tenant.probe_crashes >= policy.probe_threshold
+        effects = _syscall_effects(tenant.cpu) - tenant.syscalls_at_rotation
+        return effects >= policy.syscall_period
+
+    def poll(self, name: str) -> bool:
+        """Rotate ``name`` if its trigger fired; returns whether it did."""
+        if not self.due(name):
+            return False
+        self.rotate(name)
+        return True
+
+    def rotate(self, name: str) -> Epoch:
+        """Force one rotation now, whatever the policy says."""
+        tenant = self._tenants[name]
+        cpu = tenant.cpu
+        epoch_index = len(tenant.schedule.epochs)
+        # Seed derivation is pure arithmetic over (base seed, epoch):
+        # two runs of the same spec rotate onto identical layouts.
+        new_seed = (tenant.base_seed * 7919 + epoch_index) % (1 << 30) + 1
+        before = _invalidation_counters(cpu)
+        epoch = tenant.schedule.rotate(new_seed)
+        apply_rerandomization(cpu, epoch.program, tracer=self.tracer)
+        after = _invalidation_counters(cpu)
+        cpu.cycle += self.policy.rotation_cycles
+
+        stats = tenant.stats
+        stats.rotations += 1
+        stats.rotation_cycles += self.policy.rotation_cycles
+        stats.drc_flushes += 1
+        stats.block_invalidations += after[0] - before[0]
+        stats.trace_invalidations += after[1] - before[1]
+        stats.max_stale_overlap = max(
+            stats.max_stale_overlap, epoch.stale_table_overlap
+        )
+        tenant.last_rotation_icount = cpu.state.icount
+        tenant.syscalls_at_rotation = _syscall_effects(cpu)
+        tenant.probe_crashes = 0
+        if self.events is not None:
+            self.events.emit(
+                "rotation",
+                tenant=name,
+                epoch=epoch.index,
+                seed=epoch.seed,
+                icount=cpu.state.icount,
+                stale_overlap=round(epoch.stale_table_overlap, 6),
+            )
+        return epoch
+
+
+def _invalidation_counters(cpu) -> tuple:
+    tiers = cpu.tier_stats()
+    blocks = tiers.get("blocks", {}).get("invalidations", 0)
+    traces = tiers.get("traces", {}).get("invalidations", 0)
+    return blocks, traces

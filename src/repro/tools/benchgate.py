@@ -21,15 +21,27 @@ Gates record *before* asserting, so a failing run still leaves a
 report with ``"pass": false`` for the trajectory.  The output
 directory is ``$BENCH_REPORT_DIR`` when set, else the current working
 directory (the repo root under ``make verify``).
+
+``python -m repro.tools.benchgate --compare`` is the *trend* check:
+it diffs freshly written reports against the versions committed at
+``HEAD`` (via ``git show``) and fails when a thresholded metric moved
+in its regression direction by more than the tolerance — so a perf
+slide that still clears its hard gate is caught at the PR that caused
+it, not three PRs later when the gate finally trips.  ``make verify``
+runs it after the benchmark legs.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
+import subprocess
+import sys
 from typing import Dict, List, Optional
 
-__all__ = ["gate", "record", "emit_experiment", "report_path"]
+__all__ = ["gate", "record", "emit_experiment", "report_path",
+           "compare_reports", "main"]
 
 _OPS = {
     ">=": lambda value, threshold: value >= threshold,
@@ -104,3 +116,150 @@ def emit_experiment(result, bench: Optional[str] = None) -> None:
         gates.append({"metric": description, "value": bool(ok),
                       "threshold": True, "op": "==", "pass": bool(ok)})
     _flush(name)
+
+
+# -- trend check (--compare) ------------------------------------------------
+
+#: Relative drift allowed before a moved metric counts as a regression.
+#: Generous by design: these are host wall-clock-derived numbers on a
+#: shared machine; the hard thresholds inside each bench stay the
+#: precision gate, this catches *large* slides early.
+DEFAULT_TOLERANCE = 0.3
+
+
+def _committed_report(name: str, rev: str = "HEAD") -> Optional[dict]:
+    """The report committed at ``rev``, or None if absent there."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", "%s:BENCH_%s.json" % (rev, name)],
+            capture_output=True, check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    try:
+        return json.loads(blob)
+    except ValueError:
+        return None
+
+
+def _committed_names(rev: str = "HEAD") -> List[str]:
+    """Bench names with a ``BENCH_*.json`` committed at ``rev``."""
+    try:
+        out = subprocess.run(
+            ["git", "ls-tree", "--name-only", rev],
+            capture_output=True, check=True, text=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return []
+    names = []
+    for line in out.splitlines():
+        if line.startswith("BENCH_") and line.endswith(".json"):
+            names.append(line[len("BENCH_"):-len(".json")])
+    return sorted(names)
+
+
+def compare_reports(current: dict, baseline: dict,
+                    tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Regression messages for ``current`` vs the committed ``baseline``.
+
+    The regression *direction* comes from each gate's op: ``>=``/``>``
+    metrics are better high (a drop is a regression), ``<=``/``<``
+    better low (a rise is).  ``==`` gates (boolean experiment checks)
+    carry no direction and are skipped — their own ``pass`` field
+    already gates them.  The allowed drift is
+    ``tolerance * max(|baseline|, |threshold|)``: anchoring on the
+    threshold keeps near-zero overhead metrics from flagging on
+    absolute noise a fraction of their budget.
+    """
+    problems: List[str] = []
+    if not current.get("pass", True):
+        problems.append("report is failing its own gates")
+    before = {g["metric"]: g for g in baseline.get("gates", [])
+              if isinstance(g, dict) and "metric" in g}
+    for entry in current.get("gates", []):
+        metric = entry.get("metric")
+        old = before.get(metric)
+        op = entry.get("op")
+        if old is None or op not in (">=", ">", "<=", "<"):
+            continue
+        try:
+            value = float(entry["value"])
+            base = float(old["value"])
+            threshold = float(entry.get("threshold", 0.0))
+        except (TypeError, ValueError):
+            continue
+        margin = tolerance * max(abs(base), abs(threshold))
+        higher_is_better = op in (">=", ">")
+        drift = base - value if higher_is_better else value - base
+        if drift > margin:
+            problems.append(
+                "%s: %.6g -> %.6g (%s, allowed drift %.6g)"
+                % (metric, base, value,
+                   "dropped" if higher_is_better else "rose", margin))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.benchgate",
+        description="Benchmark-gate report utilities.",
+    )
+    parser.add_argument("--compare", action="store_true",
+                        help="diff fresh BENCH_*.json reports against "
+                             "the versions committed at --rev and fail "
+                             "on directional regressions")
+    parser.add_argument("names", nargs="*",
+                        help="bench names to compare (default: every "
+                             "BENCH_*.json committed at --rev)")
+    parser.add_argument("--rev", default="HEAD",
+                        help="git revision holding the baselines "
+                             "(default HEAD)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative drift allowed before a metric "
+                             "is a regression (default %.2f)"
+                             % DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+    if not args.compare:
+        parser.error("nothing to do (did you mean --compare?)")
+
+    names = args.names or _committed_names(args.rev)
+    if not names:
+        # Bootstrap: nothing committed yet to regress against.  The
+        # first `make verify` after the reports land starts gating.
+        print("benchgate: no committed BENCH_*.json baselines at %s "
+              "(bootstrap — nothing to compare)" % args.rev)
+        return 0
+
+    failed = False
+    for name in names:
+        baseline = _committed_report(name, args.rev)
+        if baseline is None:
+            print("%-20s no baseline at %s (new bench?) — skipped"
+                  % (name, args.rev))
+            continue
+        path = report_path(name)
+        try:
+            with open(path) as fh:
+                current = json.load(fh)
+        except (OSError, ValueError):
+            print("%-20s no fresh report at %s — skipped" % (name, path))
+            continue
+        problems = compare_reports(current, baseline, args.tolerance)
+        if problems:
+            failed = True
+            print("%-20s REGRESSED" % name)
+            for problem in problems:
+                print("    %s" % problem)
+        else:
+            print("%-20s ok (%d gates vs %s)"
+                  % (name, len(current.get("gates", [])), args.rev))
+    if failed:
+        print("benchgate: trend regression vs %s (tolerance %.0f%%)"
+              % (args.rev, 100 * args.tolerance), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

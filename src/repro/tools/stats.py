@@ -165,6 +165,42 @@ def tier_table(records: List[dict]) -> Optional[str]:
     return format_table(("tier", "counter", "total"), rows)
 
 
+def race_table(records: List[dict]) -> Optional[str]:
+    """Rotation-vs-adversary race points (``race_point`` events).
+
+    One row per sweep point: the gadget-availability-window metrics
+    against the rotation cost the defense paid for them."""
+    rows = []
+    rotations = 0
+    for record in records:
+        if record.get("kind") == "rotation":
+            rotations += 1
+        if record.get("kind") != "race_point":
+            continue
+        first = record.get("first_goal_icount")
+        rows.append((
+            record.get("workload", "?"),
+            record.get("policy", "?"),
+            "%.2f" % record.get("disclosure_rate", 0.0),
+            "%.1f%%" % (100 * record.get("exposure_fraction", 0.0)),
+            record.get("max_exposure_streak", 0),
+            first if first is not None else "-",
+            record.get("rotations", 0),
+            record.get("rotation_cycles", 0),
+            "%.4f" % record.get("ipc", 0.0),
+        ))
+    if not rows:
+        return None
+    table = format_table(
+        ("workload", "policy", "disc", "exposure", "max window",
+         "first goal", "rotations", "rot cycles", "ipc"),
+        rows,
+    )
+    if rotations:
+        table += "\n(%d individual rotation events logged)" % rotations
+    return table
+
+
 def phase_breakdown(records: List[dict]) -> Optional[str]:
     seconds: Dict[str, float] = {}
     calls: Dict[str, int] = {}
@@ -285,7 +321,8 @@ def compare_modes(records: List[dict], mode_a: str,
 #: First-positional tokens routed to :func:`store_main` instead of the
 #: JSONL analyzer (an event file named ``best`` would shadow the
 #: subcommand; rename the file).
-STORE_COMMANDS = ("best", "compare", "history", "sql", "backfill", "tail")
+STORE_COMMANDS = ("best", "compare", "history", "sql", "backfill", "race",
+                  "tail")
 
 
 def _store_best(store: RunStore, args) -> int:
@@ -364,6 +401,27 @@ def _store_backfill(store: RunStore, args) -> int:
     return 0
 
 
+def _store_race(store: RunStore, args) -> int:
+    rows = store.race_points(policy=args.policy)
+    if not rows:
+        print("no race points recorded", file=sys.stderr)
+        return 1
+    print(format_table(
+        ("workload", "policy", "disc", "probe", "tenants", "rotations",
+         "rot cycles", "exposure", "max window", "first goal", "ipc"),
+        [(r["workload"], r["policy"], "%.2f" % r["disclosure_rate"],
+          "%.2f" % r["probe_rate"], r["tenants"], r["rotations"],
+          r["rotation_cycles"],
+          "%.1f%%" % (100 * (r["exposure_fraction"] or 0.0)),
+          r["max_exposure_streak"],
+          r["first_goal_icount"] if r["first_goal_icount"] is not None
+          else "-",
+          "%.4f" % (r["ipc"] or 0.0))
+         for r in rows],
+    ))
+    return 0
+
+
 def _tail(args) -> int:
     """Follow a live JSONL event log (satellite of ``--dashboard``)."""
     try:
@@ -434,6 +492,13 @@ def store_main(argv) -> int:
                    metavar="PATH", help="JSONL event log(s) to ingest")
     p.set_defaults(func=_store_backfill)
 
+    p = sub.add_parser("race",
+                       help="rotation-vs-adversary race points")
+    p.add_argument("store", help="run store path (SQLite)")
+    p.add_argument("--policy", default=None,
+                   help="restrict to one rotation policy label")
+    p.set_defaults(func=_store_race)
+
     p = sub.add_parser("tail", help="follow a live JSONL event log")
     p.add_argument("file", help="JSONL event log being written")
     p.add_argument("--kind", default=None,
@@ -474,7 +539,8 @@ def main(argv=None) -> int:
                         help="A-vs-B IPC-over-time comparison "
                              "(e.g. --compare vcfr naive_ilr)")
     parser.add_argument("--section", action="append", default=None,
-                        choices=("kinds", "runs", "tiers", "phases", "ipc"),
+                        choices=("kinds", "runs", "tiers", "race", "phases",
+                                 "ipc"),
                         help="only render the named section(s)")
     args = parser.parse_args(argv)
 
@@ -502,6 +568,7 @@ def main(argv=None) -> int:
     section("kinds", "events", kind_summary(records))
     section("runs", "runs", runs_table(records))
     section("tiers", "execution tiers", tier_table(records))
+    section("race", "rotation races", race_table(records))
     section("phases", "host-time by phase", phase_breakdown(records))
     section("ipc", "IPC over time", ipc_over_time(records))
     if args.compare:

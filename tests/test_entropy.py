@@ -2,9 +2,11 @@
 
 import math
 
+import pytest
+
 from repro.ilr import RandomizerConfig, randomize
 from repro.isa import assemble
-from repro.security import analyze_entropy
+from repro.security import analyze_entropy, simulate_probing
 
 SRC = """
 .code 0x400000
@@ -57,7 +59,51 @@ class TestEntropy:
     def test_expected_guesses(self):
         report = analyze_entropy(_program(spread=16))
         expected = report.expected_guesses_for_gadget(needed=3)
-        assert expected >= 3 / report.guess_hit_probability - 1e-9
+        # The guess model uses the *effective* surface: residual
+        # failover entries widen it, so the expected effort is at most
+        # the pure-randomized figure and exactly needed/p_effective.
+        assert expected == pytest.approx(
+            3 / report.effective_hit_probability
+        )
+        assert expected <= 3 / report.guess_hit_probability + 1e-9
+
+    def test_effective_probability_folds_residual_entries(self):
+        report = analyze_entropy(_program(spread=16))
+        accepted = report.live_slots + report.unrandomized_entries
+        assert report.effective_hit_probability == pytest.approx(
+            min(1.0, accepted / report.region_slots)
+        )
+        if report.unrandomized_entries:
+            assert (
+                report.effective_hit_probability
+                > report.guess_hit_probability
+            )
+
+    def test_expected_guesses_match_probing_empirics(self):
+        # Regression for the conflated guess model: build a program
+        # whose failover entries all land in-region and slot-aligned,
+        # then check the analytic effective probability against what
+        # simulate_probing actually measures on a fixed seed.
+        program = _program(spread=16, seed=3)
+        layout = program.layout
+        rdr = program.rdr
+        addr = layout.region_base
+        added = 0
+        while added < 2 * layout.num_instructions:
+            if addr not in rdr.derand and addr not in rdr.redirect:
+                rdr.redirect[addr] = addr
+                added += 1
+            addr += layout.slot_size
+        report = analyze_entropy(program)
+        assert report.unrandomized_entries >= added
+        probe = simulate_probing(program, probes=40_000, seed=11)
+        measured = probe.hits / probe.probes
+        assert measured == pytest.approx(
+            report.effective_hit_probability, abs=0.02
+        )
+        # The pre-fix model (pure randomized slots) visibly disagrees
+        # with the empirics here.
+        assert abs(measured - report.guess_hit_probability) > 0.02
 
     def test_expected_guesses_infinite_when_empty(self):
         report = analyze_entropy(_program())

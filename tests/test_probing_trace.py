@@ -34,7 +34,8 @@ class TestProbing:
     def test_probe_accounting(self, program):
         report = simulate_probing(program, probes=2000, seed=1)
         assert report.probes == 2000
-        assert report.crashes + report.live_hits == 2000
+        assert report.crashes + report.live_hits + report.failover_hits == 2000
+        assert report.hits == report.live_hits + report.failover_hits
         assert 0.0 <= report.crash_rate <= 1.0
 
     def test_most_probes_crash(self, program):
@@ -45,14 +46,22 @@ class TestProbing:
     def test_hit_rate_matches_occupancy(self, program):
         report = simulate_probing(program, probes=20_000, seed=3)
         expected = 1.0 / report.expected_probes_per_hit
-        measured = report.live_hits / report.probes
+        measured = report.hits / report.probes
         assert abs(measured - expected) < 0.02
+
+    def test_no_failover_hits_outside_region(self, program):
+        # The code sits at 0x400000, the randomized region at
+        # RANDOMIZED_BASE: no failover original address can fall inside
+        # the guessed region, so every accepted probe is a live hit.
+        report = simulate_probing(program, probes=5000, seed=5)
+        assert report.failover_hits == 0
+        assert report.hits == report.live_hits
 
     def test_deterministic_for_seed(self, program):
         a = simulate_probing(program, probes=500, seed=9)
         b = simulate_probing(program, probes=500, seed=9)
-        assert (a.crashes, a.live_hits, a.first_live_probe) == (
-            b.crashes, b.live_hits, b.first_live_probe,
+        assert (a.crashes, a.live_hits, a.failover_hits, a.first_live_probe) == (
+            b.crashes, b.live_hits, b.failover_hits, b.first_live_probe,
         )
 
     def test_more_spread_more_crashes(self):
@@ -65,6 +74,36 @@ class TestProbing:
     def test_probes_to_defeat_scales_with_spread(self, program):
         expected = probes_to_defeat(program, gadgets_needed=3)
         assert expected == pytest.approx(3 * 16, rel=0.01)
+
+    def test_failover_hits_counted_separately(self):
+        # Craft failover entries whose original addresses sit inside the
+        # randomized region at slot-aligned offsets — the configuration
+        # the old accounting silently folded into live_hits.
+        program = randomize(
+            assemble(SRC), RandomizerConfig(seed=8, spread_factor=16)
+        )
+        layout = program.layout
+        rdr = program.rdr
+        added = 0
+        addr = layout.region_base
+        while added < layout.num_instructions:
+            if addr not in rdr.derand and addr not in rdr.redirect:
+                rdr.redirect[addr] = addr
+                added += 1
+            addr += layout.slot_size
+        report = simulate_probing(program, probes=20_000, seed=7)
+        assert report.failover_hits > 0
+        assert report.crashes + report.live_hits + report.failover_hits == (
+            report.probes
+        )
+        # expected_probes_per_hit covers the full accepted set (live
+        # slots + in-region failover entries), matching the empirics.
+        measured = report.hits / report.probes
+        assert abs(measured - 1.0 / report.expected_probes_per_hit) < 0.02
+        # The pure-live hit rate alone undershoots the model: the gap is
+        # exactly the failover surface the old accounting conflated.
+        live_only = report.live_hits / report.probes
+        assert 1.0 / report.expected_probes_per_hit - live_only > 0.01
 
 
 class TestTracer:

@@ -103,5 +103,18 @@ class TestSchedule:
             assert result.output == reference.output
 
     def test_max_stale_overlap_without_rotation(self, program):
+        # Epoch-0 semantics: a schedule that never rotated offers no
+        # staleness protection — a leaked table is fully current.  The
+        # recorded epoch-0 overlap and the schedule-level worst case
+        # must agree on that meaning.
         schedule = RerandomizationSchedule(program)
-        assert schedule.max_stale_overlap() == 0.0
+        assert schedule.epochs[0].stale_table_overlap == 1.0
+        assert schedule.max_stale_overlap() == 1.0
+
+    def test_max_stale_overlap_excludes_epoch0_after_rotation(self, program):
+        # Once a rotation exists, epoch 0's 1.0 placeholder must not
+        # drown out the post-rotation overlaps the metric is about.
+        schedule = RerandomizationSchedule(program)
+        epoch = schedule.rotate(new_seed=77)
+        assert schedule.max_stale_overlap() == epoch.stale_table_overlap
+        assert schedule.max_stale_overlap() < 1.0
