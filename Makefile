@@ -9,11 +9,11 @@ export PYTHONPATH := src
 
 .PHONY: verify test test-slow fuzz-quick fuzz bench-obs bench-trace \
         bench-sweep bench-scheduler bench-hotloop bench-faults \
-        bench-race benchgate-compare bench backfill-store
+        bench-race bench-fleet benchgate-compare bench backfill-store
 
 verify: test test-slow fuzz-quick bench-obs bench-trace bench-sweep \
         bench-scheduler bench-hotloop bench-faults bench-race \
-        benchgate-compare
+        bench-fleet benchgate-compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +58,9 @@ bench-faults:
 
 bench-race:
 	$(PYTHON) benchmarks/bench_race_overhead.py
+
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet_overhead.py
 
 # Trend check: fail verify when a freshly written BENCH_*.json metric
 # regressed vs the version committed at HEAD (direction per gate op).

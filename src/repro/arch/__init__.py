@@ -24,6 +24,7 @@ from .functional import (
     run_image,
 )
 from .memory import MemoryFault, SparseMemory
+from .sharedmem import MemoryPort, SharedMemorySystem
 from .trace import TraceEntry, Tracer, attach_tracer
 from .state import ExitProgram, MachineState
 
@@ -42,4 +43,6 @@ __all__ = [
     "TimeSharedCPU",
     "TimeSharedResult",
     "measure_switch_sensitivity",
+    "SharedMemorySystem",
+    "MemoryPort",
 ]

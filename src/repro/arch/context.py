@@ -5,8 +5,15 @@ include the de-randomization/randomization tables."  This module models
 that impact: several programs time-share one core under a round-robin
 scheduler; a context switch swaps the architectural state *and* the RDR
 table context, which costs the DRC its contents (the new process's
-translations must refill through the L2) on top of the usual TLB and
-predictor disturbance.
+translations must refill through the L2) on top of the usual TLB
+disturbance.
+
+By default each tenant owns a *private* CycleCPU cache hierarchy all
+the way down — switches model flush costs, not cache sharing.  Pass a
+:class:`~repro.arch.sharedmem.SharedMemorySystem` as ``shared_memory``
+to route every tenant through one genuinely shared L2 + DRAM (the
+multi-tenant contention model `repro.fleet` builds on); DRC, TLBs and
+L1s stay private either way.
 
 The interesting measurement is DRC cold-start sensitivity: how much of
 VCFR's near-baseline IPC survives realistic scheduling quanta.
@@ -58,12 +65,14 @@ class TimeSharedCPU:
     """Round-robin time sharing of one core between VCFR processes.
 
     Each process gets its own :class:`CycleCPU` (its own memory image and
-    architectural state — address spaces are per-process) while the
-    *shared* micro-architectural state is modelled by what a switch
-    does to it: the DRC is flushed (its entries belong to the outgoing
-    process's RDR tables), the TLBs are flushed (new address space), and
-    the predictors are left alone (tagless structures alias across
-    processes, which is how real cores behave).
+    architectural state — address spaces are per-process).  A switch
+    models what handing over the core costs the incoming process: the
+    DRC is flushed (its entries belong to the outgoing process's RDR
+    tables), the TLBs are flushed (new address space), and the
+    predictors are left alone (tagless structures alias across
+    processes, which is how real cores behave).  By default nothing
+    below the core is shared — every tenant's caches are private; pass
+    ``shared_memory`` to put all tenants behind one L2 + DRAM.
     """
 
     def __init__(
@@ -74,6 +83,7 @@ class TimeSharedCPU:
         switch_cycles: int = 200,
         on_quantum=None,
         self_switch: bool = True,
+        shared_memory=None,
     ):
         """``on_quantum(name, cpu, executed, finished)`` is invoked after
         every scheduling quantum, at an instruction boundary — the hook
@@ -84,10 +94,29 @@ class TimeSharedCPU:
         DRC-cold-start study); pass ``False`` to model a lone tenant
         that simply keeps running.  With more than one live tenant every
         quantum still switches regardless.
+
+        ``shared_memory`` (a
+        :class:`~repro.arch.sharedmem.SharedMemorySystem`) gives every
+        tenant a port into one shared L2 + DRAM so their working sets
+        genuinely contend; ``None`` (the default, and the published
+        configuration) keeps each tenant's hierarchy fully private.
         """
+        self.shared_memory = shared_memory
         self.cpus = [
-            (name, CycleCPU(image, flow, config))
-            for name, image, flow in programs
+            (
+                name,
+                CycleCPU(
+                    image,
+                    flow,
+                    config,
+                    memory=(
+                        None
+                        if shared_memory is None
+                        else shared_memory.port(index)
+                    ),
+                ),
+            )
+            for index, (name, image, flow) in enumerate(programs)
         ]
         self.quantum = quantum_instructions
         self.switch_stats = SwitchStats(switch_cycles_each=switch_cycles)
@@ -96,6 +125,14 @@ class TimeSharedCPU:
 
     def run(self, max_instructions_per_process: int = 200_000) -> TimeSharedResult:
         """Run all processes to completion (or budget), round-robin."""
+        if self.shared_memory is not None:
+            # Prime every tenant before any executes: a CPU's first
+            # run_slice resets its stats objects, and with a shared L2 +
+            # DRAM a late first slice would wipe counters other tenants
+            # already accumulated.  run_slice(0) resets without running.
+            for _name, cpu in self.cpus:
+                cpu.run_slice(0)
+            self.shared_memory.reset_stats()
         live = {name: True for name, _cpu in self.cpus}
         quanta = {name: 0 for name, _cpu in self.cpus}
         budget = {name: max_instructions_per_process for name, _ in self.cpus}
@@ -117,7 +154,11 @@ class TimeSharedCPU:
                 if finished or budget[name] <= 0 or executed == 0:
                     live[name] = False
 
-        total_cycles = self.switch_stats.total_switch_cycles
+        # Switch cost is already charged to each cpu.cycle by
+        # _on_switch_in; the total is the plain sum of tenant cycles
+        # (adding switch_stats.total_switch_cycles again would double
+        # count — switch_stats stays as a breakdown, not an addend).
+        total_cycles = 0
         out = TimeSharedResult(switch_stats=self.switch_stats)
         for name, cpu in self.cpus:
             final = cpu._result(finished=cpu._finished, warmup=0)
@@ -143,9 +184,13 @@ class TimeSharedCPU:
         # the precomputed per-op metadata stays valid.  Only table swaps
         # (ilr.rerandomize.apply_rerandomization) or code rewrites
         # (CycleCPU.rewrite_code) invalidate blocks.
-        # New address space: TLBs flush; caches are physically tagged in
-        # this model (the shared L2 keeps both processes' lines, which is
-        # what lets warm RDR table lines survive in L2 across switches).
+        # New address space: TLBs flush.  Data/instruction caches keep
+        # their contents across the switch (physically tagged); whether
+        # tenants actually *share* an L2 depends on construction: by
+        # default every tenant owns a private hierarchy (nothing is
+        # shared, warm lines only help the same tenant on its next
+        # quantum), while with ``shared_memory`` the tenants contend in
+        # one L2 and warm RDR-table lines genuinely survive switches.
         cpu.itlb.flush()
         cpu.dtlb.flush()
         cpu._last_fetch_line = -1
@@ -158,12 +203,15 @@ def measure_switch_sensitivity(
     config: Optional[MachineConfig] = None,
     quanta=(100_000, 20_000, 5_000, 1_000),
     max_instructions: int = 100_000,
+    switch_cycles: int = 200,
 ):
     """DRC cold-start study: VCFR IPC vs scheduling quantum.
 
     Runs the same program alone but with forced periodic context switches
     (self-switching: the adversarial case where every quantum lands on a
-    cold DRC).  Returns {quantum: SimResult}.
+    cold DRC).  ``switch_cycles`` is the fixed kernel cost charged per
+    switch; the default matches the published curves.  Returns
+    {quantum: SimResult}.
     """
     results = {}
     for quantum in quanta:
@@ -171,6 +219,7 @@ def measure_switch_sensitivity(
             [("p", program.vcfr_image, make_flow_fn("vcfr", program))],
             config=config,
             quantum_instructions=quantum,
+            switch_cycles=switch_cycles,
         )
         shared = cpu.run(max_instructions_per_process=max_instructions)
         results[quantum] = shared.by_name("p").result

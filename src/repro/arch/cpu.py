@@ -84,7 +84,11 @@ class CycleCPU:
         checkpoint_interval: int = 0,
         on_checkpoint: Optional[Callable[[Checkpoint], None]] = None,
         event_fields: Optional[dict] = None,
+        memory=None,
     ):
+        """``memory`` (a :class:`repro.arch.sharedmem.MemoryPort`) plugs
+        this core into a node-level shared L2 + DRAM instead of building
+        a private hierarchy; DRC/TLBs/L1s stay private either way."""
         self.config = config or default_config()
         self.image = image
         self.flow = flow
@@ -97,10 +101,20 @@ class CycleCPU:
         self.state = MachineState(self.mem, stack_top=info.stack_top)
 
         cfg = self.config
-        self.dram = DRAM(cfg.dram)
-        self.l2 = Cache(cfg.l2, "l2", self.dram.access)
-        self.il1 = Cache(cfg.il1, "il1", self.l2.access)
-        self.dl1 = Cache(cfg.dl1, "dl1", self.l2.access)
+        self.memory = memory
+        if memory is None:
+            self.dram = DRAM(cfg.dram)
+            self.l2 = Cache(cfg.l2, "l2", self.dram.access)
+            #: next-level port the L1s and the DRC refill path use; with
+            #: a shared node it relocates addresses into this tenant's
+            #: physical region before the shared L2 sees them.
+            self._l2_port = self.l2.access
+        else:
+            self.dram = memory.dram
+            self.l2 = memory.l2
+            self._l2_port = memory.access
+        self.il1 = Cache(cfg.il1, "il1", self._l2_port)
+        self.dl1 = Cache(cfg.dl1, "dl1", self._l2_port)
         self.itlb = TLB(cfg.itlb, "itlb")
         self.dtlb = TLB(cfg.dtlb, "dtlb")
         self.branch = BranchUnit(cfg.branch)
@@ -187,7 +201,7 @@ class CycleCPU:
             addr = DERAND_TABLE_BASE + ((key & 0x3FFFFFFF) >> 3) * 8
         else:
             addr = RAND_TABLE_BASE + ((key & 0x3FFFFFFF) >> 2) * 8
-        return self.l2.access(addr, False)
+        return self._l2_port(addr, False)
 
     # -- fetch ------------------------------------------------------------------
 

@@ -1,0 +1,86 @@
+"""Open-loop request arrival traces for the fleet scenario.
+
+Arrivals are generated once per tenant from a derived seed, in
+simulated cycles, independent of service progress (open-loop: a slow
+server does not slow the clients down, which is what makes tail
+latency honest).  Three deterministic shapes:
+
+* ``poisson`` — exponential interarrival gaps around ``mean_gap``;
+* ``bursty`` — back-to-back bursts of ``burst`` requests separated by
+  exponential idle gaps sized to keep the *long-run rate* equal to the
+  poisson trace with the same ``mean_gap`` (so tail differences are
+  pure burstiness, not load);
+* ``uniform`` — fixed ``mean_gap`` spacing (``mean_gap=0`` means all
+  requests arrive at time zero: the saturation/benchmark shape).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ArrivalSpec", "arrival_times", "ARRIVAL_KINDS"]
+
+ARRIVAL_KINDS = ("poisson", "bursty", "uniform")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Shape of one tenant's open-loop arrival trace."""
+
+    kind: str = "poisson"
+    #: total requests in the trace.
+    requests: int = 30
+    #: mean interarrival gap in simulated cycles (the long-run rate for
+    #: every kind; exact spacing for ``uniform``).
+    mean_gap: int = 2_500
+    #: bursty only: requests per burst.
+    burst: int = 8
+    #: bursty only: gap between requests inside a burst (cycles).
+    burst_gap: int = 50
+
+    def label(self) -> str:
+        return "%s/r%d/g%d" % (self.kind, self.requests, self.mean_gap)
+
+
+def arrival_times(spec: ArrivalSpec, seed: int) -> List[int]:
+    """The trace: a sorted list of ``spec.requests`` arrival cycles."""
+    if spec.kind not in ARRIVAL_KINDS:
+        raise ValueError("unknown arrival kind: %r" % (spec.kind,))
+    if spec.requests < 0 or spec.mean_gap < 0:
+        raise ValueError("requests and mean_gap must be non-negative")
+    rng = random.Random(seed)
+    times: List[int] = []
+    t = 0
+    if spec.kind == "uniform":
+        for _ in range(spec.requests):
+            t += spec.mean_gap
+            times.append(t)
+    elif spec.kind == "poisson":
+        for _ in range(spec.requests):
+            t += _exp_gap(rng, spec.mean_gap)
+            times.append(t)
+    else:  # bursty
+        burst = max(1, spec.burst)
+        # Idle gap sized so burst arrivals + idle average out to one
+        # request per mean_gap cycles over the whole trace.
+        idle_mean = max(
+            1, spec.mean_gap * burst - spec.burst_gap * (burst - 1)
+        )
+        while len(times) < spec.requests:
+            t += _exp_gap(rng, idle_mean)
+            times.append(t)
+            for _ in range(burst - 1):
+                if len(times) >= spec.requests:
+                    break
+                t += max(1, spec.burst_gap)
+                times.append(t)
+    return times
+
+
+def _exp_gap(rng: random.Random, mean: int) -> int:
+    """One integer exponential gap with the given mean, at least 1."""
+    if mean <= 0:
+        return 1
+    return max(1, int(round(rng.expovariate(1.0 / mean))))

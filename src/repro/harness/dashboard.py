@@ -105,6 +105,9 @@ class Dashboard:
         #: rotation-service race telemetry.
         self.race_points = 0
         self.rotations = 0
+        #: datacenter-fleet telemetry (``tenant_point`` events).
+        self.fleet_tenants = 0
+        self.fleet_served = 0
         #: execution-tier totals from ``run_end`` tier telemetry.
         self.block_execs = 0
         self.trace_entries = 0
@@ -172,6 +175,11 @@ class Dashboard:
             self.race_points += 1
         elif kind == "rotation":
             self.rotations += 1
+        elif kind == "tenant_point":
+            self.fleet_tenants += 1
+            self.fleet_served += record.get("served", 0)
+        elif kind == "fleet_end":
+            self.done += record.get("points", 0)
         else:
             return
         self.maybe_render()
@@ -199,6 +207,9 @@ class Dashboard:
             if self.rotations:
                 race += " rot %d" % self.rotations
             parts.append(race)
+        if self.fleet_tenants:
+            parts.append("fleet %d tenants %d served"
+                         % (self.fleet_tenants, self.fleet_served))
         if self.block_execs or self.trace_entries:
             tier = "tiers blk %d" % self.block_execs
             if self.trace_entries:

@@ -581,6 +581,128 @@ def gadget_window(runner: Runner) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# Datacenter fleet — multi-tenant serving over shared L2 + DRAM
+# (beyond the paper: §IV-D measures per-switch DRC cost; this family
+# runs protected tenants under traffic and reports the tails)
+# ---------------------------------------------------------------------------
+
+
+def fleet(runner: Runner) -> ExperimentResult:
+    """Per-tenant tail latency and IPC fairness for a protected fleet.
+
+    Four VCFR tenants serve open-loop traffic over two cores behind a
+    genuinely shared L2 + DRAM; the grid varies arrival shape (Poisson
+    vs bursty at the same long-run rate) and core count, with a
+    lone-tenant control to expose cross-tenant L2 contention.  Fleet
+    points are seed-deterministic and bit-identical between sequential
+    and pooled execution.
+    """
+    from ..fleet import ArrivalSpec, FleetSpec, sweep_fleet
+
+    result = ExperimentResult(
+        "fleet",
+        "Datacenter fleet: tail latency under multi-tenant contention",
+        ("point", "tenant", "core", "served", "p50", "p95", "p99",
+         "IPC", "fairness", "switches"),
+    )
+    requests = 30
+    gap = 2_500
+    poisson = ArrivalSpec(kind="poisson", requests=requests, mean_gap=gap)
+    bursty = ArrivalSpec(kind="bursty", requests=requests, mean_gap=gap)
+    specs = [
+        FleetSpec(tenants=4, cores=2, arrival=poisson),
+        FleetSpec(tenants=4, cores=2, arrival=bursty),
+        FleetSpec(tenants=4, cores=1, arrival=poisson),
+        FleetSpec(tenants=1, cores=1, arrival=poisson),
+    ]
+    points = sweep_fleet(
+        specs,
+        workers=getattr(runner, "workers", 0),
+        events=getattr(runner, "events", None),
+        store=getattr(runner, "store", None),
+    )
+    wide, wide_bursty, narrow, lone = points
+
+    for spec, point in zip(specs, points):
+        for tenant in point.tenant_results:
+            result.rows.append((
+                "%s %dt/%dc" % (spec.arrival.kind, spec.tenants,
+                                spec.cores),
+                tenant.tenant,
+                tenant.core,
+                "%d/%d" % (tenant.served, tenant.requests),
+                tenant.p50_latency,
+                tenant.p95_latency,
+                tenant.p99_latency,
+                round(tenant.ipc, 4),
+                round(point.ipc_fairness, 4),
+                tenant.switches,
+            ))
+
+    result.check(
+        "every tenant served its whole trace (no dropped requests)",
+        all(point.unserved == 0 for point in points),
+    )
+    result.check(
+        "instruction conservation: work done == requests x demand",
+        all(
+            point.instructions
+            == point.requests * point.request_instructions
+            for point in points
+        ),
+    )
+    result.check(
+        "latency percentiles are ordered per tenant (p50<=p95<=p99<=max)",
+        all(
+            tenant.p50_latency <= tenant.p95_latency
+            <= tenant.p99_latency <= tenant.max_latency
+            for point in points for tenant in point.tenant_results
+        ),
+    )
+    result.check(
+        "homogeneous tenants share fairly (Jain index near 1)",
+        0.95 <= wide.ipc_fairness <= 1.0,
+    )
+    result.check(
+        "halving cores under the same load fattens the tail",
+        narrow.p99_latency > wide.p99_latency,
+    )
+    result.check(
+        "bursty arrivals at the same long-run rate fatten the tail "
+        "and deepen queues",
+        wide_bursty.p99_latency > wide.p99_latency
+        and max(t.max_queue_depth for t in wide_bursty.tenant_results)
+        > max(t.max_queue_depth for t in wide.tenant_results),
+    )
+    result.check(
+        "the L2 is genuinely shared: co-located tenants miss more than "
+        "the same tenant count run alone would",
+        narrow.l2_misses > narrow.tenants * lone.l2_misses,
+    )
+    result.check(
+        "switch accounting: charged cycles == switches x per-switch cost",
+        all(
+            point.switch_cycles_total
+            == point.switches * point.switch_cycles
+            for point in points
+        ),
+    )
+
+    result.summary = (
+        "4 tenants / 2 cores: p99 %d cycles (fairness %.3f); bursty p99 "
+        "%d; on 1 core p99 %d; shared-L2 misses %d vs %d lone x4"
+        % (wide.p99_latency, wide.ipc_fairness, wide_bursty.p99_latency,
+           narrow.p99_latency, narrow.l2_misses, lone.l2_misses * 4)
+    )
+    result.paper_summary = (
+        "beyond the paper: §IV-D prices one context switch; this family "
+        "serves traffic across tenants sharing the L2 the DRC refills "
+        "through"
+    )
+    return result
+
+
 #: Ordered registry of every experiment.
 ALL_EXPERIMENTS: Dict[str, Callable[[Runner], ExperimentResult]] = {
     "table1": table1,
@@ -595,6 +717,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Runner], ExperimentResult]] = {
     "fig14": fig14,
     "fig15": fig15,
     "gadget_window": gadget_window,
+    "fleet": fleet,
 }
 
 

@@ -382,6 +382,24 @@ class ExperimentSession:
             store=self.store,
         )
 
+    # -- datacenter fleet ----------------------------------------------------
+
+    def fleet_sweep(self, specs):
+        """Run multi-tenant fleet points under session policy.
+
+        Uses the session's worker count for pooled execution and its
+        event log / run store for recording; results are bit-identical
+        either way (see :func:`repro.fleet.sweep_fleet`).
+        """
+        from ..fleet import sweep_fleet
+
+        return sweep_fleet(
+            specs,
+            workers=self.workers,
+            events=self.events,
+            store=self.store,
+        )
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:

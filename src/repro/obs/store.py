@@ -153,6 +153,47 @@ CREATE TABLE IF NOT EXISTS race_points (
             adversary_enabled, window_instructions, max_instructions, source)
 );
 CREATE INDEX IF NOT EXISTS idx_race_policy ON race_points (policy);
+CREATE TABLE IF NOT EXISTS fleet_points (
+    id                   INTEGER PRIMARY KEY,
+    workload             TEXT NOT NULL,
+    mode                 TEXT NOT NULL,
+    seed                 INTEGER NOT NULL,
+    tenants              INTEGER NOT NULL,
+    cores                INTEGER NOT NULL,
+    quantum_instructions INTEGER NOT NULL,
+    switch_cycles        INTEGER NOT NULL,
+    request_instructions INTEGER NOT NULL,
+    arrival_kind         TEXT NOT NULL,
+    arrival_requests     INTEGER NOT NULL,
+    arrival_mean_gap     INTEGER NOT NULL,
+    tenant               TEXT NOT NULL,
+    core                 INTEGER,
+    requests             INTEGER,
+    served               INTEGER,
+    unserved             INTEGER,
+    p50_latency          INTEGER,
+    p95_latency          INTEGER,
+    p99_latency          INTEGER,
+    max_latency          INTEGER,
+    mean_latency         REAL,
+    instructions         INTEGER,
+    cycles               INTEGER,
+    ipc                  REAL,
+    ipc_fairness         REAL,
+    quanta               INTEGER,
+    switches             INTEGER,
+    switch_cycles_total  INTEGER,
+    max_queue_depth      INTEGER,
+    il1_miss_rate        REAL,
+    drc_miss_rate        REAL,
+    l2_miss_rate         REAL,
+    source               TEXT NOT NULL DEFAULT 'fleet',
+    created_at           REAL NOT NULL,
+    UNIQUE (workload, mode, seed, tenants, cores, quantum_instructions,
+            switch_cycles, request_instructions, arrival_kind,
+            arrival_requests, arrival_mean_gap, tenant, source)
+);
+CREATE INDEX IF NOT EXISTS idx_fleet_arrival ON fleet_points (arrival_kind);
 """
 
 
@@ -323,6 +364,88 @@ class RunStore:
             ),
         )
         self._conn.commit()
+
+    def record_fleet_point(self, point: dict, *, source: str = "fleet",
+                           created_at: Optional[float] = None) -> None:
+        """Index one per-tenant fleet row
+        (:meth:`repro.fleet.FleetResult.tenant_points` shape).
+
+        Idempotent per full spec echo + tenant + source: re-running the
+        same deterministic sweep does not duplicate rows.
+        """
+        self._conn.execute(
+            "INSERT OR IGNORE INTO fleet_points (workload, mode, seed, "
+            "tenants, cores, quantum_instructions, switch_cycles, "
+            "request_instructions, arrival_kind, arrival_requests, "
+            "arrival_mean_gap, tenant, core, requests, served, unserved, "
+            "p50_latency, p95_latency, p99_latency, max_latency, "
+            "mean_latency, instructions, cycles, ipc, ipc_fairness, "
+            "quanta, switches, switch_cycles_total, max_queue_depth, "
+            "il1_miss_rate, drc_miss_rate, l2_miss_rate, source, "
+            "created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+            "?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                point.get("workload", "?"),
+                point.get("mode", "?"),
+                point.get("seed", 0),
+                point.get("tenants", 1),
+                point.get("cores", 1),
+                point.get("quantum_instructions", 0),
+                point.get("switch_cycles", 0),
+                point.get("request_instructions", 0),
+                point.get("arrival_kind", "?"),
+                point.get("arrival_requests", 0),
+                point.get("arrival_mean_gap", 0),
+                point.get("tenant", "?"),
+                point.get("core"),
+                point.get("requests"),
+                point.get("served"),
+                point.get("unserved"),
+                point.get("p50_latency"),
+                point.get("p95_latency"),
+                point.get("p99_latency"),
+                point.get("max_latency"),
+                point.get("mean_latency"),
+                point.get("instructions"),
+                point.get("cycles"),
+                point.get("ipc"),
+                point.get("ipc_fairness"),
+                point.get("quanta"),
+                point.get("switches"),
+                point.get("switch_cycles_total"),
+                point.get("max_queue_depth"),
+                point.get("il1_miss_rate"),
+                point.get("drc_miss_rate"),
+                point.get("l2_miss_rate"),
+                source,
+                created_at if created_at is not None else time.time(),
+            ),
+        )
+        self._conn.commit()
+
+    def fleet_points(self, *, arrival_kind: Optional[str] = None,
+                     mode: Optional[str] = None) -> List[dict]:
+        """All indexed per-tenant fleet rows, oldest first."""
+        clauses = []
+        params: List = []
+        if arrival_kind is not None:
+            clauses.append("arrival_kind = ?")
+            params.append(arrival_kind)
+        if mode is not None:
+            clauses.append("mode = ?")
+            params.append(mode)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        keys = ("workload", "mode", "arrival_kind", "tenants", "cores",
+                "tenant", "core", "requests", "served", "p50_latency",
+                "p95_latency", "p99_latency", "ipc", "ipc_fairness",
+                "switches", "l2_miss_rate", "created_at")
+        rows = self._conn.execute(
+            "SELECT %s FROM fleet_points%s ORDER BY created_at ASC, id ASC"
+            % (", ".join(keys), where),
+            tuple(params),
+        ).fetchall()
+        return [dict(zip(keys, row)) for row in rows]
 
     def race_points(self, *, policy: Optional[str] = None) -> List[dict]:
         """All indexed race points, oldest first."""

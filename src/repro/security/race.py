@@ -35,6 +35,7 @@ __all__ = [
     "RaceResult",
     "run_race",
     "sweep_race",
+    "build_service_image",
     "SERVICE_WORKLOAD",
 ]
 
@@ -189,9 +190,18 @@ class _TenantRace:
         self.first_goal_icount: Optional[int] = None
 
 
+def build_service_image():
+    """Assemble the synthetic long-running request-server workload.
+
+    Shared with :mod:`repro.fleet`, whose tenants serve traffic off the
+    same image the race harness probes.
+    """
+    return assemble(_SERVICE_SOURCE)
+
+
 def _build_race_image(spec: RaceSpec):
     if spec.workload == SERVICE_WORKLOAD:
-        return assemble(_SERVICE_SOURCE)
+        return build_service_image()
     return build_image(spec.workload, spec.scale)
 
 
@@ -256,8 +266,9 @@ def run_race(spec: RaceSpec, events=None, tracer=None,
     shared.run(max_instructions_per_process=spec.max_instructions)
 
     instructions = sum(cpu.state.icount for _name, cpu in shared.cpus)
+    # cpu.cycle already includes the per-switch charge from
+    # TimeSharedCPU._on_switch_in; do not add switch_stats on top.
     cycles = sum(cpu.cycle for _name, cpu in shared.cpus)
-    cycles += shared.switch_stats.total_switch_cycles
 
     rotation = RotationStats()
     for name in tenants:

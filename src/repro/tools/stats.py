@@ -201,6 +201,40 @@ def race_table(records: List[dict]) -> Optional[str]:
     return table
 
 
+def fleet_table(records: List[dict]) -> Optional[str]:
+    """Datacenter fleet tenant rows (``tenant_point`` events).
+
+    One row per tenant per fleet point: tail latency (cycles), IPC,
+    fleet fairness, and switch counts under shared-L2 contention."""
+    rows = []
+    for record in records:
+        if record.get("kind") != "tenant_point":
+            continue
+        rows.append((
+            record.get("workload", "?"),
+            record.get("mode", "?"),
+            record.get("arrival_kind", "?"),
+            "%st/%sc" % (record.get("tenants", "?"),
+                         record.get("cores", "?")),
+            record.get("tenant", "?"),
+            "%s/%s" % (record.get("served", 0),
+                       record.get("requests", 0)),
+            record.get("p50_latency", 0),
+            record.get("p95_latency", 0),
+            record.get("p99_latency", 0),
+            "%.4f" % record.get("ipc", 0.0),
+            "%.4f" % record.get("ipc_fairness", 0.0),
+            record.get("switches", 0),
+        ))
+    if not rows:
+        return None
+    return format_table(
+        ("workload", "mode", "arrival", "fleet", "tenant", "served",
+         "p50", "p95", "p99", "ipc", "fairness", "switches"),
+        rows,
+    )
+
+
 def phase_breakdown(records: List[dict]) -> Optional[str]:
     seconds: Dict[str, float] = {}
     calls: Dict[str, int] = {}
@@ -322,7 +356,7 @@ def compare_modes(records: List[dict], mode_a: str,
 #: JSONL analyzer (an event file named ``best`` would shadow the
 #: subcommand; rename the file).
 STORE_COMMANDS = ("best", "compare", "history", "sql", "backfill", "race",
-                  "tail")
+                  "fleet", "tail")
 
 
 def _store_best(store: RunStore, args) -> int:
@@ -422,6 +456,26 @@ def _store_race(store: RunStore, args) -> int:
     return 0
 
 
+def _store_fleet(store: RunStore, args) -> int:
+    rows = store.fleet_points(arrival_kind=args.arrival, mode=args.mode)
+    if not rows:
+        print("no fleet points recorded", file=sys.stderr)
+        return 1
+    print(format_table(
+        ("workload", "mode", "arrival", "fleet", "tenant", "core",
+         "served", "p50", "p95", "p99", "ipc", "fairness", "switches"),
+        [(r["workload"], r["mode"], r["arrival_kind"],
+          "%st/%sc" % (r["tenants"], r["cores"]), r["tenant"], r["core"],
+          "%s/%s" % (r["served"], r["requests"]),
+          r["p50_latency"], r["p95_latency"], r["p99_latency"],
+          "%.4f" % (r["ipc"] or 0.0),
+          "%.4f" % (r["ipc_fairness"] or 0.0),
+          r["switches"])
+         for r in rows],
+    ))
+    return 0
+
+
 def _tail(args) -> int:
     """Follow a live JSONL event log (satellite of ``--dashboard``)."""
     try:
@@ -499,6 +553,16 @@ def store_main(argv) -> int:
                    help="restrict to one rotation policy label")
     p.set_defaults(func=_store_race)
 
+    p = sub.add_parser("fleet",
+                       help="datacenter fleet per-tenant rows")
+    p.add_argument("store", help="run store path (SQLite)")
+    p.add_argument("--arrival", default=None,
+                   help="restrict to one arrival kind "
+                        "(poisson/bursty/uniform)")
+    p.add_argument("--mode", default=None,
+                   help="restrict to one protection mode")
+    p.set_defaults(func=_store_fleet)
+
     p = sub.add_parser("tail", help="follow a live JSONL event log")
     p.add_argument("file", help="JSONL event log being written")
     p.add_argument("--kind", default=None,
@@ -539,8 +603,8 @@ def main(argv=None) -> int:
                         help="A-vs-B IPC-over-time comparison "
                              "(e.g. --compare vcfr naive_ilr)")
     parser.add_argument("--section", action="append", default=None,
-                        choices=("kinds", "runs", "tiers", "race", "phases",
-                                 "ipc"),
+                        choices=("kinds", "runs", "tiers", "race", "fleet",
+                                 "phases", "ipc"),
                         help="only render the named section(s)")
     args = parser.parse_args(argv)
 
@@ -569,6 +633,7 @@ def main(argv=None) -> int:
     section("runs", "runs", runs_table(records))
     section("tiers", "execution tiers", tier_table(records))
     section("race", "rotation races", race_table(records))
+    section("fleet", "datacenter fleet", fleet_table(records))
     section("phases", "host-time by phase", phase_breakdown(records))
     section("ipc", "IPC over time", ipc_over_time(records))
     if args.compare:

@@ -1,0 +1,418 @@
+"""Datacenter fleet tests: accounting fixes, shared L2, sweep identity."""
+
+import json
+
+import pytest
+
+from repro.arch import SharedMemorySystem
+from repro.arch.context import TimeSharedCPU, measure_switch_sensitivity
+from repro.arch.sharedmem import PHYS_BASE_SHIFT
+from repro.fleet import (
+    ArrivalSpec,
+    FleetSpec,
+    arrival_times,
+    run_fleet,
+    sweep_fleet,
+)
+from repro.harness import ExperimentSession
+from repro.ilr import RandomizerConfig, make_flow, randomize
+from repro.isa import assemble
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.store import RunStore
+from repro.security.race import SERVICE_WORKLOAD, build_service_image
+
+SRC = """
+.code 0x400000
+main:
+    movi esi, 0
+.loop:
+    call work
+    cmp esi, 400
+    jl .loop
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+work:
+    add esi, 1
+    mov eax, esi
+    imul eax, eax
+    ret
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return randomize(assemble(SRC), RandomizerConfig(seed=44))
+
+
+# -- context-switch cycle accounting (the double-count regression) -----------
+
+
+class TestSwitchAccounting:
+    def test_total_cycles_is_sum_of_tenant_cycles(self, program):
+        other = randomize(assemble(SRC), RandomizerConfig(seed=45))
+        shared = TimeSharedCPU(
+            [
+                ("a", program.vcfr_image, make_flow("vcfr", program)),
+                ("b", other.vcfr_image, make_flow("vcfr", other)),
+            ],
+            quantum_instructions=500,
+            switch_cycles=150,
+        )
+        out = shared.run(max_instructions_per_process=4_000)
+        # _on_switch_in already charges cpu.cycle per switch; the total
+        # must be exactly the sum of tenant cycles, not that sum plus
+        # switch_stats.total_switch_cycles again.
+        assert out.total_cycles == sum(cpu.cycle for _n, cpu in shared.cpus)
+        assert out.switch_stats.total_switch_cycles > 0
+        assert out.total_cycles < (
+            sum(cpu.cycle for _n, cpu in shared.cpus)
+            + out.switch_stats.total_switch_cycles
+        )
+
+    def test_exact_switch_count_formula(self, program):
+        shared = TimeSharedCPU(
+            [("a", program.original, make_flow("baseline", program))],
+            quantum_instructions=500,
+            switch_cycles=100,
+        )
+        out = shared.run(max_instructions_per_process=3_000)
+        stats = out.switch_stats
+        # Self-switching lone tenant: one switch per quantum, each
+        # charged exactly switch_cycles.
+        assert stats.switches == out.by_name("a").quanta
+        assert stats.total_switch_cycles == 100 * stats.switches
+
+    def test_switch_sensitivity_accepts_switch_cycles(self, program):
+        cheap = measure_switch_sensitivity(
+            program, make_flow, quanta=(1_000,), max_instructions=6_000,
+            switch_cycles=0,
+        )
+        default = measure_switch_sensitivity(
+            program, make_flow, quanta=(1_000,), max_instructions=6_000,
+        )
+        explicit = measure_switch_sensitivity(
+            program, make_flow, quanta=(1_000,), max_instructions=6_000,
+            switch_cycles=200,
+        )
+        # The default stays 200 (published curves unchanged)...
+        assert default[1_000].cycles == explicit[1_000].cycles
+        # ...and the knob genuinely moves the cost: 6 quanta x 200
+        # cycles cheaper when switches are free.
+        quanta_run = default[1_000].cycles - cheap[1_000].cycles
+        assert quanta_run > 0
+        assert quanta_run % 200 == 0
+
+
+# -- cache-sharing honesty ----------------------------------------------------
+
+
+class TestCacheSharing:
+    def test_default_hierarchies_are_private(self, program):
+        other = randomize(assemble(SRC), RandomizerConfig(seed=45))
+        shared = TimeSharedCPU(
+            [
+                ("a", program.vcfr_image, make_flow("vcfr", program)),
+                ("b", other.vcfr_image, make_flow("vcfr", other)),
+            ],
+        )
+        (_, cpu_a), (_, cpu_b) = shared.cpus
+        # The documented default: nothing below the core is shared.
+        assert cpu_a.l2 is not cpu_b.l2
+        assert cpu_a.dram is not cpu_b.dram
+
+    def test_shared_memory_routes_tenants_through_one_l2(self, program):
+        other = randomize(assemble(SRC), RandomizerConfig(seed=45))
+        node = SharedMemorySystem()
+        shared = TimeSharedCPU(
+            [
+                ("a", program.vcfr_image, make_flow("vcfr", program)),
+                ("b", other.vcfr_image, make_flow("vcfr", other)),
+            ],
+            quantum_instructions=500,
+            shared_memory=node,
+        )
+        (_, cpu_a), (_, cpu_b) = shared.cpus
+        assert cpu_a.l2 is node.l2 and cpu_b.l2 is node.l2
+        assert cpu_a.dram is node.dram
+        # Private close-to-the-core state stays private.
+        assert cpu_a.drc is not cpu_b.drc
+        assert cpu_a.il1 is not cpu_b.il1
+        out = shared.run(max_instructions_per_process=4_000)
+        assert node.l2.stats.accesses > 0
+        assert out.total_cycles == sum(cpu.cycle for _n, cpu in shared.cpus)
+
+    def test_ports_relocate_addresses_per_tenant(self):
+        node = SharedMemorySystem()
+        assert node.port(0).base == 0
+        assert node.port(1).base == 1 << PHYS_BASE_SHIFT
+        assert node.port(1) is node.port(1)
+
+
+# -- arrival traces -----------------------------------------------------------
+
+
+class TestTraffic:
+    def test_traces_are_seed_deterministic(self):
+        spec = ArrivalSpec(kind="poisson", requests=50, mean_gap=1_000)
+        assert arrival_times(spec, 7) == arrival_times(spec, 7)
+        assert arrival_times(spec, 7) != arrival_times(spec, 8)
+
+    def test_traces_are_sorted_and_sized(self):
+        for kind in ("poisson", "bursty", "uniform"):
+            spec = ArrivalSpec(kind=kind, requests=40, mean_gap=500)
+            times = arrival_times(spec, 3)
+            assert len(times) == 40
+            assert times == sorted(times)
+
+    def test_bursty_matches_poisson_long_run_rate(self):
+        poisson = ArrivalSpec(kind="poisson", requests=400, mean_gap=1_000)
+        bursty = ArrivalSpec(kind="bursty", requests=400, mean_gap=1_000)
+        p_span = arrival_times(poisson, 5)[-1]
+        b_span = arrival_times(bursty, 5)[-1]
+        assert 0.5 < b_span / p_span < 2.0
+
+    def test_uniform_zero_gap_is_saturation(self):
+        spec = ArrivalSpec(kind="uniform", requests=10, mean_gap=0)
+        assert arrival_times(spec, 1) == [0] * 10
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(ArrivalSpec(kind="zipf"), 1)
+
+
+# -- the fleet model ----------------------------------------------------------
+
+
+def _spec(**kw):
+    arrival = kw.pop("arrival", None) or ArrivalSpec(
+        kind=kw.pop("kind", "poisson"),
+        requests=kw.pop("requests", 8),
+        mean_gap=kw.pop("mean_gap", 1_500),
+    )
+    base = dict(tenants=4, cores=2, quantum_instructions=1_000,
+                request_instructions=600, arrival=arrival)
+    base.update(kw)
+    return FleetSpec(**base)
+
+
+class TestFleetModel:
+    @pytest.fixture(scope="class")
+    def wide(self):
+        return run_fleet(_spec())
+
+    def test_deterministic_in_spec(self, wide):
+        again = run_fleet(_spec())
+        assert json.dumps(wide.as_dict(), sort_keys=True) == json.dumps(
+            again.as_dict(), sort_keys=True)
+
+    def test_all_requests_served_and_work_conserved(self, wide):
+        assert wide.unserved == 0
+        assert wide.served == wide.requests == 4 * 8
+        assert wide.instructions == wide.requests * 600
+
+    def test_percentiles_ordered(self, wide):
+        for tenant in wide.tenant_results:
+            assert 0 < tenant.p50_latency <= tenant.p95_latency
+            assert tenant.p95_latency <= tenant.p99_latency
+            assert tenant.p99_latency <= tenant.max_latency
+
+    def test_tenants_statically_assigned_round_robin(self, wide):
+        for tenant in wide.tenant_results:
+            assert tenant.core == tenant.index % wide.cores
+
+    def test_switch_cost_formula_per_tenant(self, wide):
+        for tenant in wide.tenant_results:
+            assert tenant.switch_cycles_total == tenant.switches * 200
+            assert tenant.cycles >= tenant.instructions
+        assert wide.switch_cycles_total == wide.switches * 200
+
+    def test_fairness_near_one_for_homogeneous_tenants(self, wide):
+        assert 0.95 <= wide.ipc_fairness <= 1.0
+
+    def test_fewer_cores_fatten_the_tail(self, wide):
+        narrow = run_fleet(_spec(cores=1))
+        assert narrow.p99_latency > wide.p99_latency
+        assert narrow.makespan >= wide.makespan
+
+    def test_shared_l2_contention_is_real(self):
+        lone = run_fleet(_spec(tenants=1, cores=1))
+        packed = run_fleet(_spec(tenants=4, cores=1))
+        # Co-located tenants evict each other: more misses than four
+        # isolated copies of the lone tenant would take together.
+        assert packed.l2_misses > 4 * lone.l2_misses
+
+    def test_budget_exhaustion_counts_unserved(self):
+        starved = run_fleet(_spec(max_instructions=1_200))
+        assert starved.unserved > 0
+        assert starved.served + starved.unserved == starved.requests
+
+    def test_modes_all_run(self):
+        for mode in ("baseline", "naive_ilr", "vcfr"):
+            point = run_fleet(_spec(mode=mode, tenants=2, requests=4))
+            assert point.unserved == 0
+            assert point.mode == mode
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            run_fleet(_spec(tenants=0))
+        with pytest.raises(ValueError):
+            run_fleet(_spec(cores=0))
+        with pytest.raises(ValueError):
+            run_fleet(_spec(request_instructions=0))
+
+
+# -- sweep: sequential vs pooled bit-identity --------------------------------
+
+
+def _grid():
+    return [
+        _spec(requests=5, seed=1),
+        _spec(requests=5, seed=2, kind="bursty"),
+        _spec(requests=5, seed=1, tenants=2, cores=1),
+    ]
+
+
+def _dump(results):
+    return json.dumps([r.as_dict() for r in results], sort_keys=True)
+
+
+def test_sweep_fleet_sequential_matches_pooled():
+    specs = _grid()
+    sequential = sweep_fleet(specs, workers=0)
+    pooled = sweep_fleet(specs, workers=2)
+    assert _dump(sequential) == _dump(pooled)
+
+
+def test_sweep_fleet_emits_events_and_records_store(tmp_path):
+    specs = _grid()[:2]
+    sink = MemorySink()
+    events = EventLog(sink)
+    store_path = str(tmp_path / "fleet.db")
+    with RunStore(store_path) as store:
+        results = sweep_fleet(specs, events=events, store=store)
+    kinds = [r["kind"] for r in sink.records]
+    assert kinds[0] == "fleet_start"
+    assert kinds.count("tenant_point") == sum(
+        len(r.tenant_results) for r in results)
+    assert kinds[-1] == "fleet_end"
+    with RunStore(store_path) as store:
+        rows = store.fleet_points()
+        assert len(rows) == sum(len(r.tenant_results) for r in results)
+        # Re-recording the same points is idempotent (INSERT OR IGNORE).
+        for result in results:
+            for point in result.tenant_points():
+                store.record_fleet_point(point)
+        assert len(store.fleet_points()) == len(rows)
+        bursty_rows = store.fleet_points(arrival_kind="bursty")
+        assert len(bursty_rows) == 4
+        assert all(r["arrival_kind"] == "bursty" for r in bursty_rows)
+
+
+def test_session_fleet_sweep_uses_session_plumbing():
+    specs = _grid()[:1]
+    session = ExperimentSession(workers=0)
+    try:
+        results = session.fleet_sweep(specs)
+    finally:
+        session.close()
+    assert _dump(results) == _dump(sweep_fleet(specs))
+
+
+# -- the CLI ------------------------------------------------------------------
+
+
+def test_fleet_cli_table_events_and_store(tmp_path, capsys):
+    from repro.obs.events import read_events
+    from repro.tools import fleet as fleet_cli
+
+    events = str(tmp_path / "fleet.jsonl")
+    store_path = str(tmp_path / "fleet.db")
+    rc = fleet_cli.main([
+        "--tenants", "2", "--cores", "2", "--requests", "4",
+        "--arrivals", "poisson", "--events", events, "--store", store_path,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "p99" in out and "fairness" in out and "t1" in out
+    points = read_events(events, kind="tenant_point")
+    assert len(points) == 2
+    with RunStore(store_path) as store:
+        assert len(store.fleet_points()) == 2
+
+
+def test_fleet_cli_json_output(capsys):
+    from repro.tools import fleet as fleet_cli
+
+    rc = fleet_cli.main([
+        "--tenants", "1", "--cores", "1", "--requests", "3",
+        "--arrivals", "uniform", "--mean-gap", "800", "--json",
+    ])
+    assert rc == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 1
+    point = json.loads(lines[0])
+    assert point["workload"] == SERVICE_WORKLOAD
+    assert point["served"] == 3
+    assert point["tenant_results"][0]["tenant"] == "t0"
+
+
+def test_fleet_cli_rejects_unknown_arrival(capsys):
+    from repro.tools import fleet as fleet_cli
+
+    with pytest.raises(SystemExit):
+        fleet_cli.main(["--arrivals", "zipf"])
+    assert "unknown arrival kind" in capsys.readouterr().err
+
+
+# -- stats surfacing ----------------------------------------------------------
+
+
+def test_stats_fleet_section_and_store_subcommand(tmp_path, capsys):
+    from repro.tools import fleet as fleet_cli
+    from repro.tools import stats as stats_cli
+
+    events = str(tmp_path / "fleet.jsonl")
+    store_path = str(tmp_path / "fleet.db")
+    rc = fleet_cli.main([
+        "--tenants", "2", "--cores", "1", "--requests", "4",
+        "--arrivals", "poisson", "--events", events, "--store", store_path,
+    ])
+    assert rc == 0
+    capsys.readouterr()
+
+    assert stats_cli.main([events, "--section", "fleet"]) == 0
+    out = capsys.readouterr().out
+    assert "datacenter fleet" in out and "fairness" in out
+
+    assert stats_cli.main(["fleet", store_path]) == 0
+    out = capsys.readouterr().out
+    assert "t0" in out and "t1" in out and "p99" in out
+
+
+def test_dashboard_counts_fleet_tenants():
+    from repro.harness.dashboard import Dashboard
+
+    dash = Dashboard(stream=open("/dev/null", "w"), ansi=False)
+    dash.observe({"kind": "tenant_point", "served": 5})
+    dash.observe({"kind": "tenant_point", "served": 3})
+    dash.observe({"kind": "fleet_end", "points": 1})
+    assert dash.fleet_tenants == 2
+    assert dash.fleet_served == 8
+    assert "fleet 2 tenants 8 served" in dash.render()
+
+
+# -- the experiment family ----------------------------------------------------
+
+
+def test_fleet_experiment_family_registered():
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    assert "fleet" in ALL_EXPERIMENTS
+
+
+def test_service_image_shared_with_race_harness():
+    image = build_service_image()
+    spec = FleetSpec(workload=SERVICE_WORKLOAD)
+    assert spec.workload == SERVICE_WORKLOAD
+    assert image.entry == 0x400000

@@ -1,0 +1,129 @@
+"""Property tests: fleet/time-shared accounting invariants.
+
+Hypothesis sweeps small random fleet shapes and asserts the accounting
+identities that pin the context-switch double-count fix: instruction
+conservation across quanta, cycle totals that are plain sums of tenant
+cycles, exact switch-cost formulas, and ordered latency percentiles.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.context import TimeSharedCPU
+from repro.fleet import ArrivalSpec, FleetSpec, run_fleet
+from repro.ilr import RandomizerConfig, make_flow, randomize
+from repro.isa import assemble
+
+SRC = """
+.code 0x400000
+main:
+    movi esi, 0
+.loop:
+    call work
+    cmp esi, 300
+    jl .loop
+    movi eax, 1
+    movi ebx, 0
+    int 0x80
+work:
+    add esi, 1
+    mov eax, esi
+    imul eax, eax
+    ret
+"""
+
+_PROGRAM = randomize(assemble(SRC), RandomizerConfig(seed=44))
+
+fleet_specs = st.builds(
+    FleetSpec,
+    seed=st.integers(min_value=0, max_value=2**20),
+    tenants=st.integers(min_value=1, max_value=3),
+    cores=st.integers(min_value=1, max_value=2),
+    quantum_instructions=st.integers(min_value=200, max_value=1_500),
+    switch_cycles=st.integers(min_value=0, max_value=400),
+    request_instructions=st.integers(min_value=50, max_value=400),
+    arrival=st.builds(
+        ArrivalSpec,
+        kind=st.sampled_from(("poisson", "bursty", "uniform")),
+        requests=st.integers(min_value=1, max_value=5),
+        mean_gap=st.integers(min_value=0, max_value=2_000),
+    ),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(spec=fleet_specs)
+def test_fleet_accounting_invariants(spec):
+    point = run_fleet(spec)
+
+    # Conservation: every request is served or counted unserved, and a
+    # fully-served fleet executed exactly requests x demand.
+    assert point.served + point.unserved == point.requests
+    assert point.requests == spec.tenants * spec.arrival.requests
+    if point.unserved == 0:
+        assert point.instructions == (
+            point.requests * spec.request_instructions
+        )
+    assert point.instructions <= point.requests * spec.request_instructions
+
+    # Totals are plain sums over tenants (no double-counted switches).
+    assert point.instructions == sum(
+        t.instructions for t in point.tenant_results)
+    assert point.cycles == sum(t.cycles for t in point.tenant_results)
+
+    for tenant in point.tenant_results:
+        # A tenant's cycles cover its instructions (>=1 cycle each)
+        # plus exactly its charged switch cost — monotone, no slack
+        # below, no switch cost counted twice.
+        assert tenant.cycles >= (
+            tenant.instructions + tenant.switch_cycles_total
+        )
+        assert tenant.switch_cycles_total == (
+            tenant.switches * spec.switch_cycles
+        )
+        assert tenant.served + tenant.unserved == tenant.requests
+        assert 0 <= tenant.p50_latency <= tenant.p95_latency
+        assert tenant.p95_latency <= tenant.p99_latency
+        assert tenant.p99_latency <= tenant.max_latency
+        if tenant.served:
+            assert tenant.p50_latency > 0
+
+    # Per-core clock decomposition: busy + idle + switch charges.
+    for core in point.core_stats:
+        assert core["clock"] == (
+            core["busy_cycles"] + core["idle_cycles"]
+            + core["switches"] * spec.switch_cycles
+        )
+    assert point.makespan == max(c["clock"] for c in point.core_stats)
+
+
+@settings(max_examples=8, deadline=None)
+@given(spec=fleet_specs)
+def test_fleet_is_bit_deterministic(spec):
+    first = run_fleet(spec)
+    second = run_fleet(spec)
+    assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
+        second.as_dict(), sort_keys=True)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    quantum=st.integers(min_value=100, max_value=2_000),
+    switch_cycles=st.integers(min_value=0, max_value=500),
+    budget=st.integers(min_value=500, max_value=4_000),
+)
+def test_time_shared_total_is_sum_of_tenant_cycles(
+    quantum, switch_cycles, budget
+):
+    shared = TimeSharedCPU(
+        [("a", _PROGRAM.original, make_flow("baseline", _PROGRAM))],
+        quantum_instructions=quantum,
+        switch_cycles=switch_cycles,
+    )
+    out = shared.run(max_instructions_per_process=budget)
+    stats = out.switch_stats
+    assert out.total_cycles == sum(cpu.cycle for _n, cpu in shared.cpus)
+    assert stats.switches == out.by_name("a").quanta
+    assert stats.total_switch_cycles == switch_cycles * stats.switches
